@@ -1,0 +1,115 @@
+//! `npcc` — the CUDA-NP source-to-source compiler as a command-line tool,
+//! mirroring how the paper's Cetus-based implementation was used: feed it a
+//! kernel with `np parallel for` pragmas, get the optimized kernel back.
+//!
+//! ```text
+//! npcc [options] <kernel.cu>      (or `-` for stdin)
+//!
+//!   --slave-size N       threads per master group (default 4)
+//!   --np-type inter|intra  distribution scheme (default inter)
+//!   --sm VERSION         target compute capability x10 (default 30)
+//!   --local-array auto|global|shared|register
+//!   --pad                pad loop trip counts to a slave_size multiple
+//!   --no-redundant       broadcast every live-in (disable Section 3.1)
+//!   --report             print the transform decisions to stderr
+//! ```
+
+use cuda_np::{transform, LocalArrayStrategy, NpOptions};
+use np_kernel_ir::pragma::NpType;
+use np_kernel_ir::{parse_kernel, printer};
+use std::io::Read;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: npcc [--slave-size N] [--np-type inter|intra] [--sm V] \
+         [--local-array auto|global|shared|register] [--pad] [--no-redundant] \
+         [--report] <kernel.cu | ->"
+    );
+    std::process::exit(2)
+}
+
+fn main() -> ExitCode {
+    let mut opts = NpOptions::inter(4);
+    let mut input: Option<String> = None;
+    let mut report = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--slave-size" => {
+                opts.slave_size = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--np-type" => match args.next().as_deref() {
+                Some("inter") => opts.np_type = NpType::InterWarp,
+                Some("intra") => opts.np_type = NpType::IntraWarp,
+                _ => usage(),
+            },
+            "--sm" => {
+                opts.sm_version =
+                    args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--local-array" => {
+                opts.local_array = match args.next().as_deref() {
+                    Some("auto") => LocalArrayStrategy::Auto,
+                    Some("global") => LocalArrayStrategy::ForceGlobal,
+                    Some("shared") => LocalArrayStrategy::ForceShared,
+                    Some("register") => LocalArrayStrategy::ForceRegister,
+                    _ => usage(),
+                }
+            }
+            "--pad" => opts.pad = true,
+            "--no-redundant" => opts.redundant_uniform = false,
+            "--report" => report = true,
+            "--help" | "-h" => usage(),
+            other if input.is_none() && !other.starts_with("--") => {
+                input = Some(other.to_string())
+            }
+            _ => usage(),
+        }
+    }
+    let Some(path) = input else { usage() };
+
+    let src = if path == "-" {
+        let mut s = String::new();
+        if std::io::stdin().read_to_string(&mut s).is_err() {
+            eprintln!("npcc: failed to read stdin");
+            return ExitCode::FAILURE;
+        }
+        s
+    } else {
+        match std::fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("npcc: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    let mut kernel = match parse_kernel(&src) {
+        Ok(k) => k,
+        Err(e) => {
+            eprintln!("npcc: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Preprocess: multi-dimensional blocks are flattened automatically
+    // (Section 3.7 item 1).
+    cuda_np::preprocess::flatten_block(&mut kernel);
+
+    match transform(&kernel, &opts) {
+        Ok(t) => {
+            print!("{}", printer::print_kernel(&t.kernel));
+            if report {
+                eprintln!("npcc: {:#?}", t.report);
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("npcc: {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

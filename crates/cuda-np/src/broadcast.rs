@@ -1,0 +1,110 @@
+//! Scalar live-in broadcast: `read_from_master` (Section 3.1).
+//!
+//! A value computed by the master thread must reach its slaves. With
+//! intra-warp NP on sm >= 30, the master and its slaves share a warp and a
+//! single `__shfl(var, 0, slave_size)` broadcasts from the group's lane 0
+//! (the master). Otherwise the value is staged through a per-master slot in
+//! shared memory with barriers around it.
+
+use crate::mapping::{ThreadMap, MASTER_ID, SLAVE_ID};
+use np_kernel_ir::expr::dsl::{eq, load, shfl, v};
+use np_kernel_ir::expr::Expr;
+use np_kernel_ir::stmt::Stmt;
+use np_kernel_ir::types::{MemSpace, Scalar};
+
+/// Shared-memory staging buffer name for a broadcast variable.
+pub fn bcast_buf_name(var: &str) -> String {
+    format!("__np_bcast_{var}")
+}
+
+/// Code that broadcasts `var` from each master to its slaves.
+/// Returns (top-level declarations, code to insert at the broadcast site).
+/// The shared-memory path contains barriers, so its code must be emitted
+/// under *uniform* control flow; the shfl path is divergence-safe.
+pub fn broadcast_var(map: &ThreadMap, use_shfl: bool, var: &str, ty: Scalar) -> (Vec<Stmt>, Vec<Stmt>) {
+    if use_shfl && map.slaves_share_warp() {
+        // All threads read the group's lane 0 — the master.
+        let code = vec![Stmt::Assign {
+            name: var.to_string(),
+            value: shfl(v(var), Expr::ImmI32(0), map.slave_size),
+        }];
+        return (Vec::new(), code);
+    }
+    let buf = bcast_buf_name(var);
+    let decls = vec![Stmt::DeclArray {
+        name: buf.clone(),
+        ty,
+        space: MemSpace::Shared,
+        len: map.master_size,
+    }];
+    let code = vec![
+        // Leading barrier protects against WAR reuse of the buffer from a
+        // previous broadcast of the same variable.
+        Stmt::SyncThreads,
+        Stmt::If {
+            cond: eq(v(SLAVE_ID), Expr::ImmI32(0)),
+            then_body: vec![Stmt::Store {
+                array: buf.clone(),
+                index: v(MASTER_ID),
+                value: v(var),
+            }],
+            else_body: vec![],
+        },
+        Stmt::SyncThreads,
+        Stmt::Assign { name: var.to_string(), value: load(&buf, v(MASTER_ID)) },
+    ];
+    (decls, code)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use np_kernel_ir::pragma::NpType;
+
+    fn map(t: NpType, s: u32) -> ThreadMap {
+        ThreadMap { np_type: t, master_size: 32, slave_size: s }
+    }
+
+    #[test]
+    fn intra_warp_uses_one_shfl() {
+        let (decls, code) = broadcast_var(&map(NpType::IntraWarp, 8), true, "x", Scalar::F32);
+        assert!(decls.is_empty());
+        assert_eq!(code.len(), 1);
+        match &code[0] {
+            Stmt::Assign { name, value } => {
+                assert_eq!(name, "x");
+                assert!(matches!(value, Expr::Shfl { width: 8, .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn inter_warp_stages_through_shared_memory() {
+        let (decls, code) = broadcast_var(&map(NpType::InterWarp, 8), false, "x", Scalar::F32);
+        assert_eq!(decls.len(), 1);
+        match &decls[0] {
+            Stmt::DeclArray { space, len, .. } => {
+                assert_eq!(*space, MemSpace::Shared);
+                assert_eq!(*len, 32);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // sync; master store; sync; read.
+        assert!(matches!(code[0], Stmt::SyncThreads));
+        assert!(matches!(code[2], Stmt::SyncThreads));
+        assert_eq!(code.len(), 4);
+    }
+
+    #[test]
+    fn intra_warp_without_shfl_support_falls_back_to_shared() {
+        let (decls, _) = broadcast_var(&map(NpType::IntraWarp, 8), false, "x", Scalar::I32);
+        assert_eq!(decls.len(), 1, "sm < 30 must use shared memory");
+    }
+
+    #[test]
+    fn non_pow2_intra_warp_cannot_shfl() {
+        let (decls, _) = broadcast_var(&map(NpType::IntraWarp, 6), true, "x", Scalar::I32);
+        assert_eq!(decls.len(), 1, "slave group spans warps; shared memory required");
+    }
+}

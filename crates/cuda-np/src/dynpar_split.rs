@@ -1,0 +1,574 @@
+//! The dynamic-parallelism baseline (Section 6): split a pragma-annotated
+//! kernel into the parent/child kernels a developer would write with Kepler
+//! dynamic parallelism, so the paper's comparison can be *run* rather than
+//! only modelled.
+//!
+//! The split makes the paper's pain points concrete:
+//!
+//! * parent and child can only communicate through **global memory**, so
+//!   every scalar live across a parallel loop is spilled to a per-thread
+//!   state buffer and re-loaded by the children and by the next parent
+//!   phase;
+//! * reductions come back as one partial per child thread that the parent
+//!   must re-reduce sequentially;
+//! * loops that touch **shared memory** (or per-thread local arrays) cannot
+//!   be split at all without manual staging — exactly why the paper only
+//!   produced dynamic-parallelism versions of NN, TMV, LE, LIB and CFD —
+//!   and are rejected with [`DynParSplitError::SharedMemoryInLoop`].
+//!
+//! Execution: [`run_split`] launches each phase on the simulator and adds
+//! the device-runtime launch overhead from [`np_gpu_sim::dynpar`].
+
+use crate::liveout::identity_expr;
+use np_exec::{launch, Args, ExecError, SimOptions};
+use np_gpu_sim::DynParConfig;
+use np_gpu_sim::DeviceConfig;
+use np_kernel_ir::analysis::{arrays_read, arrays_written};
+use np_kernel_ir::expr::dsl::{bdimx, bidx, load, tidx, v};
+use np_kernel_ir::expr::Expr;
+use np_kernel_ir::kernel::{Kernel, Param, ParamKind};
+use np_kernel_ir::pragma::RedOp;
+use np_kernel_ir::stmt::Stmt;
+use np_kernel_ir::types::{Dim3, MemSpace, Scalar};
+
+/// Why a kernel cannot be given a dynamic-parallelism version.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DynParSplitError {
+    /// No pragma loops: nothing to offload.
+    NoPragmaLoops,
+    /// A parallel loop reads or writes shared memory — the child kernel
+    /// cannot see it (the paper's Section 6 discussion).
+    SharedMemoryInLoop(String),
+    /// A parallel loop touches a per-thread local array.
+    LocalArrayInLoop(String),
+    /// Scan/select clauses have no sensible naive-DP equivalent.
+    UnsupportedClause(String),
+    /// Parallel loops must be at the kernel's top level for the split.
+    LoopNotTopLevel,
+    /// The loop bound must be a literal or scalar parameter so the driver
+    /// knows how many child threads to launch.
+    NonLiteralTrip(String),
+}
+
+impl std::fmt::Display for DynParSplitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DynParSplitError::NoPragmaLoops => write!(f, "kernel has no parallel loops"),
+            DynParSplitError::SharedMemoryInLoop(a) => write!(
+                f,
+                "parallel loop touches shared array {a:?}; a child kernel cannot access the \
+                 parent's shared memory (requires manual global staging)"
+            ),
+            DynParSplitError::LocalArrayInLoop(a) => write!(
+                f,
+                "parallel loop touches per-thread local array {a:?}; relocate it to global \
+                 memory first"
+            ),
+            DynParSplitError::UnsupportedClause(c) => {
+                write!(f, "clause {c} has no naive dynamic-parallelism equivalent")
+            }
+            DynParSplitError::LoopNotTopLevel => {
+                write!(f, "parallel loops must be top-level statements for the split")
+            }
+            DynParSplitError::NonLiteralTrip(l) => {
+                write!(f, "loop {l:?} needs a literal or parameter bound")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DynParSplitError {}
+
+/// How many child threads one parent thread launches for a loop.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Trip {
+    Lit(u32),
+    Param(String),
+}
+
+impl Trip {
+    /// Resolve against bound arguments.
+    pub fn resolve(&self, args: &Args) -> u32 {
+        match self {
+            Trip::Lit(n) => *n,
+            Trip::Param(p) => match args.get(p) {
+                Some(np_exec::ArgValue::I32(v)) => *v as u32,
+                Some(np_exec::ArgValue::U32(v)) => *v,
+                other => panic!("trip parameter {p:?} not bound to an integer: {other:?}"),
+            },
+        }
+    }
+}
+
+/// One offloaded loop.
+#[derive(Debug, Clone)]
+pub struct ChildLoop {
+    pub kernel: Kernel,
+    pub trip: Trip,
+    /// (variable, operator, scratch buffer param) for each reduction.
+    pub reductions: Vec<(String, RedOp, String)>,
+}
+
+/// The split program: parent phases interleaved with child launches.
+#[derive(Debug, Clone)]
+pub struct DynParSplit {
+    /// Parent phase kernels, one more than `children`.
+    pub phases: Vec<Kernel>,
+    pub children: Vec<ChildLoop>,
+    /// (name, ty) of every spilled scalar, defining the state layout.
+    pub state_slots: Vec<(String, Scalar)>,
+}
+
+const F32_STATE: &str = "__dp_state_f32";
+const I32_STATE: &str = "__dp_state_i32";
+const TID: &str = "__dp_tid";
+
+fn state_params() -> [Param; 2] {
+    [
+        Param { name: F32_STATE.into(), kind: ParamKind::GlobalArray(Scalar::F32) },
+        Param { name: I32_STATE.into(), kind: ParamKind::GlobalArray(Scalar::I32) },
+    ]
+}
+
+fn tid_decl() -> Stmt {
+    Stmt::DeclScalar {
+        name: TID.into(),
+        ty: Scalar::I32,
+        init: Some(tidx() + bidx() * bdimx()),
+    }
+}
+
+/// state index expression for slot `k` of this thread.
+fn state_ix(slots: usize, k: usize, thread: Expr) -> Expr {
+    thread * Expr::ImmI32(slots as i32) + Expr::ImmI32(k as i32)
+}
+
+fn save_stmt(slots: &[(String, Scalar)], k: usize, thread: Expr) -> Stmt {
+    let (name, ty) = &slots[k];
+    let (buf, value) = match ty {
+        Scalar::F32 => (F32_STATE, v(name)),
+        _ => (I32_STATE, Expr::Cast(Scalar::I32, Box::new(v(name)))),
+    };
+    Stmt::Store { array: buf.into(), index: state_ix(slots.len(), k, thread), value }
+}
+
+fn restore_stmt(slots: &[(String, Scalar)], k: usize, thread: Expr) -> Stmt {
+    let (name, ty) = &slots[k];
+    let raw = match ty {
+        Scalar::F32 => load(F32_STATE, state_ix(slots.len(), k, thread)),
+        _ => load(I32_STATE, state_ix(slots.len(), k, thread)),
+    };
+    let value = match ty {
+        Scalar::F32 | Scalar::I32 => raw,
+        other => Expr::Cast(*other, Box::new(raw)),
+    };
+    Stmt::Assign { name: name.clone(), value }
+}
+
+/// Split `kernel` into dynamic-parallelism phases.
+pub fn split(kernel: &Kernel) -> Result<DynParSplit, DynParSplitError> {
+    // Segment the top-level body at pragma loops.
+    let mut segments: Vec<Vec<Stmt>> = vec![Vec::new()];
+    let mut loops: Vec<(String, Expr, Expr, Vec<Stmt>, np_kernel_ir::NpPragma)> = Vec::new();
+    for s in &kernel.body {
+        match s {
+            Stmt::For { var, init, bound, body, pragma: Some(p), .. } => {
+                loops.push((var.clone(), init.clone(), bound.clone(), body.clone(), p.clone()));
+                segments.push(Vec::new());
+            }
+            other => {
+                if other.contains_pragma_loop() {
+                    return Err(DynParSplitError::LoopNotTopLevel);
+                }
+                segments.last_mut().unwrap().push(other.clone());
+            }
+        }
+    }
+    if loops.is_empty() {
+        return Err(DynParSplitError::NoPragmaLoops);
+    }
+
+    // Validate loop bodies: global arrays only; no scan/select.
+    for (var, _, _, body, p) in &loops {
+        if !p.scans.is_empty() {
+            return Err(DynParSplitError::UnsupportedClause(format!("scan (loop over {var})")));
+        }
+        if !p.select_out.is_empty() {
+            return Err(DynParSplitError::UnsupportedClause(format!("select (loop over {var})")));
+        }
+        let mut touched = arrays_read(body);
+        touched.extend(arrays_written(body));
+        for a in touched {
+            match kernel.array_info(&a).map(|i| i.space) {
+                Some(MemSpace::Shared) => {
+                    return Err(DynParSplitError::SharedMemoryInLoop(a))
+                }
+                Some(MemSpace::Local) | Some(MemSpace::Register) => {
+                    return Err(DynParSplitError::LocalArrayInLoop(a))
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // All top-level scalars (in order) define the state layout.
+    let mut state_slots: Vec<(String, Scalar)> = Vec::new();
+    for s in &kernel.body {
+        if let Stmt::DeclScalar { name, ty, .. } = s {
+            state_slots.push((name.clone(), *ty));
+        }
+    }
+
+    let nslots = state_slots.len().max(1);
+    let _ = nslots;
+
+    // Trips.
+    let trips: Vec<Trip> = loops
+        .iter()
+        .map(|(var, init, bound, _, _)| {
+            if *init != Expr::ImmI32(0) {
+                return Err(DynParSplitError::NonLiteralTrip(var.clone()));
+            }
+            match bound {
+                Expr::ImmI32(n) if *n > 0 => Ok(Trip::Lit(*n as u32)),
+                Expr::Param(p) => Ok(Trip::Param(p.clone())),
+                _ => Err(DynParSplitError::NonLiteralTrip(var.clone())),
+            }
+        })
+        .collect::<Result<_, _>>()?;
+
+    // Build parent phases.
+    let mut phases = Vec::new();
+    let mut children = Vec::new();
+    for (i, seg) in segments.iter().enumerate() {
+        let mut k = Kernel::new(&format!("{}_dp_phase{}", kernel.name, i), kernel.block_dim.x);
+        k.params = kernel.params.clone();
+        k.params.extend(state_params());
+        // Scratch params for every *preceding* loop's reductions (phase i
+        // consumes loop i-1's partials) and nothing else.
+        let mut body = vec![tid_decl()];
+        // Declare every state scalar (uninitialized).
+        for (name, ty) in &state_slots {
+            body.push(Stmt::DeclScalar { name: name.clone(), ty: *ty, init: None });
+        }
+        if i > 0 {
+            // Restore state saved by the previous phase.
+            for kk in 0..state_slots.len() {
+                body.push(restore_stmt(&state_slots, kk, v(TID)));
+            }
+            // Re-reduce the previous loop's partials sequentially.
+            let (_, _, bound, _, p) = &loops[i - 1];
+            let mut scratch_names = Vec::new();
+            for (op, var) in &p.reductions {
+                let scratch = format!("__dp_red_{var}_{}", i - 1);
+                k.params.push(Param {
+                    name: scratch.clone(),
+                    kind: ParamKind::GlobalArray(Scalar::F32),
+                });
+                scratch_names.push((var.clone(), *op, scratch));
+            }
+            for (var, op, scratch) in &scratch_names {
+                let iter = format!("__dp_q_{var}");
+                body.push(Stmt::For {
+                    var: iter.clone(),
+                    init: Expr::ImmI32(0),
+                    bound: bound.clone(),
+                    step: Expr::ImmI32(1),
+                    body: vec![Stmt::Assign {
+                        name: var.clone(),
+                        value: crate::liveout::combine_expr(
+                            *op,
+                            v(var),
+                            load(scratch, v(TID) * bound.clone() + v(&iter)),
+                        ),
+                    }],
+                    pragma: None,
+                });
+            }
+        }
+        // The segment itself, with declarations turned into assignments
+        // (the declarations were hoisted above).
+        for s in seg {
+            match s {
+                Stmt::DeclScalar { name, init: Some(e), .. } => {
+                    body.push(Stmt::Assign { name: name.clone(), value: e.clone() })
+                }
+                Stmt::DeclScalar { init: None, .. } => {}
+                other => body.push(other.clone()),
+            }
+        }
+        // Save state for children / the next phase (not needed after the
+        // last phase).
+        if i < segments.len() - 1 {
+            for kk in 0..state_slots.len() {
+                body.push(save_stmt(&state_slots, kk, v(TID)));
+            }
+        }
+        k.body = body;
+        phases.push(k);
+    }
+
+    // Build child kernels.
+    for (j, (var, _init, bound, lbody, p)) in loops.iter().enumerate() {
+        let mut k = Kernel::new(&format!("{}_dp_child{}", kernel.name, j), 256);
+        k.params = kernel.params.clone();
+        k.params.extend(state_params());
+        let mut reductions = Vec::new();
+        for (op, rvar) in &p.reductions {
+            let scratch = format!("__dp_red_{rvar}_{j}");
+            k.params.push(Param {
+                name: scratch.clone(),
+                kind: ParamKind::GlobalArray(Scalar::F32),
+            });
+            reductions.push((rvar.clone(), *op, scratch));
+        }
+        k.params.push(Param {
+            name: "__dp_total".into(),
+            kind: ParamKind::Scalar(Scalar::I32),
+        });
+        let mut body = vec![Stmt::DeclScalar {
+            name: "__dp_gid".into(),
+            ty: Scalar::I32,
+            init: Some(tidx() + bidx() * bdimx()),
+        }];
+        // Parent thread index and iteration index.
+        body.push(Stmt::DeclScalar {
+            name: TID.into(),
+            ty: Scalar::I32,
+            init: Some(v("__dp_gid") / bound.clone()),
+        });
+        body.push(Stmt::DeclScalar {
+            name: var.clone(),
+            ty: Scalar::I32,
+            init: Some(v("__dp_gid") % bound.clone()),
+        });
+        // Restore the parent's scalars (live-ins) from global memory —
+        // the only channel a child has.
+        for (name, ty) in &state_slots {
+            body.push(Stmt::DeclScalar { name: name.clone(), ty: *ty, init: None });
+        }
+        for kk in 0..state_slots.len() {
+            if state_slots[kk].0 == *var {
+                continue; // the iterator is this thread's identity
+            }
+            body.push(restore_stmt(&state_slots, kk, v(TID)));
+        }
+        // Reduction variables start from the identity so the body computes
+        // this iteration's contribution alone.
+        for (rvar, op, _) in &reductions {
+            let ty = state_slots
+                .iter()
+                .find(|(n, _)| n == rvar)
+                .map(|(_, t)| *t)
+                .unwrap_or(Scalar::F32);
+            body.push(Stmt::Assign { name: rvar.clone(), value: identity_expr(*op, ty) });
+        }
+        // One loop iteration.
+        body.extend(lbody.iter().cloned());
+        // Ship the contribution back.
+        for (rvar, _, scratch) in &reductions {
+            body.push(Stmt::Store {
+                array: scratch.clone(),
+                index: v(TID) * bound.clone() + v(var),
+                value: v(rvar),
+            });
+        }
+        // Guard threads past the end of the batched launch (partial last
+        // block): keep only the gid declaration unguarded.
+        let gid_decl = body.remove(0);
+        k.body = vec![
+            gid_decl,
+            Stmt::If {
+                cond: np_kernel_ir::expr::dsl::lt(v("__dp_gid"), Expr::Param("__dp_total".into())),
+                then_body: body,
+                else_body: vec![],
+            },
+        ];
+        children.push(ChildLoop { kernel: k, trip: trips[j].clone(), reductions });
+    }
+
+    Ok(DynParSplit { phases, children, state_slots })
+}
+
+/// Outcome of running a split program on the simulator.
+#[derive(Debug)]
+pub struct DynParRunReport {
+    /// Total cycles including device-runtime launch overhead and the
+    /// enabled-kernel tax.
+    pub cycles: u64,
+    /// Cycles spent in simulated parent/child work alone.
+    pub work_cycles: u64,
+    /// Device-side child launches performed.
+    pub launches: u64,
+}
+
+/// Run a split program: parent phases on `grid`, children batched, launch
+/// overhead charged per parent thread per loop (the naive pattern the
+/// paper's Section 6 measures). Outputs land in `args` like a normal
+/// launch.
+pub fn run_split(
+    dev: &DeviceConfig,
+    sp: &DynParSplit,
+    grid: Dim3,
+    args: &mut Args,
+    sim: &SimOptions,
+) -> Result<DynParRunReport, ExecError> {
+    let parent_threads =
+        grid.count() * sp.phases.first().map(|p| p.block_dim.count()).unwrap_or(1);
+    let nslots = sp.state_slots.len().max(1);
+
+    // Shared state buffers.
+    let mut a = std::mem::take(args)
+        .buf_f32(F32_STATE, vec![0.0; parent_threads as usize * nslots])
+        .buf_i32(I32_STATE, vec![0; parent_threads as usize * nslots]);
+    // Reduction scratch buffers.
+    for c in &sp.children {
+        let trip = c.trip.resolve(&a) as usize;
+        for (_, _, scratch) in &c.reductions {
+            a = a.buf_f32(scratch, vec![0.0; parent_threads as usize * trip]);
+        }
+    }
+
+    let mut work_cycles = 0u64;
+    let mut launches = 0u64;
+    for (i, phase) in sp.phases.iter().enumerate() {
+        let rep = launch(dev, phase, grid, &mut a, sim)?;
+        work_cycles += rep.cycles;
+        if i < sp.children.len() {
+            let c = &sp.children[i];
+            let trip = c.trip.resolve(&a) as u64;
+            let total = parent_threads * trip;
+            let cgrid = Dim3::x1(total.div_ceil(256).max(1) as u32);
+            a = a.i32("__dp_total", total as i32);
+            let rep = launch(dev, &c.kernel, cgrid, &mut a, sim)?;
+            work_cycles += rep.cycles;
+            launches += parent_threads;
+        }
+    }
+
+    let dp: &DynParConfig = &dev.dynpar;
+    let overhead = launches as u128 * (dp.launch_overhead_cycles + dp.global_handoff_cycles) as u128
+        / dp.launch_parallelism as u128;
+    let cycles = (((work_cycles as u128 + overhead) as f64) * dp.enabled_overhead) as u64;
+    *args = a;
+    Ok(DynParRunReport { cycles, work_cycles, launches })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use np_kernel_ir::expr::dsl::*;
+    use np_kernel_ir::{KernelBuilder, Scalar as S};
+
+    fn tmv_like(block: u32) -> Kernel {
+        let mut b = KernelBuilder::new("tmv", block);
+        b.param_global_f32("a");
+        b.param_global_f32("b");
+        b.param_global_f32("out");
+        b.param_scalar_i32("w");
+        b.param_scalar_i32("h");
+        b.decl_f32("sum", f(0.0));
+        b.decl_i32("tx", tidx() + bidx() * bdimx());
+        b.pragma_for("np parallel for reduction(+:sum)", "i", i(0), p("h"), |b| {
+            b.assign("sum", v("sum") + load("a", v("i") * p("w") + v("tx")) * load("b", v("i")));
+        });
+        b.store("out", v("tx"), v("sum"));
+        b.finish()
+    }
+
+    #[test]
+    fn split_produces_two_phases_and_one_child() {
+        let sp = split(&tmv_like(32)).unwrap();
+        assert_eq!(sp.phases.len(), 2);
+        assert_eq!(sp.children.len(), 1);
+        assert_eq!(sp.children[0].trip, Trip::Param("h".into()));
+        assert_eq!(sp.children[0].reductions.len(), 1);
+        // sum and tx are spilled.
+        assert_eq!(sp.state_slots.len(), 2);
+    }
+
+    #[test]
+    fn split_runs_and_matches_the_plain_kernel() {
+        let dev = DeviceConfig::gtx680();
+        let (w, h) = (64usize, 40usize);
+        let k = tmv_like(32);
+        let mk = || {
+            Args::new()
+                .buf_f32("a", np_workloads_hash(w * h))
+                .buf_f32("b", np_workloads_hash(h))
+                .buf_f32("out", vec![0.0; w])
+                .i32("w", w as i32)
+                .i32("h", h as i32)
+        };
+        // Plain run.
+        let mut base_args = mk();
+        let base = launch(&dev, &k, Dim3::x1(2), &mut base_args, &SimOptions::full()).unwrap();
+        // Split run.
+        let sp = split(&k).unwrap();
+        let mut dp_args = mk();
+        let rep = run_split(&dev, &sp, Dim3::x1(2), &mut dp_args, &SimOptions::full()).unwrap();
+        assert_eq!(rep.launches, 64);
+        let expect = base_args.get_f32("out").unwrap();
+        let got = dp_args.get_f32("out").unwrap();
+        for (i, (e, g)) in expect.iter().zip(got).enumerate() {
+            assert!(
+                (e - g).abs() <= 1e-3 * e.abs().max(1.0),
+                "out[{i}]: plain {e} vs dynpar {g}"
+            );
+        }
+        // And it is much slower than the plain kernel — the paper's point.
+        assert!(
+            rep.cycles > 3 * base.cycles,
+            "dynamic parallelism should be slow: {} vs {}",
+            rep.cycles,
+            base.cycles
+        );
+    }
+
+    #[test]
+    fn shared_memory_loops_are_rejected() {
+        let mut b = KernelBuilder::new("sh", 32);
+        b.param_global_f32("out");
+        b.shared_array("tile", S::F32, 32);
+        b.decl_f32("s", f(0.0));
+        b.pragma_for("np parallel for reduction(+:s)", "i", i(0), i(32), |b| {
+            b.assign("s", v("s") + load("tile", v("i")));
+        });
+        b.store("out", tidx(), v("s"));
+        assert!(matches!(
+            split(&b.finish()),
+            Err(DynParSplitError::SharedMemoryInLoop(a)) if a == "tile"
+        ));
+    }
+
+    #[test]
+    fn local_arrays_and_scans_are_rejected() {
+        let mut b = KernelBuilder::new("loc", 32);
+        b.param_global_f32("out");
+        b.local_array("buf", S::F32, 16);
+        b.pragma_for("np parallel for", "i", i(0), i(16), |b| {
+            b.store("buf", v("i"), f(1.0));
+        });
+        b.store("out", tidx(), load("buf", i(0)));
+        assert!(matches!(
+            split(&b.finish()),
+            Err(DynParSplitError::LocalArrayInLoop(_))
+        ));
+
+        let mut b = KernelBuilder::new("sc", 32);
+        b.param_global_f32("out");
+        b.decl_f32("acc", f(0.0));
+        b.pragma_for("np parallel for scan(+:acc)", "i", i(0), i(16), |b| {
+            b.assign("acc", v("acc") + f(1.0));
+        });
+        b.store("out", tidx(), v("acc"));
+        assert!(matches!(
+            split(&b.finish()),
+            Err(DynParSplitError::UnsupportedClause(_))
+        ));
+    }
+
+    fn np_workloads_hash(n: usize) -> Vec<f32> {
+        (0..n).map(|i| ((i * 37 % 101) as f32 - 50.0) / 25.0).collect()
+    }
+}

@@ -1,0 +1,341 @@
+//! Scalar live-out handling: parallel reduction and scan across a master's
+//! slave group (Section 3.2).
+//!
+//! Reductions use a `__shfl_xor` butterfly when the slave group shares a
+//! warp (every thread ends with the total, no barrier needed — legal even
+//! under divergent control flow), or a shared-memory tree with barriers
+//! otherwise. Scans use Hillis–Steele over per-slave partial totals; the
+//! enclosing transform combines them with a blocked loop distribution.
+
+use crate::mapping::{ThreadMap, MASTER_ID, SLAVE_ID};
+use np_kernel_ir::expr::dsl::{ge, gt, land, load, lt, max, select, shfl, shfl_up, v};
+use np_kernel_ir::expr::{BinOp, Expr};
+use np_kernel_ir::pragma::RedOp;
+use np_kernel_ir::stmt::Stmt;
+use np_kernel_ir::types::{MemSpace, Scalar};
+
+/// The identity element of a reduction.
+pub fn identity_expr(op: RedOp, ty: Scalar) -> Expr {
+    match (op, ty) {
+        (RedOp::Add, Scalar::F32) => Expr::ImmF32(0.0),
+        (RedOp::Add, Scalar::I32) => Expr::ImmI32(0),
+        (RedOp::Add, Scalar::U32) => Expr::ImmU32(0),
+        (RedOp::Mul, Scalar::F32) => Expr::ImmF32(1.0),
+        (RedOp::Mul, Scalar::I32) => Expr::ImmI32(1),
+        (RedOp::Mul, Scalar::U32) => Expr::ImmU32(1),
+        (RedOp::Min, Scalar::F32) => Expr::ImmF32(f32::INFINITY),
+        (RedOp::Min, Scalar::I32) => Expr::ImmI32(i32::MAX),
+        (RedOp::Min, Scalar::U32) => Expr::ImmU32(u32::MAX),
+        (RedOp::Max, Scalar::F32) => Expr::ImmF32(f32::NEG_INFINITY),
+        (RedOp::Max, Scalar::I32) => Expr::ImmI32(i32::MIN),
+        (RedOp::Max, Scalar::U32) => Expr::ImmU32(0),
+        (op, ty) => panic!("no identity for {op:?} over {ty:?}"),
+    }
+}
+
+/// `combine(a, b)` for a reduction operator.
+pub fn combine_expr(op: RedOp, a: Expr, b: Expr) -> Expr {
+    let bin = match op {
+        RedOp::Add => BinOp::Add,
+        RedOp::Mul => BinOp::Mul,
+        RedOp::Min => BinOp::Min,
+        RedOp::Max => BinOp::Max,
+    };
+    Expr::Binary(bin, Box::new(a), Box::new(b))
+}
+
+/// Name of the shared tree buffer for a reduced variable.
+pub fn red_buf_name(var: &str) -> String {
+    format!("__np_red_{var}")
+}
+
+/// Tree offsets for a reduction over `n` participants: next_pow2(n)/2 … 1.
+fn tree_offsets(n: u32) -> Vec<u32> {
+    let mut offs = Vec::new();
+    let mut o = n.next_power_of_two() / 2;
+    while o >= 1 {
+        offs.push(o);
+        if o == 1 {
+            break;
+        }
+        o /= 2;
+    }
+    offs
+}
+
+/// Code to initialize the slave copies of a reduction variable to the
+/// identity before the loop (the master keeps its original value so any
+/// pre-loop contribution is counted exactly once).
+pub fn slave_identity_init(var: &str, op: RedOp, ty: Scalar) -> Stmt {
+    Stmt::If {
+        cond: np_kernel_ir::expr::dsl::ne(v(SLAVE_ID), Expr::ImmI32(0)),
+        then_body: vec![Stmt::Assign { name: var.to_string(), value: identity_expr(op, ty) }],
+        else_body: vec![],
+    }
+}
+
+/// Reduction of `var` across each slave group. After the emitted code,
+/// *every* thread of the group holds the combined value.
+/// Returns (top-level shared declarations, code). The shared path contains
+/// barriers and must run under uniform control flow.
+pub fn reduce_var(
+    map: &ThreadMap,
+    use_shfl: bool,
+    var: &str,
+    ty: Scalar,
+    op: RedOp,
+) -> (Vec<Stmt>, Vec<Stmt>) {
+    let s = map.slave_size;
+    if use_shfl && map.slaves_share_warp() {
+        // Butterfly: after log2(S) rounds every lane holds the total.
+        let mut code = Vec::new();
+        let mut off = s / 2;
+        while off >= 1 {
+            code.push(Stmt::Assign {
+                name: var.to_string(),
+                value: combine_expr(
+                    op,
+                    v(var),
+                    np_kernel_ir::expr::dsl::shfl_xor(v(var), Expr::ImmI32(off as i32), s),
+                ),
+            });
+            if off == 1 {
+                break;
+            }
+            off /= 2;
+        }
+        return (Vec::new(), code);
+    }
+
+    let m = map.master_size;
+    let buf = red_buf_name(var);
+    let decls = vec![Stmt::DeclArray {
+        name: buf.clone(),
+        ty,
+        space: MemSpace::Shared,
+        len: s * m,
+    }];
+    let mid = v(MASTER_ID);
+    let sid = v(SLAVE_ID);
+    let slot = |slave: Expr| slave * Expr::ImmI32(m as i32) + mid.clone();
+    let mut code = vec![
+        Stmt::SyncThreads,
+        Stmt::Store { array: buf.clone(), index: slot(sid.clone()), value: v(var) },
+        Stmt::SyncThreads,
+    ];
+    for off in tree_offsets(s) {
+        code.push(Stmt::If {
+            cond: land(
+                lt(sid.clone(), Expr::ImmI32(off as i32)),
+                lt(sid.clone() + Expr::ImmI32(off as i32), Expr::ImmI32(s as i32)),
+            ),
+            then_body: vec![Stmt::Store {
+                array: buf.clone(),
+                index: slot(sid.clone()),
+                value: combine_expr(
+                    op,
+                    load(&buf, slot(sid.clone())),
+                    load(&buf, slot(sid.clone() + Expr::ImmI32(off as i32))),
+                ),
+            }],
+            else_body: vec![],
+        });
+        code.push(Stmt::SyncThreads);
+    }
+    code.push(Stmt::Assign { name: var.to_string(), value: load(&buf, mid) });
+    (decls, code)
+}
+
+/// Names used by the scan codegen for variable `var`.
+pub struct ScanVars {
+    /// Per-slave chunk total (computed by the sliced pre-pass).
+    pub total: String,
+    /// Exclusive prefix of the totals across the slave group.
+    pub offset: String,
+    /// Grand total across the whole group.
+    pub grand: String,
+}
+
+pub fn scan_vars(var: &str) -> ScanVars {
+    ScanVars {
+        total: format!("__np_scan_tot_{var}"),
+        offset: format!("__np_scan_off_{var}"),
+        grand: format!("__np_scan_all_{var}"),
+    }
+}
+
+/// Exclusive-scan code across the slave group: consumes `vars.total`,
+/// defines `vars.offset` (exclusive prefix) and `vars.grand` (total).
+/// Only `+` scans are supported — matching the paper's LIB benchmark and
+/// the CUDA SDK scan it references. Returns (decls, code).
+pub fn exclusive_scan(
+    map: &ThreadMap,
+    use_shfl: bool,
+    var: &str,
+    ty: Scalar,
+) -> (Vec<Stmt>, Vec<Stmt>) {
+    assert_eq!(ty, Scalar::F32, "scan currently supports f32 (as in LIB)");
+    let s = map.slave_size;
+    let vars = scan_vars(var);
+    let incl = format!("__np_scan_incl_{var}");
+
+    if use_shfl && map.slaves_share_warp() {
+        let mut code = vec![Stmt::DeclScalar {
+            name: incl.clone(),
+            ty,
+            init: Some(v(&vars.total)),
+        }];
+        let mut off = 1;
+        while off < s {
+            // t = __shfl_up(incl, off, S); if (slave >= off) incl += t;
+            let t = format!("__np_scan_t_{var}_{off}");
+            code.push(Stmt::DeclScalar {
+                name: t.clone(),
+                ty,
+                init: Some(shfl_up(v(&incl), Expr::ImmI32(off as i32), s)),
+            });
+            code.push(Stmt::Assign {
+                name: incl.clone(),
+                value: select(
+                    ge(v(SLAVE_ID), Expr::ImmI32(off as i32)),
+                    v(&incl) + v(&t),
+                    v(&incl),
+                ),
+            });
+            off *= 2;
+        }
+        code.push(Stmt::DeclScalar {
+            name: vars.offset.clone(),
+            ty,
+            init: Some(v(&incl) - v(&vars.total)),
+        });
+        code.push(Stmt::DeclScalar {
+            name: vars.grand.clone(),
+            ty,
+            init: Some(shfl(v(&incl), Expr::ImmI32(s as i32 - 1), s)),
+        });
+        return (Vec::new(), code);
+    }
+
+    let m = map.master_size;
+    let buf = format!("__np_scan_buf_{var}");
+    let decls = vec![Stmt::DeclArray {
+        name: buf.clone(),
+        ty,
+        space: MemSpace::Shared,
+        len: s * m,
+    }];
+    let mid = v(MASTER_ID);
+    let sid = v(SLAVE_ID);
+    let slot = |slave: Expr| slave * Expr::ImmI32(m as i32) + mid.clone();
+    let mut code = vec![
+        Stmt::SyncThreads,
+        Stmt::Store { array: buf.clone(), index: slot(sid.clone()), value: v(&vars.total) },
+    ];
+    let mut off = 1;
+    while off < s {
+        let t = format!("__np_scan_t_{var}_{off}");
+        // Read phase (guarded index kept in range with max()), then write.
+        code.push(Stmt::SyncThreads);
+        code.push(Stmt::DeclScalar {
+            name: t.clone(),
+            ty,
+            init: Some(select(
+                ge(sid.clone(), Expr::ImmI32(off as i32)),
+                load(
+                    &buf,
+                    slot(max(sid.clone() - Expr::ImmI32(off as i32), Expr::ImmI32(0))),
+                ),
+                Expr::ImmF32(0.0),
+            )),
+        });
+        code.push(Stmt::SyncThreads);
+        code.push(Stmt::Store {
+            array: buf.clone(),
+            index: slot(sid.clone()),
+            value: load(&buf, slot(sid.clone())) + v(&t),
+        });
+        off *= 2;
+    }
+    code.push(Stmt::SyncThreads);
+    code.push(Stmt::DeclScalar {
+        name: vars.offset.clone(),
+        ty,
+        init: Some(select(
+            gt(sid.clone(), Expr::ImmI32(0)),
+            load(&buf, slot(max(sid.clone() - Expr::ImmI32(1), Expr::ImmI32(0)))),
+            Expr::ImmF32(0.0),
+        )),
+    });
+    code.push(Stmt::DeclScalar {
+        name: vars.grand.clone(),
+        ty,
+        init: Some(load(&buf, slot(Expr::ImmI32(s as i32 - 1)))),
+    });
+    (decls, code)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use np_kernel_ir::pragma::NpType;
+
+    fn map(t: NpType, s: u32) -> ThreadMap {
+        ThreadMap { np_type: t, master_size: 16, slave_size: s }
+    }
+
+    #[test]
+    fn identities_are_correct() {
+        assert_eq!(identity_expr(RedOp::Add, Scalar::F32), Expr::ImmF32(0.0));
+        assert_eq!(identity_expr(RedOp::Mul, Scalar::I32), Expr::ImmI32(1));
+        assert_eq!(identity_expr(RedOp::Min, Scalar::F32), Expr::ImmF32(f32::INFINITY));
+        assert_eq!(identity_expr(RedOp::Max, Scalar::I32), Expr::ImmI32(i32::MIN));
+    }
+
+    #[test]
+    fn shfl_reduction_has_log2_rounds_and_no_decls() {
+        let (decls, code) = reduce_var(&map(NpType::IntraWarp, 8), true, "sum", Scalar::F32, RedOp::Add);
+        assert!(decls.is_empty());
+        assert_eq!(code.len(), 3, "8 = 2^3 butterfly rounds");
+    }
+
+    #[test]
+    fn shared_reduction_allocates_s_by_m_buffer() {
+        let (decls, code) = reduce_var(&map(NpType::InterWarp, 8), false, "sum", Scalar::F32, RedOp::Add);
+        match &decls[0] {
+            Stmt::DeclArray { len, space, .. } => {
+                assert_eq!(*len, 8 * 16);
+                assert_eq!(*space, MemSpace::Shared);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let syncs = code.iter().filter(|s| matches!(s, Stmt::SyncThreads)).count();
+        assert!(syncs >= 4, "tree rounds need barriers, found {syncs}");
+    }
+
+    #[test]
+    fn non_pow2_slave_size_tree_is_bounded() {
+        // 6 slaves: offsets 4,2,1 with bound checks.
+        let offs = tree_offsets(6);
+        assert_eq!(offs, vec![4, 2, 1]);
+        let (_, code) = reduce_var(&map(NpType::InterWarp, 6), false, "x", Scalar::F32, RedOp::Add);
+        assert!(!code.is_empty());
+    }
+
+    #[test]
+    fn scan_defines_offset_and_grand_total() {
+        for use_shfl in [true, false] {
+            let m = map(if use_shfl { NpType::IntraWarp } else { NpType::InterWarp }, 8);
+            let (_, code) = exclusive_scan(&m, use_shfl, "acc", Scalar::F32);
+            let names: Vec<&str> = code
+                .iter()
+                .filter_map(|s| match s {
+                    Stmt::DeclScalar { name, .. } => Some(name.as_str()),
+                    _ => None,
+                })
+                .collect();
+            assert!(names.contains(&"__np_scan_off_acc"), "{names:?}");
+            assert!(names.contains(&"__np_scan_all_acc"), "{names:?}");
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Master/slave thread-id mapping (Section 3 and 3.4).
+//!
+//! Inter-warp NP keeps the original (master) thread ids along X and adds
+//! slaves along Y — slaves of one master land in *different* warps, so the
+//! original memory-coalescing pattern is preserved and divergent masters
+//! stay divergent. Intra-warp NP swaps the roles: slaves run along X inside
+//! the master's own warp, enabling `__shfl` communication but re-striding
+//! every original memory access by `slave_size`.
+
+use np_kernel_ir::expr::dsl::{tidx, tidy};
+use np_kernel_ir::expr::Expr;
+use np_kernel_ir::pragma::NpType;
+use np_kernel_ir::types::Dim3;
+
+/// Names of the injected id variables.
+pub const MASTER_ID: &str = "__np_master_id";
+pub const SLAVE_ID: &str = "__np_slave_id";
+
+/// The thread-geometry plan for one transformation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadMap {
+    pub np_type: NpType,
+    /// Number of master threads per block (the input kernel's block size).
+    pub master_size: u32,
+    /// Threads per master group (master + slaves).
+    pub slave_size: u32,
+}
+
+impl ThreadMap {
+    /// Block dimensions of the transformed kernel.
+    pub fn block_dim(&self) -> Dim3 {
+        match self.np_type {
+            NpType::InterWarp => Dim3::xy(self.master_size, self.slave_size),
+            NpType::IntraWarp => Dim3::xy(self.slave_size, self.master_size),
+        }
+    }
+
+    /// Expression computing the master id in the transformed kernel.
+    pub fn master_id_expr(&self) -> Expr {
+        match self.np_type {
+            NpType::InterWarp => tidx(),
+            NpType::IntraWarp => tidy(),
+        }
+    }
+
+    /// Expression computing the slave id in the transformed kernel.
+    pub fn slave_id_expr(&self) -> Expr {
+        match self.np_type {
+            NpType::InterWarp => tidy(),
+            NpType::IntraWarp => tidx(),
+        }
+    }
+
+    /// Total threads per block after transformation.
+    pub fn total_threads(&self) -> u32 {
+        self.master_size * self.slave_size
+    }
+
+    /// With intra-warp NP, are all slaves of any master inside one warp?
+    /// (Needed for `__shfl`-based communication.)
+    pub fn slaves_share_warp(&self) -> bool {
+        self.np_type == NpType::IntraWarp
+            && self.slave_size.is_power_of_two()
+            && self.slave_size <= 32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inter_warp_layout() {
+        let m = ThreadMap { np_type: NpType::InterWarp, master_size: 32, slave_size: 8 };
+        assert_eq!(m.block_dim(), Dim3::xy(32, 8));
+        assert_eq!(m.master_id_expr(), tidx());
+        assert_eq!(m.slave_id_expr(), tidy());
+        assert_eq!(m.total_threads(), 256);
+        assert!(!m.slaves_share_warp());
+    }
+
+    #[test]
+    fn intra_warp_layout() {
+        let m = ThreadMap { np_type: NpType::IntraWarp, master_size: 32, slave_size: 8 };
+        assert_eq!(m.block_dim(), Dim3::xy(8, 32));
+        assert_eq!(m.master_id_expr(), tidy());
+        assert_eq!(m.slave_id_expr(), tidx());
+        assert!(m.slaves_share_warp());
+    }
+
+    #[test]
+    fn intra_warp_non_pow2_cannot_use_shfl() {
+        let m = ThreadMap { np_type: NpType::IntraWarp, master_size: 32, slave_size: 6 };
+        assert!(!m.slaves_share_warp());
+    }
+
+    /// The worked example from the paper (Section 3): thread (1, 0)..(1, 7)
+    /// of a 32x8 inter-warp block all map to master 1, and land in
+    /// different warps (ids differ by 32).
+    #[test]
+    fn inter_warp_slaves_land_in_different_warps() {
+        let m = ThreadMap { np_type: NpType::InterWarp, master_size: 32, slave_size: 8 };
+        let d = m.block_dim();
+        let linear = |x: u32, y: u32| y * d.x + x;
+        for s in 0..8 {
+            assert_eq!(linear(1, s) % 32, 1, "same lane in every warp");
+            assert_eq!(linear(1, s) / 32, s, "one warp per slave");
+        }
+    }
+
+    /// Intra-warp: slaves (0,1)..(7,1) of master 1 are lanes 8..15 of warp
+    /// 0 — all in the same warp, grouped by slave_size.
+    #[test]
+    fn intra_warp_slaves_are_one_lane_group() {
+        let m = ThreadMap { np_type: NpType::IntraWarp, master_size: 32, slave_size: 8 };
+        let d = m.block_dim();
+        let linear = |x: u32, y: u32| y * d.x + x;
+        for s in 0..8 {
+            assert_eq!(linear(s, 1) / 32, 0);
+            assert_eq!(linear(s, 1) % 32, 8 + s);
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Convert a multi-dimensional thread block into a one-dimensional one
+//! (Section 3.7, Figure 8).
+//!
+//! The mapping keeps the linear thread order, so warp membership — and with
+//! it memory coalescing and divergence behaviour — is unchanged:
+//!
+//! ```text
+//! threadIdx.x ← t % dimX
+//! threadIdx.y ← (t / dimX) % dimY
+//! threadIdx.z ← t / (dimX * dimY)
+//! ```
+
+use np_kernel_ir::expr::dsl::{tidx, v};
+use np_kernel_ir::expr::{Expr, Special};
+use np_kernel_ir::kernel::Kernel;
+use np_kernel_ir::stmt::Stmt;
+use np_kernel_ir::types::{Dim3, Scalar};
+
+const FLAT_X: &str = "__flat_tx";
+const FLAT_Y: &str = "__flat_ty";
+const FLAT_Z: &str = "__flat_tz";
+
+/// Rewrite every expression in a statement tree with `f`.
+pub(crate) fn rewrite_exprs(stmts: &mut [Stmt], f: &dyn Fn(Expr) -> Expr) {
+    for s in stmts.iter_mut() {
+        match s {
+            Stmt::DeclScalar { init: Some(e), .. } => *e = e.clone().rewrite(f),
+            Stmt::Assign { value, .. } => *value = value.clone().rewrite(f),
+            Stmt::Store { index, value, .. } => {
+                *index = index.clone().rewrite(f);
+                *value = value.clone().rewrite(f);
+            }
+            Stmt::If { cond, then_body, else_body } => {
+                *cond = cond.clone().rewrite(f);
+                rewrite_exprs(then_body, f);
+                rewrite_exprs(else_body, f);
+            }
+            Stmt::For { init, bound, step, body, .. } => {
+                *init = init.clone().rewrite(f);
+                *bound = bound.clone().rewrite(f);
+                *step = step.clone().rewrite(f);
+                rewrite_exprs(body, f);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Flatten `kernel`'s block to one dimension. No-op for already-1-D blocks.
+pub fn flatten_block(kernel: &mut Kernel) {
+    let d = kernel.block_dim;
+    if d.y == 1 && d.z == 1 {
+        return;
+    }
+    let (dx, dy) = (d.x as i32, d.y as i32);
+    rewrite_exprs(&mut kernel.body, &|e| match e {
+        Expr::Special(Special::ThreadIdxX) => v(FLAT_X),
+        Expr::Special(Special::ThreadIdxY) => v(FLAT_Y),
+        Expr::Special(Special::ThreadIdxZ) => v(FLAT_Z),
+        Expr::Special(Special::BlockDimX) => Expr::ImmI32(dx),
+        Expr::Special(Special::BlockDimY) => Expr::ImmI32(dy),
+        Expr::Special(Special::BlockDimZ) => Expr::ImmI32(d.z as i32),
+        other => other,
+    });
+    let prologue = vec![
+        Stmt::DeclScalar {
+            name: FLAT_X.into(),
+            ty: Scalar::I32,
+            init: Some(tidx() % Expr::ImmI32(dx)),
+        },
+        Stmt::DeclScalar {
+            name: FLAT_Y.into(),
+            ty: Scalar::I32,
+            init: Some((tidx() / Expr::ImmI32(dx)) % Expr::ImmI32(dy)),
+        },
+        Stmt::DeclScalar {
+            name: FLAT_Z.into(),
+            ty: Scalar::I32,
+            init: Some(tidx() / Expr::ImmI32(dx * dy)),
+        },
+    ];
+    for (i, s) in prologue.into_iter().enumerate() {
+        kernel.body.insert(i, s);
+    }
+    kernel.block_dim = Dim3::x1(d.count() as u32);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use np_kernel_ir::expr::dsl::*;
+    use np_kernel_ir::KernelBuilder;
+
+    #[test]
+    fn one_d_kernels_are_untouched() {
+        let mut b = KernelBuilder::new("k", 64);
+        b.param_global_f32("out");
+        b.store("out", tidx(), f(1.0));
+        let mut k = b.finish();
+        let before = k.clone();
+        flatten_block(&mut k);
+        assert_eq!(k, before);
+    }
+
+    #[test]
+    fn two_d_block_becomes_linear_with_same_semantics() {
+        use np_exec::{launch, Args, SimOptions};
+        use np_gpu_sim::DeviceConfig;
+
+        // out[ty*8+tx] = ty*100 + tx, written from a (8,4) block.
+        let mut b = KernelBuilder::new("k2d", 8);
+        b.param_global_f32("out");
+        b.store(
+            "out",
+            tidy() * i(8) + tidx(),
+            cast(np_kernel_ir::Scalar::F32, tidy() * i(100) + tidx()),
+        );
+        let mut k = b.finish();
+        k.block_dim = Dim3::xy(8, 4);
+
+        let run = |k: &Kernel| {
+            let dev = DeviceConfig::small_test();
+            let mut args = Args::new().buf_f32("out", vec![0.0; 32]);
+            launch(&dev, k, np_kernel_ir::Dim3::x1(1), &mut args, &SimOptions::full())
+                .unwrap();
+            args.get_f32("out").unwrap().to_vec()
+        };
+        let expected = run(&k);
+
+        flatten_block(&mut k);
+        assert_eq!(k.block_dim, Dim3::x1(32));
+        let got = run(&k);
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn block_dim_uses_are_replaced_by_constants() {
+        let mut b = KernelBuilder::new("k", 8);
+        b.param_global_f32("out");
+        b.decl_i32("w", bdimx() * bdimy());
+        b.store("out", tidx(), cast(np_kernel_ir::Scalar::F32, v("w")));
+        let mut k = b.finish();
+        k.block_dim = Dim3::xy(8, 4);
+        flatten_block(&mut k);
+        let src = np_kernel_ir::printer::print_kernel(&k);
+        assert!(src.contains("(8 * 4)"), "{src}");
+        assert!(!src.contains("blockDim.x"), "{src}");
+    }
+}

@@ -1,0 +1,11 @@
+//! Preprocessing passes that normalize kernels before the NP transformation
+//! (Section 3.7): multi-dimensional thread-id flattening, recombining
+//! manually unrolled statements into loops, and loop padding.
+
+pub mod flatten;
+pub mod pad;
+pub mod unroll;
+
+pub use flatten::flatten_block;
+pub use pad::pad_parallel_loops;
+pub use unroll::recombine_unrolled;

@@ -1,0 +1,150 @@
+//! Loop padding (Section 3.7, item 3; evaluated in Figure 12).
+//!
+//! Pads a parallel loop's static trip count up to the next multiple of
+//! `slave_size`, guarding the body with `if (i < original_bound)` so the
+//! padded iterations are idle. This makes every slave execute the same
+//! number of iterations (required when the distribution must be perfectly
+//! regular, e.g. for `__shfl`-based schemes), at the cost of workload
+//! imbalance from the idle iterations.
+
+use crate::options::TransformError;
+use np_kernel_ir::analysis::loops::static_trip_count;
+use np_kernel_ir::expr::dsl::lt;
+use np_kernel_ir::expr::Expr;
+use np_kernel_ir::kernel::Kernel;
+use np_kernel_ir::stmt::Stmt;
+
+fn pad_in(stmts: &mut [Stmt], slave_size: u32, padded: &mut u32) -> Result<(), TransformError> {
+    for s in stmts.iter_mut() {
+        match s {
+            Stmt::For { var, init, bound, body, pragma, .. } => {
+                if pragma.is_some() {
+                    let trip = static_trip_count(init, bound).ok_or_else(|| {
+                        TransformError::PadNeedsStaticTrip(var.clone())
+                    })?;
+                    if trip % slave_size != 0 {
+                        let new_trip = trip.div_ceil(slave_size) * slave_size;
+                        let old_bound = bound.clone();
+                        *bound = Expr::ImmI32(match *init {
+                            Expr::ImmI32(a) => a + new_trip as i32,
+                            _ => new_trip as i32,
+                        });
+                        let old_body = std::mem::take(body);
+                        *body = vec![Stmt::If {
+                            cond: lt(Expr::Var(var.clone()), old_bound),
+                            then_body: old_body,
+                            else_body: vec![],
+                        }];
+                        *padded += 1;
+                    }
+                } else {
+                    pad_in(body, slave_size, padded)?;
+                }
+            }
+            Stmt::If { then_body, else_body, .. } => {
+                pad_in(then_body, slave_size, padded)?;
+                pad_in(else_body, slave_size, padded)?;
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+/// Pad every pragma loop in `kernel` whose static trip count is not a
+/// multiple of `slave_size`. Returns how many loops were padded.
+pub fn pad_parallel_loops(kernel: &mut Kernel, slave_size: u32) -> Result<u32, TransformError> {
+    let mut padded = 0;
+    pad_in(&mut kernel.body, slave_size, &mut padded)?;
+    Ok(padded)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use np_kernel_ir::expr::dsl::*;
+    use np_kernel_ir::KernelBuilder;
+
+    #[test]
+    fn pads_le_loop_count_to_a_slave_multiple() {
+        // The paper's LE example pads NPOINTS = 150 up to a multiple of the
+        // group width (160 for their 32-wide case; 152 for 8 slaves here).
+        let mut b = KernelBuilder::new("le", 32);
+        b.param_global_f32("out");
+        b.pragma_for("np parallel for", "n", i(0), i(150), |b| {
+            b.store("out", v("n"), f(1.0));
+        });
+        let mut k = b.finish();
+        assert_eq!(pad_parallel_loops(&mut k, 8).unwrap(), 1);
+        let src = np_kernel_ir::printer::print_kernel(&k);
+        assert!(src.contains("n < 152"), "{src}");
+        assert!(src.contains("if ((n < 150))"), "{src}");
+
+        // And the paper's own width: 32 slaves pads to 160.
+        let mut b = KernelBuilder::new("le32", 32);
+        b.param_global_f32("out");
+        b.pragma_for("np parallel for", "n", i(0), i(150), |b| {
+            b.store("out", v("n"), f(1.0));
+        });
+        let mut k = b.finish();
+        pad_parallel_loops(&mut k, 32).unwrap();
+        let src = np_kernel_ir::printer::print_kernel(&k);
+        assert!(src.contains("n < 160"), "{src}");
+    }
+
+    #[test]
+    fn multiple_trips_stay_untouched() {
+        let mut b = KernelBuilder::new("k", 32);
+        b.param_global_f32("out");
+        b.pragma_for("np parallel for", "n", i(0), i(64), |b| {
+            b.store("out", v("n"), f(1.0));
+        });
+        let mut k = b.finish();
+        let before = k.clone();
+        assert_eq!(pad_parallel_loops(&mut k, 8).unwrap(), 0);
+        assert_eq!(k, before);
+    }
+
+    #[test]
+    fn runtime_bounds_are_rejected() {
+        let mut b = KernelBuilder::new("k", 32);
+        b.param_global_f32("out");
+        b.param_scalar_i32("n");
+        b.pragma_for("np parallel for", "j", i(0), p("n"), |b| {
+            b.store("out", v("j"), f(1.0));
+        });
+        let mut k = b.finish();
+        assert!(matches!(
+            pad_parallel_loops(&mut k, 8),
+            Err(TransformError::PadNeedsStaticTrip(_))
+        ));
+    }
+
+    #[test]
+    fn padding_preserves_semantics() {
+        use np_exec::{launch, Args, SimOptions};
+        use np_gpu_sim::DeviceConfig;
+
+        let build = || {
+            let mut b = KernelBuilder::new("k", 32);
+            b.param_global_f32("out");
+            b.pragma_for("np parallel for", "n", i(0), i(150), |b| {
+                b.store("out", v("n"), cast(np_kernel_ir::Scalar::F32, v("n")));
+            });
+            b.finish()
+        };
+        let run = |k: &np_kernel_ir::Kernel| {
+            let dev = DeviceConfig::small_test();
+            let mut args = Args::new().buf_f32("out", vec![-1.0; 150]);
+            launch(&dev, k, np_kernel_ir::Dim3::x1(1), &mut args, &SimOptions::full())
+                .unwrap();
+            args.get_f32("out").unwrap().to_vec()
+        };
+        let base = build();
+        let mut padded = build();
+        pad_parallel_loops(&mut padded, 8).unwrap();
+        // Note: the padded kernel still indexes only < 150 thanks to the
+        // guard, so no out-of-bounds access happens.
+        assert_eq!(run(&base), run(&padded));
+    }
+}

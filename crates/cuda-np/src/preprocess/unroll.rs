@@ -1,0 +1,296 @@
+//! Recombine manually unrolled statements into a loop (Section 3.7,
+//! Figure 9).
+//!
+//! Developers sometimes hand-unroll loops; the NP transform needs loops.
+//! This pass finds maximal runs of structurally identical statements that
+//! differ only in `i32` literals, hoists the differing literals into
+//! constant-memory index tables, and replaces the run with a canonical
+//! loop that reads the tables by iterator — turning straight-line code
+//! back into a parallelizable loop.
+
+use np_kernel_ir::expr::Expr;
+use np_kernel_ir::kernel::{Kernel, Param, ParamKind};
+use np_kernel_ir::stmt::Stmt;
+use np_kernel_ir::types::Scalar;
+
+/// A constant table produced by recombination: bind it as a `ConstArray`
+/// argument when launching.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConstTable {
+    pub name: String,
+    pub values: Vec<i32>,
+}
+
+/// Check two expressions are identical except at i32 literals, recording
+/// literal pairs in `slots` (position-aligned).
+fn unify_expr(a: &Expr, b: &Expr, slots: &mut Vec<(i32, i32)>) -> bool {
+    use Expr::*;
+    match (a, b) {
+        (ImmI32(x), ImmI32(y)) => {
+            slots.push((*x, *y));
+            true
+        }
+        (ImmF32(x), ImmF32(y)) => x == y,
+        (ImmU32(x), ImmU32(y)) => x == y,
+        (ImmBool(x), ImmBool(y)) => x == y,
+        (Var(x), Var(y)) | (Param(x), Param(y)) => x == y,
+        (Special(x), Special(y)) => x == y,
+        (Unary(o1, e1), Unary(o2, e2)) => o1 == o2 && unify_expr(e1, e2, slots),
+        (Cast(t1, e1), Cast(t2, e2)) => t1 == t2 && unify_expr(e1, e2, slots),
+        (Binary(o1, a1, b1), Binary(o2, a2, b2)) => {
+            o1 == o2 && unify_expr(a1, a2, slots) && unify_expr(b1, b2, slots)
+        }
+        (Select(c1, a1, b1), Select(c2, a2, b2)) => {
+            unify_expr(c1, c2, slots) && unify_expr(a1, a2, slots) && unify_expr(b1, b2, slots)
+        }
+        (Load { array: x, index: i1 }, Load { array: y, index: i2 }) => {
+            x == y && unify_expr(i1, i2, slots)
+        }
+        (
+            Shfl { mode: m1, value: v1, lane: l1, width: w1 },
+            Shfl { mode: m2, value: v2, lane: l2, width: w2 },
+        ) => m1 == m2 && w1 == w2 && unify_expr(v1, v2, slots) && unify_expr(l1, l2, slots),
+        _ => false,
+    }
+}
+
+/// Unify two statements the same way (no control flow, no declarations).
+fn unify_stmt(a: &Stmt, b: &Stmt, slots: &mut Vec<(i32, i32)>) -> bool {
+    match (a, b) {
+        (Stmt::Assign { name: n1, value: v1 }, Stmt::Assign { name: n2, value: v2 }) => {
+            n1 == n2 && unify_expr(v1, v2, slots)
+        }
+        (
+            Stmt::Store { array: a1, index: i1, value: v1 },
+            Stmt::Store { array: a2, index: i2, value: v2 },
+        ) => a1 == a2 && unify_expr(i1, i2, slots) && unify_expr(v1, v2, slots),
+        _ => false,
+    }
+}
+
+/// Replace the `k`-th i32 literal (in unify order) with a table load when
+/// that literal actually varies across the run; constant literals stay
+/// inline (`tables[k]` is `None` for those).
+fn substitute(e: &Expr, counter: &mut usize, tables: &[Option<String>], iter: &str) -> Expr {
+    use Expr::*;
+    match e {
+        ImmI32(x) => {
+            let slot = &tables[*counter];
+            *counter += 1;
+            match slot {
+                Some(t) => {
+                    Load { array: t.clone(), index: Box::new(Var(iter.to_string())) }
+                }
+                None => ImmI32(*x),
+            }
+        }
+        Unary(o, x) => Unary(*o, Box::new(substitute(x, counter, tables, iter))),
+        Cast(t, x) => Cast(*t, Box::new(substitute(x, counter, tables, iter))),
+        Binary(o, x, y) => Binary(
+            *o,
+            Box::new(substitute(x, counter, tables, iter)),
+            Box::new(substitute(y, counter, tables, iter)),
+        ),
+        Select(c, x, y) => Select(
+            Box::new(substitute(c, counter, tables, iter)),
+            Box::new(substitute(x, counter, tables, iter)),
+            Box::new(substitute(y, counter, tables, iter)),
+        ),
+        Load { array, index } => Load {
+            array: array.clone(),
+            index: Box::new(substitute(index, counter, tables, iter)),
+        },
+        Shfl { mode, value, lane, width } => Shfl {
+            mode: *mode,
+            value: Box::new(substitute(value, counter, tables, iter)),
+            lane: Box::new(substitute(lane, counter, tables, iter)),
+            width: *width,
+        },
+        leaf => leaf.clone(),
+    }
+}
+
+/// Recombine maximal runs (length >= `min_run`) of unrollable statements at
+/// the top level of `kernel` into loops with constant index tables. The
+/// produced loops carry no pragma — the developer still decides which are
+/// parallel. Returns the constant tables the caller must bind at launch.
+pub fn recombine_unrolled(kernel: &mut Kernel, min_run: usize) -> Vec<ConstTable> {
+    let mut out_tables: Vec<ConstTable> = Vec::new();
+    let body = std::mem::take(&mut kernel.body);
+    let mut new_body: Vec<Stmt> = Vec::new();
+    let mut run_id = 0usize;
+
+    let mut i = 0;
+    while i < body.len() {
+        // Grow the longest run starting at i where each stmt unifies with
+        // stmt i using a consistent slot structure.
+        let mut run_len = 1;
+        let mut columns: Vec<Vec<i32>> = Vec::new(); // one per literal slot
+        if matches!(body[i], Stmt::Assign { .. } | Stmt::Store { .. }) {
+            loop {
+                let j = i + run_len;
+                if j >= body.len() {
+                    break;
+                }
+                let mut slots = Vec::new();
+                if !unify_stmt(&body[i], &body[j], &mut slots) {
+                    break;
+                }
+                if run_len == 1 {
+                    columns = slots.iter().map(|(a, _)| vec![*a]).collect();
+                } else if slots.len() != columns.len() {
+                    break;
+                }
+                for (k, (_, b)) in slots.iter().enumerate() {
+                    columns[k].push(*b);
+                }
+                run_len += 1;
+            }
+        }
+
+        // Only worth a loop if at least one literal column varies.
+        let any_varying = columns.iter().any(|col| col.windows(2).any(|w| w[0] != w[1]));
+        if run_len >= min_run && !columns.is_empty() && any_varying {
+            // Emit tables for the varying columns; constants stay literal.
+            let iter = format!("__unroll_i{run_id}");
+            let mut table_names: Vec<Option<String>> = Vec::new();
+            for (k, col) in columns.iter().enumerate() {
+                if col.windows(2).all(|w| w[0] == w[1]) {
+                    table_names.push(None);
+                    continue;
+                }
+                let name = format!("__unroll_tab{run_id}_{k}");
+                kernel
+                    .params
+                    .push(Param { name: name.clone(), kind: ParamKind::ConstArray(Scalar::I32) });
+                out_tables.push(ConstTable { name: name.clone(), values: col.clone() });
+                table_names.push(Some(name));
+            }
+            let mut counter = 0usize;
+            let template = match &body[i] {
+                Stmt::Assign { name, value } => Stmt::Assign {
+                    name: name.clone(),
+                    value: substitute(value, &mut counter, &table_names, &iter),
+                },
+                Stmt::Store { array, index, value } => {
+                    let idx = substitute(index, &mut counter, &table_names, &iter);
+                    Stmt::Store {
+                        array: array.clone(),
+                        index: idx,
+                        value: substitute(value, &mut counter, &table_names, &iter),
+                    }
+                }
+                _ => unreachable!(),
+            };
+            new_body.push(Stmt::For {
+                var: iter,
+                init: Expr::ImmI32(0),
+                bound: Expr::ImmI32(run_len as i32),
+                step: Expr::ImmI32(1),
+                body: vec![template],
+                pragma: None,
+            });
+            run_id += 1;
+            i += run_len;
+        } else {
+            new_body.push(body[i].clone());
+            i += 1;
+        }
+    }
+    kernel.body = new_body;
+    out_tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use np_kernel_ir::expr::dsl::*;
+    use np_kernel_ir::KernelBuilder;
+
+    #[test]
+    fn recombines_figure9_style_run() {
+        // x += a[2]; x += a[6]; x += a[7]; x += a[9];  (Figure 9a)
+        let mut b = KernelBuilder::new("k", 32);
+        b.param_global_f32("a");
+        b.param_global_f32("out");
+        b.decl_f32("x", f(0.0));
+        for idx in [2, 6, 7, 9] {
+            b.assign("x", v("x") + load("a", i(idx)));
+        }
+        b.store("out", tidx(), v("x"));
+        let mut k = b.finish();
+        let tables = recombine_unrolled(&mut k, 3);
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].values, vec![2, 6, 7, 9]);
+        let src = np_kernel_ir::printer::print_kernel(&k);
+        assert!(src.contains("for (int __unroll_i0 = 0; __unroll_i0 < 4"), "{src}");
+        assert!(src.contains("__unroll_tab0_0[__unroll_i0]"), "{src}");
+    }
+
+    #[test]
+    fn recombined_kernel_is_functionally_identical() {
+        use np_exec::{launch, Args, SimOptions};
+        use np_gpu_sim::DeviceConfig;
+
+        let build = || {
+            let mut b = KernelBuilder::new("k", 32);
+            b.param_global_f32("a");
+            b.param_global_f32("out");
+            b.decl_f32("x", f(0.0));
+            for idx in [2, 6, 7, 9] {
+                b.assign("x", v("x") + load("a", i(idx)));
+            }
+            b.store("out", tidx(), v("x"));
+            b.finish()
+        };
+        let dev = DeviceConfig::small_test();
+        let a: Vec<f32> = (0..16).map(|x| x as f32).collect();
+
+        let base = build();
+        let mut args = Args::new().buf_f32("a", a.clone()).buf_f32("out", vec![0.0; 32]);
+        launch(&dev, &base, np_kernel_ir::Dim3::x1(1), &mut args, &SimOptions::full()).unwrap();
+        let want = args.get_f32("out").unwrap().to_vec();
+
+        let mut rolled = build();
+        let tables = recombine_unrolled(&mut rolled, 3);
+        let mut args2 = Args::new().buf_f32("a", a).buf_f32("out", vec![0.0; 32]);
+        for t in &tables {
+            args2 = args2.buf_i32(&t.name, t.values.clone());
+        }
+        launch(&dev, &rolled, np_kernel_ir::Dim3::x1(1), &mut args2, &SimOptions::full())
+            .unwrap();
+        assert_eq!(args2.get_f32("out").unwrap(), &want[..]);
+    }
+
+    #[test]
+    fn short_runs_and_mismatched_shapes_are_left_alone() {
+        let mut b = KernelBuilder::new("k", 32);
+        b.param_global_f32("a");
+        b.param_global_f32("out");
+        b.decl_f32("x", f(0.0));
+        b.assign("x", v("x") + load("a", i(2)));
+        b.assign("x", v("x") * load("a", i(6))); // different operator
+        b.store("out", tidx(), v("x"));
+        let mut k = b.finish();
+        let before = k.clone();
+        let tables = recombine_unrolled(&mut k, 3);
+        assert!(tables.is_empty());
+        assert_eq!(k, before);
+    }
+
+    #[test]
+    fn multiple_varying_literals_get_parallel_tables() {
+        // out[1] = a[2]; out[5] = a[6]; out[9] = a[7]; out[13] = a[9];
+        let mut b = KernelBuilder::new("k", 32);
+        b.param_global_f32("a");
+        b.param_global_f32("out");
+        for (o, idx) in [(1, 2), (5, 6), (9, 7), (13, 9)] {
+            b.store("out", i(o), load("a", i(idx)));
+        }
+        let mut k = b.finish();
+        let tables = recombine_unrolled(&mut k, 4);
+        assert_eq!(tables.len(), 2);
+        assert_eq!(tables[0].values, vec![1, 5, 9, 13]);
+        assert_eq!(tables[1].values, vec![2, 6, 7, 9]);
+    }
+}

@@ -1,0 +1,281 @@
+//! Program slicing for scan variables (Section 3.2's scan support).
+//!
+//! A `scan(+:v)` loop is parallelized in three phases: each slave first
+//! computes the *total* increment of its contiguous chunk, the totals are
+//! exclusively scanned across the slave group, and the original body then
+//! runs with `v` pre-offset. Phase 1 needs a copy of the loop body reduced
+//! to just the statements that produce `v`'s increments — the *slice*.
+//!
+//! Supported shape: every assignment to `v` inside the body is
+//! `v = v + e` (or `v = e + v`) with `e` independent of `v`; the slice is
+//! the backward closure of the `e`s over the body's own definitions.
+
+use crate::options::TransformError;
+use np_kernel_ir::expr::{BinOp, Expr};
+use np_kernel_ir::stmt::Stmt;
+use std::collections::BTreeSet;
+
+/// Extract the increment expression from an additive update of `var`:
+/// the assignment's value is flattened over top-level `+` nodes; exactly
+/// one addend must be the bare `var`, and the remaining addends form the
+/// increment (`v = v + a + b` → `a + b`).
+fn increment_of(value: &Expr, var: &str) -> Option<Expr> {
+    fn addends<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
+        if let Expr::Binary(BinOp::Add, a, b) = e {
+            addends(a, out);
+            addends(b, out);
+        } else {
+            out.push(e);
+        }
+    }
+    let mut terms = Vec::new();
+    addends(value, &mut terms);
+    let var_terms =
+        terms.iter().filter(|t| matches!(t, Expr::Var(n) if n == var)).count();
+    if var_terms != 1 || terms.len() < 2 {
+        return None;
+    }
+    let rest: Vec<Expr> = terms
+        .into_iter()
+        .filter(|t| !matches!(t, Expr::Var(n) if n == var))
+        .cloned()
+        .collect();
+    rest.into_iter().reduce(|a, b| a + b)
+}
+
+fn expr_reads(e: &Expr, out: &mut BTreeSet<String>) {
+    e.visit(&mut |e| {
+        if let Expr::Var(n) = e {
+            out.insert(n.clone());
+        }
+    });
+}
+
+/// Compute the set of variables the slice needs, or fail if `var` is
+/// updated in an unsupported way.
+fn needed_vars(body: &[Stmt], var: &str) -> Result<BTreeSet<String>, TransformError> {
+    // Seed: the reads of every increment expression.
+    let mut needed: BTreeSet<String> = BTreeSet::new();
+    let mut ok = true;
+    collect_increment_reads(body, var, &mut needed, &mut ok);
+    if !ok {
+        return Err(TransformError::ScanNotSliceable(var.to_string()));
+    }
+    if needed.contains(var) {
+        return Err(TransformError::ScanNotSliceable(var.to_string()));
+    }
+    // Close over definitions inside the body (fixpoint; bodies are small).
+    loop {
+        let before = needed.len();
+        close_once(body, &mut needed);
+        if needed.len() == before {
+            break;
+        }
+    }
+    if needed.contains(var) {
+        return Err(TransformError::ScanNotSliceable(var.to_string()));
+    }
+    Ok(needed)
+}
+
+fn collect_increment_reads(
+    body: &[Stmt],
+    var: &str,
+    needed: &mut BTreeSet<String>,
+    ok: &mut bool,
+) {
+    for s in body {
+        match s {
+            Stmt::Assign { name, value } if name == var => match increment_of(value, var) {
+                Some(e) => expr_reads(&e, needed),
+                None => *ok = false,
+            },
+            Stmt::DeclScalar { name, .. } if name == var => *ok = false,
+            Stmt::If { cond, then_body, else_body } => {
+                // Conditional increments require the condition too.
+                let mut inner = BTreeSet::new();
+                let mut inner_ok = true;
+                collect_increment_reads(then_body, var, &mut inner, &mut inner_ok);
+                collect_increment_reads(else_body, var, &mut inner, &mut inner_ok);
+                if !inner_ok {
+                    *ok = false;
+                }
+                if !inner.is_empty() {
+                    expr_reads(cond, needed);
+                    needed.append(&mut inner);
+                }
+            }
+            Stmt::For { body: b, var: iv, init, bound, .. } => {
+                let mut inner = BTreeSet::new();
+                let mut inner_ok = true;
+                collect_increment_reads(b, var, &mut inner, &mut inner_ok);
+                if !inner_ok {
+                    *ok = false;
+                }
+                if !inner.is_empty() {
+                    expr_reads(init, needed);
+                    expr_reads(bound, needed);
+                    needed.insert(iv.clone());
+                    needed.append(&mut inner);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn close_once(body: &[Stmt], needed: &mut BTreeSet<String>) {
+    for s in body {
+        match s {
+            Stmt::Assign { name, value } | Stmt::DeclScalar { name, init: Some(value), .. }
+                if needed.contains(name) =>
+            {
+                expr_reads(value, needed);
+            }
+            Stmt::If { cond, then_body, else_body } => {
+                let writes_needed = [then_body, else_body].iter().any(|b| {
+                    np_kernel_ir::analysis::scalars_written(b)
+                        .iter()
+                        .any(|w| needed.contains(w))
+                });
+                if writes_needed {
+                    expr_reads(cond, needed);
+                }
+                close_once(then_body, needed);
+                close_once(else_body, needed);
+            }
+            Stmt::For { body: b, init, bound, var, .. } => {
+                let writes_needed = np_kernel_ir::analysis::scalars_written(b)
+                    .iter()
+                    .any(|w| needed.contains(w));
+                if writes_needed {
+                    expr_reads(init, needed);
+                    expr_reads(bound, needed);
+                    needed.insert(var.clone());
+                }
+                close_once(b, needed);
+            }
+            _ => {}
+        }
+    }
+}
+
+fn slice_stmts(body: &[Stmt], var: &str, tot: &str, needed: &BTreeSet<String>) -> Vec<Stmt> {
+    let mut out = Vec::new();
+    for s in body {
+        match s {
+            Stmt::Assign { name, value } if name == var => {
+                let e = increment_of(value, var).expect("validated by needed_vars");
+                out.push(Stmt::Assign {
+                    name: tot.to_string(),
+                    value: Expr::Var(tot.to_string()) + e,
+                });
+            }
+            Stmt::Assign { name, .. } if needed.contains(name) => out.push(s.clone()),
+            Stmt::DeclScalar { name, .. } if needed.contains(name) => out.push(s.clone()),
+            Stmt::If { cond, then_body, else_body } => {
+                let t = slice_stmts(then_body, var, tot, needed);
+                let e = slice_stmts(else_body, var, tot, needed);
+                if !t.is_empty() || !e.is_empty() {
+                    out.push(Stmt::If {
+                        cond: cond.clone(),
+                        then_body: t,
+                        else_body: e,
+                    });
+                }
+            }
+            Stmt::For { var: iv, init, bound, step, body: b, .. } => {
+                let inner = slice_stmts(b, var, tot, needed);
+                if !inner.is_empty() {
+                    out.push(Stmt::For {
+                        var: iv.clone(),
+                        init: init.clone(),
+                        bound: bound.clone(),
+                        step: step.clone(),
+                        body: inner,
+                        pragma: None,
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Produce the phase-1 slice: a copy of `body` computing only `tot += e`
+/// for every `var = var + e` in the original, plus whatever feeds the `e`s.
+pub fn scan_slice(body: &[Stmt], var: &str, tot: &str) -> Result<Vec<Stmt>, TransformError> {
+    let needed = needed_vars(body, var)?;
+    Ok(slice_stmts(body, var, tot, &needed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use np_kernel_ir::expr::dsl::*;
+
+    #[test]
+    fn slices_simple_increment() {
+        let body = vec![
+            Stmt::DeclScalar { name: "d".into(), ty: np_kernel_ir::Scalar::F32,
+                init: Some(load("a", v("i"))) },
+            Stmt::Assign { name: "acc".into(), value: v("acc") + v("d") },
+            Stmt::Store { array: "out".into(), index: v("i"), value: v("acc") },
+        ];
+        let slice = scan_slice(&body, "acc", "tot").unwrap();
+        assert_eq!(slice.len(), 2, "store of acc is dropped: {slice:?}");
+        assert!(matches!(&slice[1], Stmt::Assign { name, .. } if name == "tot"));
+    }
+
+    #[test]
+    fn rejects_non_additive_updates() {
+        let body = vec![Stmt::Assign { name: "acc".into(), value: v("acc") * f(2.0) }];
+        assert!(matches!(
+            scan_slice(&body, "acc", "tot"),
+            Err(TransformError::ScanNotSliceable(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_increments_that_read_the_scan_var() {
+        // acc = acc + (acc * 0.5) — e depends on acc.
+        let body = vec![Stmt::Assign {
+            name: "acc".into(),
+            value: v("acc") + v("acc") * f(0.5),
+        }];
+        assert!(scan_slice(&body, "acc", "tot").is_err());
+    }
+
+    #[test]
+    fn rejects_increments_via_tainted_chain() {
+        // d = acc * 2; acc = acc + d — indirectly self-dependent.
+        let body = vec![
+            Stmt::Assign { name: "d".into(), value: v("acc") * f(2.0) },
+            Stmt::Assign { name: "acc".into(), value: v("acc") + v("d") },
+        ];
+        assert!(scan_slice(&body, "acc", "tot").is_err());
+    }
+
+    #[test]
+    fn conditional_increment_keeps_condition() {
+        let body = vec![Stmt::If {
+            cond: lt(v("i"), i(10)),
+            then_body: vec![Stmt::Assign { name: "acc".into(), value: v("acc") + f(1.0) }],
+            else_body: vec![],
+        }];
+        let slice = scan_slice(&body, "acc", "tot").unwrap();
+        assert!(matches!(&slice[0], Stmt::If { .. }));
+    }
+
+    #[test]
+    fn unrelated_statements_are_dropped() {
+        let body = vec![
+            Stmt::Assign { name: "unrelated".into(), value: f(3.0) },
+            Stmt::Store { array: "g".into(), index: v("i"), value: v("unrelated") },
+            Stmt::Assign { name: "acc".into(), value: v("acc") + load("a", v("i")) },
+        ];
+        let slice = scan_slice(&body, "acc", "tot").unwrap();
+        assert_eq!(slice.len(), 1);
+    }
+}

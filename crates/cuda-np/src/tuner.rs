@@ -1,0 +1,258 @@
+//! Auto-tuning (Section 4): CUDA-NP generates a small number of versions —
+//! slave counts × {inter-warp, intra-warp} — and picks the fastest by
+//! running each on the simulator. Candidates are evaluated on parallel host
+//! threads via `crossbeam::scope` since each simulation is independent.
+
+use crate::options::{NpOptions, TransformError};
+use crate::transform::{transform, Transformed};
+use np_exec::{launch, Args, KernelReport, SimOptions};
+use np_gpu_sim::DeviceConfig;
+use np_kernel_ir::kernel::Kernel;
+use np_kernel_ir::pragma::NpType;
+use np_kernel_ir::types::Dim3;
+
+/// One configuration to evaluate.
+#[derive(Debug, Clone)]
+pub struct TuneCandidate {
+    pub opts: NpOptions,
+}
+
+/// Outcome of evaluating one candidate.
+#[derive(Debug, Clone)]
+pub struct TuneEntry {
+    pub slave_size: u32,
+    pub np_type: NpType,
+    /// Simulated cycles; `None` when the candidate failed (with `error`).
+    pub cycles: Option<u64>,
+    pub error: Option<String>,
+}
+
+/// Result of an auto-tuning run.
+#[derive(Debug)]
+pub struct TuneResult {
+    /// The fastest transformed kernel.
+    pub best: Transformed,
+    /// Its launch report.
+    pub best_report: KernelReport,
+    /// Every candidate's outcome, in candidate order.
+    pub entries: Vec<TuneEntry>,
+}
+
+/// The paper's default search space: slave sizes {2, 4, 8, 16, 32} crossed
+/// with inter-/intra-warp, filtered by the block-size cap and intra-warp
+/// warp-containment.
+pub fn default_candidates(master_size: u32, max_block_threads: u32) -> Vec<TuneCandidate> {
+    let mut out = Vec::new();
+    for s in [2u32, 4, 8, 16, 32] {
+        if master_size * s > max_block_threads {
+            continue;
+        }
+        out.push(TuneCandidate { opts: NpOptions::inter(s) });
+        if s <= 32 {
+            out.push(TuneCandidate { opts: NpOptions::intra(s) });
+        }
+    }
+    out
+}
+
+/// Candidate set narrowed by the developer's pragma hints (Section 3.6):
+/// `num_threads(N)` pins the slave count, `np_type(inter|intra)` pins the
+/// distribution scheme, and `sm(V)` sets the target compute capability for
+/// every candidate. Hints are taken from the first pragma loop that
+/// specifies each of them; without hints this equals
+/// [`default_candidates`].
+pub fn candidates_from_pragmas(kernel: &Kernel, max_block_threads: u32) -> Vec<TuneCandidate> {
+    use np_kernel_ir::stmt::{visit_stmts, Stmt};
+    let mut num_threads: Option<u32> = None;
+    let mut np_type: Option<NpType> = None;
+    let mut sm: Option<u32> = None;
+    visit_stmts(&kernel.body, &mut |s| {
+        if let Stmt::For { pragma: Some(p), .. } = s {
+            num_threads = num_threads.or(p.num_threads);
+            np_type = np_type.or(p.np_type);
+            sm = sm.or(p.sm_version);
+        }
+    });
+    let mut out = default_candidates(kernel.block_dim.x, max_block_threads);
+    if let Some(n) = num_threads {
+        out.retain(|c| c.opts.slave_size == n);
+        if out.is_empty() {
+            // A hinted size outside the default grid is still honoured.
+            out.push(TuneCandidate { opts: NpOptions::inter(n) });
+            if n.is_power_of_two() && n <= 32 {
+                out.push(TuneCandidate { opts: NpOptions::intra(n) });
+            }
+        }
+    }
+    if let Some(t) = np_type {
+        out.retain(|c| c.opts.np_type == t);
+    }
+    if let Some(v) = sm {
+        for c in &mut out {
+            c.opts.sm_version = v;
+        }
+    }
+    out
+}
+
+/// Evaluate every candidate and return the fastest. `make_args` builds the
+/// launch arguments for one transformed kernel (it must allocate the
+/// `extra_global_buffers` named in the transform report — helper:
+/// [`alloc_extra_buffers`]).
+///
+/// Candidates whose transform or launch fails are recorded in the entry
+/// table and skipped. Errors only if *every* candidate fails.
+pub fn autotune(
+    kernel: &Kernel,
+    dev: &DeviceConfig,
+    grid: Dim3,
+    make_args: &(dyn Fn(&Transformed) -> Args + Sync),
+    sim: &SimOptions,
+    candidates: &[TuneCandidate],
+) -> Result<TuneResult, TransformError> {
+    assert!(!candidates.is_empty(), "need at least one tuning candidate");
+    let mut slots: Vec<Option<(Transformed, KernelReport)>> = Vec::new();
+    let mut entries: Vec<TuneEntry> = Vec::new();
+    for _ in candidates {
+        slots.push(None);
+        entries.push(TuneEntry {
+            slave_size: 0,
+            np_type: NpType::InterWarp,
+            cycles: None,
+            error: None,
+        });
+    }
+
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for cand in candidates {
+            let cand = cand.clone();
+            handles.push(scope.spawn(move |_| -> (TuneEntry, Option<(Transformed, KernelReport)>) {
+                let mut entry = TuneEntry {
+                    slave_size: cand.opts.slave_size,
+                    np_type: cand.opts.np_type,
+                    cycles: None,
+                    error: None,
+                };
+                let t = match transform(kernel, &cand.opts) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        entry.error = Some(e.to_string());
+                        return (entry, None);
+                    }
+                };
+                let mut args = make_args(&t);
+                match launch(dev, &t.kernel, grid, &mut args, sim) {
+                    Ok(rep) => {
+                        entry.cycles = Some(rep.cycles);
+                        (entry, Some((t, rep)))
+                    }
+                    Err(e) => {
+                        entry.error = Some(e.to_string());
+                        (entry, None)
+                    }
+                }
+            }));
+        }
+        for (i, h) in handles.into_iter().enumerate() {
+            let (entry, slot) = h.join().expect("tuner worker panicked");
+            entries[i] = entry;
+            slots[i] = slot;
+        }
+    })
+    .expect("tuner scope");
+
+    let best_idx = entries
+        .iter()
+        .enumerate()
+        .filter_map(|(i, e)| e.cycles.map(|c| (i, c)))
+        .min_by_key(|&(_, c)| c)
+        .map(|(i, _)| i)
+        .ok_or_else(|| {
+            TransformError::NonCanonicalLoop(format!(
+                "all tuning candidates failed: {:?}",
+                entries.iter().filter_map(|e| e.error.clone()).collect::<Vec<_>>()
+            ))
+        })?;
+    let (best, best_report) = slots[best_idx].take().expect("winner has a slot");
+    Ok(TuneResult { best, best_report, entries })
+}
+
+/// Add the transform's extra global buffers (relocated local arrays) to an
+/// argument set, zero-initialized at the right size for `grid`.
+pub fn alloc_extra_buffers(mut args: Args, t: &Transformed, grid: Dim3) -> Args {
+    for (name, elems_per_block) in &t.report.extra_global_buffers {
+        let total = (elems_per_block * grid.count()) as usize;
+        args = args.buf_f32(name, vec![0.0; total]);
+    }
+    args
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use np_kernel_ir::expr::dsl::*;
+    use np_kernel_ir::KernelBuilder;
+
+    fn kernel_with_pragma(text: &str) -> Kernel {
+        let mut b = KernelBuilder::new("k", 64);
+        b.param_global_f32("out");
+        b.decl_f32("s", f(0.0));
+        b.pragma_for(text, "i", i(0), i(16), |b| {
+            b.assign("s", v("s") + f(1.0));
+        });
+        b.store("out", tidx(), v("s"));
+        b.finish()
+    }
+
+    #[test]
+    fn default_candidates_respect_block_cap() {
+        let c = default_candidates(512, 1024);
+        assert!(c.iter().all(|c| 512 * c.opts.slave_size <= 1024));
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn num_threads_hint_pins_slave_size() {
+        let k = kernel_with_pragma("np parallel for reduction(+:s) num_threads(8)");
+        let c = candidates_from_pragmas(&k, 1024);
+        assert!(!c.is_empty());
+        assert!(c.iter().all(|c| c.opts.slave_size == 8), "{c:?}");
+    }
+
+    #[test]
+    fn np_type_hint_pins_scheme() {
+        let k = kernel_with_pragma("np parallel for reduction(+:s) np_type(intra)");
+        let c = candidates_from_pragmas(&k, 1024);
+        assert!(!c.is_empty());
+        assert!(c.iter().all(|c| c.opts.np_type == NpType::IntraWarp));
+    }
+
+    #[test]
+    fn sm_hint_propagates_to_all_candidates() {
+        let k = kernel_with_pragma("np parallel for reduction(+:s) sm(20)");
+        let c = candidates_from_pragmas(&k, 1024);
+        assert!(c.iter().all(|c| c.opts.sm_version == 20));
+        // sm 20 means intra-warp candidates exist but cannot use shfl.
+        assert!(c
+            .iter()
+            .filter(|c| c.opts.np_type == NpType::IntraWarp)
+            .all(|c| !c.opts.shfl_enabled()));
+    }
+
+    #[test]
+    fn without_hints_equals_default() {
+        let k = kernel_with_pragma("np parallel for reduction(+:s)");
+        let c = candidates_from_pragmas(&k, 1024);
+        assert_eq!(c.len(), default_candidates(64, 1024).len());
+    }
+
+    #[test]
+    fn off_grid_hint_is_still_honoured() {
+        let k = kernel_with_pragma("np parallel for reduction(+:s) num_threads(6)");
+        let c = candidates_from_pragmas(&k, 1024);
+        assert_eq!(c.len(), 1, "6 is not a power of two: inter-warp only");
+        assert_eq!(c[0].opts.slave_size, 6);
+        assert_eq!(c[0].opts.np_type, NpType::InterWarp);
+    }
+}

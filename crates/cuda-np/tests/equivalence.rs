@@ -1,0 +1,455 @@
+//! The core correctness property of the whole reproduction: for every
+//! kernel shape the paper's compiler handles, the CUDA-NP transformation
+//! must be *semantics-preserving* — the transformed kernel computes the
+//! same outputs as the baseline, for every slave count, NP type, shfl
+//! setting, and local-array strategy.
+
+use cuda_np::{transform, tuner::alloc_extra_buffers, LocalArrayStrategy, NpOptions};
+use np_exec::{launch, Args, SimOptions};
+use np_gpu_sim::DeviceConfig;
+use np_kernel_ir::expr::dsl::*;
+use np_kernel_ir::pragma::NpType;
+use np_kernel_ir::types::Dim3;
+use np_kernel_ir::{Kernel, KernelBuilder, Scalar};
+
+fn dev() -> DeviceConfig {
+    DeviceConfig::gtx680()
+}
+
+/// Run `kernel` and return the contents of its "out" buffer.
+fn run(kernel: &Kernel, grid: u32, mut args: Args) -> Vec<f32> {
+    launch(&dev(), kernel, Dim3::x1(grid), &mut args, &SimOptions::full()).unwrap();
+    args.get_f32("out").unwrap().to_vec()
+}
+
+fn assert_close(a: &[f32], b: &[f32], tol: f32, ctx: &str) {
+    assert_eq!(a.len(), b.len(), "{ctx}: length mismatch");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        let denom = x.abs().max(y.abs()).max(1.0);
+        assert!(
+            (x - y).abs() / denom <= tol,
+            "{ctx}: out[{i}] differs: baseline {x} vs transformed {y}"
+        );
+    }
+}
+
+/// All (slave_size, np_type) combinations that fit a given master size.
+fn all_configs(master: u32) -> Vec<NpOptions> {
+    let mut v = Vec::new();
+    for s in [2u32, 3, 4, 6, 8, 16, 32] {
+        if master * s <= 1024 {
+            v.push(NpOptions::inter(s));
+            if s.is_power_of_two() && s <= 32 {
+                v.push(NpOptions::intra(s));
+                let mut no_shfl = NpOptions::intra(s);
+                no_shfl.sm_version = 20; // forces shared-memory comms
+                v.push(no_shfl);
+            }
+        }
+    }
+    v
+}
+
+fn check_equivalence(
+    kernel: &Kernel,
+    grid: u32,
+    make_args: &dyn Fn() -> Args,
+    configs: &[NpOptions],
+    tol: f32,
+) {
+    let baseline = run(kernel, grid, make_args());
+    for opts in configs {
+        let t = match transform(kernel, opts) {
+            Ok(t) => t,
+            Err(e) => panic!(
+                "transform failed for {:?}/{}: {e}",
+                opts.np_type, opts.slave_size
+            ),
+        };
+        let args = alloc_extra_buffers(make_args(), &t, Dim3::x1(grid));
+        let got = run(&t.kernel, grid, args);
+        assert_close(
+            &baseline,
+            &got,
+            tol,
+            &format!(
+                "{:?} slave_size={} shfl={}",
+                opts.np_type,
+                opts.slave_size,
+                opts.shfl_enabled()
+            ),
+        );
+    }
+}
+
+/// Figure 2: TMV with a `reduction(+:sum)` loop over a runtime bound.
+fn tmv_kernel(block: u32) -> Kernel {
+    let mut b = KernelBuilder::new("tmv", block);
+    b.param_global_f32("a");
+    b.param_global_f32("b");
+    b.param_global_f32("out");
+    b.param_scalar_i32("w");
+    b.param_scalar_i32("h");
+    b.decl_f32("sum", f(0.0));
+    b.decl_i32("tx", tidx() + bidx() * bdimx());
+    b.pragma_for("np parallel for reduction(+:sum)", "i", i(0), p("h"), |b| {
+        b.assign("sum", v("sum") + load("a", v("i") * p("w") + v("tx")) * load("b", v("i")));
+    });
+    b.store("out", v("tx"), v("sum"));
+    b.finish()
+}
+
+fn tmv_args(w: usize, h: usize) -> Args {
+    let a: Vec<f32> = (0..w * h).map(|i| ((i * 37 % 101) as f32 - 50.0) / 25.0).collect();
+    let bvec: Vec<f32> = (0..h).map(|i| ((i * 13 % 53) as f32 - 26.0) / 13.0).collect();
+    Args::new()
+        .buf_f32("a", a)
+        .buf_f32("b", bvec)
+        .buf_f32("out", vec![0.0; w])
+        .i32("w", w as i32)
+        .i32("h", h as i32)
+}
+
+#[test]
+fn tmv_equivalent_across_all_configs() {
+    let k = tmv_kernel(32);
+    check_equivalence(&k, 2, &|| tmv_args(64, 50), &all_configs(32), 1e-4);
+}
+
+#[test]
+fn tmv_report_records_the_reduction() {
+    let k = tmv_kernel(32);
+    let t = transform(&k, &NpOptions::inter(8)).unwrap();
+    assert_eq!(t.report.reductions.len(), 1);
+    assert_eq!(t.report.reductions[0].0, "sum");
+    assert!(t.report.redundant.contains(&"tx".to_string()), "{:?}", t.report);
+    assert_eq!(t.kernel.block_dim, np_kernel_ir::Dim3::xy(32, 8));
+}
+
+/// Figure 3: lud_perimeter-like shared-memory fill with a uniform live-in.
+#[test]
+fn figure3_shared_fill_equivalent() {
+    let block = 16u32;
+    let mut b = KernelBuilder::new("lud_perimeter", block);
+    b.param_global_f32("m");
+    b.param_global_f32("out");
+    b.param_scalar_i32("matrix_dim");
+    b.param_scalar_i32("offset");
+    b.shared_array("peri_row", Scalar::F32, 16 * 16);
+    b.decl_i32("idx", tidx());
+    b.decl_i32("array_offset", p("offset") * p("matrix_dim") + p("offset"));
+    b.pragma_for("np parallel for", "i", i(0), i(16), |b| {
+        b.store(
+            "peri_row",
+            v("i") * i(16) + v("idx"),
+            load("m", v("array_offset") + bidx() * i(16) + p("matrix_dim") * v("i") + v("idx")),
+        );
+    });
+    b.sync();
+    // Write the tile back out so the test can observe it.
+    b.pragma_for("np parallel for", "i", i(0), i(16), |b| {
+        b.store("out", bidx() * i(256) + v("i") * i(16) + v("idx"),
+            load("peri_row", v("i") * i(16) + v("idx")));
+    });
+    let k = b.finish();
+
+    let make_args = || {
+        let m: Vec<f32> = (0..64 * 64).map(|i| (i % 97) as f32).collect();
+        Args::new()
+            .buf_f32("m", m)
+            .buf_f32("out", vec![0.0; 512])
+            .i32("matrix_dim", 64)
+            .i32("offset", 4)
+    };
+    check_equivalence(&k, 2, &make_args, &all_configs(block), 0.0);
+}
+
+/// Figure 5/6: LE-like kernel with a live local array, exercised under all
+/// four relocation strategies.
+fn le_kernel(npoints: i32) -> Kernel {
+    let mut b = KernelBuilder::new("le", 32);
+    b.param_tex_f32("grad_src");
+    b.param_global_f32("out");
+    b.local_array("Grad", Scalar::F32, npoints as u32);
+    b.decl_f32("sum", f(0.0));
+    b.decl_f32("varr", f(0.0));
+    b.decl_f32("ep", f(0.0));
+    b.decl_i32("tx", tidx() + bidx() * bdimx());
+    b.pragma_for("np parallel for", "n", i(0), i(npoints), |b| {
+        b.store("Grad", v("n"), load("grad_src", v("tx") % i(7) + v("n")));
+    });
+    b.pragma_for("np parallel for reduction(+:sum)", "n", i(0), i(npoints), |b| {
+        b.assign("sum", v("sum") + load("Grad", v("n")));
+    });
+    b.decl_f32("ave", v("sum") / f(npoints as f32));
+    b.pragma_for("np parallel for reduction(+:varr,ep)", "n", i(0), i(npoints), |b| {
+        b.decl_f32("d", load("Grad", v("n")) - v("ave"));
+        b.assign("varr", v("varr") + v("d") * v("d"));
+        b.assign("ep", v("ep") + v("d"));
+    });
+    b.store("out", v("tx"), v("ave") * v("ave") / (v("varr") + f(1.0)) + v("ep"));
+    b.finish()
+}
+
+fn le_args(npoints: usize) -> Args {
+    let src: Vec<f32> = (0..npoints + 8).map(|i| ((i * 29 % 83) as f32 - 41.0) / 20.0).collect();
+    Args::new().buf_f32("grad_src", src).buf_f32("out", vec![0.0; 64])
+}
+
+#[test]
+fn le_local_array_equivalent_under_every_strategy() {
+    let k = le_kernel(150);
+    let baseline = run(&k, 2, le_args(150));
+    for strategy in [
+        LocalArrayStrategy::Auto,
+        LocalArrayStrategy::ForceRegister,
+        LocalArrayStrategy::ForceShared,
+        LocalArrayStrategy::ForceGlobal,
+    ] {
+        for npt in [NpType::InterWarp, NpType::IntraWarp] {
+            let mut opts = NpOptions::new(8, npt);
+            opts.local_array = strategy;
+            let t = transform(&k, &opts)
+                .unwrap_or_else(|e| panic!("{strategy:?}/{npt:?}: {e}"));
+            let args = alloc_extra_buffers(le_args(150), &t, Dim3::x1(2));
+            let got = run(&t.kernel, 2, args);
+            assert_close(&baseline, &got, 1e-3, &format!("{strategy:?} {npt:?}"));
+        }
+    }
+}
+
+#[test]
+fn le_auto_strategy_partitions_into_registers() {
+    let k = le_kernel(150);
+    let t = transform(&k, &NpOptions::inter(8)).unwrap();
+    assert!(matches!(
+        t.report.local_arrays[0].choice,
+        cuda_np::LocalArrayChoice::Register { per_slave_len: 19 }
+    ));
+}
+
+#[test]
+fn le_padding_is_equivalent() {
+    let k = le_kernel(150);
+    let baseline = run(&k, 2, le_args(150));
+    for s in [2u32, 4, 8, 16] {
+        let mut opts = NpOptions::inter(s);
+        opts.pad = true;
+        let t = transform(&k, &opts).unwrap();
+        assert_eq!(t.report.padded_loops > 0, 150 % s != 0, "padding iff 150 % {s} != 0");
+        let args = alloc_extra_buffers(le_args(150), &t, Dim3::x1(2));
+        let got = run(&t.kernel, 2, args);
+        assert_close(&baseline, &got, 1e-3, &format!("padded s={s}"));
+    }
+}
+
+/// LU-like: parallel loops nested inside divergent `master_id < 16` control
+/// flow (the guard-sinking path).
+#[test]
+fn divergent_guard_equivalent() {
+    let mut b = KernelBuilder::new("lu_like", 32);
+    b.param_global_f32("a");
+    b.param_global_f32("out");
+    b.decl_i32("tx", tidx());
+    b.decl_f32("acc", f(0.0));
+    b.if_else(
+        lt(v("tx"), i(16)),
+        |b| {
+            b.pragma_for("np parallel for reduction(+:acc)", "j", i(0), i(32), |b| {
+                b.assign("acc", v("acc") + load("a", v("tx") * i(32) + v("j")));
+            });
+        },
+        |b| {
+            b.pragma_for("np parallel for reduction(+:acc)", "j", i(0), i(32), |b| {
+                b.assign("acc", v("acc") + load("a", v("j") * i(32) + (v("tx") - i(16))) * f(2.0));
+            });
+        },
+    );
+    b.store("out", tidx() + bidx() * i(32), v("acc"));
+    let k = b.finish();
+
+    let make_args = || {
+        let a: Vec<f32> = (0..32 * 32).map(|i| ((i * 7 % 61) as f32 - 30.0) / 10.0).collect();
+        Args::new().buf_f32("a", a).buf_f32("out", vec![0.0; 64])
+    };
+    check_equivalence(&k, 2, &make_args, &all_configs(32), 1e-4);
+}
+
+/// MV-like: a sequential tile loop containing a barrier and a parallel
+/// dot-product loop.
+#[test]
+fn tiled_loop_with_barrier_equivalent() {
+    let block = 32u32;
+    let tiles = 4;
+    let tile = 32;
+    let mut b = KernelBuilder::new("mv_like", block);
+    b.param_global_f32("a");
+    b.param_global_f32("x");
+    b.param_global_f32("out");
+    b.shared_array("xs", Scalar::F32, tile as u32);
+    b.decl_i32("row", tidx() + bidx() * bdimx());
+    b.decl_f32("sum", f(0.0));
+    b.for_loop("t", i(0), i(tiles), |b| {
+        // Cooperative tile load by the original threads.
+        b.sync();
+        b.store("xs", tidx(), load("x", v("t") * i(tile) + tidx()));
+        b.sync();
+        b.pragma_for("np parallel for reduction(+:sum)", "j", i(0), i(tile), |b| {
+            b.assign(
+                "sum",
+                v("sum")
+                    + load("a", v("row") * i(tiles * tile) + v("t") * i(tile) + v("j"))
+                        * load("xs", v("j")),
+            );
+        });
+    });
+    b.store("out", v("row"), v("sum"));
+    let k = b.finish();
+
+    let n = (tiles * tile) as usize;
+    let make_args = || {
+        let a: Vec<f32> = (0..64 * n).map(|i| ((i * 11 % 71) as f32 - 35.0) / 17.0).collect();
+        let x: Vec<f32> = (0..n).map(|i| ((i * 5 % 31) as f32 - 15.0) / 7.0).collect();
+        Args::new().buf_f32("a", a).buf_f32("x", x).buf_f32("out", vec![0.0; 64])
+    };
+    check_equivalence(&k, 2, &make_args, &all_configs(block), 1e-4);
+}
+
+/// Scan: LIB-like additive prefix over a loop, value used per iteration.
+#[test]
+fn scan_loop_equivalent() {
+    let mut b = KernelBuilder::new("lib_like", 32);
+    b.param_global_f32("delta");
+    b.param_global_f32("out");
+    b.param_global_f32("path_out");
+    b.decl_i32("tx", tidx() + bidx() * bdimx());
+    b.decl_f32("acc", f(1.5));
+    b.pragma_for("np parallel for scan(+:acc)", "n", i(0), i(80), |b| {
+        b.assign("acc", v("acc") + load("delta", v("tx") % i(5) + v("n")));
+        b.store("path_out", v("tx") * i(80) + v("n"), v("acc"));
+    });
+    b.store("out", v("tx"), v("acc"));
+    let k = b.finish();
+
+    let make_args = || {
+        let d: Vec<f32> = (0..85).map(|i| ((i * 19 % 43) as f32 - 21.0) / 11.0).collect();
+        Args::new()
+            .buf_f32("delta", d)
+            .buf_f32("out", vec![0.0; 64])
+            .buf_f32("path_out", vec![0.0; 64 * 80])
+    };
+
+    let baseline_out = run(&k, 2, make_args());
+    let baseline_path = {
+        let mut args = make_args();
+        launch(&dev(), &k, Dim3::x1(2), &mut args, &SimOptions::full()).unwrap();
+        args.get_f32("path_out").unwrap().to_vec()
+    };
+    for opts in all_configs(32) {
+        let t = transform(&k, &opts).unwrap();
+        let mut args = alloc_extra_buffers(make_args(), &t, Dim3::x1(2));
+        launch(&dev(), &t.kernel, Dim3::x1(2), &mut args, &SimOptions::full()).unwrap();
+        let ctx = format!("scan {:?}/{}", opts.np_type, opts.slave_size);
+        assert_close(&baseline_out, args.get_f32("out").unwrap(), 1e-3, &ctx);
+        assert_close(&baseline_path, args.get_f32("path_out").unwrap(), 1e-3, &ctx);
+    }
+}
+
+/// Section 3.2's "if (i == 3) x = a[i]" conditional live-out via select().
+#[test]
+fn select_liveout_equivalent() {
+    let mut b = KernelBuilder::new("sel", 32);
+    b.param_global_f32("a");
+    b.param_global_f32("out");
+    b.decl_f32("x", f(0.0));
+    b.decl_i32("tx", tidx());
+    b.pragma_for("np parallel for select(x)", "n", i(0), i(64), |b| {
+        b.if_(eq(v("n"), i(3)), |b| {
+            b.assign("x", load("a", v("n") + v("tx")));
+        });
+    });
+    b.store("out", v("tx"), v("x"));
+    let k = b.finish();
+    let make_args = || {
+        let a: Vec<f32> = (0..128).map(|i| i as f32).collect();
+        Args::new().buf_f32("a", a).buf_f32("out", vec![0.0; 32])
+    };
+    check_equivalence(&k, 1, &make_args, &all_configs(32), 0.0);
+}
+
+/// Redundant-uniform on vs off must not change results.
+#[test]
+fn redundant_uniform_toggle_equivalent() {
+    let k = tmv_kernel(32);
+    let baseline = run(&k, 2, tmv_args(64, 40));
+    for redundant in [false, true] {
+        let mut opts = NpOptions::inter(4);
+        opts.redundant_uniform = redundant;
+        let t = transform(&k, &opts).unwrap();
+        if !redundant {
+            assert!(t.report.redundant.is_empty());
+            assert!(t.report.broadcasts.contains(&"tx".to_string()));
+        }
+        let got = run(&t.kernel, 2, tmv_args(64, 40));
+        assert_close(&baseline, &got, 1e-4, &format!("redundant={redundant}"));
+    }
+}
+
+#[test]
+fn error_cases_are_reported() {
+    use cuda_np::TransformError;
+
+    // No pragma loops at all.
+    let mut b = KernelBuilder::new("plain", 32);
+    b.param_global_f32("out");
+    b.store("out", tidx(), f(1.0));
+    assert!(matches!(
+        transform(&b.finish(), &NpOptions::inter(4)),
+        Err(TransformError::NoPragmaLoops)
+    ));
+
+    // Unhandled live-out.
+    let mut b = KernelBuilder::new("liveout", 32);
+    b.param_global_f32("out");
+    b.decl_f32("x", f(0.0));
+    b.pragma_for("np parallel for", "n", i(0), i(8), |b| {
+        b.assign("x", v("x") + f(1.0));
+    });
+    b.store("out", tidx(), v("x"));
+    assert!(matches!(
+        transform(&b.finish(), &NpOptions::inter(4)),
+        Err(TransformError::UnhandledLiveOut(x)) if x == "x"
+    ));
+
+    // Block too large.
+    let k = tmv_kernel(512);
+    assert!(matches!(
+        transform(&k, &NpOptions::inter(4)),
+        Err(TransformError::BlockTooLarge { .. })
+    ));
+
+    // Intra-warp with non-pow2 slaves.
+    let k = tmv_kernel(32);
+    assert!(matches!(
+        transform(&k, &NpOptions::intra(6)),
+        Err(TransformError::IntraWarpSlaveSize(6))
+    ));
+
+    // slave_size < 2.
+    assert!(matches!(
+        transform(&k, &NpOptions::inter(1)),
+        Err(TransformError::SlaveSizeTooSmall)
+    ));
+}
+
+#[test]
+fn transformed_source_matches_figure3_shape() {
+    let k = tmv_kernel(32);
+    let t = transform(&k, &NpOptions::inter(8)).unwrap();
+    let src = np_kernel_ir::printer::print_kernel(&t.kernel);
+    // Master/slave prologue, slave-strided loop, guarded sequential code.
+    assert!(src.contains("__np_master_id = threadIdx.x"), "{src}");
+    assert!(src.contains("__np_slave_id = threadIdx.y"), "{src}");
+    assert!(src.contains("i += 8"), "{src}");
+    assert!(src.contains("(__np_slave_id == 0)"), "{src}");
+}

@@ -1,0 +1,159 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//! redundant recomputation of uniform live-ins (Section 3.1), the
+//! local-array policy threshold (Section 3.3), wave sampling, and the raw
+//! substrate costs (interpreter vs timing engine).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use cuda_np::tuner::alloc_extra_buffers;
+use cuda_np::{transform, NpOptions};
+use np_exec::{launch, SimOptions};
+use np_gpu_sim::DeviceConfig;
+use np_workloads::{le::Le, tmv::Tmv, Scale, Workload};
+use std::hint::black_box;
+
+/// Section 3.1 ablation: broadcast every live-in vs let slaves recompute
+/// uniform values redundantly.
+fn ablation_redundant_uniform(c: &mut Criterion) {
+    let dev = DeviceConfig::gtx680();
+    let w = Tmv::new(Scale::Test);
+    let mut g = c.benchmark_group("ablation/uniform");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_millis(900));
+    for (label, redundant) in [("redundant", true), ("broadcast_all", false)] {
+        let mut opts = NpOptions::inter(8);
+        opts.redundant_uniform = redundant;
+        let t = transform(&w.kernel(), &opts).unwrap();
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let mut args = alloc_extra_buffers(w.make_args(), &t, w.grid());
+                black_box(
+                    launch(&dev, &t.kernel, w.grid(), &mut args, &w.sim_options()).unwrap(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Section 3.3 ablation: sweep the shared-memory budget that decides when
+/// a local array moves to shared memory instead of global.
+fn ablation_policy_threshold(c: &mut Criterion) {
+    let dev = DeviceConfig::gtx680();
+    let w = Le::new(Scale::Test);
+    let mut g = c.benchmark_group("ablation/policy_budget");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_millis(900));
+    // LE's array is partitionable; disable partitioning via an offset
+    // access? Instead sweep the budget with ForceShared vs Auto on the
+    // standard kernel: budget only matters when partitioning is illegal,
+    // so this measures the policy evaluation cost + shared path.
+    for budget in [128u32, 384, 1024] {
+        let mut opts = NpOptions::inter(8);
+        opts.local_array = cuda_np::LocalArrayStrategy::ForceShared;
+        opts.shared_budget_per_thread = budget;
+        let t = transform(&w.kernel(), &opts).unwrap();
+        g.bench_function(format!("budget_{budget}"), |b| {
+            b.iter(|| {
+                let mut args = alloc_extra_buffers(w.make_args(), &t, w.grid());
+                black_box(
+                    launch(&dev, &t.kernel, w.grid(), &mut args, &w.sim_options()).unwrap(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Wave sampling ablation: full simulation vs sampled at the same logical
+/// grid (cost of fidelity).
+fn ablation_wave_sampling(c: &mut Criterion) {
+    let dev = DeviceConfig::gtx680();
+    let w = Tmv::with_size(2048, 512);
+    let kernel = w.kernel();
+    let mut g = c.benchmark_group("ablation/sampling");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_millis(900));
+    for (label, sim) in [("full", SimOptions::full()), ("sampled_4", SimOptions::sampled(4))] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let mut args = w.make_args();
+                black_box(launch(&dev, &kernel, w.grid(), &mut args, &sim).unwrap())
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Substrate microbenchmarks: interpreter throughput and the timing
+/// engine's event processing rate.
+fn substrate_throughput(c: &mut Criterion) {
+    use np_gpu_sim::occupancy::{occupancy, KernelResources};
+    use np_gpu_sim::trace::{BlockTrace, TraceBuilder};
+
+    let dev = DeviceConfig::gtx680();
+    let mut g = c.benchmark_group("substrate");
+    // Pure timing engine: 64 blocks of 8 warps with 256 ALU+load pairs.
+    let res = KernelResources {
+        block_size: 256,
+        regs_per_thread: 16,
+        shared_per_block: 0,
+        local_per_thread: 0,
+    };
+    let occ = occupancy(&dev, &res).unwrap();
+    let mk_blocks = || -> Vec<BlockTrace> {
+        (0..64u64)
+            .map(|blk| {
+                let mut bt = BlockTrace::default();
+                for wp in 0..8u64 {
+                    let mut b = TraceBuilder::new(dev.txn_bytes, dev.l1_line);
+                    for it in 0..256u64 {
+                        b.alu(4);
+                        let base = (blk * 8 + wp) * 256 * 128 + it * 128;
+                        let addrs = np_gpu_sim::mem::lane_addrs(
+                            (0..32).map(|l| (l, base + 4 * l as u64)),
+                        );
+                        b.global(&addrs, 4, false);
+                    }
+                    bt.warps.push(b.finish());
+                }
+                bt
+            })
+            .collect()
+    };
+    g.bench_function("timing_engine_131k_ops", |b| {
+        b.iter(|| black_box(np_gpu_sim::simulate_blocks(&dev, &occ, mk_blocks(), 64)))
+    });
+
+    // Full stack: interpreter + engine on the TMV workload.
+    let w = Tmv::new(Scale::Test);
+    g.bench_function("interpreter_plus_engine_tmv", |b| {
+        b.iter(|| {
+            let mut args = w.make_args();
+            black_box(
+                launch(&dev, &w.kernel(), w.grid(), &mut args, &w.sim_options()).unwrap(),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = ablations;
+    config = fast_criterion();
+    targets =
+    ablation_redundant_uniform,
+    ablation_policy_threshold,
+    ablation_wave_sampling,
+    substrate_throughput,
+}
+fn fast_criterion() -> Criterion {
+    Criterion::default()
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(900))
+        .sample_size(10)
+}
+criterion_main!(ablations);

@@ -1,0 +1,697 @@
+//! The SIMT interpreter: functional lockstep execution of one thread block,
+//! emitting a timing trace as a side effect.
+//!
+//! Execution model:
+//! * warps execute statements in SIMT lockstep with an active-lane mask;
+//!   `If`/`For` divergence serializes both paths / extra iterations, which
+//!   shows up in the trace exactly as it would on hardware;
+//! * statements that contain no `__syncthreads` execute warp-at-a-time;
+//!   statements that do contain a barrier (bare syncs, uniform loops or
+//!   conditionals with syncs inside) execute in block-level lockstep, and
+//!   the interpreter *asserts* the CUDA contract that control flow around
+//!   barriers is uniform across the block;
+//! * warps of one block run sequentially in warp-id order between barriers,
+//!   so functional results are deterministic even for racy kernels.
+
+use crate::machine::{ArgValue, GlobalState};
+use crate::value::{lanes, Mask, WVal, LANES};
+use np_gpu_sim::config::DeviceConfig;
+use np_gpu_sim::mem::local::LocalLayout;
+use np_gpu_sim::mem::LaneAddrs;
+use np_gpu_sim::trace::{BlockTrace, TraceBuilder};
+use np_kernel_ir::expr::{Expr, ShflMode, Special};
+use np_kernel_ir::kernel::Kernel;
+use np_kernel_ir::stmt::{visit_stmts, Stmt};
+use np_kernel_ir::types::{Dim3, MemSpace, Scalar};
+use std::collections::HashMap;
+
+/// Typed raw storage for a shared or local array (element-major for local:
+/// index `i` of lane `l` lives at `i * LANES + l`).
+struct RawArray {
+    ty: Scalar,
+    bits: Vec<u32>,
+    byte_offset: u32,
+    len: u32,
+    /// True for register-file arrays: functionally per-thread like local
+    /// memory, but accesses cost only ALU work.
+    in_registers: bool,
+}
+
+/// Per-warp interpreter state.
+struct WarpCtx {
+    regs: HashMap<String, WVal>,
+    local: HashMap<String, RawArray>,
+    tid: [WVal; 3],
+    exist_mask: Mask,
+    warp_global_id: u64,
+    builder: TraceBuilder,
+}
+
+/// Last accessor of each shared-memory word since the previous barrier:
+/// (warp id, was a write), per shared array.
+type RaceMap = HashMap<String, Vec<Option<(u64, bool)>>>;
+
+/// Per-block interpreter state.
+struct BlockCtx {
+    shared: HashMap<String, RawArray>,
+    block_idx: (u32, u32),
+    block_dim: Dim3,
+    grid_dim: Dim3,
+    local_layout: LocalLayout,
+    /// When armed: the shared-memory race tracker.
+    race: Option<RaceMap>,
+}
+
+impl BlockCtx {
+    /// Record one shared-memory access for race detection; panics on a
+    /// cross-warp conflict where at least one side writes.
+    fn track_shared(&mut self, array: &str, index: usize, warp: u64, write: bool, kernel: &str) {
+        let Some(tracker) = &mut self.race else { return };
+        let len = self
+            .shared
+            .get(array)
+            .map(|a| a.len as usize)
+            .unwrap_or(0);
+        let slots = tracker
+            .entry(array.to_string())
+            .or_insert_with(|| vec![None; len]);
+        match slots.get(index).copied().flatten() {
+            Some((prev_warp, prev_write)) if prev_warp != warp && (prev_write || write) => {
+                panic!(
+                    "shared-memory race in kernel {kernel:?}: {array}[{index}] accessed by                      warp {prev_warp} ({}) and warp {warp} ({}) without an intervening                      __syncthreads()",
+                    if prev_write { "write" } else { "read" },
+                    if write { "write" } else { "read" },
+                )
+            }
+            _ => {}
+        }
+        // Writes dominate reads in the recorded state.
+        if let Some(slot) = slots.get_mut(index) {
+            let keep_write = write || slot.map(|(_, w)| w).unwrap_or(false);
+            *slot = Some((warp, keep_write));
+        }
+    }
+
+    /// Barrier: all pre-barrier accesses are now ordered before whatever
+    /// comes next.
+    fn clear_races(&mut self) {
+        if let Some(t) = &mut self.race {
+            t.clear();
+        }
+    }
+}
+
+/// Execute one thread block functionally; returns its timing trace.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_block(
+    kernel: &Kernel,
+    dev: &DeviceConfig,
+    globals: &mut GlobalState,
+    block_idx: (u32, u32),
+    grid_dim: Dim3,
+    first_warp_global_id: u64,
+    local_bytes_per_thread: u32,
+    detect_races: bool,
+) -> BlockTrace {
+    let block_dim = kernel.block_dim;
+    let n_threads = block_dim.count() as usize;
+    let n_warps = n_threads.div_ceil(LANES);
+
+    // Pre-scan array declarations: assign byte offsets so trace addresses
+    // are stable, and pre-create storage (declarations become no-ops).
+    let mut shared = HashMap::new();
+    let mut shared_cursor = 0u32;
+    let mut local_decls: Vec<(String, Scalar, u32, u32, bool)> = Vec::new();
+    let mut local_cursor = 0u32;
+    visit_stmts(&kernel.body, &mut |s| {
+        if let Stmt::DeclArray { name, ty, space, len } = s {
+            match space {
+                MemSpace::Shared => {
+                    if !shared.contains_key(name) {
+                        shared.insert(
+                            name.clone(),
+                            RawArray {
+                                ty: *ty,
+                                bits: vec![0; *len as usize],
+                                byte_offset: shared_cursor,
+                                len: *len,
+                                in_registers: false,
+                            },
+                        );
+                        shared_cursor += len * 4;
+                    }
+                }
+                MemSpace::Local => {
+                    if !local_decls.iter().any(|(n, ..)| n == name) {
+                        local_decls.push((name.clone(), *ty, *len, local_cursor, false));
+                        local_cursor += len * 4;
+                    }
+                }
+                MemSpace::Register => {
+                    if !local_decls.iter().any(|(n, ..)| n == name) {
+                        local_decls.push((name.clone(), *ty, *len, 0, true));
+                    }
+                }
+                other => panic!("cannot declare an array in {other:?} space"),
+            }
+        }
+    });
+
+    let mut block = BlockCtx {
+        shared,
+        block_idx,
+        block_dim,
+        grid_dim,
+        local_layout: LocalLayout {
+            bytes_per_thread: local_bytes_per_thread.max(local_cursor).max(1),
+        },
+        race: if detect_races { Some(HashMap::new()) } else { None },
+    };
+
+    let mut warps: Vec<WarpCtx> = (0..n_warps)
+        .map(|w| {
+            let mut tx = [0i32; LANES];
+            let mut ty_ = [0i32; LANES];
+            let mut tz = [0i32; LANES];
+            let mut exist: Mask = 0;
+            for l in 0..LANES {
+                let t = w * LANES + l;
+                if t < n_threads {
+                    exist |= 1 << l;
+                    tx[l] = (t as u32 % block_dim.x) as i32;
+                    ty_[l] = ((t as u32 / block_dim.x) % block_dim.y) as i32;
+                    tz[l] = (t as u32 / (block_dim.x * block_dim.y)) as i32;
+                }
+            }
+            let local = local_decls
+                .iter()
+                .map(|(name, ty, len, off, in_regs)| {
+                    (
+                        name.clone(),
+                        RawArray {
+                            ty: *ty,
+                            bits: vec![0; *len as usize * LANES],
+                            byte_offset: *off,
+                            len: *len,
+                            in_registers: *in_regs,
+                        },
+                    )
+                })
+                .collect();
+            WarpCtx {
+                regs: HashMap::new(),
+                local,
+                tid: [WVal::I32(tx), WVal::I32(ty_), WVal::I32(tz)],
+                exist_mask: exist,
+                warp_global_id: first_warp_global_id + w as u64,
+                builder: TraceBuilder::new(dev.txn_bytes, dev.l1_line),
+            }
+        })
+        .collect();
+
+    exec_block_level(&kernel.body, kernel, &mut warps, &mut block, globals);
+
+    BlockTrace { warps: warps.into_iter().map(|w| w.builder.finish()).collect() }
+}
+
+/// Execute statements at block level, switching between warp-at-a-time and
+/// lockstep execution around barriers.
+fn exec_block_level(
+    stmts: &[Stmt],
+    kernel: &Kernel,
+    warps: &mut [WarpCtx],
+    block: &mut BlockCtx,
+    globals: &mut GlobalState,
+) {
+    for s in stmts {
+        if !s.contains_sync() {
+            for w in warps.iter_mut() {
+                let mask = w.exist_mask;
+                exec_stmt_warp(s, kernel, w, block, globals, mask);
+            }
+            continue;
+        }
+        match s {
+            Stmt::SyncThreads => {
+                block.clear_races();
+                for w in warps.iter_mut() {
+                    w.builder.bar();
+                }
+            }
+            Stmt::If { cond, then_body, else_body } => {
+                let c = eval_uniform_cond(cond, kernel, warps, block, globals);
+                if c {
+                    exec_block_level(then_body, kernel, warps, block, globals);
+                } else {
+                    exec_block_level(else_body, kernel, warps, block, globals);
+                }
+            }
+            Stmt::For { var, init, bound, step, body, .. } => {
+                // Lockstep loop: every thread follows the same trip count.
+                for w in warps.iter_mut() {
+                    let mask = w.exist_mask;
+                    let v = eval(init, kernel, w, block, globals, mask);
+                    set_reg(w, var, v, mask);
+                }
+                loop {
+                    let cond = Expr::Binary(
+                        np_kernel_ir::expr::BinOp::Lt,
+                        Box::new(Expr::Var(var.clone())),
+                        Box::new(bound.clone()),
+                    );
+                    if !eval_uniform_cond(&cond, kernel, warps, block, globals) {
+                        break;
+                    }
+                    exec_block_level(body, kernel, warps, block, globals);
+                    for w in warps.iter_mut() {
+                        let mask = w.exist_mask;
+                        let stepped = eval(
+                            &Expr::Binary(
+                                np_kernel_ir::expr::BinOp::Add,
+                                Box::new(Expr::Var(var.clone())),
+                                Box::new(step.clone()),
+                            ),
+                            kernel,
+                            w,
+                            block,
+                            globals,
+                            mask,
+                        );
+                        set_reg(w, var, stepped, mask);
+                    }
+                }
+            }
+            other => unreachable!("statement cannot contain a barrier: {other:?}"),
+        }
+    }
+}
+
+/// Evaluate a condition that must be uniform across the entire block
+/// (required for barrier-containing control flow).
+fn eval_uniform_cond(
+    cond: &Expr,
+    kernel: &Kernel,
+    warps: &mut [WarpCtx],
+    block: &mut BlockCtx,
+    globals: &mut GlobalState,
+) -> bool {
+    let mut result: Option<bool> = None;
+    for w in warps.iter_mut() {
+        let mask = w.exist_mask;
+        let c = eval(cond, kernel, w, block, globals, mask);
+        let t = c.true_mask(mask);
+        assert!(
+            t == 0 || t == mask,
+            "barrier under divergent control flow (condition not warp-uniform)"
+        );
+        let this = t == mask && mask != 0;
+        match result {
+            None => result = Some(this),
+            Some(prev) => assert_eq!(
+                prev, this,
+                "barrier under divergent control flow (condition differs across warps)"
+            ),
+        }
+    }
+    result.unwrap_or(false)
+}
+
+fn set_reg(w: &mut WarpCtx, name: &str, val: WVal, mask: Mask) {
+    match w.regs.get_mut(name) {
+        Some(existing) => existing.merge_from(&val, mask),
+        None => {
+            let mut fresh = WVal::zero(val.ty());
+            fresh.merge_from(&val, mask);
+            w.regs.insert(name.to_string(), fresh);
+        }
+    }
+}
+
+/// Execute one statement for one warp under `mask`.
+fn exec_stmt_warp(
+    s: &Stmt,
+    kernel: &Kernel,
+    w: &mut WarpCtx,
+    block: &mut BlockCtx,
+    globals: &mut GlobalState,
+    mask: Mask,
+) {
+    if mask == 0 {
+        return;
+    }
+    match s {
+        Stmt::DeclScalar { name, ty, init } => {
+            let val = match init {
+                Some(e) => eval(e, kernel, w, block, globals, mask),
+                None => WVal::zero(*ty),
+            };
+            assert_eq!(val.ty(), *ty, "initializer type mismatch for {name:?}");
+            // A declaration (re-)initializes: overwrite under mask, default
+            // elsewhere if previously absent.
+            set_reg(w, name, val, mask);
+        }
+        Stmt::DeclArray { .. } => { /* pre-created in run_block */ }
+        Stmt::Assign { name, value } => {
+            let val = eval(value, kernel, w, block, globals, mask);
+            set_reg(w, name, val, mask);
+        }
+        Stmt::Store { array, index, value } => {
+            let idx = eval(index, kernel, w, block, globals, mask);
+            let val = eval(value, kernel, w, block, globals, mask);
+            store_array(array, &idx, &val, kernel, w, block, globals, mask);
+        }
+        Stmt::If { cond, then_body, else_body } => {
+            let c = eval(cond, kernel, w, block, globals, mask);
+            let t_mask = c.true_mask(mask);
+            let e_mask = mask & !t_mask;
+            if t_mask != 0 {
+                for st in then_body {
+                    exec_stmt_warp(st, kernel, w, block, globals, t_mask);
+                }
+            }
+            if e_mask != 0 {
+                for st in else_body {
+                    exec_stmt_warp(st, kernel, w, block, globals, e_mask);
+                }
+            }
+        }
+        Stmt::For { var, init, bound, step, body, .. } => {
+            let v0 = eval(init, kernel, w, block, globals, mask);
+            set_reg(w, var, v0, mask);
+            let mut active = mask;
+            loop {
+                let cond = Expr::Binary(
+                    np_kernel_ir::expr::BinOp::Lt,
+                    Box::new(Expr::Var(var.clone())),
+                    Box::new(bound.clone()),
+                );
+                let c = eval(&cond, kernel, w, block, globals, active);
+                active = c.true_mask(active);
+                if active == 0 {
+                    break;
+                }
+                for st in body {
+                    exec_stmt_warp(st, kernel, w, block, globals, active);
+                }
+                let stepped = eval(
+                    &Expr::Binary(
+                        np_kernel_ir::expr::BinOp::Add,
+                        Box::new(Expr::Var(var.clone())),
+                        Box::new(step.clone()),
+                    ),
+                    kernel,
+                    w,
+                    block,
+                    globals,
+                    active,
+                );
+                set_reg(w, var, stepped, active);
+            }
+        }
+        Stmt::SyncThreads => {
+            unreachable!("barrier must be handled at block level")
+        }
+    }
+}
+
+/// Evaluate an expression for one warp under `mask`, emitting trace ops.
+fn eval(
+    e: &Expr,
+    kernel: &Kernel,
+    w: &mut WarpCtx,
+    block: &mut BlockCtx,
+    globals: &mut GlobalState,
+    mask: Mask,
+) -> WVal {
+    match e {
+        Expr::ImmF32(x) => WVal::splat_f32(*x),
+        Expr::ImmI32(x) => WVal::splat_i32(*x),
+        Expr::ImmU32(x) => WVal::splat_u32(*x),
+        Expr::ImmBool(x) => WVal::splat_bool(*x),
+        Expr::Var(n) => w
+            .regs
+            .get(n)
+            .unwrap_or_else(|| panic!("use of undeclared scalar {n:?} in kernel {:?}", kernel.name))
+            .clone(),
+        Expr::Param(n) => match globals.scalars.get(n) {
+            Some(ArgValue::F32(x)) => WVal::splat_f32(*x),
+            Some(ArgValue::I32(x)) => WVal::splat_i32(*x),
+            Some(ArgValue::U32(x)) => WVal::splat_u32(*x),
+            _ => panic!("parameter {n:?} is not a bound scalar"),
+        },
+        Expr::Special(s) => match s {
+            Special::ThreadIdxX => w.tid[0].clone(),
+            Special::ThreadIdxY => w.tid[1].clone(),
+            Special::ThreadIdxZ => w.tid[2].clone(),
+            Special::BlockIdxX => WVal::splat_i32(block.block_idx.0 as i32),
+            Special::BlockIdxY => WVal::splat_i32(block.block_idx.1 as i32),
+            Special::BlockDimX => WVal::splat_i32(block.block_dim.x as i32),
+            Special::BlockDimY => WVal::splat_i32(block.block_dim.y as i32),
+            Special::BlockDimZ => WVal::splat_i32(block.block_dim.z as i32),
+            Special::GridDimX => WVal::splat_i32(block.grid_dim.x as i32),
+            Special::GridDimY => WVal::splat_i32(block.grid_dim.y as i32),
+        },
+        Expr::Unary(op, a) => {
+            let va = eval(a, kernel, w, block, globals, mask);
+            if op.is_sfu() {
+                w.builder.sfu(1);
+            } else {
+                w.builder.alu(1);
+            }
+            WVal::unary(*op, &va, mask)
+        }
+        Expr::Binary(op, a, b) => {
+            let va = eval(a, kernel, w, block, globals, mask);
+            let vb = eval(b, kernel, w, block, globals, mask);
+            w.builder.alu(1);
+            WVal::binary(*op, &va, &vb, mask)
+        }
+        Expr::Select(c, a, b) => {
+            let vc = eval(c, kernel, w, block, globals, mask);
+            let va = eval(a, kernel, w, block, globals, mask);
+            let vb = eval(b, kernel, w, block, globals, mask);
+            w.builder.alu(1);
+            let tm = vc.true_mask(mask);
+            let mut out = vb;
+            out.merge_from(&va, tm);
+            out
+        }
+        Expr::Cast(ty, a) => {
+            let va = eval(a, kernel, w, block, globals, mask);
+            w.builder.alu(1);
+            va.cast(*ty, mask)
+        }
+        Expr::Load { array, index } => {
+            let idx = eval(index, kernel, w, block, globals, mask);
+            load_array(array, &idx, kernel, w, block, globals, mask)
+        }
+        Expr::Shfl { mode, value, lane, width } => {
+            let vv = eval(value, kernel, w, block, globals, mask);
+            let vl = eval(lane, kernel, w, block, globals, mask);
+            w.builder.shfl();
+            shfl_permute(*mode, &vv, &vl, *width, mask)
+        }
+    }
+}
+
+/// CUDA `__shfl` family semantics over a warp-wide value.
+fn shfl_permute(mode: ShflMode, value: &WVal, lane_arg: &WVal, width: u32, mask: Mask) -> WVal {
+    assert!(
+        width.is_power_of_two() && width >= 1 && width as usize <= LANES,
+        "__shfl width must be a power of two in [1, 32], got {width}"
+    );
+    let wm = width as i64;
+    let mut out = value.clone();
+    let src_of = |l: usize| -> usize {
+        let base = (l as i64 / wm) * wm;
+        let arg = lane_arg.lane_index(l).expect("__shfl lane argument must be an integer");
+        match mode {
+            ShflMode::Idx => (base + arg.rem_euclid(wm)) as usize,
+            ShflMode::Up => {
+                let s = l as i64 - arg;
+                if s < base {
+                    l
+                } else {
+                    s as usize
+                }
+            }
+            ShflMode::Down => {
+                let s = l as i64 + arg;
+                if s >= base + wm {
+                    l
+                } else {
+                    s as usize
+                }
+            }
+            ShflMode::Xor => {
+                let s = l as i64 ^ arg;
+                if s >= base + wm || s < base {
+                    l
+                } else {
+                    s as usize
+                }
+            }
+        }
+    };
+    let bits: [u32; LANES] = std::array::from_fn(|l| value.lane_bits(src_of(l)));
+    let permuted = WVal::from_bits(value.ty(), bits);
+    out.merge_from(&permuted, mask);
+    out
+}
+
+fn check_index(array: &str, idx: i64, len: usize, kernel: &Kernel, lane: usize) -> usize {
+    assert!(
+        idx >= 0 && (idx as usize) < len,
+        "out-of-bounds access {array}[{idx}] (len {len}) in kernel {:?}, lane {lane}",
+        kernel.name
+    );
+    idx as usize
+}
+
+#[allow(clippy::too_many_arguments)]
+fn load_array(
+    array: &str,
+    idx: &WVal,
+    kernel: &Kernel,
+    w: &mut WarpCtx,
+    block: &mut BlockCtx,
+    globals: &mut GlobalState,
+    mask: Mask,
+) -> WVal {
+    // Declared arrays first (shared / local), then parameter arrays.
+    if let Some(arr) = block.shared.get(array) {
+        let mut addrs: LaneAddrs = [None; LANES];
+        let mut bits = [0u32; LANES];
+        let mut touched: Vec<usize> = Vec::new();
+        for l in lanes(mask) {
+            let i = check_index(array, idx.lane_index(l).expect("index must be integer"),
+                arr.len as usize, kernel, l);
+            addrs[l] = Some(arr.byte_offset as u64 + i as u64 * 4);
+            bits[l] = arr.bits[i];
+            touched.push(i);
+        }
+        let ty = arr.ty;
+        if block.race.is_some() {
+            let wid = w.warp_global_id;
+            for i in touched {
+                block.track_shared(array, i, wid, false, &kernel.name);
+            }
+        }
+        w.builder.shared(&addrs, false);
+        return WVal::from_bits(ty, bits);
+    }
+    if let Some(arr) = w.local.get(array) {
+        let mut offsets = [None; LANES];
+        let mut bits = [0u32; LANES];
+        for l in lanes(mask) {
+            let i = check_index(array, idx.lane_index(l).expect("index must be integer"),
+                arr.len as usize, kernel, l);
+            offsets[l] = Some(arr.byte_offset + i as u32 * 4);
+            bits[l] = arr.bits[i * LANES + l];
+        }
+        let ty = arr.ty;
+        if arr.in_registers {
+            w.builder.alu(1);
+        } else {
+            let layout = block.local_layout;
+            let wid = w.warp_global_id;
+            w.builder.local(layout, wid, &offsets, false);
+        }
+        return WVal::from_bits(ty, bits);
+    }
+    let binding = globals
+        .bindings
+        .get(array)
+        .unwrap_or_else(|| panic!("unknown array {array:?} in kernel {:?}", kernel.name))
+        .clone();
+    let buf = globals.buffers.get(array).expect("binding without buffer");
+    let mut addrs: LaneAddrs = [None; LANES];
+    let mut bits = [0u32; LANES];
+    for l in lanes(mask) {
+        let i = check_index(array, idx.lane_index(l).expect("index must be integer"),
+            buf.len(), kernel, l);
+        addrs[l] = Some(binding.base_addr + i as u64 * 4);
+        bits[l] = buf.read_bits(i);
+    }
+    let ty = buf.ty();
+    match binding.space {
+        MemSpace::Global => w.builder.global(&addrs, 4, false),
+        MemSpace::Texture => w.builder.tex(&addrs),
+        MemSpace::Constant => w.builder.constant(&addrs),
+        _ => unreachable!(),
+    }
+    WVal::from_bits(ty, bits)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn store_array(
+    array: &str,
+    idx: &WVal,
+    val: &WVal,
+    kernel: &Kernel,
+    w: &mut WarpCtx,
+    block: &mut BlockCtx,
+    globals: &mut GlobalState,
+    mask: Mask,
+) {
+    if let Some(arr) = block.shared.get_mut(array) {
+        assert_eq!(val.ty(), arr.ty, "store type mismatch into shared {array:?}");
+        let mut addrs: LaneAddrs = [None; LANES];
+        let mut touched: Vec<usize> = Vec::new();
+        for l in lanes(mask) {
+            let i = check_index(array, idx.lane_index(l).expect("index must be integer"),
+                arr.len as usize, kernel, l);
+            addrs[l] = Some(arr.byte_offset as u64 + i as u64 * 4);
+            arr.bits[i] = val.lane_bits(l);
+            touched.push(i);
+        }
+        if block.race.is_some() {
+            let wid = w.warp_global_id;
+            for i in touched {
+                block.track_shared(array, i, wid, true, &kernel.name);
+            }
+        }
+        w.builder.shared(&addrs, true);
+        return;
+    }
+    if let Some(arr) = w.local.get_mut(array) {
+        assert_eq!(val.ty(), arr.ty, "store type mismatch into local {array:?}");
+        let mut offsets = [None; LANES];
+        for l in lanes(mask) {
+            let i = check_index(array, idx.lane_index(l).expect("index must be integer"),
+                arr.len as usize, kernel, l);
+            offsets[l] = Some(arr.byte_offset + i as u32 * 4);
+            arr.bits[i * LANES + l] = val.lane_bits(l);
+        }
+        let in_regs = arr.in_registers;
+        if in_regs {
+            w.builder.alu(1);
+        } else {
+            let layout = block.local_layout;
+            let wid = w.warp_global_id;
+            w.builder.local(layout, wid, &offsets, true);
+        }
+        return;
+    }
+    let binding = globals
+        .bindings
+        .get(array)
+        .unwrap_or_else(|| panic!("unknown array {array:?} in kernel {:?}", kernel.name))
+        .clone();
+    assert_eq!(
+        binding.space,
+        MemSpace::Global,
+        "stores are only legal to global memory ({array:?} is {:?})",
+        binding.space
+    );
+    let buf = globals.buffers.get_mut(array).expect("binding without buffer");
+    assert_eq!(val.ty(), buf.ty(), "store type mismatch into global {array:?}");
+    let mut addrs: LaneAddrs = [None; LANES];
+    for l in lanes(mask) {
+        let i = check_index(array, idx.lane_index(l).expect("index must be integer"),
+            buf.len(), kernel, l);
+        addrs[l] = Some(binding.base_addr + i as u64 * 4);
+        buf.write_bits(i, val.lane_bits(l));
+    }
+    w.builder.global(&addrs, 4, true);
+}

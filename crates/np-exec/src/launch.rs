@@ -1,0 +1,409 @@
+//! Kernel launching: binds arguments, checks occupancy, streams block
+//! traces from the interpreter into the timing engine, and packages the
+//! result.
+
+use crate::interp::run_block;
+use crate::machine::{Args, ExecError, GlobalState};
+use crate::resources::estimate_resources;
+use np_gpu_sim::config::DeviceConfig;
+use np_gpu_sim::engine::Engine;
+use np_gpu_sim::occupancy::{occupancy, KernelResources, Occupancy};
+use np_gpu_sim::stats::TimingReport;
+use np_gpu_sim::trace::BlockTrace;
+use np_kernel_ir::kernel::Kernel;
+use np_kernel_ir::types::Dim3;
+
+/// Simulation options for one launch.
+#[derive(Debug, Clone, Default)]
+pub struct SimOptions {
+    /// Simulate at most this many thread blocks and scale cycles linearly
+    /// to the full grid (wave sampling). Functional output is then only
+    /// produced for the simulated blocks — use full simulation whenever the
+    /// numerical result matters.
+    pub max_blocks: Option<u64>,
+    /// Override the estimated per-thread/per-block resources (used by
+    /// benchmark specs that pin Table-1 baseline numbers).
+    pub resources_override: Option<KernelResources>,
+    /// Panic on shared-memory data races (two different warps touching the
+    /// same word between barriers with at least one write). Off by default;
+    /// handy when debugging hand-written or transformed kernels.
+    pub detect_races: bool,
+}
+
+impl SimOptions {
+    /// Full simulation, derived resources.
+    pub fn full() -> Self {
+        SimOptions::default()
+    }
+
+    /// Sampled simulation of at most `n` blocks.
+    pub fn sampled(n: u64) -> Self {
+        SimOptions { max_blocks: Some(n), ..Default::default() }
+    }
+
+    /// Full simulation with the shared-memory race detector armed.
+    pub fn checked() -> Self {
+        SimOptions { detect_races: true, ..Default::default() }
+    }
+}
+
+/// Everything a launch produces besides the functional output (which lands
+/// back in the [`Args`] buffers).
+#[derive(Debug, Clone)]
+pub struct KernelReport {
+    pub kernel_name: String,
+    pub timing: TimingReport,
+    pub occupancy: Occupancy,
+    pub resources: KernelResources,
+    /// Total cycles (same as `timing.cycles`, hoisted for convenience).
+    pub cycles: u64,
+    /// Wall time at the device clock.
+    pub time_us: f64,
+}
+
+impl KernelReport {
+    /// Effective global-memory bandwidth achieved in GB/s.
+    pub fn bandwidth_gbps(&self, dev: &DeviceConfig) -> f64 {
+        let bytes = if self.timing.is_sampled() {
+            self.timing.global_bytes as f64 * self.timing.blocks_total as f64
+                / self.timing.blocks_simulated.max(1) as f64
+        } else {
+            self.timing.global_bytes as f64
+        };
+        dev.bandwidth_gbps(bytes as u64, self.cycles)
+    }
+}
+
+/// Launch `kernel` over `grid` blocks on `dev`. The kernel's own
+/// `block_dim` supplies the block shape. Buffers move out of `args` during
+/// execution and are returned (with stores applied) on completion.
+pub fn launch(
+    dev: &DeviceConfig,
+    kernel: &Kernel,
+    grid: Dim3,
+    args: &mut Args,
+    opts: &SimOptions,
+) -> Result<KernelReport, ExecError> {
+    let resources = opts
+        .resources_override
+        .unwrap_or_else(|| estimate_resources(kernel, dev.max_registers_per_thread));
+    let occ = occupancy(dev, &resources).map_err(|e| ExecError::Launch(e.to_string()))?;
+
+    let mut globals = GlobalState::bind(kernel, args)?;
+
+    let total_blocks = grid.count();
+    let sim_blocks = opts.max_blocks.map_or(total_blocks, |m| m.min(total_blocks)).max(
+        if total_blocks == 0 { 0 } else { 1 },
+    );
+    let warps_per_block = kernel.block_dim.count().div_ceil(32);
+    let local_per_thread = resources.local_per_thread;
+
+    let engine = Engine::new(dev, &occ);
+    let mut next: u64 = 0;
+    let timing = {
+        let mut source = || -> Option<BlockTrace> {
+            if next >= sim_blocks {
+                return None;
+            }
+            let bx = next;
+            next += 1;
+            let block_idx = ((bx % grid.x as u64) as u32, (bx / grid.x as u64) as u32);
+            Some(run_block(
+                kernel,
+                dev,
+                &mut globals,
+                block_idx,
+                grid,
+                bx * warps_per_block,
+                local_per_thread,
+                opts.detect_races,
+            ))
+        };
+        engine.run(&occ, &mut source, total_blocks)
+    };
+
+    globals.unbind(args);
+
+    Ok(KernelReport {
+        kernel_name: kernel.name.clone(),
+        cycles: timing.cycles,
+        time_us: dev.cycles_to_us(timing.cycles),
+        timing,
+        occupancy: occ,
+        resources,
+    })
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)] // indexed loops mirror kernel code
+mod tests {
+    use super::*;
+    use np_kernel_ir::expr::dsl::*;
+    use np_kernel_ir::KernelBuilder;
+
+    /// Vector add: out[i] = a[i] + b[i].
+    fn vecadd_kernel() -> Kernel {
+        let mut b = KernelBuilder::new("vecadd", 64);
+        b.param_global_f32("a");
+        b.param_global_f32("b");
+        b.param_global_f32("out");
+        b.decl_i32("t", tidx() + bidx() * bdimx());
+        b.store("out", v("t"), load("a", v("t")) + load("b", v("t")));
+        b.finish()
+    }
+
+    #[test]
+    fn vecadd_computes_correctly() {
+        let dev = DeviceConfig::small_test();
+        let k = vecadd_kernel();
+        let n = 256usize;
+        let a: Vec<f32> = (0..n).map(|i| i as f32).collect();
+        let b: Vec<f32> = (0..n).map(|i| 2.0 * i as f32).collect();
+        let mut args = Args::new()
+            .buf_f32("a", a)
+            .buf_f32("b", b)
+            .buf_f32("out", vec![0.0; n]);
+        let rep =
+            launch(&dev, &k, Dim3::x1(4), &mut args, &SimOptions::full()).unwrap();
+        let out = args.get_f32("out").unwrap();
+        for i in 0..n {
+            assert_eq!(out[i], 3.0 * i as f32);
+        }
+        assert!(rep.cycles > 0);
+        assert_eq!(rep.timing.blocks_simulated, 4);
+    }
+
+    #[test]
+    fn missing_buffer_is_a_setup_error() {
+        let dev = DeviceConfig::small_test();
+        let k = vecadd_kernel();
+        let mut args = Args::new();
+        assert!(launch(&dev, &k, Dim3::x1(1), &mut args, &SimOptions::full()).is_err());
+    }
+
+    #[test]
+    fn sampling_reduces_simulated_blocks_but_scales_cycles() {
+        let dev = DeviceConfig::small_test();
+        let k = vecadd_kernel();
+        let n = 64 * 64;
+        let mk_args = || {
+            Args::new()
+                .buf_f32("a", vec![1.0; n])
+                .buf_f32("b", vec![1.0; n])
+                .buf_f32("out", vec![0.0; n])
+        };
+        let mut full_args = mk_args();
+        let full =
+            launch(&dev, &k, Dim3::x1(64), &mut full_args, &SimOptions::full()).unwrap();
+        let mut s_args = mk_args();
+        let sampled =
+            launch(&dev, &k, Dim3::x1(64), &mut s_args, &SimOptions::sampled(16)).unwrap();
+        assert_eq!(sampled.timing.blocks_simulated, 16);
+        assert!(sampled.timing.is_sampled());
+        let ratio = sampled.cycles as f64 / full.cycles as f64;
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "sampled estimate should be in the ballpark: {ratio}"
+        );
+    }
+
+    #[test]
+    fn divergent_if_executes_both_paths() {
+        let dev = DeviceConfig::small_test();
+        let mut b = KernelBuilder::new("div", 32);
+        b.param_global_f32("out");
+        b.decl_i32("t", tidx());
+        b.if_else(
+            lt(v("t"), i(16)),
+            |b| b.store("out", v("t"), f(1.0)),
+            |b| b.store("out", v("t"), f(2.0)),
+        );
+        let k = b.finish();
+        let mut args = Args::new().buf_f32("out", vec![0.0; 32]);
+        launch(&dev, &k, Dim3::x1(1), &mut args, &SimOptions::full()).unwrap();
+        let out = args.get_f32("out").unwrap();
+        for i in 0..32 {
+            assert_eq!(out[i], if i < 16 { 1.0 } else { 2.0 });
+        }
+    }
+
+    #[test]
+    fn loop_with_runtime_bound_works() {
+        let dev = DeviceConfig::small_test();
+        let mut b = KernelBuilder::new("sumk", 32);
+        b.param_global_f32("out");
+        b.param_scalar_i32("n");
+        b.decl_f32("acc", f(0.0));
+        b.for_loop("i", i(0), p("n"), |b| {
+            b.assign("acc", v("acc") + f(1.0));
+        });
+        b.store("out", tidx(), v("acc"));
+        let k = b.finish();
+        let mut args = Args::new().buf_f32("out", vec![0.0; 32]).i32("n", 17);
+        launch(&dev, &k, Dim3::x1(1), &mut args, &SimOptions::full()).unwrap();
+        assert!(args.get_f32("out").unwrap().iter().all(|&x| x == 17.0));
+    }
+
+    #[test]
+    fn shared_memory_and_barrier_communicate_across_warps() {
+        let dev = DeviceConfig::small_test();
+        // Warp 1 reads what warp 0 wrote, through shared memory + barrier,
+        // in reverse order.
+        let mut b = KernelBuilder::new("smem", 64);
+        b.param_global_f32("out");
+        b.shared_array("tile", np_kernel_ir::Scalar::F32, 64);
+        b.decl_i32("t", tidx());
+        b.store("tile", v("t"), cast(np_kernel_ir::Scalar::F32, v("t")));
+        b.sync();
+        b.store("out", v("t"), load("tile", i(63) - v("t")));
+        let k = b.finish();
+        let mut args = Args::new().buf_f32("out", vec![0.0; 64]);
+        launch(&dev, &k, Dim3::x1(1), &mut args, &SimOptions::full()).unwrap();
+        let out = args.get_f32("out").unwrap();
+        for i in 0..64 {
+            assert_eq!(out[i], (63 - i) as f32);
+        }
+    }
+
+    #[test]
+    fn local_array_round_trips_per_thread() {
+        let dev = DeviceConfig::small_test();
+        let mut b = KernelBuilder::new("locals", 32);
+        b.param_global_f32("out");
+        b.local_array("buf", np_kernel_ir::Scalar::F32, 8);
+        b.decl_i32("t", tidx());
+        b.for_loop("i", i(0), i(8), |b| {
+            b.store("buf", v("i"), cast(np_kernel_ir::Scalar::F32, v("t") * i(10) + v("i")));
+        });
+        b.decl_f32("acc", f(0.0));
+        b.for_loop("i", i(0), i(8), |b| {
+            b.assign("acc", v("acc") + load("buf", v("i")));
+        });
+        b.store("out", v("t"), v("acc"));
+        let k = b.finish();
+        let mut args = Args::new().buf_f32("out", vec![0.0; 32]);
+        launch(&dev, &k, Dim3::x1(1), &mut args, &SimOptions::full()).unwrap();
+        let out = args.get_f32("out").unwrap();
+        for t in 0..32 {
+            // sum over i of (t*10 + i) = 80 t + 28
+            assert_eq!(out[t], (80 * t + 28) as f32);
+        }
+    }
+
+    #[test]
+    fn shfl_broadcast_from_lane_zero() {
+        let dev = DeviceConfig::small_test();
+        let mut b = KernelBuilder::new("shflk", 32);
+        b.param_global_f32("out");
+        b.decl_f32("x", cast(np_kernel_ir::Scalar::F32, tidx()));
+        // Broadcast lane 0's value within groups of 8.
+        b.assign("x", shfl(v("x"), i(0), 8));
+        b.store("out", tidx(), v("x"));
+        let k = b.finish();
+        let mut args = Args::new().buf_f32("out", vec![0.0; 32]);
+        launch(&dev, &k, Dim3::x1(1), &mut args, &SimOptions::full()).unwrap();
+        let out = args.get_f32("out").unwrap();
+        for t in 0..32 {
+            assert_eq!(out[t], ((t / 8) * 8) as f32, "lane {t}");
+        }
+    }
+
+    #[test]
+    fn out_of_bounds_access_panics_with_context() {
+        let dev = DeviceConfig::small_test();
+        let mut b = KernelBuilder::new("oob", 32);
+        b.param_global_f32("out");
+        b.store("out", tidx() + i(100), f(1.0));
+        let k = b.finish();
+        let mut args = Args::new().buf_f32("out", vec![0.0; 32]);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = launch(&dev, &k, Dim3::x1(1), &mut args, &SimOptions::full());
+        }))
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("out-of-bounds"), "message was {msg:?}");
+    }
+
+    #[test]
+    fn two_dimensional_blocks_linearize_like_cuda() {
+        let dev = DeviceConfig::small_test();
+        // blockDim (8, 4): thread (x,y) has linear id y*8+x.
+        let mut b = KernelBuilder::new("twod", 8);
+        b.param_global_f32("out");
+        b.store("out", tidy() * i(8) + tidx(), cast(np_kernel_ir::Scalar::F32, tidy()));
+        let mut k = b.finish();
+        k.block_dim = np_kernel_ir::Dim3::xy(8, 4);
+        let mut args = Args::new().buf_f32("out", vec![0.0; 32]);
+        launch(&dev, &k, Dim3::x1(1), &mut args, &SimOptions::full()).unwrap();
+        let out = args.get_f32("out").unwrap();
+        for t in 0..32 {
+            assert_eq!(out[t], (t / 8) as f32);
+        }
+    }
+}
+
+#[cfg(test)]
+mod race_tests {
+    use super::*;
+    use np_kernel_ir::expr::dsl::*;
+    use np_kernel_ir::{KernelBuilder, Scalar};
+
+    /// tile[t] then read tile[63 - t]: warps conflict without a barrier.
+    fn racy_kernel(with_sync: bool) -> Kernel {
+        let mut b = KernelBuilder::new("racy", 64);
+        b.param_global_f32("out");
+        b.shared_array("tile", Scalar::F32, 64);
+        b.decl_i32("t", tidx());
+        b.store("tile", v("t"), cast(Scalar::F32, v("t")));
+        if with_sync {
+            b.sync();
+        }
+        b.store("out", v("t"), load("tile", i(63) - v("t")));
+        b.finish()
+    }
+
+    #[test]
+    fn detector_catches_missing_barrier() {
+        let dev = DeviceConfig::small_test();
+        let k = racy_kernel(false);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut args = Args::new().buf_f32("out", vec![0.0; 64]);
+            let _ = launch(&dev, &k, np_kernel_ir::Dim3::x1(1), &mut args, &SimOptions::checked());
+        }));
+        let err = result.unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("shared-memory race"), "got {msg:?}");
+    }
+
+    #[test]
+    fn barrier_silences_the_detector() {
+        let dev = DeviceConfig::small_test();
+        let k = racy_kernel(true);
+        let mut args = Args::new().buf_f32("out", vec![0.0; 64]);
+        launch(&dev, &k, np_kernel_ir::Dim3::x1(1), &mut args, &SimOptions::checked()).unwrap();
+        assert_eq!(args.get_f32("out").unwrap()[0], 63.0);
+    }
+
+    #[test]
+    fn same_warp_reuse_is_not_a_race() {
+        let dev = DeviceConfig::small_test();
+        let mut b = KernelBuilder::new("onewarp", 32);
+        b.param_global_f32("out");
+        b.shared_array("tile", Scalar::F32, 32);
+        b.store("tile", tidx(), f(1.0));
+        b.store("out", tidx(), load("tile", i(31) - tidx()));
+        let k = b.finish();
+        let mut args = Args::new().buf_f32("out", vec![0.0; 32]);
+        launch(&dev, &k, np_kernel_ir::Dim3::x1(1), &mut args, &SimOptions::checked()).unwrap();
+    }
+
+    #[test]
+    fn detector_off_by_default() {
+        let dev = DeviceConfig::small_test();
+        let k = racy_kernel(false);
+        let mut args = Args::new().buf_f32("out", vec![0.0; 64]);
+        // Racy but tolerated when the detector is off (deterministic
+        // warp-order semantics still apply).
+        launch(&dev, &k, np_kernel_ir::Dim3::x1(1), &mut args, &SimOptions::full()).unwrap();
+    }
+}

@@ -1,0 +1,18 @@
+//! # np-exec — SIMT interpreter over the timing simulator
+//!
+//! Executes `np-kernel-ir` kernels *functionally* (lockstep warps,
+//! divergence masks, shared/local/global/constant/texture memory, `__shfl`,
+//! barriers) while emitting per-warp instruction traces that the
+//! `np-gpu-sim` timing engine schedules. One [`launch()`](launch::launch) call therefore
+//! yields both the kernel's numerical output (in its argument buffers) and
+//! a cycle-level [`KernelReport`].
+
+pub mod interp;
+pub mod launch;
+pub mod machine;
+pub mod resources;
+pub mod value;
+
+pub use launch::{launch, KernelReport, SimOptions};
+pub use machine::{ArgValue, Args, Buffer, ExecError};
+pub use resources::estimate_resources;

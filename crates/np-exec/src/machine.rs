@@ -1,0 +1,299 @@
+//! Device memory state: argument binding, global/constant/texture buffers
+//! with simulated addresses, per-block shared memory, per-warp local memory.
+
+use np_kernel_ir::kernel::{Kernel, ParamKind};
+use np_kernel_ir::types::Scalar;
+use std::collections::HashMap;
+
+/// A typed device buffer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Buffer {
+    F32(Vec<f32>),
+    I32(Vec<i32>),
+    U32(Vec<u32>),
+}
+
+impl Buffer {
+    pub fn len(&self) -> usize {
+        match self {
+            Buffer::F32(v) => v.len(),
+            Buffer::I32(v) => v.len(),
+            Buffer::U32(v) => v.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn ty(&self) -> Scalar {
+        match self {
+            Buffer::F32(_) => Scalar::F32,
+            Buffer::I32(_) => Scalar::I32,
+            Buffer::U32(_) => Scalar::U32,
+        }
+    }
+
+    pub fn read_bits(&self, idx: usize) -> u32 {
+        match self {
+            Buffer::F32(v) => v[idx].to_bits(),
+            Buffer::I32(v) => v[idx] as u32,
+            Buffer::U32(v) => v[idx],
+        }
+    }
+
+    pub fn write_bits(&mut self, idx: usize, bits: u32) {
+        match self {
+            Buffer::F32(v) => v[idx] = f32::from_bits(bits),
+            Buffer::I32(v) => v[idx] = bits as i32,
+            Buffer::U32(v) => v[idx] = bits,
+        }
+    }
+}
+
+/// One bound kernel argument.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgValue {
+    F32(f32),
+    I32(i32),
+    U32(u32),
+    Buf(Buffer),
+}
+
+/// Kernel arguments by parameter name. Buffers are moved in and can be
+/// taken back out after the launch.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    map: HashMap<String, ArgValue>,
+}
+
+impl Args {
+    pub fn new() -> Self {
+        Args::default()
+    }
+
+    pub fn f32(mut self, name: &str, v: f32) -> Self {
+        self.map.insert(name.to_string(), ArgValue::F32(v));
+        self
+    }
+
+    pub fn i32(mut self, name: &str, v: i32) -> Self {
+        self.map.insert(name.to_string(), ArgValue::I32(v));
+        self
+    }
+
+    pub fn u32(mut self, name: &str, v: u32) -> Self {
+        self.map.insert(name.to_string(), ArgValue::U32(v));
+        self
+    }
+
+    pub fn buf_f32(mut self, name: &str, v: Vec<f32>) -> Self {
+        self.map.insert(name.to_string(), ArgValue::Buf(Buffer::F32(v)));
+        self
+    }
+
+    pub fn buf_i32(mut self, name: &str, v: Vec<i32>) -> Self {
+        self.map.insert(name.to_string(), ArgValue::Buf(Buffer::I32(v)));
+        self
+    }
+
+    pub fn buf_u32(mut self, name: &str, v: Vec<u32>) -> Self {
+        self.map.insert(name.to_string(), ArgValue::Buf(Buffer::U32(v)));
+        self
+    }
+
+    pub fn get(&self, name: &str) -> Option<&ArgValue> {
+        self.map.get(name)
+    }
+
+    /// Borrow a bound f32 buffer (e.g. to read results after a launch).
+    pub fn get_f32(&self, name: &str) -> Option<&[f32]> {
+        match self.map.get(name) {
+            Some(ArgValue::Buf(Buffer::F32(v))) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Borrow a bound i32 buffer.
+    pub fn get_i32(&self, name: &str) -> Option<&[i32]> {
+        match self.map.get(name) {
+            Some(ArgValue::Buf(Buffer::I32(v))) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn get_mut(&mut self, name: &str) -> Option<&mut ArgValue> {
+        self.map.get_mut(name)
+    }
+}
+
+/// Launch-time setup errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// A kernel parameter had no bound argument.
+    MissingArg(String),
+    /// Argument type does not match the parameter kind.
+    ArgTypeMismatch { param: String, expected: &'static str },
+    /// Occupancy computation rejected the launch.
+    Launch(String),
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::MissingArg(p) => write!(f, "no argument bound for parameter {p:?}"),
+            ExecError::ArgTypeMismatch { param, expected } => {
+                write!(f, "argument for {param:?} must be {expected}")
+            }
+            ExecError::Launch(msg) => write!(f, "launch rejected: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Description of one array visible to the interpreter, with its simulated
+/// base address (used for coalescing / cache analysis).
+#[derive(Debug, Clone)]
+pub(crate) struct ArrayBinding {
+    pub space: np_kernel_ir::types::MemSpace,
+    pub base_addr: u64,
+}
+
+/// Global machine state for one launch: every parameter array, moved out of
+/// `Args`, with an assigned simulated address.
+pub(crate) struct GlobalState {
+    pub buffers: HashMap<String, Buffer>,
+    pub bindings: HashMap<String, ArrayBinding>,
+    pub scalars: HashMap<String, ArgValue>,
+}
+
+impl GlobalState {
+    /// Bind `args` to the kernel's parameters, assigning addresses.
+    pub fn bind(kernel: &Kernel, args: &mut Args) -> Result<GlobalState, ExecError> {
+        let mut buffers = HashMap::new();
+        let mut bindings = HashMap::new();
+        let mut scalars = HashMap::new();
+        let mut cursor: u64 = 0x1000; // leave page zero unmapped
+        for p in &kernel.params {
+            match p.kind {
+                ParamKind::Scalar(ty) => {
+                    let v = args
+                        .get(&p.name)
+                        .cloned()
+                        .ok_or_else(|| ExecError::MissingArg(p.name.clone()))?;
+                    let ok = matches!(
+                        (&v, ty),
+                        (ArgValue::F32(_), Scalar::F32)
+                            | (ArgValue::I32(_), Scalar::I32)
+                            | (ArgValue::U32(_), Scalar::U32)
+                    );
+                    if !ok {
+                        return Err(ExecError::ArgTypeMismatch {
+                            param: p.name.clone(),
+                            expected: ty.c_name(),
+                        });
+                    }
+                    scalars.insert(p.name.clone(), v);
+                }
+                ParamKind::GlobalArray(ty)
+                | ParamKind::TexArray(ty)
+                | ParamKind::ConstArray(ty) => {
+                    let v = args
+                        .get_mut(&p.name)
+                        .ok_or_else(|| ExecError::MissingArg(p.name.clone()))?;
+                    let buf = match v {
+                        ArgValue::Buf(b) if b.ty() == ty => {
+                            std::mem::replace(b, Buffer::F32(Vec::new()))
+                        }
+                        _ => {
+                            return Err(ExecError::ArgTypeMismatch {
+                                param: p.name.clone(),
+                                expected: "a buffer of matching element type",
+                            })
+                        }
+                    };
+                    let space = match p.kind {
+                        ParamKind::GlobalArray(_) => np_kernel_ir::types::MemSpace::Global,
+                        ParamKind::TexArray(_) => np_kernel_ir::types::MemSpace::Texture,
+                        ParamKind::ConstArray(_) => np_kernel_ir::types::MemSpace::Constant,
+                        ParamKind::Scalar(_) => unreachable!(),
+                    };
+                    bindings.insert(
+                        p.name.clone(),
+                        ArrayBinding { space, base_addr: cursor },
+                    );
+                    cursor += (buf.len() as u64 * 4 + 255) & !255;
+                    cursor += 256;
+                    buffers.insert(p.name.clone(), buf);
+                }
+            }
+        }
+        Ok(GlobalState { buffers, bindings, scalars })
+    }
+
+    /// Return buffers to `args` after the launch (so callers see outputs).
+    pub fn unbind(self, args: &mut Args) {
+        for (name, buf) in self.buffers {
+            args.map.insert(name, ArgValue::Buf(buf));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use np_kernel_ir::KernelBuilder;
+
+    fn kernel() -> Kernel {
+        let mut b = KernelBuilder::new("k", 32);
+        b.param_global_f32("data");
+        b.param_scalar_i32("n");
+        b.finish()
+    }
+
+    #[test]
+    fn binds_and_unbinds() {
+        let k = kernel();
+        let mut args = Args::new().buf_f32("data", vec![1.0, 2.0]).i32("n", 2);
+        let gs = GlobalState::bind(&k, &mut args).unwrap();
+        assert_eq!(gs.buffers["data"].len(), 2);
+        assert!(gs.bindings["data"].base_addr >= 0x1000);
+        gs.unbind(&mut args);
+        assert_eq!(args.get_f32("data").unwrap(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn missing_arg_errors() {
+        let k = kernel();
+        let mut args = Args::new().buf_f32("data", vec![]);
+        assert!(matches!(
+            GlobalState::bind(&k, &mut args),
+            Err(ExecError::MissingArg(p)) if p == "n"
+        ));
+    }
+
+    #[test]
+    fn type_mismatch_errors() {
+        let k = kernel();
+        let mut args = Args::new().buf_i32("data", vec![1]).i32("n", 1);
+        assert!(matches!(
+            GlobalState::bind(&k, &mut args),
+            Err(ExecError::ArgTypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn distinct_buffers_get_distinct_addresses() {
+        let mut b = KernelBuilder::new("k", 32);
+        b.param_global_f32("a");
+        b.param_global_f32("bb");
+        let k = b.finish();
+        let mut args =
+            Args::new().buf_f32("a", vec![0.0; 100]).buf_f32("bb", vec![0.0; 100]);
+        let gs = GlobalState::bind(&k, &mut args).unwrap();
+        let a = gs.bindings["a"].base_addr;
+        let b_ = gs.bindings["bb"].base_addr;
+        assert!(b_ >= a + 400, "buffers must not overlap: {a} {b_}");
+    }
+}

@@ -1,0 +1,102 @@
+//! Static resource estimation: the bridge from IR structure to the
+//! occupancy calculator.
+//!
+//! Real compilers decide register counts after allocation; we estimate from
+//! structure: one register per declared scalar (loop iterators included),
+//! plus the deepest expression tree (temporaries), plus a fixed overhead
+//! for the ABI/address registers. Estimates beyond the hardware's 63
+//! registers-per-thread cap (GK104) *spill to local memory*, exactly like
+//! the paper's CFD and LE baselines (Table 1 shows 252 B of registers plus
+//! local-memory bytes).
+
+use np_gpu_sim::occupancy::KernelResources;
+use np_kernel_ir::kernel::Kernel;
+use np_kernel_ir::stmt::{visit_stmts, Stmt};
+use std::collections::BTreeSet;
+
+/// Fixed register overhead (parameters, addresses, predicates).
+const REG_OVERHEAD: u32 = 4;
+
+/// Estimate the per-thread / per-block resources of `kernel` on a device
+/// with `max_regs` registers per thread.
+pub fn estimate_resources(kernel: &Kernel, max_regs: u32) -> KernelResources {
+    let mut scalars: BTreeSet<&str> = BTreeSet::new();
+    let mut max_depth: u32 = 0;
+    visit_stmts(&kernel.body, &mut |s| {
+        match s {
+            Stmt::DeclScalar { name, .. } => {
+                scalars.insert(name);
+            }
+            Stmt::For { var, .. } => {
+                scalars.insert(var);
+            }
+            _ => {}
+        }
+        for e in s.exprs() {
+            max_depth = max_depth.max(e.depth());
+        }
+    });
+    let est = REG_OVERHEAD + scalars.len() as u32 + max_depth + kernel.register_array_elems();
+    let regs = est.min(max_regs);
+    let spill_bytes = est.saturating_sub(max_regs) * 4;
+    KernelResources {
+        block_size: kernel.block_dim.count() as u32,
+        regs_per_thread: regs,
+        shared_per_block: kernel.shared_bytes(),
+        local_per_thread: kernel.local_bytes() + spill_bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use np_kernel_ir::expr::dsl::*;
+    use np_kernel_ir::{KernelBuilder, Scalar};
+
+    #[test]
+    fn small_kernel_small_footprint() {
+        let mut b = KernelBuilder::new("k", 256);
+        b.param_global_f32("a");
+        b.decl_f32("x", f(0.0));
+        let r = estimate_resources(&b.finish(), 63);
+        assert!(r.regs_per_thread >= 5 && r.regs_per_thread <= 12);
+        assert_eq!(r.shared_per_block, 0);
+        assert_eq!(r.local_per_thread, 0);
+        assert_eq!(r.block_size, 256);
+    }
+
+    #[test]
+    fn many_scalars_spill_past_the_cap() {
+        let mut b = KernelBuilder::new("k", 32);
+        for n in 0..80 {
+            b.decl_f32(&format!("s{n}"), f(0.0));
+        }
+        let r = estimate_resources(&b.finish(), 63);
+        assert_eq!(r.regs_per_thread, 63);
+        assert!(r.local_per_thread > 0, "excess registers must spill");
+    }
+
+    #[test]
+    fn arrays_count_toward_their_spaces() {
+        let mut b = KernelBuilder::new("k", 32);
+        b.shared_array("tile", Scalar::F32, 256);
+        b.local_array("grad", Scalar::F32, 150);
+        let r = estimate_resources(&b.finish(), 63);
+        assert_eq!(r.shared_per_block, 1024);
+        assert_eq!(r.local_per_thread, 600);
+    }
+
+    #[test]
+    fn deeper_expressions_use_more_registers() {
+        let mk = |depth: u32| {
+            let mut b = KernelBuilder::new("k", 32);
+            let mut e = f(1.0);
+            for _ in 0..depth {
+                e = e + f(1.0);
+            }
+            b.decl_f32("x", e);
+            estimate_resources(&b.finish(), 63).regs_per_thread
+        };
+        assert!(mk(20) > mk(1));
+    }
+}

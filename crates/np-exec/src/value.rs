@@ -1,0 +1,465 @@
+//! Per-warp lane-vector values.
+//!
+//! Every scalar the interpreter manipulates is a vector of 32 lane values
+//! plus a type tag. Operations are applied only to lanes in the active mask
+//! so that, e.g., an integer division in a branch not taken by some lanes
+//! cannot fault.
+
+use np_kernel_ir::expr::{BinOp, UnOp};
+use np_kernel_ir::types::Scalar;
+
+/// Number of lanes.
+pub const LANES: usize = 32;
+
+/// Lane mask; bit `i` = lane `i` active.
+pub type Mask = u32;
+
+/// Full mask.
+pub const FULL_MASK: Mask = u32::MAX;
+
+/// A warp-wide value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WVal {
+    F32([f32; LANES]),
+    I32([i32; LANES]),
+    U32([u32; LANES]),
+    Bool([bool; LANES]),
+}
+
+/// Iterate over the set lanes of a mask.
+pub fn lanes(mask: Mask) -> impl Iterator<Item = usize> {
+    (0..LANES).filter(move |l| mask & (1 << l) != 0)
+}
+
+impl WVal {
+    /// Zero value of a type.
+    pub fn zero(ty: Scalar) -> WVal {
+        match ty {
+            Scalar::F32 => WVal::F32([0.0; LANES]),
+            Scalar::I32 => WVal::I32([0; LANES]),
+            Scalar::U32 => WVal::U32([0; LANES]),
+            Scalar::Bool => WVal::Bool([false; LANES]),
+        }
+    }
+
+    /// Same value in every lane.
+    pub fn splat_f32(x: f32) -> WVal {
+        WVal::F32([x; LANES])
+    }
+    pub fn splat_i32(x: i32) -> WVal {
+        WVal::I32([x; LANES])
+    }
+    pub fn splat_u32(x: u32) -> WVal {
+        WVal::U32([x; LANES])
+    }
+    pub fn splat_bool(x: bool) -> WVal {
+        WVal::Bool([x; LANES])
+    }
+
+    /// The IR type of this value.
+    pub fn ty(&self) -> Scalar {
+        match self {
+            WVal::F32(_) => Scalar::F32,
+            WVal::I32(_) => Scalar::I32,
+            WVal::U32(_) => Scalar::U32,
+            WVal::Bool(_) => Scalar::Bool,
+        }
+    }
+
+    /// Lane value as f32 bits pattern (for typed raw storage).
+    pub fn lane_bits(&self, lane: usize) -> u32 {
+        match self {
+            WVal::F32(v) => v[lane].to_bits(),
+            WVal::I32(v) => v[lane] as u32,
+            WVal::U32(v) => v[lane],
+            WVal::Bool(v) => v[lane] as u32,
+        }
+    }
+
+    /// Build a value of type `ty` from raw bit patterns.
+    pub fn from_bits(ty: Scalar, bits: [u32; LANES]) -> WVal {
+        match ty {
+            Scalar::F32 => WVal::F32(bits.map(f32::from_bits)),
+            Scalar::I32 => WVal::I32(bits.map(|b| b as i32)),
+            Scalar::U32 => WVal::U32(bits),
+            Scalar::Bool => WVal::Bool(bits.map(|b| b != 0)),
+        }
+    }
+
+    /// Lane value as i64 (integers only) — used for indices.
+    pub fn lane_index(&self, lane: usize) -> Option<i64> {
+        match self {
+            WVal::I32(v) => Some(v[lane] as i64),
+            WVal::U32(v) => Some(v[lane] as i64),
+            _ => None,
+        }
+    }
+
+    /// Lane value as bool (Bool only).
+    pub fn lane_bool(&self, lane: usize) -> bool {
+        match self {
+            WVal::Bool(v) => v[lane],
+            _ => panic!("expected Bool, found {:?}", self.ty()),
+        }
+    }
+
+    /// Merge `new` into `self` on the active lanes of `mask`.
+    pub fn merge_from(&mut self, new: &WVal, mask: Mask) {
+        assert_eq!(
+            self.ty(),
+            new.ty(),
+            "type mismatch in assignment: {:?} = {:?}",
+            self.ty(),
+            new.ty()
+        );
+        match (self, new) {
+            (WVal::F32(a), WVal::F32(b)) => {
+                for l in lanes(mask) {
+                    a[l] = b[l];
+                }
+            }
+            (WVal::I32(a), WVal::I32(b)) => {
+                for l in lanes(mask) {
+                    a[l] = b[l];
+                }
+            }
+            (WVal::U32(a), WVal::U32(b)) => {
+                for l in lanes(mask) {
+                    a[l] = b[l];
+                }
+            }
+            (WVal::Bool(a), WVal::Bool(b)) => {
+                for l in lanes(mask) {
+                    a[l] = b[l];
+                }
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    /// Apply a binary operator lane-wise under `mask`.
+    pub fn binary(op: BinOp, a: &WVal, b: &WVal, mask: Mask) -> WVal {
+        use BinOp::*;
+        match (a, b) {
+            (WVal::F32(x), WVal::F32(y)) => match op {
+                Add | Sub | Mul | Div | Rem | Min | Max => {
+                    let mut r = [0.0f32; LANES];
+                    for l in lanes(mask) {
+                        r[l] = match op {
+                            Add => x[l] + y[l],
+                            Sub => x[l] - y[l],
+                            Mul => x[l] * y[l],
+                            Div => x[l] / y[l],
+                            Rem => x[l] % y[l],
+                            Min => x[l].min(y[l]),
+                            Max => x[l].max(y[l]),
+                            _ => unreachable!(),
+                        };
+                    }
+                    WVal::F32(r)
+                }
+                Lt | Le | Gt | Ge | Eq | Ne => {
+                    let mut r = [false; LANES];
+                    for l in lanes(mask) {
+                        r[l] = match op {
+                            Lt => x[l] < y[l],
+                            Le => x[l] <= y[l],
+                            Gt => x[l] > y[l],
+                            Ge => x[l] >= y[l],
+                            Eq => x[l] == y[l],
+                            Ne => x[l] != y[l],
+                            _ => unreachable!(),
+                        };
+                    }
+                    WVal::Bool(r)
+                }
+                _ => panic!("operator {op:?} not defined on f32"),
+            },
+            (WVal::I32(x), WVal::I32(y)) => match op {
+                Lt | Le | Gt | Ge | Eq | Ne => {
+                    let mut r = [false; LANES];
+                    for l in lanes(mask) {
+                        r[l] = match op {
+                            Lt => x[l] < y[l],
+                            Le => x[l] <= y[l],
+                            Gt => x[l] > y[l],
+                            Ge => x[l] >= y[l],
+                            Eq => x[l] == y[l],
+                            Ne => x[l] != y[l],
+                            _ => unreachable!(),
+                        };
+                    }
+                    WVal::Bool(r)
+                }
+                _ => {
+                    let mut r = [0i32; LANES];
+                    for l in lanes(mask) {
+                        r[l] = match op {
+                            Add => x[l].wrapping_add(y[l]),
+                            Sub => x[l].wrapping_sub(y[l]),
+                            Mul => x[l].wrapping_mul(y[l]),
+                            Div => {
+                                assert!(y[l] != 0, "integer division by zero (lane {l})");
+                                x[l].wrapping_div(y[l])
+                            }
+                            Rem => {
+                                assert!(y[l] != 0, "integer remainder by zero (lane {l})");
+                                x[l].wrapping_rem(y[l])
+                            }
+                            Min => x[l].min(y[l]),
+                            Max => x[l].max(y[l]),
+                            And => x[l] & y[l],
+                            Or => x[l] | y[l],
+                            Xor => x[l] ^ y[l],
+                            Shl => x[l].wrapping_shl(y[l] as u32),
+                            Shr => x[l].wrapping_shr(y[l] as u32),
+                            _ => panic!("operator {op:?} not defined on i32"),
+                        };
+                    }
+                    WVal::I32(r)
+                }
+            },
+            (WVal::U32(x), WVal::U32(y)) => match op {
+                Lt | Le | Gt | Ge | Eq | Ne => {
+                    let mut r = [false; LANES];
+                    for l in lanes(mask) {
+                        r[l] = match op {
+                            Lt => x[l] < y[l],
+                            Le => x[l] <= y[l],
+                            Gt => x[l] > y[l],
+                            Ge => x[l] >= y[l],
+                            Eq => x[l] == y[l],
+                            Ne => x[l] != y[l],
+                            _ => unreachable!(),
+                        };
+                    }
+                    WVal::Bool(r)
+                }
+                _ => {
+                    let mut r = [0u32; LANES];
+                    for l in lanes(mask) {
+                        r[l] = match op {
+                            Add => x[l].wrapping_add(y[l]),
+                            Sub => x[l].wrapping_sub(y[l]),
+                            Mul => x[l].wrapping_mul(y[l]),
+                            Div => {
+                                assert!(y[l] != 0, "integer division by zero (lane {l})");
+                                x[l] / y[l]
+                            }
+                            Rem => {
+                                assert!(y[l] != 0, "integer remainder by zero (lane {l})");
+                                x[l] % y[l]
+                            }
+                            Min => x[l].min(y[l]),
+                            Max => x[l].max(y[l]),
+                            And => x[l] & y[l],
+                            Or => x[l] | y[l],
+                            Xor => x[l] ^ y[l],
+                            Shl => x[l].wrapping_shl(y[l]),
+                            Shr => x[l].wrapping_shr(y[l]),
+                            _ => panic!("operator {op:?} not defined on u32"),
+                        };
+                    }
+                    WVal::U32(r)
+                }
+            },
+            (WVal::Bool(x), WVal::Bool(y)) => {
+                let mut r = [false; LANES];
+                for l in lanes(mask) {
+                    r[l] = match op {
+                        LAnd | And => x[l] && y[l],
+                        LOr | Or => x[l] || y[l],
+                        Eq => x[l] == y[l],
+                        Ne => x[l] != y[l],
+                        Xor => x[l] != y[l],
+                        _ => panic!("operator {op:?} not defined on bool"),
+                    };
+                }
+                WVal::Bool(r)
+            }
+            (a, b) => panic!(
+                "type mismatch in binary {op:?}: {:?} vs {:?} (insert an explicit Cast)",
+                a.ty(),
+                b.ty()
+            ),
+        }
+    }
+
+    /// Apply a unary operator lane-wise under `mask`.
+    pub fn unary(op: UnOp, a: &WVal, mask: Mask) -> WVal {
+        use UnOp::*;
+        match a {
+            WVal::F32(x) => {
+                let mut r = [0.0f32; LANES];
+                for l in lanes(mask) {
+                    r[l] = match op {
+                        Neg => -x[l],
+                        Sqrt => x[l].sqrt(),
+                        Exp => x[l].exp(),
+                        Log => x[l].ln(),
+                        Sin => x[l].sin(),
+                        Cos => x[l].cos(),
+                        Abs => x[l].abs(),
+                        Floor => x[l].floor(),
+                        Not => panic!("logical not on f32"),
+                    };
+                }
+                WVal::F32(r)
+            }
+            WVal::I32(x) => {
+                let mut r = [0i32; LANES];
+                for l in lanes(mask) {
+                    r[l] = match op {
+                        Neg => x[l].wrapping_neg(),
+                        Abs => x[l].wrapping_abs(),
+                        _ => panic!("operator {op:?} not defined on i32"),
+                    };
+                }
+                WVal::I32(r)
+            }
+            WVal::Bool(x) => {
+                let mut r = [false; LANES];
+                for l in lanes(mask) {
+                    r[l] = match op {
+                        Not => !x[l],
+                        _ => panic!("operator {op:?} not defined on bool"),
+                    };
+                }
+                WVal::Bool(r)
+            }
+            WVal::U32(_) => panic!("operator {op:?} not defined on u32"),
+        }
+    }
+
+    /// Lane-wise cast under `mask`.
+    pub fn cast(&self, to: Scalar, mask: Mask) -> WVal {
+        let mut out = WVal::zero(to);
+        for l in lanes(mask) {
+            let bits = match (self, to) {
+                (WVal::F32(v), Scalar::I32) => (v[l] as i32) as u32,
+                (WVal::F32(v), Scalar::U32) => v[l] as u32,
+                (WVal::F32(v), Scalar::F32) => v[l].to_bits(),
+                (WVal::I32(v), Scalar::F32) => (v[l] as f32).to_bits(),
+                (WVal::I32(v), Scalar::U32) => v[l] as u32,
+                (WVal::I32(v), Scalar::I32) => v[l] as u32,
+                (WVal::U32(v), Scalar::F32) => (v[l] as f32).to_bits(),
+                (WVal::U32(v), Scalar::I32) => v[l],
+                (WVal::U32(v), Scalar::U32) => v[l],
+                (WVal::Bool(v), Scalar::I32) | (WVal::Bool(v), Scalar::U32) => v[l] as u32,
+                (WVal::Bool(v), Scalar::F32) => (v[l] as u32 as f32).to_bits(),
+                (_, Scalar::Bool) => (self.lane_bits(l) != 0) as u32,
+            };
+            match &mut out {
+                WVal::F32(o) => o[l] = f32::from_bits(bits),
+                WVal::I32(o) => o[l] = bits as i32,
+                WVal::U32(o) => o[l] = bits,
+                WVal::Bool(o) => o[l] = bits != 0,
+            }
+        }
+        out
+    }
+
+    /// Bitmask of lanes whose Bool value is true, intersected with `mask`.
+    pub fn true_mask(&self, mask: Mask) -> Mask {
+        let WVal::Bool(v) = self else {
+            panic!("condition must be Bool, found {:?}", self.ty())
+        };
+        let mut m = 0;
+        for l in lanes(mask) {
+            if v[l] {
+                m |= 1 << l;
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masked_division_does_not_fault() {
+        let a = WVal::splat_i32(10);
+        let mut b = WVal::splat_i32(2);
+        if let WVal::I32(v) = &mut b {
+            v[5] = 0; // lane 5 would divide by zero
+        }
+        let mask = FULL_MASK & !(1 << 5);
+        let r = WVal::binary(BinOp::Div, &a, &b, mask);
+        if let WVal::I32(v) = r {
+            assert_eq!(v[0], 5);
+            assert_eq!(v[5], 0, "inactive lane stays default");
+        } else {
+            panic!()
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn active_division_by_zero_faults() {
+        let a = WVal::splat_i32(1);
+        let b = WVal::splat_i32(0);
+        WVal::binary(BinOp::Div, &a, &b, FULL_MASK);
+    }
+
+    #[test]
+    fn merge_respects_mask() {
+        let mut a = WVal::splat_f32(1.0);
+        let b = WVal::splat_f32(2.0);
+        a.merge_from(&b, 0b1010);
+        if let WVal::F32(v) = a {
+            assert_eq!(v[0], 1.0);
+            assert_eq!(v[1], 2.0);
+            assert_eq!(v[2], 1.0);
+            assert_eq!(v[3], 2.0);
+        } else {
+            panic!()
+        }
+    }
+
+    #[test]
+    fn comparisons_yield_bool() {
+        let a = WVal::splat_i32(3);
+        let b = WVal::splat_i32(4);
+        let r = WVal::binary(BinOp::Lt, &a, &b, FULL_MASK);
+        assert_eq!(r.true_mask(FULL_MASK), FULL_MASK);
+    }
+
+    #[test]
+    #[should_panic(expected = "type mismatch")]
+    fn mixed_types_panic() {
+        let a = WVal::splat_i32(3);
+        let b = WVal::splat_f32(4.0);
+        WVal::binary(BinOp::Add, &a, &b, FULL_MASK);
+    }
+
+    #[test]
+    fn casts_round_trip_bits() {
+        let a = WVal::splat_f32(3.75);
+        let i = a.cast(Scalar::I32, FULL_MASK);
+        if let WVal::I32(v) = &i {
+            assert_eq!(v[0], 3);
+        }
+        let f = WVal::splat_i32(-2).cast(Scalar::F32, FULL_MASK);
+        if let WVal::F32(v) = f {
+            assert_eq!(v[0], -2.0);
+        }
+    }
+
+    #[test]
+    fn bits_round_trip() {
+        let v = WVal::splat_f32(1.5);
+        let bits: [u32; LANES] = std::array::from_fn(|l| v.lane_bits(l));
+        assert_eq!(WVal::from_bits(Scalar::F32, bits), v);
+    }
+
+    #[test]
+    fn true_mask_filters() {
+        let mut c = WVal::splat_bool(true);
+        if let WVal::Bool(v) = &mut c {
+            v[1] = false;
+        }
+        assert_eq!(c.true_mask(0b111), 0b101);
+    }
+}

@@ -1,0 +1,49 @@
+//! Constant-cache access model.
+//!
+//! The constant cache broadcasts a single word to all lanes of a warp in one
+//! cycle, but *serializes* accesses to distinct addresses. Section 3.4
+//! (fourth tradeoff) notes that intra-warp NP can turn a uniform constant
+//! access into a divergent one, defeating the broadcast — this model is what
+//! makes that cost visible.
+
+use super::LaneAddrs;
+
+/// Number of serialized broadcast cycles for one warp constant access: the
+/// count of distinct 4-byte words referenced (0 if no lane is active).
+pub fn distinct_words(addrs: &LaneAddrs) -> u32 {
+    let mut words: Vec<u64> = addrs.iter().flatten().map(|a| a / 4).collect();
+    words.sort_unstable();
+    words.dedup();
+    words.len() as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::lane_addrs;
+    use super::*;
+
+    #[test]
+    fn uniform_access_broadcasts_once() {
+        let a = lane_addrs((0..32).map(|l| (l, 0x100)));
+        assert_eq!(distinct_words(&a), 1);
+    }
+
+    #[test]
+    fn fully_divergent_serializes_32_ways() {
+        let a = lane_addrs((0..32).map(|l| (l, 4 * l as u64)));
+        assert_eq!(distinct_words(&a), 32);
+    }
+
+    #[test]
+    fn grouped_access_serializes_per_group() {
+        // 8 groups of 4 lanes each reading one word per group — the
+        // intra-warp NP pattern with slave_size = 4.
+        let a = lane_addrs((0..32).map(|l| (l, 4 * (l as u64 / 4))));
+        assert_eq!(distinct_words(&a), 8);
+    }
+
+    #[test]
+    fn inactive_warp_is_free() {
+        assert_eq!(distinct_words(&lane_addrs(std::iter::empty())), 0);
+    }
+}

@@ -1,0 +1,76 @@
+//! CUDA local-memory address layout.
+//!
+//! "Local" memory is per-thread storage that physically lives in device
+//! memory and is staged through the L1 cache. The hardware interleaves it so
+//! that when the 32 threads of a warp access the *same* local-array index,
+//! their accesses are contiguous: the element `i` of thread `lane` in warp
+//! `w` lives at
+//!
+//! ```text
+//! warp_base(w) + i * (WARP_SIZE * elem_bytes) + lane * elem_bytes
+//! ```
+//!
+//! This means uniform-index local accesses are perfectly coalesced (one L1
+//! line per warp access), while divergent indices scatter across lines — the
+//! behaviour Section 3.3 relies on.
+
+use crate::config::WARP_SIZE;
+
+/// Computes interleaved local-memory addresses for one warp.
+#[derive(Debug, Clone, Copy)]
+pub struct LocalLayout {
+    /// Bytes of local memory per thread (the thread's whole local frame).
+    pub bytes_per_thread: u32,
+}
+
+impl LocalLayout {
+    /// Address of byte-offset `offset` in `lane`'s local frame, for the warp
+    /// with global warp index `warp_id`.
+    pub fn addr(&self, warp_id: u64, lane: u32, offset: u32) -> u64 {
+        debug_assert!(offset < self.bytes_per_thread.max(1));
+        let warp_frame = self.bytes_per_thread as u64 * WARP_SIZE as u64;
+        let word = offset / 4;
+        let within = offset % 4;
+        warp_id * warp_frame
+            + word as u64 * (WARP_SIZE as u64 * 4)
+            + lane as u64 * 4
+            + within as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_index_is_contiguous_across_lanes() {
+        let l = LocalLayout { bytes_per_thread: 600 };
+        let base = l.addr(0, 0, 40);
+        for lane in 0..32 {
+            assert_eq!(l.addr(0, lane, 40), base + 4 * lane as u64);
+        }
+    }
+
+    #[test]
+    fn distinct_words_of_one_thread_are_a_warp_stride_apart() {
+        let l = LocalLayout { bytes_per_thread: 64 };
+        assert_eq!(l.addr(0, 5, 8) - l.addr(0, 5, 4), 32 * 4);
+    }
+
+    #[test]
+    fn warps_do_not_overlap() {
+        let l = LocalLayout { bytes_per_thread: 64 };
+        let max_w0 = l.addr(0, 31, 60);
+        let min_w1 = l.addr(1, 0, 0);
+        assert!(min_w1 > max_w0);
+        assert_eq!(min_w1, 64 * 32);
+    }
+
+    #[test]
+    fn uniform_warp_access_touches_exactly_one_line() {
+        let l = LocalLayout { bytes_per_thread: 600 };
+        let lines: std::collections::BTreeSet<u64> =
+            (0..32).map(|lane| l.addr(3, lane, 148) / 128).collect();
+        assert_eq!(lines.len(), 1);
+    }
+}

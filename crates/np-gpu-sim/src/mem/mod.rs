@@ -1,0 +1,26 @@
+//! Warp-level memory access models.
+//!
+//! Each submodule converts the 32 per-lane addresses of one warp memory
+//! instruction into the compact cost summary carried in the trace
+//! ([`crate::trace::WarpOp`]): transaction counts for global memory, replay
+//! counts for shared memory, line addresses for the L1-backed local/texture
+//! paths, and distinct-address counts for the constant cache.
+
+pub mod cache;
+pub mod constant;
+pub mod global;
+pub mod local;
+pub mod shared;
+
+/// Per-lane addresses of one warp access. `None` marks an inactive lane.
+pub type LaneAddrs = [Option<u64>; crate::config::WARP_SIZE as usize];
+
+/// Build a `LaneAddrs` from an iterator of (lane, addr) pairs; other lanes
+/// are inactive. Convenience for tests and the executor.
+pub fn lane_addrs<I: IntoIterator<Item = (usize, u64)>>(it: I) -> LaneAddrs {
+    let mut a: LaneAddrs = [None; crate::config::WARP_SIZE as usize];
+    for (lane, addr) in it {
+        a[lane] = Some(addr);
+    }
+    a
+}

@@ -1,0 +1,327 @@
+//! Compact per-warp instruction traces.
+//!
+//! The executor (crate `np-exec`) runs kernels functionally in SIMT lockstep
+//! and, as a side effect, emits one [`WarpOp`] per warp instruction. Memory
+//! addresses are folded into their cost summaries *at emission time* (via the
+//! models in [`crate::mem`]) so traces stay small; only the L1-served paths
+//! (local memory, texture) keep their line addresses, because cache behaviour
+//! depends on the runtime interleaving of warps and must be resolved by the
+//! timing engine.
+
+use crate::mem::{constant, global, local::LocalLayout, shared, LaneAddrs};
+
+/// Line base addresses touched by one L1-path warp access. Usually length 1
+/// (a coalesced uniform-index local access) — worst case 32.
+pub type Lines = Vec<u64>;
+
+/// One warp-level instruction in a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WarpOp {
+    /// `count` consecutive arithmetic/logic instructions (folded).
+    Alu { count: u16 },
+    /// `count` consecutive special-function instructions (sqrt, exp, ...).
+    Sfu { count: u16 },
+    /// Global-memory load: coalesced segment addresses moving `bytes`.
+    /// Segments are kept (not just counted) so the engine can model L2.
+    GlobalLoad { segs: Lines, bytes: u16 },
+    /// Global-memory store (fire-and-forget; consumes DRAM bandwidth for
+    /// L2 misses).
+    GlobalStore { segs: Lines, bytes: u16 },
+    /// Shared-memory load needing `passes` serialized bank passes.
+    SharedLoad { passes: u8 },
+    /// Shared-memory store needing `passes` serialized bank passes.
+    SharedStore { passes: u8 },
+    /// Local-memory load through L1; `lines` are the touched line bases.
+    LocalLoad { lines: Lines },
+    /// Local-memory store through L1.
+    LocalStore { lines: Lines },
+    /// Texture / read-only path load.
+    TexLoad { lines: Lines },
+    /// Constant-cache load touching `words` distinct words.
+    ConstLoad { words: u8 },
+    /// A `__shfl` register exchange.
+    Shfl,
+    /// `__syncthreads()` — block-wide barrier.
+    Bar,
+}
+
+/// The instruction trace of one warp within one block.
+#[derive(Debug, Clone, Default)]
+pub struct WarpTrace {
+    pub ops: Vec<WarpOp>,
+}
+
+/// The traces of every warp of one thread block.
+#[derive(Debug, Clone, Default)]
+pub struct BlockTrace {
+    pub warps: Vec<WarpTrace>,
+}
+
+impl WarpTrace {
+    /// Number of warp instructions, counting folded ALU/SFU runs fully.
+    pub fn instruction_count(&self) -> u64 {
+        self.ops
+            .iter()
+            .map(|op| match op {
+                WarpOp::Alu { count } | WarpOp::Sfu { count } => *count as u64,
+                _ => 1,
+            })
+            .sum()
+    }
+}
+
+impl BlockTrace {
+    /// Total instructions across all warps of the block.
+    pub fn instruction_count(&self) -> u64 {
+        self.warps.iter().map(WarpTrace::instruction_count).sum()
+    }
+}
+
+/// Incremental builder for one warp's trace; folds consecutive ALU/SFU ops
+/// and converts raw lane addresses into cost summaries.
+#[derive(Debug)]
+pub struct TraceBuilder {
+    ops: Vec<WarpOp>,
+    txn_bytes: u32,
+    l1_line: u64,
+}
+
+impl TraceBuilder {
+    /// `txn_bytes` is the global-memory transaction size, `l1_line` the L1
+    /// line size (both from the device config).
+    pub fn new(txn_bytes: u32, l1_line: u32) -> Self {
+        TraceBuilder { ops: Vec::new(), txn_bytes, l1_line: l1_line as u64 }
+    }
+
+    /// Record `n` arithmetic instructions.
+    pub fn alu(&mut self, n: u16) {
+        if n == 0 {
+            return;
+        }
+        if let Some(WarpOp::Alu { count }) = self.ops.last_mut() {
+            if let Some(c) = count.checked_add(n) {
+                *count = c;
+                return;
+            }
+        }
+        self.ops.push(WarpOp::Alu { count: n });
+    }
+
+    /// Record `n` special-function instructions.
+    pub fn sfu(&mut self, n: u16) {
+        if n == 0 {
+            return;
+        }
+        if let Some(WarpOp::Sfu { count }) = self.ops.last_mut() {
+            if let Some(c) = count.checked_add(n) {
+                *count = c;
+                return;
+            }
+        }
+        self.ops.push(WarpOp::Sfu { count: n });
+    }
+
+    /// Record a global access with per-lane byte addresses.
+    pub fn global(&mut self, addrs: &LaneAddrs, access_bytes: u32, is_store: bool) {
+        let c = global::coalesce(addrs, access_bytes, self.txn_bytes);
+        if c.transactions == 0 {
+            return;
+        }
+        let active = addrs.iter().flatten().count() as u16;
+        let bytes = active * access_bytes as u16;
+        self.ops.push(if is_store {
+            WarpOp::GlobalStore { segs: c.segments, bytes }
+        } else {
+            WarpOp::GlobalLoad { segs: c.segments, bytes }
+        });
+    }
+
+    /// Record a shared-memory access with per-lane byte addresses.
+    pub fn shared(&mut self, addrs: &LaneAddrs, is_store: bool) {
+        let passes = shared::conflict_passes(addrs);
+        if passes == 0 {
+            return;
+        }
+        let passes = passes.min(255) as u8;
+        self.ops.push(if is_store {
+            WarpOp::SharedStore { passes }
+        } else {
+            WarpOp::SharedLoad { passes }
+        });
+    }
+
+    /// Record a local-memory access: `offsets[lane]` is the byte offset into
+    /// that lane's local frame (None = inactive). Addresses are interleaved
+    /// per [`LocalLayout`] before line extraction.
+    pub fn local(
+        &mut self,
+        layout: LocalLayout,
+        warp_id: u64,
+        offsets: &[Option<u32>; crate::config::WARP_SIZE as usize],
+        is_store: bool,
+    ) {
+        let mut lines: Lines = Vec::with_capacity(1);
+        for (lane, off) in offsets.iter().enumerate() {
+            if let Some(off) = off {
+                let line = layout.addr(warp_id, lane as u32, *off) / self.l1_line;
+                if !lines.contains(&line) {
+                    lines.push(line);
+                }
+            }
+        }
+        if lines.is_empty() {
+            return;
+        }
+        lines.sort_unstable();
+        for l in &mut lines {
+            *l *= self.l1_line;
+        }
+        self.ops.push(if is_store {
+            WarpOp::LocalStore { lines }
+        } else {
+            WarpOp::LocalLoad { lines }
+        });
+    }
+
+    /// Record a texture / read-only load with absolute byte addresses.
+    pub fn tex(&mut self, addrs: &LaneAddrs) {
+        let mut lines: Lines = Vec::with_capacity(1);
+        for addr in addrs.iter().flatten() {
+            let line = (addr / self.l1_line) * self.l1_line;
+            if !lines.contains(&line) {
+                lines.push(line);
+            }
+        }
+        if lines.is_empty() {
+            return;
+        }
+        lines.sort_unstable();
+        self.ops.push(WarpOp::TexLoad { lines });
+    }
+
+    /// Record a constant-cache access.
+    pub fn constant(&mut self, addrs: &LaneAddrs) {
+        let words = constant::distinct_words(addrs);
+        if words == 0 {
+            return;
+        }
+        self.ops.push(WarpOp::ConstLoad { words: words.min(255) as u8 });
+    }
+
+    /// Record a `__shfl`.
+    pub fn shfl(&mut self) {
+        self.ops.push(WarpOp::Shfl);
+    }
+
+    /// Record a barrier.
+    pub fn bar(&mut self) {
+        self.ops.push(WarpOp::Bar);
+    }
+
+    /// Push a pre-built op. Intended for tests and microbenchmark harnesses
+    /// that construct traces directly.
+    pub fn push_raw(&mut self, op: WarpOp) {
+        self.ops.push(op);
+    }
+
+    /// Finish, yielding the warp trace.
+    pub fn finish(self) -> WarpTrace {
+        WarpTrace { ops: self.ops }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::lane_addrs;
+
+    fn builder() -> TraceBuilder {
+        TraceBuilder::new(128, 128)
+    }
+
+    #[test]
+    fn alu_ops_fold() {
+        let mut b = builder();
+        b.alu(3);
+        b.alu(2);
+        b.sfu(1);
+        b.alu(1);
+        let t = b.finish();
+        assert_eq!(
+            t.ops,
+            vec![WarpOp::Alu { count: 5 }, WarpOp::Sfu { count: 1 }, WarpOp::Alu { count: 1 }]
+        );
+        assert_eq!(t.instruction_count(), 7);
+    }
+
+    #[test]
+    fn alu_fold_saturates_without_overflow() {
+        let mut b = builder();
+        b.alu(u16::MAX);
+        b.alu(10);
+        let t = b.finish();
+        assert_eq!(t.ops.len(), 2);
+        assert_eq!(t.instruction_count(), u16::MAX as u64 + 10);
+    }
+
+    #[test]
+    fn coalesced_global_load_is_one_txn() {
+        let mut b = builder();
+        let a = lane_addrs((0..32).map(|l| (l, 4 * l as u64)));
+        b.global(&a, 4, false);
+        assert_eq!(b.finish().ops, vec![WarpOp::GlobalLoad { segs: vec![0], bytes: 128 }]);
+    }
+
+    #[test]
+    fn inactive_global_access_emits_nothing() {
+        let mut b = builder();
+        b.global(&lane_addrs(std::iter::empty()), 4, false);
+        assert!(b.finish().ops.is_empty());
+    }
+
+    #[test]
+    fn local_uniform_index_is_one_line() {
+        let mut b = builder();
+        let layout = LocalLayout { bytes_per_thread: 256 };
+        let offsets: [Option<u32>; 32] = [Some(16); 32];
+        b.local(layout, 0, &offsets, false);
+        match &b.finish().ops[0] {
+            WarpOp::LocalLoad { lines } => assert_eq!(lines.len(), 1),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn local_divergent_index_touches_many_lines() {
+        let mut b = builder();
+        let layout = LocalLayout { bytes_per_thread: 256 };
+        let offsets: [Option<u32>; 32] = std::array::from_fn(|l| Some(4 * l as u32));
+        b.local(layout, 0, &offsets, true);
+        match &b.finish().ops[0] {
+            WarpOp::LocalStore { lines } => assert_eq!(lines.len(), 32),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tex_dedups_lines() {
+        let mut b = builder();
+        let a = lane_addrs((0..32).map(|l| (l, 4 * l as u64)));
+        b.tex(&a);
+        match &b.finish().ops[0] {
+            WarpOp::TexLoad { lines } => assert_eq!(lines, &vec![0]),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn block_instruction_count_sums_warps() {
+        let mut b1 = builder();
+        b1.alu(4);
+        let mut b2 = builder();
+        b2.alu(2);
+        b2.bar();
+        let bt = BlockTrace { warps: vec![b1.finish(), b2.finish()] };
+        assert_eq!(bt.instruction_count(), 7);
+    }
+}

@@ -1,0 +1,12 @@
+//! # np-harness — regenerates every table and figure of the paper
+//!
+//! One module per experiment; the `np-harness` binary dispatches on a
+//! subcommand (`fig01`, `table1`, `fig10`, ..., `sec6`, or `all`). Each
+//! experiment prints the same rows/series the paper reports, so its output
+//! can be placed side by side with the published charts (EXPERIMENTS.md
+//! records that comparison).
+
+pub mod experiments;
+pub mod runner;
+
+pub use runner::{best_np, gm, run_baseline, BenchResult};

@@ -1,0 +1,44 @@
+//! Regenerate the CUDA-NP paper's tables and figures.
+//!
+//! ```text
+//! np-harness [--test-scale] [all | fig01 | table1 | fig10 | fig11 | fig12 |
+//!             fig13 | fig14 | fig15 | fig16 | sec6]...
+//! ```
+//!
+//! Default is `all` at paper scale. `--test-scale` uses the small inputs
+//! the test suite uses (fast smoke run).
+
+use np_harness::experiments;
+use np_workloads::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "--test-scale") {
+        Scale::Test
+    } else {
+        Scale::Paper
+    };
+    let wanted: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+
+    let registry = experiments::experiments();
+    if wanted.is_empty() || wanted.contains(&"all") {
+        print!("{}", experiments::all(scale));
+        return;
+    }
+    for name in wanted {
+        match registry.iter().find(|(n, _)| *n == name) {
+            Some((_, f)) => print!("{}", f(scale)),
+            None => {
+                eprintln!(
+                    "unknown experiment {name:?}; available: {}",
+                    registry.iter().map(|(n, _)| *n).collect::<Vec<_>>().join(", ")
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+}

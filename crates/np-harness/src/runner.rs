@@ -1,0 +1,87 @@
+//! Shared machinery: run a workload's baseline, auto-tune its CUDA-NP
+//! versions, and aggregate results.
+
+use cuda_np::tuner::{alloc_extra_buffers, autotune, default_candidates, TuneResult};
+use cuda_np::{transform, NpOptions, Transformed};
+use np_exec::{launch, Args, KernelReport};
+use np_gpu_sim::DeviceConfig;
+use np_workloads::Workload;
+
+/// Baseline + best-NP outcome for one workload.
+pub struct BenchResult {
+    pub name: &'static str,
+    pub baseline: KernelReport,
+    pub tuned: TuneResult,
+}
+
+impl BenchResult {
+    /// The headline Figure-10 number.
+    pub fn speedup(&self) -> f64 {
+        self.baseline.cycles as f64 / self.tuned.best_report.cycles as f64
+    }
+}
+
+/// Simulate the baseline kernel of a workload.
+pub fn run_baseline(w: &dyn Workload, dev: &DeviceConfig) -> KernelReport {
+    let mut args = w.make_args();
+    launch(dev, &w.kernel(), w.grid(), &mut args, &w.sim_options())
+        .unwrap_or_else(|e| panic!("{} baseline failed: {e}", w.name()))
+}
+
+/// Auto-tune a workload over the paper's candidate space and return both
+/// the baseline report and the tuning table.
+pub fn best_np(w: &dyn Workload, dev: &DeviceConfig) -> BenchResult {
+    let kernel = w.kernel();
+    let candidates = default_candidates(kernel.block_dim.x, 1024);
+    let sim = w.sim_options();
+    let grid = w.grid();
+    let make_args = |t: &Transformed| alloc_extra_buffers(w.make_args(), t, grid);
+    let tuned = autotune(&kernel, dev, grid, &make_args, &sim, &candidates)
+        .unwrap_or_else(|e| panic!("{} tuning failed: {e}", w.name()));
+    BenchResult { name: w.name(), baseline: run_baseline(w, dev), tuned }
+}
+
+/// Run one specific NP configuration of a workload (None = failed config).
+pub fn run_config(
+    w: &dyn Workload,
+    dev: &DeviceConfig,
+    opts: &NpOptions,
+) -> Option<KernelReport> {
+    let t = transform(&w.kernel(), opts).ok()?;
+    let mut args: Args = alloc_extra_buffers(w.make_args(), &t, w.grid());
+    launch(dev, &t.kernel, w.grid(), &mut args, &w.sim_options()).ok()
+}
+
+/// Geometric mean.
+pub fn gm(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use np_workloads::{tmv::Tmv, Scale};
+
+    #[test]
+    fn gm_matches_hand_computation() {
+        assert!((gm(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((gm(&[3.0]) - 3.0).abs() < 1e-12);
+        assert_eq!(gm(&[]), 0.0);
+    }
+
+    #[test]
+    fn tmv_tuning_beats_baseline() {
+        let dev = DeviceConfig::gtx680();
+        let r = best_np(&Tmv::new(Scale::Test), &dev);
+        assert!(
+            r.speedup() > 1.2,
+            "CUDA-NP must speed TMV up, got {:.2}x",
+            r.speedup()
+        );
+        // At least one intra and one inter candidate must have run.
+        assert!(r.tuned.entries.iter().any(|e| e.cycles.is_some()));
+    }
+}

@@ -1,0 +1,78 @@
+//! Smoke tests: every experiment runs end-to-end at test scale and its
+//! output carries the expected structure. Keeps the harness from rotting
+//! as the stack evolves.
+
+use np_harness::experiments;
+use np_workloads::Scale;
+
+#[test]
+fn every_experiment_runs_at_test_scale() {
+    for (name, f) in experiments::experiments() {
+        // fig13/fig14 sweep multiple autotunes; still fine at test scale.
+        let out = f(Scale::Test);
+        assert!(out.starts_with("# "), "{name}: output must start with a title");
+        assert!(out.lines().count() >= 3, "{name}: suspiciously short output:\n{out}");
+    }
+}
+
+#[test]
+fn fig10_reports_all_ten_benchmarks_and_gm() {
+    let out = experiments::fig10(Scale::Test);
+    for n in ["MC", "LU", "LE", "MV", "SS", "LIB", "CFD", "BK", "TMV", "NN", "GM"] {
+        assert!(
+            out.lines().any(|l| l.starts_with(n)),
+            "fig10 missing {n}:\n{out}"
+        );
+    }
+    // Every benchmark must show a speedup >= 1 at test scale (tiny grids
+    // always leave TLP on the table).
+    for line in out.lines().filter(|l| l.contains('x') && !l.starts_with('#')) {
+        if let Some(sp) = line.split_whitespace().nth(1) {
+            if let Ok(v) = sp.trim_end_matches('x').parse::<f64>() {
+                assert!(v >= 0.9, "suspicious speedup in {line:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn table1_asserts_paper_structure() {
+    // table1() itself panics if PL or R/S deviates from the paper — running
+    // it is the assertion.
+    let out = experiments::table1(Scale::Paper);
+    assert_eq!(out.lines().filter(|l| !l.starts_with('#') && !l.is_empty()).count(), 11);
+}
+
+#[test]
+fn fig01_bandwidth_is_monotone_in_launch_count() {
+    let out = experiments::fig01(Scale::Test);
+    let bws: Vec<f64> = out
+        .lines()
+        .filter(|l| l.trim_start().chars().next().is_some_and(|c| c.is_ascii_digit()))
+        .filter_map(|l| l.split_whitespace().last()?.parse().ok())
+        .collect();
+    assert!(bws.len() >= 3, "{out}");
+    for w in bws.windows(2) {
+        assert!(
+            w[1] <= w[0] * 1.05,
+            "bandwidth must not improve with more launches: {bws:?}"
+        );
+    }
+}
+
+#[test]
+fn sec6_shows_slowdowns_for_the_five_benchmarks() {
+    let out = experiments::sec6(Scale::Test);
+    for n in ["NN", "TMV", "LE", "LIB", "CFD"] {
+        let line = out
+            .lines()
+            .find(|l| l.starts_with(n))
+            .unwrap_or_else(|| panic!("sec6 missing {n}:\n{out}"));
+        let slow: f64 = line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.trim_end_matches('x').parse().ok())
+            .unwrap_or_else(|| panic!("bad sec6 line {line:?}"));
+        assert!(slow > 1.0, "{n}: dynamic parallelism must be slower ({slow})");
+    }
+}

@@ -1,0 +1,195 @@
+//! Scalar and array def/use collection, and the live-in / live-out queries
+//! the CUDA-NP transform needs around each parallel section (Sections 3.1
+//! and 3.2 of the paper).
+
+use crate::expr::Expr;
+use crate::stmt::Stmt;
+use std::collections::BTreeSet;
+
+fn collect_expr_vars(e: &Expr, out: &mut BTreeSet<String>) {
+    e.visit(&mut |e| {
+        if let Expr::Var(n) = e {
+            out.insert(n.clone());
+        }
+    });
+}
+
+/// All scalar variables *read* anywhere in `stmts` (recursively), including
+/// loop bounds and conditions.
+pub fn scalars_read(stmts: &[Stmt]) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    crate::stmt::visit_stmts(stmts, &mut |s| {
+        for e in s.exprs() {
+            collect_expr_vars(e, &mut out);
+        }
+    });
+    out
+}
+
+/// All scalar variables *written* anywhere in `stmts` (recursively):
+/// assignments, initialized declarations, and loop iterators.
+pub fn scalars_written(stmts: &[Stmt]) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    crate::stmt::visit_stmts(stmts, &mut |s| {
+        for w in s.writes() {
+            out.insert(w);
+        }
+    });
+    out
+}
+
+/// All scalars *declared* anywhere in `stmts` (recursively). Loop
+/// iterators count as declarations: the IR's `For` introduces its iterator
+/// C-style (`for (int i = ...)`), scoped to the loop.
+pub fn scalars_declared(stmts: &[Stmt]) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    crate::stmt::visit_stmts(stmts, &mut |s| match s {
+        Stmt::DeclScalar { name, .. } => {
+            out.insert(name.clone());
+        }
+        Stmt::For { var, .. } => {
+            out.insert(var.clone());
+        }
+        _ => {}
+    });
+    out
+}
+
+/// Arrays read anywhere in `stmts`.
+pub fn arrays_read(stmts: &[Stmt]) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    crate::stmt::visit_stmts(stmts, &mut |s| {
+        for e in s.exprs() {
+            e.visit(&mut |e| {
+                if let Expr::Load { array, .. } = e {
+                    out.insert(array.clone());
+                }
+            });
+        }
+    });
+    out
+}
+
+/// Arrays written anywhere in `stmts`.
+pub fn arrays_written(stmts: &[Stmt]) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    crate::stmt::visit_stmts(stmts, &mut |s| {
+        if let Stmt::Store { array, .. } = s {
+            out.insert(array.clone());
+        }
+    });
+    out
+}
+
+/// Scalars that are live-in to a parallel loop: read in the body (or its
+/// bound), not declared inside the body, and not the iterator itself.
+/// These are the values a master thread must communicate to its slaves
+/// (unless they can be redundantly recomputed — see
+/// [`super::uniform::redundant_scalars`]).
+pub fn live_in_of_loop(body: &[Stmt], bound: &Expr, iter: &str) -> BTreeSet<String> {
+    let mut reads = scalars_read(body);
+    collect_expr_vars(bound, &mut reads);
+    let declared = scalars_declared(body);
+    reads.retain(|r| !declared.contains(r) && r != iter);
+    reads
+}
+
+/// Scalars assigned inside a parallel loop that outlive it: candidates for
+/// the reduction / scan / select live-out handling of Section 3.2.
+pub fn live_out_candidates(body: &[Stmt], iter: &str) -> BTreeSet<String> {
+    let mut written = scalars_written(body);
+    let declared = scalars_declared(body);
+    written.retain(|w| !declared.contains(w) && w != iter);
+    written
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::KernelBuilder;
+    use crate::expr::dsl::*;
+
+    /// Build the Figure-2 TMV loop and pull it apart.
+    fn tmv_loop() -> (Vec<Stmt>, Expr) {
+        let mut b = KernelBuilder::new("t", 32);
+        b.param_scalar_i32("w");
+        b.param_scalar_i32("h");
+        b.decl_f32("sum", f(0.0));
+        b.decl_i32("tx", tidx());
+        b.pragma_for("np parallel for reduction(+:sum)", "i", i(0), p("h"), |b| {
+            b.assign("sum", v("sum") + load("a", v("i") * p("w") + v("tx")) * load("b", v("i")));
+        });
+        let k = b.finish();
+        match &k.body[2] {
+            Stmt::For { body, bound, .. } => (body.clone(), bound.clone()),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn tmv_live_ins_are_sum_and_tx() {
+        let (body, bound) = tmv_loop();
+        let li = live_in_of_loop(&body, &bound, "i");
+        assert_eq!(li.into_iter().collect::<Vec<_>>(), vec!["sum", "tx"]);
+    }
+
+    #[test]
+    fn tmv_live_out_candidate_is_sum() {
+        let (body, _) = tmv_loop();
+        let lo = live_out_candidates(&body, "i");
+        assert_eq!(lo.into_iter().collect::<Vec<_>>(), vec!["sum"]);
+    }
+
+    #[test]
+    fn declared_inside_does_not_escape() {
+        let mut b = KernelBuilder::new("t", 32);
+        b.for_loop("i", i(0), i(8), |b| {
+            b.decl_f32("tmp", f(0.0));
+            b.assign("tmp", v("tmp") + f(1.0));
+        });
+        let k = b.finish();
+        let Stmt::For { body, bound, .. } = &k.body[0] else { unreachable!() };
+        assert!(live_in_of_loop(body, bound, "i").is_empty());
+        assert!(live_out_candidates(body, "i").is_empty());
+    }
+
+    #[test]
+    fn bound_variables_are_live_in() {
+        let mut b = KernelBuilder::new("t", 32);
+        b.decl_i32("n", i(10));
+        b.for_loop("i", i(0), v("n"), |_| {});
+        let k = b.finish();
+        let Stmt::For { body, bound, .. } = &k.body[1] else { unreachable!() };
+        assert_eq!(
+            live_in_of_loop(body, bound, "i").into_iter().collect::<Vec<_>>(),
+            vec!["n"]
+        );
+    }
+
+    #[test]
+    fn array_access_collection() {
+        let mut b = KernelBuilder::new("t", 32);
+        b.decl_f32("x", load("src", i(0)));
+        b.store("dst", i(0), v("x"));
+        let k = b.finish();
+        assert_eq!(arrays_read(&k.body).into_iter().collect::<Vec<_>>(), vec!["src"]);
+        assert_eq!(arrays_written(&k.body).into_iter().collect::<Vec<_>>(), vec!["dst"]);
+    }
+
+    #[test]
+    fn nested_reads_and_writes_are_found() {
+        let mut b = KernelBuilder::new("t", 32);
+        b.if_(lt(v("cond_var"), i(1)), |b| {
+            b.for_loop("j", i(0), i(4), |b| {
+                b.assign("acc", v("acc") + v("j"));
+            });
+        });
+        let k = b.finish();
+        let reads = scalars_read(&k.body);
+        assert!(reads.contains("cond_var"));
+        assert!(reads.contains("acc"));
+        let writes = scalars_written(&k.body);
+        assert!(writes.contains("acc"));
+        assert!(writes.contains("j"));
+    }
+}

@@ -1,0 +1,98 @@
+//! Loop-shape queries: static trip counts and the iterator-indexing
+//! condition that makes a local array partitionable (Section 3.3, option 3).
+
+use crate::expr::Expr;
+use crate::stmt::{visit_stmts, Stmt};
+
+/// Static trip count of a canonical `for (v = init; v < bound; v++)` loop,
+/// if both ends are integer literals.
+pub fn static_trip_count(init: &Expr, bound: &Expr) -> Option<u32> {
+    match (init, bound) {
+        (Expr::ImmI32(a), Expr::ImmI32(b)) if b >= a => Some((b - a) as u32),
+        (Expr::ImmU32(a), Expr::ImmU32(b)) if b >= a => Some(b - a),
+        _ => None,
+    }
+}
+
+/// True when *every* access (load or store) to `array` inside `body` uses
+/// exactly the loop iterator `iter` as its index. This is the paper's
+/// legality condition for partitioning a local array into per-slave
+/// registers: each slave then touches a disjoint index set.
+pub fn accesses_only_by_iterator(body: &[Stmt], array: &str, iter: &str) -> bool {
+    let iter_expr = Expr::Var(iter.to_string());
+    let mut ok = true;
+    visit_stmts(body, &mut |s| {
+        if let Stmt::Store { array: a, index, .. } = s {
+            if a == array && *index != iter_expr {
+                ok = false;
+            }
+        }
+        for e in s.exprs() {
+            e.visit(&mut |e| {
+                if let Expr::Load { array: a, index } = e {
+                    if a == array && **index != iter_expr {
+                        ok = false;
+                    }
+                }
+            });
+        }
+    });
+    ok
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::dsl::*;
+
+    #[test]
+    fn trip_counts() {
+        assert_eq!(static_trip_count(&i(0), &i(150)), Some(150));
+        assert_eq!(static_trip_count(&i(5), &i(5)), Some(0));
+        assert_eq!(static_trip_count(&i(0), &p("n")), None);
+        assert_eq!(static_trip_count(&i(10), &i(5)), None);
+    }
+
+    #[test]
+    fn iterator_only_accesses_pass() {
+        // Grad[n] = ...; sum += Grad[n]  — the Figure 5 pattern.
+        let body = vec![
+            Stmt::Store { array: "Grad".into(), index: v("n"), value: f(1.0) },
+            Stmt::Assign { name: "sum".into(), value: v("sum") + load("Grad", v("n")) },
+        ];
+        assert!(accesses_only_by_iterator(&body, "Grad", "n"));
+    }
+
+    #[test]
+    fn offset_access_fails() {
+        let body =
+            vec![Stmt::Assign { name: "x".into(), value: load("Grad", v("n") + i(1)) }];
+        assert!(!accesses_only_by_iterator(&body, "Grad", "n"));
+    }
+
+    #[test]
+    fn wrong_iterator_fails() {
+        let body = vec![Stmt::Store { array: "Grad".into(), index: v("m"), value: f(0.0) }];
+        assert!(!accesses_only_by_iterator(&body, "Grad", "n"));
+    }
+
+    #[test]
+    fn other_arrays_are_ignored() {
+        let body = vec![Stmt::Store { array: "other".into(), index: i(3), value: f(0.0) }];
+        assert!(accesses_only_by_iterator(&body, "Grad", "n"));
+    }
+
+    #[test]
+    fn nested_accesses_are_checked() {
+        let body = vec![Stmt::If {
+            cond: lt(v("n"), i(100)),
+            then_body: vec![Stmt::Store {
+                array: "Grad".into(),
+                index: i(0),
+                value: f(0.0),
+            }],
+            else_body: vec![],
+        }];
+        assert!(!accesses_only_by_iterator(&body, "Grad", "n"));
+    }
+}

@@ -1,0 +1,12 @@
+//! Dataflow analyses consumed by the CUDA-NP transformation.
+
+pub mod liveness;
+pub mod loops;
+pub mod uniform;
+
+pub use liveness::{
+    arrays_read, arrays_written, live_in_of_loop, live_out_candidates, scalars_declared,
+    scalars_read, scalars_written,
+};
+pub use loops::{accesses_only_by_iterator, static_trip_count};
+pub use uniform::{redundant_scalars, redundant_scalars_seeded};

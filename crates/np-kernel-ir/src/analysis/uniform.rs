@@ -1,0 +1,148 @@
+//! Uniform / redundantly-computable scalar detection (Section 3.1).
+//!
+//! A scalar computed in a sequential section can either be computed once by
+//! the master thread and *broadcast* to its slaves, or recomputed
+//! *redundantly* by every slave ("uniform vector operations" in the sense of
+//! Collange et al. \[7\]). The paper's rule: if an instruction's inputs are
+//! constant values or outputs of uniform vector instructions, execute it
+//! redundantly; otherwise master-compute + broadcast.
+//!
+//! In the transformed kernel all slaves of a master share the master's
+//! original `threadIdx` value, so thread-id uses are uniform *within a slave
+//! group* and stay redundantly computable. Memory loads are never treated
+//! as redundant (re-issuing them from every slave would multiply memory
+//! traffic), nor is anything assigned under control flow.
+
+use crate::expr::Expr;
+use crate::stmt::Stmt;
+use std::collections::BTreeSet;
+
+fn expr_is_uniform(e: &Expr, uniform: &BTreeSet<String>) -> bool {
+    let mut ok = true;
+    e.visit(&mut |e| match e {
+        Expr::Load { .. } | Expr::Shfl { .. } => ok = false,
+        Expr::Var(n) if !uniform.contains(n) => ok = false,
+        _ => {}
+    });
+    ok
+}
+
+/// Scalars in a *straight-line* top-level statement sequence whose every
+/// assignment is pure ALU over literals, params, specials, and other
+/// redundant scalars. Statements under control flow disqualify their
+/// targets.
+pub fn redundant_scalars(stmts: &[Stmt]) -> BTreeSet<String> {
+    redundant_scalars_seeded(stmts, BTreeSet::new())
+}
+
+/// Like [`redundant_scalars`], but with `seed` variables assumed uniform up
+/// front (the CUDA-NP transform seeds its injected `__np_master_id`, which
+/// every slave of one master shares).
+pub fn redundant_scalars_seeded(stmts: &[Stmt], seed: BTreeSet<String>) -> BTreeSet<String> {
+    let mut uniform: BTreeSet<String> = seed;
+    // Anything written under control flow is disqualified up front.
+    let mut killed: BTreeSet<String> = BTreeSet::new();
+    for s in stmts {
+        if let Stmt::If { then_body, else_body, .. } = s {
+            killed.extend(super::liveness::scalars_written(then_body));
+            killed.extend(super::liveness::scalars_written(else_body));
+        }
+        if let Stmt::For { body, var, .. } = s {
+            killed.extend(super::liveness::scalars_written(body));
+            killed.insert(var.clone());
+        }
+    }
+    for s in stmts {
+        match s {
+            Stmt::DeclScalar { name, init: Some(e), .. } | Stmt::Assign { name, value: e } => {
+                if !killed.contains(name) && expr_is_uniform(e, &uniform) {
+                    uniform.insert(name.clone());
+                } else {
+                    uniform.remove(name);
+                }
+            }
+            Stmt::DeclScalar { init: None, .. }
+            | Stmt::DeclArray { .. }
+            | Stmt::Store { .. }
+            | Stmt::SyncThreads => {}
+            Stmt::If { .. } | Stmt::For { .. } => {
+                // Targets already killed above.
+            }
+        }
+    }
+    uniform
+}
+
+/// Is `e` computable redundantly given the redundant scalar set?
+pub fn expr_redundant(e: &Expr, uniform: &BTreeSet<String>) -> bool {
+    expr_is_uniform(e, uniform)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::KernelBuilder;
+    use crate::expr::dsl::*;
+
+    #[test]
+    fn figure3_array_offset_is_redundant() {
+        // array_offset = offset*matrix_dim + offset — params only: the
+        // paper's canonical redundantly-computable example (line 10, Fig 3).
+        let mut b = KernelBuilder::new("k", 32);
+        b.param_scalar_i32("offset");
+        b.param_scalar_i32("matrix_dim");
+        b.decl_i32("array_offset", p("offset") * p("matrix_dim") + p("offset"));
+        let k = b.finish();
+        let r = redundant_scalars(&k.body);
+        assert!(r.contains("array_offset"));
+    }
+
+    #[test]
+    fn loads_disqualify() {
+        let mut b = KernelBuilder::new("k", 32);
+        b.decl_f32("x", load("a", i(0)));
+        b.decl_f32("y", v("x") + f(1.0));
+        let k = b.finish();
+        let r = redundant_scalars(&k.body);
+        assert!(!r.contains("x"));
+        assert!(!r.contains("y"), "taint must propagate through x");
+    }
+
+    #[test]
+    fn thread_id_is_uniform_within_a_slave_group() {
+        let mut b = KernelBuilder::new("k", 32);
+        b.decl_i32("tx", tidx() + bidx() * bdimx());
+        let k = b.finish();
+        assert!(redundant_scalars(&k.body).contains("tx"));
+    }
+
+    #[test]
+    fn control_flow_kills_targets() {
+        let mut b = KernelBuilder::new("k", 32);
+        b.decl_i32("x", i(0));
+        b.if_(lt(tidx(), i(16)), |b| b.assign("x", i(5)));
+        let k = b.finish();
+        assert!(!redundant_scalars(&k.body).contains("x"));
+    }
+
+    #[test]
+    fn reassignment_from_tainted_value_removes_uniformity() {
+        let mut b = KernelBuilder::new("k", 32);
+        b.decl_i32("x", i(1));
+        b.assign("x", cast(crate::types::Scalar::I32, load("a", i(0))));
+        let k = b.finish();
+        assert!(!redundant_scalars(&k.body).contains("x"));
+    }
+
+    #[test]
+    fn chains_of_uniform_values_stay_uniform() {
+        let mut b = KernelBuilder::new("k", 32);
+        b.param_scalar_i32("n");
+        b.decl_i32("a", p("n") * i(2));
+        b.decl_i32("b", v("a") + i(1));
+        b.decl_i32("c", v("b") * v("a"));
+        let k = b.finish();
+        let r = redundant_scalars(&k.body);
+        assert!(r.contains("a") && r.contains("b") && r.contains("c"));
+    }
+}

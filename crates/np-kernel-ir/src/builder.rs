@@ -1,0 +1,309 @@
+//! Ergonomic kernel construction.
+//!
+//! ```
+//! use np_kernel_ir::builder::KernelBuilder;
+//! use np_kernel_ir::expr::dsl::*;
+//!
+//! // The TMV kernel of Figure 2, with the loop marked parallel.
+//! let mut b = KernelBuilder::new("tmv", 256);
+//! let a = b.param_global_f32("a");
+//! let bb = b.param_global_f32("b");
+//! let c = b.param_global_f32("c");
+//! let w = b.param_scalar_i32("w");
+//! let h = b.param_scalar_i32("h");
+//! b.decl_f32("sum", f(0.0));
+//! b.decl_i32("tx", tidx() + bidx() * bdimx());
+//! b.pragma_for("np parallel for reduction(+:sum)", "i", i(0), p("h"), |b| {
+//!     b.assign("sum", v("sum") + load("a", v("i") * p("w") + v("tx")) * load("b", v("i")));
+//! });
+//! b.store("c", v("tx"), v("sum"));
+//! let kernel = b.finish();
+//! assert_eq!(kernel.params.len(), 5);
+//! # let _ = (a, bb, c, w, h);
+//! ```
+
+use crate::expr::Expr;
+use crate::kernel::{Kernel, Param, ParamKind};
+use crate::pragma::NpPragma;
+use crate::stmt::Stmt;
+use crate::types::{MemSpace, Scalar};
+
+/// Fluent builder for [`Kernel`]s. Nested bodies (loops, conditionals) are
+/// built through closures that receive the same builder.
+pub struct KernelBuilder {
+    kernel: Kernel,
+    stack: Vec<Vec<Stmt>>,
+}
+
+impl KernelBuilder {
+    /// Start a kernel named `name` written for 1-D blocks of `block_x`
+    /// threads.
+    pub fn new(name: &str, block_x: u32) -> Self {
+        KernelBuilder { kernel: Kernel::new(name, block_x), stack: vec![Vec::new()] }
+    }
+
+    fn top(&mut self) -> &mut Vec<Stmt> {
+        self.stack.last_mut().expect("builder stack never empty")
+    }
+
+    fn add_param(&mut self, name: &str, kind: ParamKind) -> Expr {
+        assert!(
+            self.kernel.params.iter().all(|p| p.name != name),
+            "duplicate parameter {name:?}"
+        );
+        self.kernel.params.push(Param { name: name.to_string(), kind });
+        Expr::Param(name.to_string())
+    }
+
+    /// Add a scalar parameter; returns a `Param` expression for it.
+    pub fn param_scalar(&mut self, name: &str, ty: Scalar) -> Expr {
+        self.add_param(name, ParamKind::Scalar(ty))
+    }
+
+    pub fn param_scalar_i32(&mut self, name: &str) -> Expr {
+        self.param_scalar(name, Scalar::I32)
+    }
+
+    pub fn param_scalar_f32(&mut self, name: &str) -> Expr {
+        self.param_scalar(name, Scalar::F32)
+    }
+
+    /// Add a global-memory f32 array parameter.
+    pub fn param_global_f32(&mut self, name: &str) -> Expr {
+        self.add_param(name, ParamKind::GlobalArray(Scalar::F32))
+    }
+
+    /// Add a global-memory i32 array parameter.
+    pub fn param_global_i32(&mut self, name: &str) -> Expr {
+        self.add_param(name, ParamKind::GlobalArray(Scalar::I32))
+    }
+
+    /// Add a texture-path (read-only) f32 array parameter.
+    pub fn param_tex_f32(&mut self, name: &str) -> Expr {
+        self.add_param(name, ParamKind::TexArray(Scalar::F32))
+    }
+
+    /// Add a constant-memory f32 array parameter.
+    pub fn param_const_f32(&mut self, name: &str) -> Expr {
+        self.add_param(name, ParamKind::ConstArray(Scalar::F32))
+    }
+
+    /// Add a constant-memory i32 array parameter.
+    pub fn param_const_i32(&mut self, name: &str) -> Expr {
+        self.add_param(name, ParamKind::ConstArray(Scalar::I32))
+    }
+
+    /// Declare a scalar with an initializer.
+    pub fn decl(&mut self, name: &str, ty: Scalar, init: Expr) -> Expr {
+        self.top().push(Stmt::DeclScalar {
+            name: name.to_string(),
+            ty,
+            init: Some(init),
+        });
+        Expr::Var(name.to_string())
+    }
+
+    /// Declare an uninitialized scalar.
+    pub fn decl_uninit(&mut self, name: &str, ty: Scalar) -> Expr {
+        self.top().push(Stmt::DeclScalar { name: name.to_string(), ty, init: None });
+        Expr::Var(name.to_string())
+    }
+
+    pub fn decl_f32(&mut self, name: &str, init: Expr) -> Expr {
+        self.decl(name, Scalar::F32, init)
+    }
+
+    pub fn decl_i32(&mut self, name: &str, init: Expr) -> Expr {
+        self.decl(name, Scalar::I32, init)
+    }
+
+    /// Declare a per-block shared-memory array.
+    pub fn shared_array(&mut self, name: &str, ty: Scalar, len: u32) {
+        self.top().push(Stmt::DeclArray {
+            name: name.to_string(),
+            ty,
+            space: MemSpace::Shared,
+            len,
+        });
+    }
+
+    /// Declare a per-thread local-memory array.
+    pub fn local_array(&mut self, name: &str, ty: Scalar, len: u32) {
+        self.top().push(Stmt::DeclArray {
+            name: name.to_string(),
+            ty,
+            space: MemSpace::Local,
+            len,
+        });
+    }
+
+    /// Declare a per-thread register-file array (small, unrolled access).
+    pub fn register_array(&mut self, name: &str, ty: Scalar, len: u32) {
+        self.top().push(Stmt::DeclArray {
+            name: name.to_string(),
+            ty,
+            space: MemSpace::Register,
+            len,
+        });
+    }
+
+    /// `name = value`.
+    pub fn assign(&mut self, name: &str, value: Expr) {
+        self.top().push(Stmt::Assign { name: name.to_string(), value });
+    }
+
+    /// `array[index] = value`.
+    pub fn store(&mut self, array: &str, index: Expr, value: Expr) {
+        self.top().push(Stmt::Store { array: array.to_string(), index, value });
+    }
+
+    /// `__syncthreads()`.
+    pub fn sync(&mut self) {
+        self.top().push(Stmt::SyncThreads);
+    }
+
+    fn for_impl(
+        &mut self,
+        var: &str,
+        init: Expr,
+        bound: Expr,
+        pragma: Option<NpPragma>,
+        f: impl FnOnce(&mut Self),
+    ) {
+        self.stack.push(Vec::new());
+        f(self);
+        let body = self.stack.pop().expect("matching push");
+        self.top().push(Stmt::For {
+            var: var.to_string(),
+            init,
+            bound,
+            step: Expr::ImmI32(1),
+            body,
+            pragma,
+        });
+    }
+
+    /// Canonical sequential loop `for (var = init; var < bound; var++)`.
+    pub fn for_loop(&mut self, var: &str, init: Expr, bound: Expr, f: impl FnOnce(&mut Self)) {
+        self.for_impl(var, init, bound, None, f);
+    }
+
+    /// Loop annotated with a textual `np` pragma (panics on a parse error —
+    /// pragmas are developer-written constants).
+    pub fn pragma_for(
+        &mut self,
+        pragma: &str,
+        var: &str,
+        init: Expr,
+        bound: Expr,
+        f: impl FnOnce(&mut Self),
+    ) {
+        let p = NpPragma::parse(pragma).expect("invalid np pragma");
+        self.for_impl(var, init, bound, Some(p), f);
+    }
+
+    /// Loop with an already-parsed pragma.
+    pub fn pragma_for_parsed(
+        &mut self,
+        pragma: NpPragma,
+        var: &str,
+        init: Expr,
+        bound: Expr,
+        f: impl FnOnce(&mut Self),
+    ) {
+        self.for_impl(var, init, bound, Some(pragma), f);
+    }
+
+    /// `if (cond) { ... }`.
+    pub fn if_(&mut self, cond: Expr, f: impl FnOnce(&mut Self)) {
+        self.stack.push(Vec::new());
+        f(self);
+        let then_body = self.stack.pop().expect("matching push");
+        self.top().push(Stmt::If { cond, then_body, else_body: vec![] });
+    }
+
+    /// `if (cond) { ... } else { ... }`.
+    pub fn if_else(
+        &mut self,
+        cond: Expr,
+        f_then: impl FnOnce(&mut Self),
+        f_else: impl FnOnce(&mut Self),
+    ) {
+        self.stack.push(Vec::new());
+        f_then(self);
+        let then_body = self.stack.pop().expect("matching push");
+        self.stack.push(Vec::new());
+        f_else(self);
+        let else_body = self.stack.pop().expect("matching push");
+        self.top().push(Stmt::If { cond, then_body, else_body });
+    }
+
+    /// Push a raw statement (escape hatch for transforms and tests).
+    pub fn push_stmt(&mut self, s: Stmt) {
+        self.top().push(s);
+    }
+
+    /// Finish the kernel.
+    pub fn finish(mut self) -> Kernel {
+        assert_eq!(self.stack.len(), 1, "unbalanced builder scopes");
+        self.kernel.body = self.stack.pop().unwrap();
+        self.kernel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::dsl::*;
+
+    #[test]
+    fn nested_scopes_build_correctly() {
+        let mut b = KernelBuilder::new("k", 32);
+        b.decl_i32("x", i(0));
+        b.if_(lt(v("x"), i(5)), |b| {
+            b.for_loop("j", i(0), i(4), |b| {
+                b.assign("x", v("x") + v("j"));
+            });
+        });
+        let k = b.finish();
+        assert_eq!(k.body.len(), 2);
+        match &k.body[1] {
+            Stmt::If { then_body, .. } => {
+                assert!(matches!(&then_body[0], Stmt::For { .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pragma_for_attaches_parsed_pragma() {
+        let mut b = KernelBuilder::new("k", 32);
+        b.param_scalar_i32("n");
+        b.decl_f32("sum", f(0.0));
+        b.pragma_for("np parallel for reduction(+:sum)", "i", i(0), p("n"), |b| {
+            b.assign("sum", v("sum") + cast(crate::types::Scalar::F32, v("i")));
+        });
+        let k = b.finish();
+        match &k.body[1] {
+            Stmt::For { pragma: Some(pr), .. } => {
+                assert_eq!(pr.reductions.len(), 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate parameter")]
+    fn duplicate_params_rejected() {
+        let mut b = KernelBuilder::new("k", 32);
+        b.param_scalar_i32("n");
+        b.param_scalar_f32("n");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid np pragma")]
+    fn bad_pragma_text_panics() {
+        let mut b = KernelBuilder::new("k", 32);
+        b.pragma_for("omp for", "i", i(0), i(4), |_| {});
+    }
+}

@@ -1,0 +1,354 @@
+//! Lexer for the pseudo-CUDA kernel syntax emitted by
+//! [`crate::printer`] and accepted by [`super::parse_kernel`].
+
+/// A lexical token with its source position (byte offset).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    Ident(String),
+    /// Integer literal (decimal).
+    Int(i64),
+    /// Unsigned literal with `u` suffix.
+    UInt(u32),
+    /// Float literal (the `f` suffix is consumed).
+    Float(f32),
+    /// A `/*space*/` qualifier comment: "texture", "constant", "local",
+    /// "register", or "global".
+    SpaceQual(&'static str),
+    /// `#pragma <rest of line>`.
+    Pragma(String),
+    /// `// blockDim = (x, y, z)` header comment.
+    BlockDim(u32, u32, u32),
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Semi,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Percent,
+    Amp,
+    Pipe,
+    Caret,
+    Bang,
+    Question,
+    Colon,
+    Assign,
+    PlusAssign,
+    PlusPlus,
+    EqEq,
+    NotEq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Shl,
+    Shr,
+    AndAnd,
+    OrOr,
+    Dot,
+    Eof,
+}
+
+/// Lexing errors with byte positions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    pub pos: usize,
+    pub msg: String,
+}
+
+impl std::fmt::Display for LexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize `src`. Plain `//` and `/* */` comments are skipped, except the
+/// semantically meaningful ones (`// blockDim = ...`, `/*texture*/` etc.).
+pub fn lex(src: &str) -> Result<Vec<(usize, Tok)>, LexError> {
+    let b = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < b.len() {
+        let c = b[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '/' if b.get(i + 1) == Some(&b'/') => {
+                let end = src[i..].find('\n').map(|o| i + o).unwrap_or(b.len());
+                let line = &src[i + 2..end];
+                if let Some(dims) = parse_blockdim(line) {
+                    out.push((i, Tok::BlockDim(dims.0, dims.1, dims.2)));
+                }
+                i = end;
+            }
+            '/' if b.get(i + 1) == Some(&b'*') => {
+                let end = src[i + 2..]
+                    .find("*/")
+                    .map(|o| i + 2 + o)
+                    .ok_or_else(|| LexError { pos: i, msg: "unterminated comment".into() })?;
+                let body = src[i + 2..end].trim();
+                for (name, q) in [
+                    ("texture", "texture"),
+                    ("constant", "constant"),
+                    ("local", "local"),
+                    ("register", "register"),
+                    ("global", "global"),
+                ] {
+                    if body == name {
+                        out.push((i, Tok::SpaceQual(q)));
+                    }
+                }
+                i = end + 2;
+            }
+            '#' => {
+                let end = src[i..].find('\n').map(|o| i + o).unwrap_or(b.len());
+                let line = src[i..end].trim();
+                let rest = line
+                    .strip_prefix("#pragma")
+                    .ok_or_else(|| LexError { pos: i, msg: format!("unknown directive {line:?}") })?;
+                out.push((i, Tok::Pragma(rest.trim().to_string())));
+                i = end;
+            }
+            '0'..='9' => {
+                let (tok, len) = lex_number(&src[i..])
+                    .map_err(|msg| LexError { pos: i, msg })?;
+                out.push((i, tok));
+                i += len;
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let mut j = i + 1;
+                while j < b.len()
+                    && matches!(b[j] as char, 'a'..='z' | 'A'..='Z' | '0'..='9' | '_')
+                {
+                    j += 1;
+                }
+                let word = &src[i..j];
+                // `inff` is the printer's spelling of f32::INFINITY.
+                let tok = match word {
+                    "inff" => Tok::Float(f32::INFINITY),
+                    _ => Tok::Ident(word.to_string()),
+                };
+                out.push((i, tok));
+                i = j;
+            }
+            '(' => push1(&mut out, &mut i, Tok::LParen),
+            ')' => push1(&mut out, &mut i, Tok::RParen),
+            '{' => push1(&mut out, &mut i, Tok::LBrace),
+            '}' => push1(&mut out, &mut i, Tok::RBrace),
+            '[' => push1(&mut out, &mut i, Tok::LBracket),
+            ']' => push1(&mut out, &mut i, Tok::RBracket),
+            ',' => push1(&mut out, &mut i, Tok::Comma),
+            ';' => push1(&mut out, &mut i, Tok::Semi),
+            '*' => push1(&mut out, &mut i, Tok::Star),
+            '?' => push1(&mut out, &mut i, Tok::Question),
+            ':' => push1(&mut out, &mut i, Tok::Colon),
+            '.' => push1(&mut out, &mut i, Tok::Dot),
+            '^' => push1(&mut out, &mut i, Tok::Caret),
+            '%' => push1(&mut out, &mut i, Tok::Percent),
+            '/' => push1(&mut out, &mut i, Tok::Slash),
+            '+' => match b.get(i + 1) {
+                Some(b'+') => push2(&mut out, &mut i, Tok::PlusPlus),
+                Some(b'=') => push2(&mut out, &mut i, Tok::PlusAssign),
+                _ => push1(&mut out, &mut i, Tok::Plus),
+            },
+            '-' => {
+                // A negative float literal like -2.0f lexes as Minus + Float.
+                push1(&mut out, &mut i, Tok::Minus)
+            }
+            '=' => match b.get(i + 1) {
+                Some(b'=') => push2(&mut out, &mut i, Tok::EqEq),
+                _ => push1(&mut out, &mut i, Tok::Assign),
+            },
+            '!' => match b.get(i + 1) {
+                Some(b'=') => push2(&mut out, &mut i, Tok::NotEq),
+                _ => push1(&mut out, &mut i, Tok::Bang),
+            },
+            '<' => match b.get(i + 1) {
+                Some(b'=') => push2(&mut out, &mut i, Tok::Le),
+                Some(b'<') => push2(&mut out, &mut i, Tok::Shl),
+                _ => push1(&mut out, &mut i, Tok::Lt),
+            },
+            '>' => match b.get(i + 1) {
+                Some(b'=') => push2(&mut out, &mut i, Tok::Ge),
+                Some(b'>') => push2(&mut out, &mut i, Tok::Shr),
+                _ => push1(&mut out, &mut i, Tok::Gt),
+            },
+            '&' => match b.get(i + 1) {
+                Some(b'&') => push2(&mut out, &mut i, Tok::AndAnd),
+                _ => push1(&mut out, &mut i, Tok::Amp),
+            },
+            '|' => match b.get(i + 1) {
+                Some(b'|') => push2(&mut out, &mut i, Tok::OrOr),
+                _ => push1(&mut out, &mut i, Tok::Pipe),
+            },
+            other => {
+                return Err(LexError { pos: i, msg: format!("unexpected character {other:?}") })
+            }
+        }
+    }
+    out.push((b.len(), Tok::Eof));
+    Ok(out)
+}
+
+fn push1(out: &mut Vec<(usize, Tok)>, i: &mut usize, t: Tok) {
+    out.push((*i, t));
+    *i += 1;
+}
+
+fn push2(out: &mut Vec<(usize, Tok)>, i: &mut usize, t: Tok) {
+    out.push((*i, t));
+    *i += 2;
+}
+
+/// Parse `blockDim = (x, y, z)` from a line comment body.
+fn parse_blockdim(line: &str) -> Option<(u32, u32, u32)> {
+    let rest = line.trim().strip_prefix("blockDim")?.trim_start().strip_prefix('=')?;
+    let rest = rest.trim().strip_prefix('(')?.strip_suffix(')')?;
+    let mut parts = rest.split(',').map(|p| p.trim().parse::<u32>());
+    match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(Ok(x)), Some(Ok(y)), Some(Ok(z)), None) => Some((x, y, z)),
+        _ => None,
+    }
+}
+
+/// Lex one numeric literal; returns the token and consumed byte length.
+fn lex_number(s: &str) -> Result<(Tok, usize), String> {
+    let b = s.as_bytes();
+    let mut j = 0;
+    while j < b.len() && b[j].is_ascii_digit() {
+        j += 1;
+    }
+    let mut is_float = false;
+    if j < b.len() && b[j] == b'.' {
+        is_float = true;
+        j += 1;
+        while j < b.len() && b[j].is_ascii_digit() {
+            j += 1;
+        }
+    }
+    // Exponent.
+    if j < b.len() && (b[j] == b'e' || b[j] == b'E') {
+        let mut k = j + 1;
+        if k < b.len() && (b[k] == b'+' || b[k] == b'-') {
+            k += 1;
+        }
+        if k < b.len() && b[k].is_ascii_digit() {
+            is_float = true;
+            j = k;
+            while j < b.len() && b[j].is_ascii_digit() {
+                j += 1;
+            }
+        }
+    }
+    if j < b.len() && b[j] == b'f' {
+        let v: f32 = s[..j].parse().map_err(|e| format!("bad float: {e}"))?;
+        return Ok((Tok::Float(v), j + 1));
+    }
+    if is_float {
+        let v: f32 = s[..j].parse().map_err(|e| format!("bad float: {e}"))?;
+        return Ok((Tok::Float(v), j));
+    }
+    if j < b.len() && b[j] == b'u' {
+        let v: u32 = s[..j].parse().map_err(|e| format!("bad unsigned: {e}"))?;
+        return Ok((Tok::UInt(v), j + 1));
+    }
+    let v: i64 = s[..j].parse().map_err(|e| format!("bad integer: {e}"))?;
+    Ok((Tok::Int(v), j))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|(_, t)| t).collect()
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(
+            toks("1 2u 3.5f 0.0f 1e-6f 4.25"),
+            vec![
+                Tok::Int(1),
+                Tok::UInt(2),
+                Tok::Float(3.5),
+                Tok::Float(0.0),
+                Tok::Float(1e-6),
+                Tok::Float(4.25),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_operators() {
+        assert_eq!(
+            toks("a += b << 2; c++ >= != && ||"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::PlusAssign,
+                Tok::Ident("b".into()),
+                Tok::Shl,
+                Tok::Int(2),
+                Tok::Semi,
+                Tok::Ident("c".into()),
+                Tok::PlusPlus,
+                Tok::Ge,
+                Tok::NotEq,
+                Tok::AndAnd,
+                Tok::OrOr,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn qualifier_comments_are_tokens_but_plain_comments_are_not() {
+        assert_eq!(
+            toks("/*texture*/ x /* hello */ y // world\nz"),
+            vec![
+                Tok::SpaceQual("texture"),
+                Tok::Ident("x".into()),
+                Tok::Ident("y".into()),
+                Tok::Ident("z".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn blockdim_header_is_parsed() {
+        assert_eq!(toks("// blockDim = (32, 8, 1)"), vec![Tok::BlockDim(32, 8, 1), Tok::Eof]);
+        // Non-matching line comments vanish.
+        assert_eq!(toks("// blockDim = soup"), vec![Tok::Eof]);
+    }
+
+    #[test]
+    fn pragma_reaches_end_of_line() {
+        assert_eq!(
+            toks("#pragma np parallel for reduction(+:sum)\nx"),
+            vec![
+                Tok::Pragma("np parallel for reduction(+:sum)".into()),
+                Tok::Ident("x".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn infinity_spelling() {
+        assert_eq!(toks("inff"), vec![Tok::Float(f32::INFINITY), Tok::Eof]);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(lex("a $ b").is_err());
+        assert!(lex("/* unterminated").is_err());
+    }
+}

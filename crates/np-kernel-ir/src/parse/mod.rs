@@ -1,0 +1,8 @@
+//! Textual kernel syntax: lexer + parser for the pseudo-CUDA dialect the
+//! pretty-printer emits, completing the source-to-source loop
+//! (`parse_kernel(print_kernel(k)) == k`).
+
+pub mod lexer;
+pub mod parser;
+
+pub use parser::{parse_kernel, ParseError};

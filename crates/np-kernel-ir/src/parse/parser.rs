@@ -1,0 +1,698 @@
+//! Recursive-descent parser for the pseudo-CUDA kernel syntax.
+//!
+//! Accepts the exact output of [`crate::printer::print_kernel`] — making the
+//! printer/parser pair a lossless round trip — as well as reasonably
+//! hand-written kernels in the same dialect (full C expression precedence,
+//! optional parentheses).
+
+use super::lexer::{lex, LexError, Tok};
+use crate::expr::{BinOp, Expr, ShflMode, Special, UnOp};
+use crate::kernel::{Kernel, Param, ParamKind};
+use crate::pragma::NpPragma;
+use crate::stmt::Stmt;
+use crate::types::{Dim3, MemSpace, Scalar};
+use std::collections::BTreeSet;
+
+/// Parse errors with byte positions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    pub pos: usize,
+    pub msg: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError { pos: e.pos, msg: e.msg }
+    }
+}
+
+struct Parser {
+    toks: Vec<(usize, Tok)>,
+    i: usize,
+    /// Names of scalar parameters (parse to `Expr::Param`).
+    scalar_params: BTreeSet<String>,
+    /// Names of array parameters and declared arrays (parse to Load/Store).
+    arrays: BTreeSet<String>,
+}
+
+type PResult<T> = Result<T, ParseError>;
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.i].1
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.toks[(self.i + 1).min(self.toks.len() - 1)].1
+    }
+
+    fn pos(&self) -> usize {
+        self.toks[self.i].0
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.i].1.clone();
+        if self.i + 1 < self.toks.len() {
+            self.i += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> PResult<T> {
+        Err(ParseError { pos: self.pos(), msg: msg.into() })
+    }
+
+    fn expect(&mut self, t: Tok) -> PResult<()> {
+        if *self.peek() == t {
+            self.bump();
+            Ok(())
+        } else {
+            self.err(format!("expected {t:?}, found {:?}", self.peek()))
+        }
+    }
+
+    fn expect_ident(&mut self) -> PResult<String> {
+        match self.bump() {
+            Tok::Ident(s) => Ok(s),
+            other => self.err(format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    fn eat_ident(&mut self, word: &str) -> bool {
+        if matches!(self.peek(), Tok::Ident(s) if s == word) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Parse a scalar type name if present ("float", "int", "unsigned int",
+    /// "bool").
+    fn try_type(&mut self) -> Option<Scalar> {
+        match self.peek() {
+            Tok::Ident(s) if s == "float" => {
+                self.bump();
+                Some(Scalar::F32)
+            }
+            Tok::Ident(s) if s == "int" => {
+                self.bump();
+                Some(Scalar::I32)
+            }
+            Tok::Ident(s) if s == "bool" => {
+                self.bump();
+                Some(Scalar::Bool)
+            }
+            Tok::Ident(s) if s == "unsigned" => {
+                self.bump();
+                if !self.eat_ident("int") {
+                    // "unsigned" alone also means u32 in C.
+                }
+                Some(Scalar::U32)
+            }
+            _ => None,
+        }
+    }
+
+    // ----- kernel & params -----
+
+    fn kernel(&mut self) -> PResult<Kernel> {
+        let mut block_dim = Dim3::x1(32);
+        if let Tok::BlockDim(x, y, z) = self.peek() {
+            block_dim = Dim3::new(*x, *y, *z);
+            self.bump();
+        }
+        if !self.eat_ident("__global__") {
+            return self.err("kernel must start with `__global__`");
+        }
+        if !self.eat_ident("void") {
+            return self.err("expected `void`");
+        }
+        let name = self.expect_ident()?;
+        self.expect(Tok::LParen)?;
+        let mut params = Vec::new();
+        if *self.peek() != Tok::RParen {
+            loop {
+                params.push(self.param()?);
+                if *self.peek() == Tok::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(Tok::RParen)?;
+        for p in &params {
+            match p.kind {
+                ParamKind::Scalar(_) => {
+                    self.scalar_params.insert(p.name.clone());
+                }
+                _ => {
+                    self.arrays.insert(p.name.clone());
+                }
+            }
+        }
+        self.expect(Tok::LBrace)?;
+        let body = self.stmts_until_rbrace()?;
+        Ok(Kernel { name, params, block_dim, body })
+    }
+
+    fn param(&mut self) -> PResult<Param> {
+        let qual = if let Tok::SpaceQual(q) = self.peek() {
+            let q = *q;
+            self.bump();
+            Some(q)
+        } else {
+            None
+        };
+        let _const = self.eat_ident("const");
+        let ty = self
+            .try_type()
+            .ok_or_else(|| ParseError { pos: self.pos(), msg: "expected type".into() })?;
+        let is_ptr = if *self.peek() == Tok::Star {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        let name = self.expect_ident()?;
+        let kind = match (qual, is_ptr) {
+            (Some("texture"), true) => ParamKind::TexArray(ty),
+            (Some("constant"), true) => ParamKind::ConstArray(ty),
+            (None | Some("global"), true) => ParamKind::GlobalArray(ty),
+            (None, false) => ParamKind::Scalar(ty),
+            (q, ptr) => {
+                return self.err(format!("invalid parameter qualifier {q:?} (pointer: {ptr})"))
+            }
+        };
+        Ok(Param { name, kind })
+    }
+
+    // ----- statements -----
+
+    fn stmts_until_rbrace(&mut self) -> PResult<Vec<Stmt>> {
+        let mut out = Vec::new();
+        while *self.peek() != Tok::RBrace {
+            if *self.peek() == Tok::Eof {
+                return self.err("unexpected end of input (missing `}`)");
+            }
+            out.push(self.stmt()?);
+        }
+        self.bump(); // consume }
+        Ok(out)
+    }
+
+    fn block(&mut self) -> PResult<Vec<Stmt>> {
+        self.expect(Tok::LBrace)?;
+        self.stmts_until_rbrace()
+    }
+
+    fn stmt(&mut self) -> PResult<Stmt> {
+        // Pragma + for.
+        if let Tok::Pragma(text) = self.peek() {
+            let text = text.clone();
+            self.bump();
+            let pragma = NpPragma::parse(&text)
+                .map_err(|e| ParseError { pos: self.pos(), msg: e.to_string() })?;
+            return self.for_stmt(Some(pragma));
+        }
+        // Array declarations with a space qualifier.
+        if let Tok::SpaceQual(q) = self.peek() {
+            let q = *q;
+            self.bump();
+            let space = match q {
+                "local" => MemSpace::Local,
+                "register" => MemSpace::Register,
+                other => return self.err(format!("qualifier /*{other}*/ not valid here")),
+            };
+            return self.array_decl(space);
+        }
+        if self.eat_ident("__shared__") {
+            return self.array_decl(MemSpace::Shared);
+        }
+        if self.eat_ident("__constant__") {
+            return self.array_decl(MemSpace::Constant);
+        }
+        if self.eat_ident("__syncthreads") {
+            self.expect(Tok::LParen)?;
+            self.expect(Tok::RParen)?;
+            self.expect(Tok::Semi)?;
+            return Ok(Stmt::SyncThreads);
+        }
+        if matches!(self.peek(), Tok::Ident(s) if s == "if") {
+            self.bump();
+            self.expect(Tok::LParen)?;
+            let cond = self.expr()?;
+            self.expect(Tok::RParen)?;
+            let then_body = self.block()?;
+            let else_body = if self.eat_ident("else") { self.block()? } else { vec![] };
+            return Ok(Stmt::If { cond, then_body, else_body });
+        }
+        if matches!(self.peek(), Tok::Ident(s) if s == "for") {
+            return self.for_stmt(None);
+        }
+        // Scalar declaration: `<type> name [= expr] ;`
+        if let Some(ty) = self.try_type_lookahead() {
+            let name = self.expect_ident()?;
+            let init = if *self.peek() == Tok::Assign {
+                self.bump();
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            self.expect(Tok::Semi)?;
+            return Ok(Stmt::DeclScalar { name, ty, init });
+        }
+        // Assignment or store.
+        let name = self.expect_ident()?;
+        if *self.peek() == Tok::LBracket {
+            self.bump();
+            let index = self.expr()?;
+            self.expect(Tok::RBracket)?;
+            self.expect(Tok::Assign)?;
+            let value = self.expr()?;
+            self.expect(Tok::Semi)?;
+            self.arrays.insert(name.clone());
+            return Ok(Stmt::Store { array: name, index, value });
+        }
+        if *self.peek() == Tok::PlusAssign {
+            self.bump();
+            let rhs = self.expr()?;
+            self.expect(Tok::Semi)?;
+            let value = Expr::Var(name.clone()) + rhs;
+            return Ok(Stmt::Assign { name, value });
+        }
+        self.expect(Tok::Assign)?;
+        let value = self.expr()?;
+        self.expect(Tok::Semi)?;
+        Ok(Stmt::Assign { name, value })
+    }
+
+    /// Like `try_type`, but only when this really is a declaration (the next
+    /// token after the type is an identifier) — distinguishes `float x = ..`
+    /// from an assignment to a variable that happens to be named like a use.
+    fn try_type_lookahead(&mut self) -> Option<Scalar> {
+        let is_type_word = matches!(
+            self.peek(),
+            Tok::Ident(s) if s == "float" || s == "int" || s == "bool" || s == "unsigned"
+        );
+        if is_type_word && matches!(self.peek2(), Tok::Ident(_)) {
+            self.try_type()
+        } else {
+            None
+        }
+    }
+
+    fn array_decl(&mut self, space: MemSpace) -> PResult<Stmt> {
+        let ty = self
+            .try_type()
+            .ok_or_else(|| ParseError { pos: self.pos(), msg: "expected element type".into() })?;
+        let name = self.expect_ident()?;
+        self.expect(Tok::LBracket)?;
+        let len = match self.bump() {
+            Tok::Int(v) if v >= 0 => v as u32,
+            other => return self.err(format!("array length must be a literal, found {other:?}")),
+        };
+        self.expect(Tok::RBracket)?;
+        self.expect(Tok::Semi)?;
+        self.arrays.insert(name.clone());
+        Ok(Stmt::DeclArray { name, ty, space, len })
+    }
+
+    /// `for (int v = init; v < bound; v++ | v += step) { ... }`
+    fn for_stmt(&mut self, pragma: Option<NpPragma>) -> PResult<Stmt> {
+        if !self.eat_ident("for") {
+            return self.err("expected `for` after #pragma");
+        }
+        self.expect(Tok::LParen)?;
+        let _ = self.eat_ident("int");
+        let var = self.expect_ident()?;
+        self.expect(Tok::Assign)?;
+        let init = self.expr()?;
+        self.expect(Tok::Semi)?;
+        let v2 = self.expect_ident()?;
+        if v2 != var {
+            return self.err(format!("loop condition must test {var:?}, found {v2:?}"));
+        }
+        self.expect(Tok::Lt)?;
+        let bound = self.expr()?;
+        self.expect(Tok::Semi)?;
+        let v3 = self.expect_ident()?;
+        if v3 != var {
+            return self.err(format!("loop step must update {var:?}, found {v3:?}"));
+        }
+        let step = match self.bump() {
+            Tok::PlusPlus => Expr::ImmI32(1),
+            Tok::PlusAssign => self.expr()?,
+            other => return self.err(format!("expected ++ or +=, found {other:?}")),
+        };
+        self.expect(Tok::RParen)?;
+        let body = self.block()?;
+        Ok(Stmt::For { var, init, bound, step, body, pragma })
+    }
+
+    // ----- expressions (C precedence) -----
+
+    fn expr(&mut self) -> PResult<Expr> {
+        self.ternary()
+    }
+
+    fn ternary(&mut self) -> PResult<Expr> {
+        let cond = self.binary(0)?;
+        if *self.peek() == Tok::Question {
+            self.bump();
+            let a = self.expr()?;
+            self.expect(Tok::Colon)?;
+            let b = self.ternary()?;
+            return Ok(Expr::Select(Box::new(cond), Box::new(a), Box::new(b)));
+        }
+        Ok(cond)
+    }
+
+    /// Precedence-climbing over binary operators.
+    fn binary(&mut self, min_prec: u8) -> PResult<Expr> {
+        let mut lhs = self.unary()?;
+        loop {
+            let (op, prec) = match self.peek() {
+                Tok::OrOr => (BinOp::LOr, 1),
+                Tok::AndAnd => (BinOp::LAnd, 2),
+                Tok::Pipe => (BinOp::Or, 3),
+                Tok::Caret => (BinOp::Xor, 4),
+                Tok::Amp => (BinOp::And, 5),
+                Tok::EqEq => (BinOp::Eq, 6),
+                Tok::NotEq => (BinOp::Ne, 6),
+                Tok::Lt => (BinOp::Lt, 7),
+                Tok::Le => (BinOp::Le, 7),
+                Tok::Gt => (BinOp::Gt, 7),
+                Tok::Ge => (BinOp::Ge, 7),
+                Tok::Shl => (BinOp::Shl, 8),
+                Tok::Shr => (BinOp::Shr, 8),
+                Tok::Plus => (BinOp::Add, 9),
+                Tok::Minus => (BinOp::Sub, 9),
+                Tok::Star => (BinOp::Mul, 10),
+                Tok::Slash => (BinOp::Div, 10),
+                Tok::Percent => (BinOp::Rem, 10),
+                _ => break,
+            };
+            if prec < min_prec {
+                break;
+            }
+            self.bump();
+            let rhs = self.binary(prec + 1)?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> PResult<Expr> {
+        match self.peek() {
+            Tok::Minus => {
+                self.bump();
+                Ok(Expr::Unary(UnOp::Neg, Box::new(self.unary()?)))
+            }
+            Tok::Bang => {
+                self.bump();
+                Ok(Expr::Unary(UnOp::Not, Box::new(self.unary()?)))
+            }
+            _ => self.primary(),
+        }
+    }
+
+    fn primary(&mut self) -> PResult<Expr> {
+        match self.bump() {
+            Tok::Int(v) => {
+                if v > i32::MAX as i64 || v < i32::MIN as i64 {
+                    return self.err(format!("integer literal {v} out of i32 range"));
+                }
+                Ok(Expr::ImmI32(v as i32))
+            }
+            Tok::UInt(v) => Ok(Expr::ImmU32(v)),
+            Tok::Float(v) => Ok(Expr::ImmF32(v)),
+            Tok::LParen => {
+                // Cast `(type) expr` or grouping `(expr)`.
+                if let Some(ty) = self.try_type_cast() {
+                    self.expect(Tok::RParen)?;
+                    let inner = self.unary()?;
+                    return Ok(Expr::Cast(ty, Box::new(inner)));
+                }
+                let e = self.expr()?;
+                self.expect(Tok::RParen)?;
+                Ok(e)
+            }
+            Tok::Ident(name) => self.ident_expr(name),
+            other => self.err(format!("expected expression, found {other:?}")),
+        }
+    }
+
+    /// A type name immediately followed by `)` is a cast.
+    fn try_type_cast(&mut self) -> Option<Scalar> {
+        let save = self.i;
+        if let Some(ty) = self.try_type() {
+            if *self.peek() == Tok::RParen {
+                return Some(ty);
+            }
+        }
+        self.i = save;
+        None
+    }
+
+    fn ident_expr(&mut self, name: String) -> PResult<Expr> {
+        // CUDA specials.
+        if matches!(name.as_str(), "threadIdx" | "blockIdx" | "blockDim" | "gridDim") {
+            self.expect(Tok::Dot)?;
+            let axis = self.expect_ident()?;
+            let s = match (name.as_str(), axis.as_str()) {
+                ("threadIdx", "x") => Special::ThreadIdxX,
+                ("threadIdx", "y") => Special::ThreadIdxY,
+                ("threadIdx", "z") => Special::ThreadIdxZ,
+                ("blockIdx", "x") => Special::BlockIdxX,
+                ("blockIdx", "y") => Special::BlockIdxY,
+                ("blockDim", "x") => Special::BlockDimX,
+                ("blockDim", "y") => Special::BlockDimY,
+                ("blockDim", "z") => Special::BlockDimZ,
+                ("gridDim", "x") => Special::GridDimX,
+                ("gridDim", "y") => Special::GridDimY,
+                _ => return self.err(format!("unknown special {name}.{axis}")),
+            };
+            return Ok(Expr::Special(s));
+        }
+        // Unary math intrinsics.
+        let un = match name.as_str() {
+            "sqrtf" => Some(UnOp::Sqrt),
+            "expf" => Some(UnOp::Exp),
+            "logf" => Some(UnOp::Log),
+            "sinf" => Some(UnOp::Sin),
+            "cosf" => Some(UnOp::Cos),
+            "fabsf" => Some(UnOp::Abs),
+            "floorf" => Some(UnOp::Floor),
+            _ => None,
+        };
+        if let Some(op) = un {
+            self.expect(Tok::LParen)?;
+            let a = self.expr()?;
+            self.expect(Tok::RParen)?;
+            return Ok(Expr::Unary(op, Box::new(a)));
+        }
+        // min/max.
+        if name == "min" || name == "max" {
+            self.expect(Tok::LParen)?;
+            let a = self.expr()?;
+            self.expect(Tok::Comma)?;
+            let b = self.expr()?;
+            self.expect(Tok::RParen)?;
+            let op = if name == "min" { BinOp::Min } else { BinOp::Max };
+            return Ok(Expr::Binary(op, Box::new(a), Box::new(b)));
+        }
+        // __shfl family.
+        let mode = match name.as_str() {
+            "__shfl" => Some(ShflMode::Idx),
+            "__shfl_up" => Some(ShflMode::Up),
+            "__shfl_down" => Some(ShflMode::Down),
+            "__shfl_xor" => Some(ShflMode::Xor),
+            _ => None,
+        };
+        if let Some(mode) = mode {
+            self.expect(Tok::LParen)?;
+            let value = self.expr()?;
+            self.expect(Tok::Comma)?;
+            let lane = self.expr()?;
+            self.expect(Tok::Comma)?;
+            let width = match self.bump() {
+                Tok::Int(v) if v > 0 && v <= 32 => v as u32,
+                other => {
+                    return self.err(format!("__shfl width must be a literal 1..=32, found {other:?}"))
+                }
+            };
+            self.expect(Tok::RParen)?;
+            return Ok(Expr::Shfl {
+                mode,
+                value: Box::new(value),
+                lane: Box::new(lane),
+                width,
+            });
+        }
+        // Array load?
+        if *self.peek() == Tok::LBracket {
+            self.bump();
+            let index = self.expr()?;
+            self.expect(Tok::RBracket)?;
+            return Ok(Expr::Load { array: name, index: Box::new(index) });
+        }
+        // Literal keywords.
+        if name == "true" {
+            return Ok(Expr::ImmBool(true));
+        }
+        if name == "false" {
+            return Ok(Expr::ImmBool(false));
+        }
+        // Scalar parameter or plain variable.
+        if self.scalar_params.contains(&name) {
+            Ok(Expr::Param(name))
+        } else {
+            Ok(Expr::Var(name))
+        }
+    }
+}
+
+/// Parse the textual form of one kernel (as produced by
+/// [`crate::printer::print_kernel`]) back into a [`Kernel`].
+pub fn parse_kernel(src: &str) -> Result<Kernel, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser {
+        toks,
+        i: 0,
+        scalar_params: BTreeSet::new(),
+        arrays: BTreeSet::new(),
+    };
+    let k = p.kernel()?;
+    match p.peek() {
+        Tok::Eof => Ok(k),
+        other => p.err(format!("trailing input after kernel: {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::printer::print_kernel;
+
+    const TMV_SRC: &str = r#"
+// blockDim = (256, 1, 1)
+__global__ void tmv(float* a, float* b, float* c, int w, int h) {
+  float sum = 0.0f;
+  int tx = threadIdx.x + blockIdx.x * blockDim.x;
+  #pragma np parallel for reduction(+:sum)
+  for (int i = 0; i < h; i++) {
+    sum += a[i * w + tx] * b[i];
+  }
+  c[tx] = sum;
+}
+"#;
+
+    #[test]
+    fn parses_figure2_tmv() {
+        let k = parse_kernel(TMV_SRC).unwrap();
+        assert_eq!(k.name, "tmv");
+        assert_eq!(k.params.len(), 5);
+        assert_eq!(k.block_dim, Dim3::x1(256));
+        assert!(k.has_pragma_loops());
+        // `w` is a scalar param, so the loop body references Param("w").
+        let src = print_kernel(&k);
+        assert!(src.contains("#pragma np parallel for reduction(+:sum)"), "{src}");
+        assert!(src.contains("c[tx] = sum;"), "{src}");
+    }
+
+    #[test]
+    fn round_trips_through_the_printer() {
+        let k = parse_kernel(TMV_SRC).unwrap();
+        let printed = print_kernel(&k);
+        let back = parse_kernel(&printed).unwrap();
+        assert_eq!(k, back, "print→parse must be lossless");
+    }
+
+    #[test]
+    fn parses_qualified_params_and_arrays() {
+        let src = r#"
+__global__ void k(/*texture*/ const float* t, /*constant*/ const float* ctab, float* out, float iso) {
+  __shared__ float tile[64];
+  /*local*/ float grad[150];
+  /*register*/ float part[19];
+  grad[0] = t[0] * ctab[1] + iso;
+  tile[threadIdx.x] = grad[0];
+  __syncthreads();
+  out[threadIdx.x] = tile[threadIdx.x] + part[0];
+}
+"#;
+        let k = parse_kernel(src).unwrap();
+        assert_eq!(k.array_info("t").unwrap().space, MemSpace::Texture);
+        assert_eq!(k.array_info("ctab").unwrap().space, MemSpace::Constant);
+        assert_eq!(k.array_info("tile").unwrap().space, MemSpace::Shared);
+        assert_eq!(k.array_info("grad").unwrap().space, MemSpace::Local);
+        assert_eq!(k.array_info("part").unwrap().space, MemSpace::Register);
+        assert_eq!(k.shared_bytes(), 256);
+    }
+
+    #[test]
+    fn respects_c_precedence_without_parens() {
+        let src = r#"
+__global__ void k(float* out) {
+  int x = 1 + 2 * 3;
+  int y = 1 << 2 + 1;
+  out[0] = (float) x;
+  out[1] = (float) y;
+}
+"#;
+        let k = parse_kernel(src).unwrap();
+        // x = 1 + (2*3); y = 1 << (2+1)  (shift binds looser than +).
+        let printed = print_kernel(&k);
+        assert!(printed.contains("(1 + (2 * 3))"), "{printed}");
+        assert!(printed.contains("(1 << (2 + 1))"), "{printed}");
+    }
+
+    #[test]
+    fn parses_ternary_shfl_and_intrinsics() {
+        let src = r#"
+__global__ void k(float* out) {
+  float v = threadIdx.x < 16 ? sqrtf(2.0f) : fabsf(-1.5f);
+  v = __shfl_xor(v, 4, 8);
+  out[threadIdx.x] = min(v, 3.0f) + max(v, 0.5f);
+}
+"#;
+        let k = parse_kernel(src).unwrap();
+        let printed = print_kernel(&k);
+        assert!(printed.contains("__shfl_xor(v, 4, 8)"), "{printed}");
+        assert!(printed.contains("min(v, 3.0f)"), "{printed}");
+    }
+
+    #[test]
+    fn parse_errors_carry_positions() {
+        let e = parse_kernel("__global__ void k( {").unwrap_err();
+        assert!(e.to_string().contains("parse error"));
+        let e = parse_kernel("void k() {}").unwrap_err();
+        assert!(e.msg.contains("__global__"), "{e}");
+        // Non-canonical loop direction.
+        let e = parse_kernel(
+            "__global__ void k(float* o) { for (int i = 0; j < 4; i++) { o[0] = 1.0f; } }",
+        )
+        .unwrap_err();
+        assert!(e.msg.contains("must test"), "{e}");
+    }
+
+    #[test]
+    fn plus_assign_desugars() {
+        let k = parse_kernel(
+            "__global__ void k(float* o) { float s = 0.0f; s += 2.0f; o[0] = s; }",
+        )
+        .unwrap();
+        let printed = print_kernel(&k);
+        assert!(printed.contains("s = (s + 2.0f);"), "{printed}");
+    }
+}

@@ -1,0 +1,217 @@
+//! Pseudo-CUDA pretty-printer.
+//!
+//! Renders IR kernels as readable CUDA-like source, so examples can show
+//! the before/after of the CUDA-NP transformation exactly the way Figure 3
+//! of the paper does.
+
+use crate::expr::{BinOp, Expr, ShflMode};
+use crate::kernel::{Kernel, ParamKind};
+use crate::stmt::Stmt;
+use crate::types::MemSpace;
+
+/// Render a whole kernel.
+pub fn print_kernel(k: &Kernel) -> String {
+    let mut out = String::new();
+    let params: Vec<String> = k
+        .params
+        .iter()
+        .map(|p| match p.kind {
+            ParamKind::Scalar(ty) => format!("{} {}", ty.c_name(), p.name),
+            ParamKind::GlobalArray(ty) => format!("{}* {}", ty.c_name(), p.name),
+            ParamKind::TexArray(ty) => format!("/*texture*/ const {}* {}", ty.c_name(), p.name),
+            ParamKind::ConstArray(ty) => {
+                format!("/*constant*/ const {}* {}", ty.c_name(), p.name)
+            }
+        })
+        .collect();
+    out.push_str(&format!(
+        "// blockDim = ({}, {}, {})\n__global__ void {}({}) {{\n",
+        k.block_dim.x,
+        k.block_dim.y,
+        k.block_dim.z,
+        k.name,
+        params.join(", ")
+    ));
+    print_body(&k.body, 1, &mut out);
+    out.push_str("}\n");
+    out
+}
+
+fn indent(n: usize, out: &mut String) {
+    for _ in 0..n {
+        out.push_str("  ");
+    }
+}
+
+fn print_body(stmts: &[Stmt], depth: usize, out: &mut String) {
+    for s in stmts {
+        print_stmt(s, depth, out);
+    }
+}
+
+fn print_stmt(s: &Stmt, depth: usize, out: &mut String) {
+    match s {
+        Stmt::DeclScalar { name, ty, init } => {
+            indent(depth, out);
+            match init {
+                Some(e) => out.push_str(&format!("{} {} = {};\n", ty.c_name(), name, pe(e))),
+                None => out.push_str(&format!("{} {};\n", ty.c_name(), name)),
+            }
+        }
+        Stmt::DeclArray { name, ty, space, len } => {
+            indent(depth, out);
+            let qual = match space {
+                MemSpace::Shared => "__shared__ ",
+                MemSpace::Local => "/*local*/ ",
+                MemSpace::Global => "/*global*/ ",
+                MemSpace::Constant => "__constant__ ",
+                MemSpace::Texture => "/*texture*/ ",
+                MemSpace::Register => "/*register*/ ",
+            };
+            out.push_str(&format!("{qual}{} {name}[{len}];\n", ty.c_name()));
+        }
+        Stmt::Assign { name, value } => {
+            indent(depth, out);
+            out.push_str(&format!("{} = {};\n", name, pe(value)));
+        }
+        Stmt::Store { array, index, value } => {
+            indent(depth, out);
+            out.push_str(&format!("{}[{}] = {};\n", array, pe(index), pe(value)));
+        }
+        Stmt::If { cond, then_body, else_body } => {
+            indent(depth, out);
+            out.push_str(&format!("if ({}) {{\n", pe(cond)));
+            print_body(then_body, depth + 1, out);
+            indent(depth, out);
+            if else_body.is_empty() {
+                out.push_str("}\n");
+            } else {
+                out.push_str("} else {\n");
+                print_body(else_body, depth + 1, out);
+                indent(depth, out);
+                out.push_str("}\n");
+            }
+        }
+        Stmt::For { var, init, bound, step, body, pragma } => {
+            if let Some(p) = pragma {
+                indent(depth, out);
+                out.push_str(&format!("#pragma {}\n", p.to_text()));
+            }
+            indent(depth, out);
+            let step_s = match step {
+                Expr::ImmI32(1) => format!("{var}++"),
+                e => format!("{var} += {}", pe(e)),
+            };
+            out.push_str(&format!(
+                "for (int {var} = {}; {var} < {}; {step_s}) {{\n",
+                pe(init),
+                pe(bound)
+            ));
+            print_body(body, depth + 1, out);
+            indent(depth, out);
+            out.push_str("}\n");
+        }
+        Stmt::SyncThreads => {
+            indent(depth, out);
+            out.push_str("__syncthreads();\n");
+        }
+    }
+}
+
+/// Render one expression.
+pub fn pe(e: &Expr) -> String {
+    match e {
+        Expr::ImmF32(x) => {
+            if x.fract() == 0.0 && x.abs() < 1e9 {
+                format!("{x:.1}f")
+            } else {
+                format!("{x}f")
+            }
+        }
+        Expr::ImmI32(x) => format!("{x}"),
+        Expr::ImmU32(x) => format!("{x}u"),
+        Expr::ImmBool(x) => format!("{x}"),
+        Expr::Var(n) | Expr::Param(n) => n.clone(),
+        Expr::Special(s) => s.c_name().to_string(),
+        Expr::Unary(op, a) => {
+            if op.c_name().len() == 1 {
+                format!("({}{})", op.c_name(), pe(a))
+            } else {
+                format!("{}({})", op.c_name(), pe(a))
+            }
+        }
+        Expr::Binary(op, a, b) => match op {
+            BinOp::Min | BinOp::Max => format!("{}({}, {})", op.c_name(), pe(a), pe(b)),
+            _ => format!("({} {} {})", pe(a), op.c_name(), pe(b)),
+        },
+        Expr::Select(c, a, b) => format!("({} ? {} : {})", pe(c), pe(a), pe(b)),
+        Expr::Load { array, index } => format!("{}[{}]", array, pe(index)),
+        Expr::Shfl { mode, value, lane, width } => {
+            let f = match mode {
+                ShflMode::Idx => "__shfl",
+                ShflMode::Up => "__shfl_up",
+                ShflMode::Down => "__shfl_down",
+                ShflMode::Xor => "__shfl_xor",
+            };
+            format!("{f}({}, {}, {width})", pe(value), pe(lane))
+        }
+        Expr::Cast(ty, a) => format!("(({}) {})", ty.c_name(), pe(a)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::KernelBuilder;
+    use crate::expr::dsl::*;
+
+    #[test]
+    fn prints_figure2_tmv_shape() {
+        let mut b = KernelBuilder::new("tmv", 256);
+        b.param_global_f32("a");
+        b.param_global_f32("b");
+        b.param_global_f32("c");
+        b.param_scalar_i32("w");
+        b.param_scalar_i32("h");
+        b.decl_f32("sum", f(0.0));
+        b.decl_i32("tx", tidx() + bidx() * bdimx());
+        b.pragma_for("np parallel for reduction(+:sum)", "i", i(0), p("h"), |b| {
+            b.assign("sum", v("sum") + load("a", v("i") * p("w") + v("tx")) * load("b", v("i")));
+        });
+        b.store("c", v("tx"), v("sum"));
+        let src = print_kernel(&b.finish());
+        assert!(src.contains("__global__ void tmv(float* a, float* b, float* c, int w, int h)"));
+        assert!(src.contains("float sum = 0.0f;"));
+        assert!(src.contains("#pragma np parallel for reduction(+:sum)"));
+        assert!(src.contains("for (int i = 0; i < h; i++) {"));
+        assert!(src.contains("c[tx] = sum;"));
+    }
+
+    #[test]
+    fn prints_shfl_and_sync() {
+        let mut b = KernelBuilder::new("k", 32);
+        b.decl_f32("x", f(1.0));
+        b.assign("x", shfl(v("x"), i(0), 8));
+        b.sync();
+        let src = print_kernel(&b.finish());
+        assert!(src.contains("x = __shfl(x, 0, 8);"));
+        assert!(src.contains("__syncthreads();"));
+    }
+
+    #[test]
+    fn prints_if_else_and_arrays() {
+        let mut b = KernelBuilder::new("k", 32);
+        b.shared_array("tile", crate::types::Scalar::F32, 64);
+        b.local_array("grad", crate::types::Scalar::F32, 150);
+        b.if_else(
+            lt(tidx(), i(16)),
+            |b| b.store("tile", tidx(), f(0.0)),
+            |b| b.store("tile", tidx(), f(1.0)),
+        );
+        let src = print_kernel(&b.finish());
+        assert!(src.contains("__shared__ float tile[64];"));
+        assert!(src.contains("/*local*/ float grad[150];"));
+        assert!(src.contains("if ((threadIdx.x < 16)) {"));
+        assert!(src.contains("} else {"));
+    }
+}

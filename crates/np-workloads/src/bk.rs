@@ -1,0 +1,179 @@
+//! BK — BucketSort (the bucket-assignment kernel from the Hybrid Sort
+//! package). Each thread classifies 32 elements against a 1024-entry pivot
+//! tree held in shared memory (Table 1: 128 B/thread): one parallel loop
+//! cooperatively loads the pivots, the other walks the elements running a
+//! 10-step binary search each. No reductions or scans — the loops'
+//! iterations are fully independent (Table 1: X). PL=2, LC=32.
+
+use crate::{hash_vec, Scale, Workload};
+use np_exec::{Args, SimOptions};
+use np_kernel_ir::expr::dsl::*;
+use np_kernel_ir::types::Dim3;
+use np_kernel_ir::{Kernel, KernelBuilder, Scalar};
+
+/// Elements classified per thread.
+pub const ELEMS: usize = 32;
+/// Number of pivots (so 10 binary-search steps).
+pub const PIVOTS: usize = 1024;
+const BLOCK: u32 = 32;
+
+pub struct Bk {
+    /// Total elements; threads = elems / ELEMS.
+    pub elems: usize,
+    sample_blocks: Option<u64>,
+}
+
+impl Bk {
+    pub fn new(scale: Scale) -> Self {
+        match scale {
+            Scale::Test => Bk { elems: 2048, sample_blocks: None },
+            Scale::Paper => Bk { elems: 2 * 1024 * 1024, sample_blocks: Some(48) },
+        }
+    }
+
+    fn input(&self) -> Vec<f32> {
+        hash_vec(0x424B, self.elems)
+    }
+
+    fn pivots(&self) -> Vec<f32> {
+        // Sorted pivots covering [-1, 1].
+        (0..PIVOTS).map(|p| -1.0 + 2.0 * (p as f32 + 0.5) / PIVOTS as f32).collect()
+    }
+}
+
+impl Workload for Bk {
+    fn name(&self) -> &'static str {
+        "BK"
+    }
+
+    fn kernel(&self) -> Kernel {
+        let e = ELEMS as i32;
+        let np = PIVOTS as i32;
+        let mut b = KernelBuilder::new("bucket_assign", BLOCK);
+        b.param_global_f32("input");
+        b.param_global_f32("pivots_g");
+        b.param_global_f32("out");
+        b.shared_array("pivots", Scalar::F32, PIVOTS as u32);
+        b.decl_i32("t", tidx() + bidx() * bdimx());
+        // PL 1: cooperative pivot load — 32 iterations x 32 threads.
+        b.pragma_for("np parallel for", "l", i(0), i(np / BLOCK as i32), |b| {
+            b.store("pivots", v("l") * i(BLOCK as i32) + tidx(),
+                load("pivots_g", v("l") * i(BLOCK as i32) + tidx()));
+        });
+        b.sync();
+        // PL 2: classify this thread's 32 elements (10-step binary search).
+        b.pragma_for("np parallel for", "el", i(0), i(e), |b| {
+            b.decl_f32("val", load("input", v("t") * i(e) + v("el")));
+            b.decl_i32("lo", i(0));
+            b.for_loop("step", i(0), i(10), |b| {
+                // width = 512 >> step; mid = lo + width.
+                b.decl_i32("mid", v("lo") + shr(i(512), v("step")));
+                // Select evaluates both arms, so the probe index is clamped
+                // into range; the comparison still gates the update.
+                b.decl_f32("probe", load("pivots", min(v("mid"), i(np)) - i(1)));
+                b.assign(
+                    "lo",
+                    select(
+                        land(lt(v("mid"), i(np)), le(v("probe"), v("val"))),
+                        v("mid"),
+                        v("lo"),
+                    ),
+                );
+            });
+            b.store("out", v("t") * i(e) + v("el"), cast(Scalar::F32, v("lo")));
+        });
+        b.finish()
+    }
+
+    fn grid(&self) -> Dim3 {
+        Dim3::x1((self.elems / ELEMS) as u32 / BLOCK)
+    }
+
+    fn make_args(&self) -> Args {
+        Args::new()
+            .buf_f32("input", self.input())
+            .buf_f32("pivots_g", self.pivots())
+            .buf_f32("out", vec![0.0; self.elems])
+    }
+
+    fn reference(&self) -> Vec<f32> {
+        let input = self.input();
+        let pivots = self.pivots();
+        input
+            .iter()
+            .map(|&val| {
+                let mut lo = 0i32;
+                for step in 0..10 {
+                    let mid = lo + (512 >> step);
+                    if mid < PIVOTS as i32 && pivots[(mid - 1) as usize] <= val {
+                        lo = mid;
+                    }
+                }
+                lo as f32
+            })
+            .collect()
+    }
+
+    fn sim_options(&self) -> SimOptions {
+        match self.sample_blocks {
+            Some(n) => SimOptions::sampled(n),
+            None => SimOptions::full(),
+        }
+    }
+
+    fn tolerance(&self) -> f32 {
+        0.0 // integer bucket indices: exact
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assert_close;
+    use np_exec::launch;
+    use np_gpu_sim::DeviceConfig;
+
+    #[test]
+    fn baseline_matches_cpu_reference() {
+        let w = Bk::new(Scale::Test);
+        let mut args = w.make_args();
+        launch(&DeviceConfig::gtx680(), &w.kernel(), w.grid(), &mut args, &w.sim_options())
+            .unwrap();
+        assert_close(&w.reference(), args.get_f32("out").unwrap(), 0.0, "BK");
+    }
+
+    #[test]
+    fn buckets_are_monotone_in_value() {
+        let w = Bk::new(Scale::Test);
+        let input = w.input();
+        let r = w.reference();
+        let mut pairs: Vec<(f32, f32)> = input.into_iter().zip(r).collect();
+        pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
+        for win in pairs.windows(2) {
+            assert!(win[0].1 <= win[1].1, "bucket index must grow with value");
+        }
+    }
+
+    #[test]
+    fn transformed_matches_exactly() {
+        let w = Bk::new(Scale::Test);
+        for opts in [cuda_np::NpOptions::inter(8), cuda_np::NpOptions::intra(8)] {
+            let t = cuda_np::transform(&w.kernel(), &opts).unwrap();
+            let mut args = w.make_args();
+            launch(&DeviceConfig::gtx680(), &t.kernel, w.grid(), &mut args, &w.sim_options())
+                .unwrap();
+            assert_eq!(w.reference(), args.get_f32("out").unwrap(), "BK is exact");
+        }
+    }
+
+    #[test]
+    fn table1_characteristics() {
+        let w = Bk::new(Scale::Paper);
+        let c = crate::spec::characterize(&w.kernel(), &[]);
+        assert_eq!(c.parallel_loops, 2);
+        assert_eq!(c.max_loop_count, 32);
+        assert!(!c.has_reduction && !c.has_scan);
+        let res = np_exec::estimate_resources(&w.kernel(), 63);
+        assert_eq!(res.shared_per_block / BLOCK, 128, "Table 1: 128 B/thread shared");
+    }
+}

@@ -1,0 +1,318 @@
+//! CFD — the Rodinia computational-fluid-dynamics flux kernel
+//! (`cuda_compute_flux`). One thread per element: load its five conserved
+//! variables, derive velocity / pressure / speed-of-sound, then accumulate
+//! flux contributions from its four neighbours (gathered through an index
+//! array — irregular accesses). The kernel's problem is *register
+//! pressure*: ~63 registers per thread with spills to local memory
+//! (Table 1: 252 B registers + 56 B local), capping occupancy.
+//! Table 1: PL=1, LC=4, R.
+
+use crate::{hash_f32, Scale, Workload};
+use np_exec::{Args, SimOptions};
+use np_kernel_ir::expr::dsl::*;
+use np_kernel_ir::types::Dim3;
+use np_kernel_ir::{Kernel, KernelBuilder};
+
+pub const NNB: usize = 4;
+const BLOCK: u32 = 128;
+const GAMMA: f32 = 1.4;
+
+pub struct Cfd {
+    /// Number of mesh elements (threads).
+    pub nelem: usize,
+    sample_blocks: Option<u64>,
+}
+
+impl Cfd {
+    pub fn new(scale: Scale) -> Self {
+        match scale {
+            Scale::Test => Cfd { nelem: 256, sample_blocks: None },
+            Scale::Paper => Cfd { nelem: 193 * 1024, sample_blocks: Some(48) },
+        }
+    }
+
+    fn var(&self, c: u64) -> Vec<f32> {
+        // Conserved variables, kept positive where physics needs it.
+        (0..self.nelem as u64).map(|i| 1.5 + 0.4 * hash_f32(0xCFD0 + c, i)).collect()
+    }
+
+    fn neighbors(&self) -> Vec<i32> {
+        (0..(self.nelem * NNB) as u64)
+            .map(|i| {
+                let h = hash_f32(0xCFD9, i);
+                (((h + 1.0) / 2.0 * self.nelem as f32) as i32).clamp(0, self.nelem as i32 - 1)
+            })
+            .collect()
+    }
+}
+
+impl Workload for Cfd {
+    fn name(&self) -> &'static str {
+        "CFD"
+    }
+
+    fn kernel(&self) -> Kernel {
+        let mut b = KernelBuilder::new("compute_flux", BLOCK);
+        for name in ["dens", "momx", "momy", "momz", "ener"] {
+            b.param_global_f32(name);
+        }
+        b.param_global_i32("nbr");
+        b.param_global_f32("out");
+        b.decl_i32("el", tidx() + bidx() * bdimx());
+        // Own-element state: deliberately many live scalars, reproducing
+        // the register pressure of the real kernel.
+        b.decl_f32("rho", load("dens", v("el")));
+        b.decl_f32("mx", load("momx", v("el")));
+        b.decl_f32("my", load("momy", v("el")));
+        b.decl_f32("mz", load("momz", v("el")));
+        b.decl_f32("en", load("ener", v("el")));
+        b.decl_f32("inv_rho", f(1.0) / v("rho"));
+        b.decl_f32("vx", v("mx") * v("inv_rho"));
+        b.decl_f32("vy", v("my") * v("inv_rho"));
+        b.decl_f32("vz", v("mz") * v("inv_rho"));
+        b.decl_f32("ke", f(0.5) * (v("vx") * v("vx") + v("vy") * v("vy") + v("vz") * v("vz")));
+        b.decl_f32("pres", f(GAMMA - 1.0) * (v("en") - v("rho") * v("ke")));
+        b.decl_f32("sos", sqrt(abs(f(GAMMA) * v("pres") * v("inv_rho"))) );
+        b.decl_f32("fx_rho", v("mx"));
+        b.decl_f32("fy_rho", v("my"));
+        b.decl_f32("fz_rho", v("mz"));
+        b.decl_f32("fx_en", v("vx") * (v("en") + v("pres")));
+        b.decl_f32("fy_en", v("vy") * (v("en") + v("pres")));
+        b.decl_f32("fz_en", v("vz") * (v("en") + v("pres")));
+        // Full 3x3 momentum-flux tensor of the own element (as in the real
+        // kernel's flux_contribution_momentum_{x,y,z} structs).
+        b.decl_f32("fmx_x", v("mx") * v("vx") + v("pres"));
+        b.decl_f32("fmx_y", v("mx") * v("vy"));
+        b.decl_f32("fmx_z", v("mx") * v("vz"));
+        b.decl_f32("fmy_x", v("my") * v("vx"));
+        b.decl_f32("fmy_y", v("my") * v("vy") + v("pres"));
+        b.decl_f32("fmy_z", v("my") * v("vz"));
+        b.decl_f32("fmz_x", v("mz") * v("vx"));
+        b.decl_f32("fmz_y", v("mz") * v("vy"));
+        b.decl_f32("fmz_z", v("mz") * v("vz") + v("pres"));
+        b.decl_f32("vel", sqrt(v("ke") + v("ke")));
+        b.decl_f32("mach", v("vel") / v("sos"));
+        b.decl_f32("h_tot", (v("en") + v("pres")) * v("inv_rho"));
+        b.decl_f32("ew_x", f(0.6));
+        b.decl_f32("ew_y", f(0.3));
+        b.decl_f32("ew_z", f(0.1));
+        b.decl_f32("smoothing", f(0.25) * (v("mach") + f(1.0)));
+        b.decl_f32("fd", f(0.0));
+        b.decl_f32("fe", f(0.0));
+        b.decl_f32("fmx", f(0.0));
+        b.decl_f32("fmy", f(0.0));
+        b.decl_f32("fmz", f(0.0));
+        // The neighbour loop: LC = 4, five-way reduction.
+        b.pragma_for(
+            "np parallel for reduction(+:fd,fe,fmx,fmy,fmz)",
+            "nb",
+            i(0),
+            i(NNB as i32),
+            |b| {
+                b.decl_i32("nx", load("nbr", v("el") * i(NNB as i32) + v("nb")));
+                b.decl_f32("nrho", load("dens", v("nx")));
+                b.decl_f32("nmx", load("momx", v("nx")));
+                b.decl_f32("nmy", load("momy", v("nx")));
+                b.decl_f32("nmz", load("momz", v("nx")));
+                b.decl_f32("nen", load("ener", v("nx")));
+                b.decl_f32("ninv", f(1.0) / v("nrho"));
+                b.decl_f32("nvx", v("nmx") * v("ninv"));
+                b.decl_f32("nvy", v("nmy") * v("ninv"));
+                b.decl_f32("nvz", v("nmz") * v("ninv"));
+                b.decl_f32(
+                    "nke",
+                    f(0.5) * (v("nvx") * v("nvx") + v("nvy") * v("nvy") + v("nvz") * v("nvz")),
+                );
+                b.decl_f32("npres", f(GAMMA - 1.0) * (v("nen") - v("nrho") * v("nke")));
+                b.decl_f32("nsos", sqrt(abs(f(GAMMA) * v("npres") * v("ninv"))));
+                b.decl_f32("factor", f(0.5) * (v("sos") + v("nsos")));
+                // Neighbour momentum-flux tensor.
+                b.decl_f32("nfmx_x", v("nmx") * v("nvx") + v("npres"));
+                b.decl_f32("nfmx_y", v("nmx") * v("nvy"));
+                b.decl_f32("nfmx_z", v("nmx") * v("nvz"));
+                b.decl_f32("nfmy_x", v("nmy") * v("nvx"));
+                b.decl_f32("nfmy_y", v("nmy") * v("nvy") + v("npres"));
+                b.decl_f32("nfmy_z", v("nmy") * v("nvz"));
+                b.decl_f32("nfmz_x", v("nmz") * v("nvx"));
+                b.decl_f32("nfmz_y", v("nmz") * v("nvy"));
+                b.decl_f32("nfmz_z", v("nmz") * v("nvz") + v("npres"));
+                b.decl_f32("nvel", sqrt(v("nke") + v("nke")));
+                b.decl_f32("nmach", v("nvel") / v("nsos"));
+                b.decl_f32("nh_tot", (v("nen") + v("npres")) * v("ninv"));
+                b.assign("fd", v("fd") + v("factor") * (v("nrho") - v("rho")) + f(0.5) * (v("nmx") + v("fx_rho")));
+                b.assign("fmx", v("fmx")
+                    + f(0.5) * (v("ew_x") * (v("nfmx_x") + v("fmx_x"))
+                        + v("ew_y") * (v("nfmx_y") + v("fmx_y"))
+                        + v("ew_z") * (v("nfmx_z") + v("fmx_z"))));
+                b.assign("fmy", v("fmy")
+                    + f(0.5) * (v("ew_x") * (v("nfmy_x") + v("fmy_x"))
+                        + v("ew_y") * (v("nfmy_y") + v("fmy_y"))
+                        + v("ew_z") * (v("nfmy_z") + v("fmy_z"))));
+                b.assign("fmz", v("fmz")
+                    + f(0.5) * (v("ew_x") * (v("nfmz_x") + v("fmz_x"))
+                        + v("ew_y") * (v("nfmz_y") + v("fmz_y"))
+                        + v("ew_z") * (v("nfmz_z") + v("fmz_z"))));
+                b.assign("fe", v("fe")
+                    + f(0.5) * (v("nvx") * (v("nen") + v("npres")) + v("fx_en"))
+                    + f(0.1) * (v("fy_en") + v("fz_en"))
+                    + f(0.01) * (v("nh_tot") + v("nmach") * v("smoothing")));
+            },
+        );
+        b.store(
+            "out",
+            v("el"),
+            v("fd") + v("fmx") + v("fmy") + v("fmz") + v("fe")
+                + f(0.01) * (v("h_tot") + v("vel"))
+                + f(0.001) * (v("fy_rho") + v("fz_rho")),
+        );
+        b.finish()
+    }
+
+    fn grid(&self) -> Dim3 {
+        Dim3::x1(self.nelem as u32 / BLOCK)
+    }
+
+    fn make_args(&self) -> Args {
+        Args::new()
+            .buf_f32("dens", self.var(0))
+            .buf_f32("momx", self.var(1))
+            .buf_f32("momy", self.var(2))
+            .buf_f32("momz", self.var(3))
+            .buf_f32("ener", self.var(4))
+            .buf_i32("nbr", self.neighbors())
+            .buf_f32("out", vec![0.0; self.nelem])
+    }
+
+    fn reference(&self) -> Vec<f32> {
+        let dens = self.var(0);
+        let momx = self.var(1);
+        let momy = self.var(2);
+        let momz = self.var(3);
+        let ener = self.var(4);
+        let nbr = self.neighbors();
+        #[allow(clippy::type_complexity)]
+        let derive = |el: usize| -> (f32, f32, f32, f32, f32, f32, f32) {
+            let rho = dens[el];
+            let inv = 1.0 / rho;
+            let (vx, vy, vz) = (momx[el] * inv, momy[el] * inv, momz[el] * inv);
+            let ke = 0.5 * (vx * vx + vy * vy + vz * vz);
+            let pres = (GAMMA - 1.0) * (ener[el] - rho * ke);
+            let sos = (GAMMA * pres * inv).abs().sqrt();
+            (rho, vx, vy, vz, pres, sos, ke)
+        };
+        // 3x3 momentum flux tensor rows for an element.
+        let tensor = |el: usize, vx: f32, vy: f32, vz: f32, pres: f32| {
+            let (mx, my, mz) = (momx[el], momy[el], momz[el]);
+            [
+                [mx * vx + pres, mx * vy, mx * vz],
+                [my * vx, my * vy + pres, my * vz],
+                [mz * vx, mz * vy, mz * vz + pres],
+            ]
+        };
+        let (ew_x, ew_y, ew_z) = (0.6f32, 0.3f32, 0.1f32);
+        (0..self.nelem)
+            .map(|el| {
+                let (rho, vx, vy, vz, pres, sos, ke) = derive(el);
+                let (mx, _my, _mz, en) = (momx[el], momy[el], momz[el], ener[el]);
+                let fx_en = vx * (en + pres);
+                let fy_en = vy * (en + pres);
+                let fz_en = vz * (en + pres);
+                let own = tensor(el, vx, vy, vz, pres);
+                let vel = (ke + ke).sqrt();
+                let mach = vel / sos;
+                let h_tot = (en + pres) / rho;
+                let smoothing = 0.25 * (mach + 1.0);
+                let (mut fd, mut fe, mut fmx, mut fmy, mut fmz) =
+                    (0.0f32, 0.0f32, 0.0f32, 0.0f32, 0.0f32);
+                for nb in 0..NNB {
+                    let nx = nbr[el * NNB + nb] as usize;
+                    let (nrho, nvx, nvy, nvz, npres, nsos, nke) = derive(nx);
+                    let (nmx, _nmy, _nmz, nen) = (momx[nx], momy[nx], momz[nx], ener[nx]);
+                    let ngh = tensor(nx, nvx, nvy, nvz, npres);
+                    let nvel = (nke + nke).sqrt();
+                    let nmach = nvel / nsos;
+                    let nh_tot = (nen + npres) / nrho;
+                    let factor = 0.5 * (sos + nsos);
+                    fd += factor * (nrho - rho) + 0.5 * (nmx + mx);
+                    fmx += 0.5
+                        * (ew_x * (ngh[0][0] + own[0][0])
+                            + ew_y * (ngh[0][1] + own[0][1])
+                            + ew_z * (ngh[0][2] + own[0][2]));
+                    fmy += 0.5
+                        * (ew_x * (ngh[1][0] + own[1][0])
+                            + ew_y * (ngh[1][1] + own[1][1])
+                            + ew_z * (ngh[1][2] + own[1][2]));
+                    fmz += 0.5
+                        * (ew_x * (ngh[2][0] + own[2][0])
+                            + ew_y * (ngh[2][1] + own[2][1])
+                            + ew_z * (ngh[2][2] + own[2][2]));
+                    fe += 0.5 * (nvx * (nen + npres) + fx_en)
+                        + 0.1 * (fy_en + fz_en)
+                        + 0.01 * (nh_tot + nmach * smoothing);
+                }
+                fd + fmx + fmy + fmz + fe
+                    + 0.01 * (h_tot + vel)
+                    + 0.001 * (momy[el] + momz[el])
+            })
+            .collect()
+    }
+
+    fn sim_options(&self) -> SimOptions {
+        match self.sample_blocks {
+            Some(n) => SimOptions::sampled(n),
+            None => SimOptions::full(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assert_close;
+    use np_exec::launch;
+    use np_gpu_sim::DeviceConfig;
+
+    #[test]
+    fn baseline_matches_cpu_reference() {
+        let w = Cfd::new(Scale::Test);
+        let mut args = w.make_args();
+        launch(&DeviceConfig::gtx680(), &w.kernel(), w.grid(), &mut args, &w.sim_options())
+            .unwrap();
+        assert_close(&w.reference(), args.get_f32("out").unwrap(), w.tolerance(), "CFD");
+    }
+
+    #[test]
+    fn transformed_matches_reference() {
+        let w = Cfd::new(Scale::Test);
+        for opts in [cuda_np::NpOptions::inter(2), cuda_np::NpOptions::intra(4)] {
+            let t = cuda_np::transform(&w.kernel(), &opts).unwrap();
+            let mut args = w.make_args();
+            launch(&DeviceConfig::gtx680(), &t.kernel, w.grid(), &mut args, &w.sim_options())
+                .unwrap();
+            assert_close(&w.reference(), args.get_f32("out").unwrap(), 1e-3, "CFD np");
+        }
+    }
+
+    #[test]
+    fn register_pressure_hits_the_cap_and_spills() {
+        let w = Cfd::new(Scale::Paper);
+        let res = np_exec::estimate_resources(&w.kernel(), 63);
+        assert_eq!(res.regs_per_thread, 63, "Table 1: 252 B of registers");
+        assert!(
+            (4..=120).contains(&res.local_per_thread),
+            "spills in the Table-1 ballpark (56 B), got {}",
+            res.local_per_thread
+        );
+        let occ = np_gpu_sim::occupancy(&DeviceConfig::gtx680(), &res).unwrap();
+        assert_eq!(occ.limiter, np_gpu_sim::Limiter::Registers);
+    }
+
+    #[test]
+    fn table1_characteristics() {
+        let w = Cfd::new(Scale::Paper);
+        let c = crate::spec::characterize(&w.kernel(), &[]);
+        assert_eq!(c.parallel_loops, 1);
+        assert_eq!(c.max_loop_count, 4);
+        assert!(c.has_reduction && !c.has_scan);
+    }
+}

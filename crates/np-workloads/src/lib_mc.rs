@@ -1,0 +1,201 @@
+//! LIB — the Libor Monte-Carlo kernel (GPGPU-Sim benchmark suite). One
+//! thread per path: compute per-maturity forward-rate adjustments into
+//! per-thread local arrays (960 B total across three 80-element arrays),
+//! accumulate a running (scanned) discount along the maturities, and
+//! produce the path payoff. The scan clause is the paper's 'S' case.
+//! Table 1: PL=4, LC=80, S.
+//!
+//! Layout note: `lam` is touched by the parallel loops (and gets relocated
+//! by CUDA-NP); `drift` and `disc` are only used by sequential sections and
+//! stay in local memory — which is why the paper's optimized LIB still
+//! shows 640 B of local memory.
+
+use crate::{hash_vec, Scale, Workload};
+use np_exec::{Args, SimOptions};
+use np_kernel_ir::expr::dsl::*;
+use np_kernel_ir::types::Dim3;
+use np_kernel_ir::{Kernel, KernelBuilder, Scalar};
+
+pub const NMAT: usize = 80;
+const BLOCK: u32 = 64;
+
+pub struct Lib {
+    /// Number of Monte-Carlo paths (threads).
+    pub npath: usize,
+    sample_blocks: Option<u64>,
+}
+
+impl Lib {
+    pub fn new(scale: Scale) -> Self {
+        match scale {
+            Scale::Test => Lib { npath: 128, sample_blocks: None },
+            Scale::Paper => Lib { npath: 256 * 1024, sample_blocks: Some(48) },
+        }
+    }
+
+    fn z(&self) -> Vec<f32> {
+        hash_vec(0x4C49, self.npath)
+    }
+
+    fn rates(&self) -> Vec<f32> {
+        (0..NMAT).map(|i| 0.05 + 0.001 * (i as f32)).collect()
+    }
+}
+
+impl Workload for Lib {
+    fn name(&self) -> &'static str {
+        "LIB"
+    }
+
+    fn kernel(&self) -> Kernel {
+        let n = NMAT as i32;
+        let mut b = KernelBuilder::new("libor", BLOCK);
+        b.param_global_f32("z");
+        b.param_global_f32("rate0");
+        b.param_global_f32("out");
+        // Three 80-element local arrays = 960 B (Table 1 LM column).
+        b.local_array("lam", Scalar::F32, NMAT as u32);
+        b.local_array("drift", Scalar::F32, NMAT as u32);
+        b.local_array("disc", Scalar::F32, NMAT as u32);
+        b.decl_i32("path", tidx() + bidx() * bdimx());
+        b.decl_f32("zi", load("z", v("path")));
+        // PL 1: volatility adjustment per maturity (relocatable).
+        b.pragma_for("np parallel for", "m1", i(0), i(n), |b| {
+            b.store("lam", v("m1"), load("rate0", v("m1")) * (f(1.0) + f(0.2) * v("zi")));
+        });
+        // PL 2: squared-vol accumulation (reduction).
+        b.decl_f32("v2", f(0.0));
+        b.pragma_for("np parallel for reduction(+:v2)", "m2", i(0), i(n), |b| {
+            b.assign("v2", v("v2") + load("lam", v("m2")) * load("lam", v("m2")));
+        });
+        // Sequential maturity sweep filling the drift/discount tables
+        // (master-only; these arrays stay in local memory).
+        b.for_loop("ms", i(0), i(n), |b| {
+            b.store("drift", v("ms"), v("v2") * f(0.01) + v("zi") * f(0.002));
+            b.store("disc", v("ms"), f(1.0) / (f(1.0) + f(0.0025) * load("drift", v("ms"))));
+        });
+        // PL 3: the scanned running log-discount along the maturities; the
+        // mid-life value is captured with a select clause (Section 3.2's
+        // conditional live-out).
+        b.decl_f32("acc", f(0.0));
+        b.decl_f32("mid", f(0.0));
+        b.pragma_for("np parallel for scan(+:acc) select(mid)", "m3", i(0), i(n), |b| {
+            b.assign("acc", v("acc") + load("rate0", v("m3")) * f(0.0025) + v("zi") * f(0.0001));
+            b.if_(eq(v("m3"), i(40)), |b| {
+                b.assign("mid", v("acc"));
+            });
+        });
+        // PL 4: payoff accumulation using the scanned total (reduction).
+        b.decl_f32("payoff", f(0.0));
+        b.pragma_for("np parallel for reduction(+:payoff)", "m4", i(0), i(n), |b| {
+            b.assign(
+                "payoff",
+                v("payoff") + load("lam", v("m4")) * v("acc") * f(0.0125),
+            );
+        });
+        // Final sequential read of the local tables and the mid-scan value.
+        b.store(
+            "out",
+            v("path"),
+            v("payoff") + load("disc", i(n - 1)) + load("drift", i(0)) * f(0.5)
+                + v("mid") * f(0.1),
+        );
+        b.finish()
+    }
+
+    fn grid(&self) -> Dim3 {
+        Dim3::x1(self.npath as u32 / BLOCK)
+    }
+
+    fn make_args(&self) -> Args {
+        Args::new()
+            .buf_f32("z", self.z())
+            .buf_f32("rate0", self.rates())
+            .buf_f32("out", vec![0.0; self.npath])
+    }
+
+    fn reference(&self) -> Vec<f32> {
+        let z = self.z();
+        let rates = self.rates();
+        (0..self.npath)
+            .map(|path| {
+                let zi = z[path];
+                let lam: Vec<f32> =
+                    (0..NMAT).map(|m| rates[m] * (1.0 + 0.2 * zi)).collect();
+                let v2: f32 = lam.iter().map(|l| l * l).sum();
+                let drift0 = v2 * 0.01 + zi * 0.002;
+                let disc_last = 1.0 / (1.0 + 0.0025 * drift0);
+                let mut acc = 0.0f32;
+                let mut mid = 0.0f32;
+                for (m, rate) in rates.iter().enumerate() {
+                    acc += rate * 0.0025 + zi * 0.0001;
+                    if m == 40 {
+                        mid = acc;
+                    }
+                }
+                let payoff: f32 = lam.iter().map(|l| l * acc * 0.0125).sum();
+                payoff + disc_last + drift0 * 0.5 + mid * 0.1
+            })
+            .collect()
+    }
+
+    fn sim_options(&self) -> SimOptions {
+        match self.sample_blocks {
+            Some(n) => SimOptions::sampled(n),
+            None => SimOptions::full(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assert_close;
+    use cuda_np::LocalArrayChoice;
+    use np_exec::launch;
+    use np_gpu_sim::DeviceConfig;
+
+    #[test]
+    fn baseline_matches_cpu_reference() {
+        let w = Lib::new(Scale::Test);
+        let mut args = w.make_args();
+        launch(&DeviceConfig::gtx680(), &w.kernel(), w.grid(), &mut args, &w.sim_options())
+            .unwrap();
+        assert_close(&w.reference(), args.get_f32("out").unwrap(), w.tolerance(), "LIB");
+    }
+
+    #[test]
+    fn transformed_matches_reference() {
+        let w = Lib::new(Scale::Test);
+        for opts in [cuda_np::NpOptions::inter(8), cuda_np::NpOptions::intra(8)] {
+            let t = cuda_np::transform(&w.kernel(), &opts).unwrap();
+            let mut args = cuda_np::tuner::alloc_extra_buffers(w.make_args(), &t, w.grid());
+            launch(&DeviceConfig::gtx680(), &t.kernel, w.grid(), &mut args, &w.sim_options())
+                .unwrap();
+            assert_close(&w.reference(), args.get_f32("out").unwrap(), 1e-3, "LIB np");
+        }
+    }
+
+    #[test]
+    fn only_lam_is_relocated_drift_and_disc_stay_local() {
+        // Matches Table 1: OPT LIB still holds 640 B of local memory.
+        let w = Lib::new(Scale::Paper);
+        let t = cuda_np::transform(&w.kernel(), &cuda_np::NpOptions::inter(8)).unwrap();
+        assert_eq!(t.report.local_arrays.len(), 1);
+        assert_eq!(t.report.local_arrays[0].array, "lam");
+        assert!(matches!(t.report.local_arrays[0].choice, LocalArrayChoice::Register { .. }));
+        let res = np_exec::estimate_resources(&t.kernel, 63);
+        assert_eq!(res.local_per_thread, 640, "drift + disc stay in local memory");
+    }
+
+    #[test]
+    fn table1_characteristics() {
+        let w = Lib::new(Scale::Paper);
+        let c = crate::spec::characterize(&w.kernel(), &[]);
+        assert_eq!(c.parallel_loops, 4);
+        assert_eq!(c.max_loop_count, 80);
+        assert!(c.has_scan);
+        let res = np_exec::estimate_resources(&w.kernel(), 63);
+        assert_eq!(res.local_per_thread, 960);
+    }
+}

@@ -1,0 +1,210 @@
+//! LU — the Rodinia `lud_perimeter` kernel (paper Figure 3). 32-thread
+//! blocks where the first 16 threads process a perimeter *row* tile and the
+//! last 16 a perimeter *column* tile: the parallel loops live inside
+//! divergent `tx < 16` control flow. This is the benchmark where intra-warp
+//! NP wins by regrouping masters so the branch becomes warp-uniform
+//! (Section 5). Table 1: PL=4, LC=32, R.
+
+use crate::{hash_vec, Scale, Workload};
+use np_exec::{Args, SimOptions};
+use np_kernel_ir::expr::dsl::*;
+use np_kernel_ir::types::Dim3;
+use np_kernel_ir::{Kernel, KernelBuilder, Scalar};
+
+pub const BLOCK_SIZE: usize = 16;
+
+pub struct Lu {
+    /// Number of perimeter tiles (blocks).
+    pub tiles: usize,
+    pub matrix_dim: usize,
+}
+
+impl Lu {
+    pub fn new(scale: Scale) -> Self {
+        match scale {
+            Scale::Test => Lu { tiles: 4, matrix_dim: 128 },
+            Scale::Paper => Lu { tiles: 127, matrix_dim: 2048 },
+        }
+    }
+
+    fn m(&self) -> Vec<f32> {
+        // Covers the diagonal tile plus every perimeter tile the grid reads.
+        hash_vec(0x4C55, (self.tiles + 1) * BLOCK_SIZE * self.matrix_dim + self.matrix_dim)
+    }
+}
+
+impl Workload for Lu {
+    fn name(&self) -> &'static str {
+        "LU"
+    }
+
+    fn kernel(&self) -> Kernel {
+        let bs = BLOCK_SIZE as i32;
+        let mut b = KernelBuilder::new("lud_perimeter", 2 * BLOCK_SIZE as u32);
+        b.param_global_f32("m");
+        b.param_global_f32("out");
+        b.param_scalar_i32("matrix_dim");
+        b.param_scalar_i32("offset");
+        b.shared_array("dia", Scalar::F32, (BLOCK_SIZE * BLOCK_SIZE) as u32);
+        b.shared_array("peri_row", Scalar::F32, (BLOCK_SIZE * BLOCK_SIZE) as u32);
+        b.shared_array("peri_col", Scalar::F32, (BLOCK_SIZE * BLOCK_SIZE) as u32);
+        b.decl_i32("tx", tidx());
+        b.decl_i32("idx", v("tx") % i(bs));
+        b.decl_i32("array_offset", p("offset") * p("matrix_dim") + p("offset"));
+        // Everyone loads a slice of the diagonal tile (uniform control).
+        b.store(
+            "dia",
+            v("tx") * i(bs / 2) % i(bs * bs),
+            load("m", v("array_offset") + (v("tx") % i(bs)) * p("matrix_dim") + v("tx") / i(bs)),
+        );
+        b.sync();
+        // Load phase: rows for the first half-warp, columns for the second.
+        b.if_else(
+            lt(v("tx"), i(bs)),
+            |b| {
+                b.pragma_for("np parallel for", "i1", i(0), i(bs), |b| {
+                    b.store(
+                        "peri_row",
+                        v("i1") * i(bs) + v("idx"),
+                        load(
+                            "m",
+                            v("array_offset")
+                                + (bidx() + i(1)) * i(bs)
+                                + p("matrix_dim") * v("i1")
+                                + v("idx"),
+                        ),
+                    );
+                });
+            },
+            |b| {
+                b.pragma_for("np parallel for", "i2", i(0), i(bs), |b| {
+                    b.store(
+                        "peri_col",
+                        v("i2") * i(bs) + v("idx"),
+                        load(
+                            "m",
+                            v("array_offset")
+                                + (bidx() + i(1)) * i(bs) * p("matrix_dim")
+                                + p("matrix_dim") * v("idx")
+                                + v("i2"),
+                        ),
+                    );
+                });
+            },
+        );
+        b.sync();
+        // Compute phase: dot products against the diagonal tile.
+        b.decl_f32("acc", f(0.0));
+        b.if_else(
+            lt(v("tx"), i(bs)),
+            |b| {
+                b.pragma_for("np parallel for reduction(+:acc)", "j1", i(0), i(bs), |b| {
+                    b.assign(
+                        "acc",
+                        v("acc")
+                            + load("dia", v("idx") * i(bs) + v("j1"))
+                                * load("peri_row", v("j1") * i(bs) + v("idx")),
+                    );
+                });
+            },
+            |b| {
+                b.pragma_for("np parallel for reduction(+:acc)", "j2", i(0), i(bs), |b| {
+                    b.assign(
+                        "acc",
+                        v("acc")
+                            + load("dia", v("j2") * i(bs) + v("idx"))
+                                * load("peri_col", v("j2") * i(bs) + v("idx")),
+                    );
+                });
+            },
+        );
+        b.store("out", bidx() * i(2 * bs) + v("tx"), v("acc"));
+        b.finish()
+    }
+
+    fn grid(&self) -> Dim3 {
+        Dim3::x1(self.tiles as u32)
+    }
+
+    fn make_args(&self) -> Args {
+        Args::new()
+            .buf_f32("m", self.m())
+            .buf_f32("out", vec![0.0; self.tiles * 2 * BLOCK_SIZE])
+            .i32("matrix_dim", self.matrix_dim as i32)
+            .i32("offset", 0)
+    }
+
+    fn reference(&self) -> Vec<f32> {
+        let bs = BLOCK_SIZE;
+        let m = self.m();
+        let md = self.matrix_dim;
+        let mut out = vec![0.0f32; self.tiles * 2 * bs];
+        for blk in 0..self.tiles {
+            // dia as loaded by the kernel (every thread writes one slot;
+            // later writers win in warp order, matching the interpreter).
+            let mut dia = vec![0.0f32; bs * bs];
+            for tx in 0..2 * bs {
+                dia[tx * (bs / 2) % (bs * bs)] = m[(tx % bs) * md + tx / bs];
+            }
+            for tx in 0..2 * bs {
+                let idx = tx % bs;
+                let mut acc = 0.0f32;
+                if tx < bs {
+                    for j in 0..bs {
+                        let peri_row = m[(blk + 1) * bs + md * j + idx];
+                        acc += dia[idx * bs + j] * peri_row;
+                    }
+                } else {
+                    for j in 0..bs {
+                        let peri_col = m[(blk + 1) * bs * md + md * idx + j];
+                        acc += dia[j * bs + idx] * peri_col;
+                    }
+                }
+                out[blk * 2 * bs + tx] = acc;
+            }
+        }
+        out
+    }
+
+    fn sim_options(&self) -> SimOptions {
+        SimOptions::full()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assert_close;
+    use np_exec::launch;
+    use np_gpu_sim::DeviceConfig;
+
+    #[test]
+    fn baseline_matches_cpu_reference() {
+        let w = Lu::new(Scale::Test);
+        let mut args = w.make_args();
+        launch(&DeviceConfig::gtx680(), &w.kernel(), w.grid(), &mut args, &w.sim_options())
+            .unwrap();
+        assert_close(&w.reference(), args.get_f32("out").unwrap(), w.tolerance(), "LU");
+    }
+
+    #[test]
+    fn transformed_matches_reference_despite_divergent_guards() {
+        let w = Lu::new(Scale::Test);
+        for opts in [cuda_np::NpOptions::inter(4), cuda_np::NpOptions::intra(4)] {
+            let label = format!("LU {:?}", opts.np_type);
+            let t = cuda_np::transform(&w.kernel(), &opts).unwrap();
+            let mut args = w.make_args();
+            launch(&DeviceConfig::gtx680(), &t.kernel, w.grid(), &mut args, &w.sim_options())
+                .unwrap();
+            assert_close(&w.reference(), args.get_f32("out").unwrap(), 1e-3, &label);
+        }
+    }
+
+    #[test]
+    fn table1_characteristics() {
+        let w = Lu::new(Scale::Paper);
+        let c = crate::spec::characterize(&w.kernel(), &[]);
+        assert_eq!(c.parallel_loops, 4);
+        assert!(c.has_reduction && !c.has_scan);
+    }
+}

@@ -1,0 +1,213 @@
+//! MC — MarchingCubes (Nvidia SDK). One thread per voxel: classify the
+//! voxel against constant-memory lookup tables, interpolate up to 12 edge
+//! vertices into a per-thread local array, then stage the triangle vertex
+//! coordinates through shared memory for coalesced output. Heavy use of
+//! *both* shared memory (Table 1: 288 B/thread) and local memory (40 B),
+//! plus constant-table accesses inside the parallel loops — the case where
+//! intra-warp NP defeats the constant-cache broadcast (Section 3.4).
+//! Table 1: PL=4, LC=12, no reduction/scan (X).
+
+use crate::{hash_vec, Scale, Workload};
+use np_exec::{Args, SimOptions};
+use np_kernel_ir::expr::dsl::*;
+use np_kernel_ir::types::Dim3;
+use np_kernel_ir::{Kernel, KernelBuilder, Scalar};
+
+pub const EDGES: usize = 12;
+const BLOCK: u32 = 32;
+
+pub struct Mc {
+    /// Number of voxels (threads).
+    pub voxels: usize,
+    sample_blocks: Option<u64>,
+}
+
+impl Mc {
+    pub fn new(scale: Scale) -> Self {
+        match scale {
+            Scale::Test => Mc { voxels: 64, sample_blocks: None },
+            // "grid=8": an 8^3 voxel field.
+            Scale::Paper => Mc { voxels: 8 * 8 * 8, sample_blocks: None },
+        }
+    }
+
+    fn field(&self) -> Vec<f32> {
+        hash_vec(0x4D43, self.voxels + 8)
+    }
+
+    /// Per-edge interpolation weight table (constant memory).
+    fn edge_weight(&self) -> Vec<f32> {
+        (0..EDGES).map(|e| 0.25 + 0.05 * e as f32).collect()
+    }
+
+    /// Edge -> corner offset table (constant memory).
+    fn edge_corner(&self) -> Vec<i32> {
+        (0..EDGES as i32).map(|e| e % 8).collect()
+    }
+}
+
+impl Workload for Mc {
+    fn name(&self) -> &'static str {
+        "MC"
+    }
+
+    fn kernel(&self) -> Kernel {
+        let e = EDGES as i32;
+        let blk = BLOCK as i32;
+        let mut b = KernelBuilder::new("marching_cubes", BLOCK);
+        b.param_global_f32("field");
+        b.param_const_f32("edge_weight");
+        b.param_const_i32("edge_corner");
+        b.param_global_f32("out");
+        b.param_scalar_f32("iso");
+        // Vertex staging: x/y/z for 12 edges per thread — 3 * 32 * 12
+        // floats = 4.6 kB, plus the normal staging below = 9.2 kB/block
+        // (Table 1's 288 B/thread).
+        b.shared_array("stage_x", Scalar::F32, BLOCK * EDGES as u32);
+        b.shared_array("stage_y", Scalar::F32, BLOCK * EDGES as u32);
+        b.shared_array("stage_z", Scalar::F32, BLOCK * EDGES as u32);
+        b.shared_array("norm_x", Scalar::F32, BLOCK * EDGES as u32);
+        b.shared_array("norm_y", Scalar::F32, BLOCK * EDGES as u32);
+        b.shared_array("norm_z", Scalar::F32, BLOCK * EDGES as u32);
+        b.local_array("vertlist", Scalar::F32, EDGES as u32);
+        b.decl_i32("vox", tidx() + bidx() * bdimx());
+        b.decl_f32("f0", load("field", v("vox")));
+        // Parallel loop 1: interpolate the 12 edge vertices (constant-table
+        // lookups by loop iterator).
+        b.pragma_for("np parallel for", "e1", i(0), i(e), |b| {
+            b.decl_f32("fc", load("field", v("vox") + cast(Scalar::I32, load("edge_corner", v("e1")))));
+            b.store(
+                "vertlist",
+                v("e1"),
+                v("f0") + load("edge_weight", v("e1")) * (v("fc") - p("iso")),
+            );
+        });
+        // Parallel loops 2-4: stage vertex coordinates + normals.
+        b.pragma_for("np parallel for", "e2", i(0), i(e), |b| {
+            b.store("stage_x", tidx() * i(e) + v("e2"), load("vertlist", v("e2")) * f(1.0));
+            b.store("norm_x", tidx() * i(e) + v("e2"), load("vertlist", v("e2")) * f(0.5));
+        });
+        b.pragma_for("np parallel for", "e3", i(0), i(e), |b| {
+            b.store("stage_y", tidx() * i(e) + v("e3"), load("vertlist", v("e3")) * f(2.0));
+            b.store("norm_y", tidx() * i(e) + v("e3"), load("vertlist", v("e3")) * f(0.25));
+        });
+        b.pragma_for("np parallel for", "e4", i(0), i(e), |b| {
+            b.store("stage_z", tidx() * i(e) + v("e4"), load("vertlist", v("e4")) * f(3.0));
+            b.store("norm_z", tidx() * i(e) + v("e4"), load("vertlist", v("e4")) * f(0.125));
+        });
+        b.sync();
+        // Coalesced write-out: thread k drains slot k of each 32-wide row.
+        b.for_loop("r", i(0), i(e), |b| {
+            b.store(
+                "out",
+                (bidx() * i(e) + v("r")) * i(blk) + tidx(),
+                load("stage_x", v("r") * i(blk) + tidx())
+                    + load("stage_y", v("r") * i(blk) + tidx())
+                    + load("stage_z", v("r") * i(blk) + tidx())
+                    + load("norm_x", v("r") * i(blk) + tidx())
+                    + load("norm_y", v("r") * i(blk) + tidx())
+                    + load("norm_z", v("r") * i(blk) + tidx()),
+            );
+        });
+        b.finish()
+    }
+
+    fn grid(&self) -> Dim3 {
+        Dim3::x1(self.voxels as u32 / BLOCK)
+    }
+
+    fn make_args(&self) -> Args {
+        Args::new()
+            .buf_f32("field", self.field())
+            .buf_f32("edge_weight", self.edge_weight())
+            .buf_i32("edge_corner", self.edge_corner())
+            .buf_f32("out", vec![0.0; self.voxels * EDGES])
+            .f32("iso", 0.5)
+    }
+
+    fn reference(&self) -> Vec<f32> {
+        let field = self.field();
+        let w = self.edge_weight();
+        let c = self.edge_corner();
+        let iso = 0.5f32;
+        let blk = BLOCK as usize;
+        let mut out = vec![0.0f32; self.voxels * EDGES];
+        for vox in 0..self.voxels {
+            let f0 = field[vox];
+            let vert: Vec<f32> = (0..EDGES)
+                .map(|e| {
+                    let fc = field[vox + c[e] as usize];
+                    f0 + w[e] * (fc - iso)
+                })
+                .collect();
+            // Reproduce the staging layout: thread tx writes stage[tx*12+e];
+            // the drain reads stage[r*32 + tx].
+            let tx = vox % blk;
+            let block = vox / blk;
+            for (e, vv) in vert.iter().enumerate() {
+                let slot = tx * EDGES + e; // within the block's staging
+                let r = slot / blk;
+                let col = slot % blk;
+                out[(block * EDGES + r) * blk + col] =
+                    vv * (1.0 + 2.0 + 3.0 + 0.5 + 0.25 + 0.125);
+            }
+        }
+        out
+    }
+
+    fn sim_options(&self) -> SimOptions {
+        match self.sample_blocks {
+            Some(n) => SimOptions::sampled(n),
+            None => SimOptions::full(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assert_close;
+    use np_exec::launch;
+    use np_gpu_sim::DeviceConfig;
+
+    #[test]
+    fn baseline_matches_cpu_reference() {
+        let w = Mc::new(Scale::Test);
+        let mut args = w.make_args();
+        launch(&DeviceConfig::gtx680(), &w.kernel(), w.grid(), &mut args, &w.sim_options())
+            .unwrap();
+        assert_close(&w.reference(), args.get_f32("out").unwrap(), w.tolerance(), "MC");
+    }
+
+    #[test]
+    fn transformed_matches_reference() {
+        let w = Mc::new(Scale::Test);
+        for opts in [cuda_np::NpOptions::inter(4), cuda_np::NpOptions::intra(4)] {
+            let t = cuda_np::transform(&w.kernel(), &opts).unwrap();
+            let mut args = cuda_np::tuner::alloc_extra_buffers(w.make_args(), &t, w.grid());
+            launch(&DeviceConfig::gtx680(), &t.kernel, w.grid(), &mut args, &w.sim_options())
+                .unwrap();
+            assert_close(&w.reference(), args.get_f32("out").unwrap(), 1e-3, "MC np");
+        }
+    }
+
+    #[test]
+    fn shared_footprint_matches_table1() {
+        let w = Mc::new(Scale::Paper);
+        let res = np_exec::estimate_resources(&w.kernel(), 63);
+        // 6 staging arrays * 32 * 12 * 4 B = 9216 B = 288 B/thread.
+        assert_eq!(res.shared_per_block, 9216);
+        assert_eq!(res.shared_per_block / BLOCK, 288);
+        // Local vertex list: 12 * 4 = 48 B ≈ Table 1's 40 B.
+        assert_eq!(res.local_per_thread, 48);
+    }
+
+    #[test]
+    fn table1_characteristics() {
+        let w = Mc::new(Scale::Paper);
+        let c = crate::spec::characterize(&w.kernel(), &[]);
+        assert_eq!(c.parallel_loops, 4);
+        assert_eq!(c.max_loop_count, 12);
+        assert!(!c.has_reduction && !c.has_scan);
+    }
+}

@@ -1,0 +1,103 @@
+//! The memory-copy microbenchmark of Section 2.1 / Figure 1: used to
+//! measure dynamic-parallelism overheads on the K20c. The plain kernel
+//! copies one float per thread; the dynamic-parallelism variant launches a
+//! child copy kernel per parent thread and is costed through
+//! [`np_gpu_sim::dynpar`].
+
+use np_exec::{launch, Args, KernelReport, SimOptions};
+use np_gpu_sim::dynpar::{dynpar_cycles, DynParLaunchPlan};
+use np_gpu_sim::DeviceConfig;
+use np_kernel_ir::expr::dsl::*;
+use np_kernel_ir::types::Dim3;
+use np_kernel_ir::{Kernel, KernelBuilder};
+
+const BLOCK: u32 = 256;
+
+/// The one-float-per-thread copy kernel.
+pub fn copy_kernel() -> Kernel {
+    let mut b = KernelBuilder::new("memcopy", BLOCK);
+    b.param_global_f32("src");
+    b.param_global_f32("dst");
+    b.decl_i32("t", tidx() + bidx() * bdimx());
+    b.store("dst", v("t"), load("src", v("t")));
+    b.finish()
+}
+
+/// Simulate copying `n` floats without dynamic parallelism; returns the
+/// launch report. `sample` bounds the simulated blocks (the copy is
+/// perfectly homogeneous, so sampling is exact up to wave rounding).
+pub fn run_copy(dev: &DeviceConfig, n: usize, sample: Option<u64>) -> KernelReport {
+    let k = copy_kernel();
+    let grid = (n as u32).div_ceil(BLOCK);
+    let sim = match sample {
+        Some(s) => SimOptions::sampled(s),
+        None => SimOptions::full(),
+    };
+    // Only the sampled prefix of blocks executes functionally; allocate
+    // fully so addresses and bounds are right.
+    let mut args = Args::new()
+        .buf_f32("src", vec![1.0; n])
+        .buf_f32("dst", vec![0.0; n]);
+    launch(dev, &k, Dim3::x1(grid), &mut args, &sim).unwrap()
+}
+
+/// Figure-1 data point: copy `total` floats via `m` child-kernel launches
+/// of `total/m` threads each. Returns (cycles, bandwidth GB/s).
+pub fn run_copy_dynpar(dev: &DeviceConfig, total: usize, m: u64) -> (u64, f64) {
+    let per_child = total as u64 / m;
+    // Cost one child kernel by direct simulation (sampled for big ones).
+    let child = run_copy(dev, per_child as usize, Some(64));
+    let plan = DynParLaunchPlan {
+        num_launches: m,
+        child_cycles: child.cycles,
+        parent_cycles: 0,
+    };
+    let cycles = dynpar_cycles(dev, &plan);
+    let bytes = total as u64 * 8; // read + write
+    (cycles, dev.bandwidth_gbps(bytes, cycles))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn copy_is_functionally_correct() {
+        let dev = DeviceConfig::small_test();
+        let k = copy_kernel();
+        let n = 1024;
+        let mut args = Args::new()
+            .buf_f32("src", (0..n).map(|i| i as f32).collect())
+            .buf_f32("dst", vec![0.0; n]);
+        launch(&dev, &k, Dim3::x1(n as u32 / BLOCK), &mut args, &SimOptions::full()).unwrap();
+        let dst = args.get_f32("dst").unwrap();
+        assert!(dst.iter().enumerate().all(|(i, &x)| x == i as f32));
+    }
+
+    #[test]
+    fn plain_copy_approaches_peak_bandwidth() {
+        let dev = DeviceConfig::k20c();
+        // Enough sampled blocks for several waves so launch/ramp-up
+        // latency amortizes and the copy reaches steady state.
+        let rep = run_copy(&dev, 1 << 22, Some(512));
+        let bw = rep.bandwidth_gbps(&dev);
+        assert!(
+            bw > 0.5 * dev.peak_bandwidth_gbps(),
+            "copy bandwidth {bw:.0} GB/s vs peak {:.0}",
+            dev.peak_bandwidth_gbps()
+        );
+    }
+
+    #[test]
+    fn bandwidth_degrades_as_child_kernels_shrink() {
+        // The Figure 1 shape: fixed total work, more launches = slower.
+        let dev = DeviceConfig::k20c();
+        let total = 1 << 22;
+        let (_, bw_few) = run_copy_dynpar(&dev, total, 4);
+        let (_, bw_many) = run_copy_dynpar(&dev, total, 1024);
+        assert!(
+            bw_few > 2.0 * bw_many,
+            "expected sharp degradation: few={bw_few:.1} many={bw_many:.1}"
+        );
+    }
+}

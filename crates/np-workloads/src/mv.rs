@@ -1,0 +1,184 @@
+//! MV — matrix-vector multiplication, the shared-memory-optimized version
+//! based on \[42\] (Yang et al., PACT'12). One thread per output row; the
+//! inner product is tiled: each 32-wide tile of `x` is staged in shared
+//! memory, and each thread's 32 A-elements are staged through a per-thread
+//! shared scratch row (the \[42\] multiplexing style), giving the heavy
+//! shared-memory footprint of Table 1 (132 B/thread baseline) that limits
+//! baseline occupancy. The tile dot product is the parallel loop.
+//! Table 1: PL=1, LC=32, R.
+
+use crate::{hash_vec, Scale, Workload};
+use np_exec::{Args, SimOptions};
+use np_kernel_ir::expr::dsl::*;
+use np_kernel_ir::types::Dim3;
+use np_kernel_ir::{Kernel, KernelBuilder, Scalar};
+
+pub const TILE: usize = 32;
+
+pub struct Mv {
+    pub w: usize,
+    pub h: usize,
+    pub block: u32,
+    sample_blocks: Option<u64>,
+}
+
+impl Mv {
+    pub fn new(scale: Scale) -> Self {
+        match scale {
+            Scale::Test => Mv { w: 64, h: 128, block: 64, sample_blocks: None },
+            Scale::Paper => Mv { w: 2048, h: 2048, block: 64, sample_blocks: Some(32) },
+        }
+    }
+
+    /// Custom geometry (used by the Figure 14 sweep).
+    pub fn with_size(w: usize, h: usize) -> Self {
+        Mv { w, h, block: 64, sample_blocks: Some(32) }
+    }
+
+    fn a(&self) -> Vec<f32> {
+        hash_vec(0x4D56, self.w * self.h)
+    }
+
+    fn x(&self) -> Vec<f32> {
+        hash_vec(0x4D58, self.w)
+    }
+}
+
+impl Workload for Mv {
+    fn name(&self) -> &'static str {
+        "MV"
+    }
+
+    fn kernel(&self) -> Kernel {
+        let block = self.block;
+        let mut b = KernelBuilder::new("mv", block);
+        b.param_global_f32("a");
+        b.param_global_f32("x");
+        b.param_global_f32("out");
+        b.param_scalar_i32("w");
+        // Shared x tile + the A tile staged with a padded stride of 33 so
+        // per-row reads are bank-conflict free ((32 + 64*33) floats / 64
+        // threads = 132 B/thread — exactly Table 1's footprint).
+        b.shared_array("xs", Scalar::F32, TILE as u32);
+        b.shared_array("atile", Scalar::F32, block * (TILE as u32 + 1));
+        b.decl_i32("row", tidx() + bidx() * bdimx());
+        b.decl_f32("sum", f(0.0));
+        b.for_loop("t", i(0), p("w") / i(TILE as i32), |b| {
+            b.sync();
+            // The first 32 threads load the x tile (warp-uniform branch; a
+            // block-wide duplicate write would be a benign data race that
+            // the simulator's race detector rightly flags).
+            b.if_(lt(tidx(), i(TILE as i32)), |b| {
+                b.store("xs", tidx(), load("x", v("t") * i(TILE as i32) + tidx()));
+            });
+            // Cooperative coalesced load of the 64x32 A tile: thread tx
+            // takes linear tile elements m*64 + tx, whose row-major source
+            // addresses are consecutive across the warp.
+            b.for_loop("m", i(0), i(TILE as i32), |b| {
+                b.decl_i32("lin", v("m") * i(block as i32) + tidx());
+                b.decl_i32("tr", v("lin") / i(TILE as i32));
+                b.decl_i32("tc", v("lin") % i(TILE as i32));
+                b.store(
+                    "atile",
+                    v("tr") * i(TILE as i32 + 1) + v("tc"),
+                    load(
+                        "a",
+                        (bidx() * i(block as i32) + v("tr")) * p("w")
+                            + v("t") * i(TILE as i32)
+                            + v("tc"),
+                    ),
+                );
+            });
+            b.sync();
+            // The parallel dot product over this tile (Table 1's PL).
+            b.pragma_for("np parallel for reduction(+:sum)", "j", i(0), i(TILE as i32), |b| {
+                b.assign(
+                    "sum",
+                    v("sum")
+                        + load("atile", tidx() * i(TILE as i32 + 1) + v("j"))
+                            * load("xs", v("j")),
+                );
+            });
+        });
+        b.store("out", v("row"), v("sum"));
+        b.finish()
+    }
+
+    fn grid(&self) -> Dim3 {
+        Dim3::x1(self.h as u32 / self.block)
+    }
+
+    fn make_args(&self) -> Args {
+        Args::new()
+            .buf_f32("a", self.a())
+            .buf_f32("x", self.x())
+            .buf_f32("out", vec![0.0; self.h])
+            .i32("w", self.w as i32)
+    }
+
+    fn reference(&self) -> Vec<f32> {
+        let a = self.a();
+        let x = self.x();
+        (0..self.h)
+            .map(|r| (0..self.w).map(|c| a[r * self.w + c] * x[c]).sum())
+            .collect()
+    }
+
+    fn sim_options(&self) -> SimOptions {
+        match self.sample_blocks {
+            Some(n) => SimOptions::sampled(n),
+            None => SimOptions::full(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assert_close;
+    use np_exec::launch;
+    use np_gpu_sim::DeviceConfig;
+
+    #[test]
+    fn baseline_matches_cpu_reference() {
+        let w = Mv::new(Scale::Test);
+        let mut args = w.make_args();
+        launch(&DeviceConfig::gtx680(), &w.kernel(), w.grid(), &mut args, &w.sim_options())
+            .unwrap();
+        assert_close(&w.reference(), args.get_f32("out").unwrap(), w.tolerance(), "MV");
+    }
+
+    #[test]
+    fn transformed_matches_reference() {
+        let w = Mv::new(Scale::Test);
+        for opts in [cuda_np::NpOptions::inter(4), cuda_np::NpOptions::intra(4)] {
+            let t = cuda_np::transform(&w.kernel(), &opts).unwrap();
+            let mut args = w.make_args();
+            launch(&DeviceConfig::gtx680(), &t.kernel, w.grid(), &mut args, &w.sim_options())
+                .unwrap();
+            assert_close(&w.reference(), args.get_f32("out").unwrap(), 1e-3, "MV np");
+        }
+    }
+
+    #[test]
+    fn baseline_is_shared_memory_limited() {
+        use np_gpu_sim::occupancy::{occupancy, Limiter};
+        let w = Mv::new(Scale::Paper);
+        let res = np_exec::estimate_resources(&w.kernel(), 63);
+        // (32 + 64*33) * 4 bytes = 8576 B per 64-thread block = 134 B/thread,
+        // matching Table 1's 132 B and capping occupancy at 5 blocks/SMX.
+        assert_eq!(res.shared_per_block, (TILE as u32 + 64 * (TILE as u32 + 1)) * 4);
+        let occ = occupancy(&DeviceConfig::gtx680(), &res).unwrap();
+        assert_eq!(occ.limiter, Limiter::SharedMem);
+        assert!(occ.blocks_per_smx <= 5, "blocks {}", occ.blocks_per_smx);
+    }
+
+    #[test]
+    fn table1_characteristics() {
+        let w = Mv::new(Scale::Paper);
+        let c = crate::spec::characterize(&w.kernel(), &[]);
+        assert_eq!(c.parallel_loops, 1);
+        assert_eq!(c.max_loop_count, 32);
+        assert!(c.has_reduction && !c.has_scan);
+    }
+}

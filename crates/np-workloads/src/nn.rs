@@ -1,0 +1,158 @@
+//! NN — nearest neighbor (Rodinia). One thread per query scanning K
+//! candidate records laid out row-major per query (`recs[q*K + i]`), with a
+//! min-distance reduction. Table 1: PL=1, LC=1K, R.
+//!
+//! The baseline's per-thread row-major layout makes a warp's simultaneous
+//! accesses stride by K — badly uncoalesced. Intra-warp NP puts a master's
+//! slaves on *consecutive* record indices inside the warp, restoring
+//! coalescing: this is why NN is one of the two benchmarks where intra-warp
+//! beats inter-warp (Section 5).
+
+use crate::{hash_vec, Scale, Workload};
+use np_exec::{Args, SimOptions};
+use np_kernel_ir::expr::dsl::*;
+use np_kernel_ir::types::Dim3;
+use np_kernel_ir::{Kernel, KernelBuilder};
+
+pub struct Nn {
+    /// Number of queries (threads).
+    pub queries: usize,
+    /// Records scanned per query (the parallel loop count).
+    pub k: usize,
+    pub block: u32,
+    sample_blocks: Option<u64>,
+}
+
+impl Nn {
+    pub fn new(scale: Scale) -> Self {
+        match scale {
+            // The paper's modified baseline uses 32-thread blocks.
+            Scale::Test => Nn { queries: 64, k: 64, block: 32, sample_blocks: None },
+            Scale::Paper => Nn { queries: 2048, k: 1024, block: 32, sample_blocks: Some(48) },
+        }
+    }
+
+    fn recs(&self) -> Vec<f32> {
+        hash_vec(0x4E4E, self.queries * self.k)
+    }
+
+    fn qs(&self) -> Vec<f32> {
+        hash_vec(0x4E51, self.queries)
+    }
+}
+
+impl Workload for Nn {
+    fn name(&self) -> &'static str {
+        "NN"
+    }
+
+    fn kernel(&self) -> Kernel {
+        let mut b = KernelBuilder::new("nn", self.block);
+        b.param_global_f32("recs");
+        b.param_global_f32("query");
+        b.param_global_f32("out");
+        b.param_scalar_i32("k");
+        b.decl_i32("t", tidx() + bidx() * bdimx());
+        b.decl_f32("q", load("query", v("t")));
+        b.decl_f32("best", f(f32::INFINITY));
+        b.pragma_for("np parallel for reduction(min:best)", "i", i(0), p("k"), |b| {
+            b.decl_f32("d", load("recs", v("t") * p("k") + v("i")) - v("q"));
+            b.assign("best", min(v("best"), v("d") * v("d")));
+        });
+        b.store("out", v("t"), v("best"));
+        b.finish()
+    }
+
+    fn grid(&self) -> Dim3 {
+        Dim3::x1(self.queries as u32 / self.block)
+    }
+
+    fn make_args(&self) -> Args {
+        Args::new()
+            .buf_f32("recs", self.recs())
+            .buf_f32("query", self.qs())
+            .buf_f32("out", vec![0.0; self.queries])
+            .i32("k", self.k as i32)
+    }
+
+    fn reference(&self) -> Vec<f32> {
+        let recs = self.recs();
+        let qs = self.qs();
+        (0..self.queries)
+            .map(|t| {
+                (0..self.k)
+                    .map(|i| {
+                        let d = recs[t * self.k + i] - qs[t];
+                        d * d
+                    })
+                    .fold(f32::INFINITY, f32::min)
+            })
+            .collect()
+    }
+
+    fn sim_options(&self) -> SimOptions {
+        match self.sample_blocks {
+            Some(n) => SimOptions::sampled(n),
+            None => SimOptions::full(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assert_close;
+    use np_exec::launch;
+    use np_gpu_sim::DeviceConfig;
+
+    #[test]
+    fn baseline_matches_cpu_reference() {
+        let w = Nn::new(Scale::Test);
+        let mut args = w.make_args();
+        launch(&DeviceConfig::gtx680(), &w.kernel(), w.grid(), &mut args, &w.sim_options())
+            .unwrap();
+        assert_close(&w.reference(), args.get_f32("out").unwrap(), w.tolerance(), "NN");
+    }
+
+    #[test]
+    fn min_reduction_transform_is_exact() {
+        // min is order-independent, so transformed output must be identical.
+        let w = Nn::new(Scale::Test);
+        for opts in [cuda_np::NpOptions::inter(4), cuda_np::NpOptions::intra(8)] {
+            let t = cuda_np::transform(&w.kernel(), &opts).unwrap();
+            let mut args = w.make_args();
+            launch(&DeviceConfig::gtx680(), &t.kernel, w.grid(), &mut args, &w.sim_options())
+                .unwrap();
+            assert_eq!(w.reference(), args.get_f32("out").unwrap());
+        }
+    }
+
+    #[test]
+    fn intra_warp_improves_coalescing_over_inter_warp() {
+        let w = Nn::new(Scale::Test);
+        let dev = DeviceConfig::gtx680();
+        let run = |k: &Kernel| {
+            let mut args = w.make_args();
+            launch(&dev, k, w.grid(), &mut args, &w.sim_options()).unwrap()
+        };
+        let inter = cuda_np::transform(&w.kernel(), &cuda_np::NpOptions::inter(8)).unwrap();
+        let intra = cuda_np::transform(&w.kernel(), &cuda_np::NpOptions::intra(8)).unwrap();
+        let r_inter = run(&inter.kernel);
+        let r_intra = run(&intra.kernel);
+        assert!(
+            r_intra.timing.global_txns < r_inter.timing.global_txns,
+            "intra-warp must coalesce the record scan: {} vs {} transactions",
+            r_intra.timing.global_txns,
+            r_inter.timing.global_txns
+        );
+    }
+
+    #[test]
+    fn table1_characteristics() {
+        let w = Nn::new(Scale::Paper);
+        let c = crate::spec::characterize(&w.kernel(), &[("k", 1024)]);
+        assert_eq!(c.parallel_loops, 1);
+        assert_eq!(c.max_loop_count, 1024);
+        assert!(c.has_reduction && !c.has_scan);
+    }
+}

@@ -1,0 +1,122 @@
+//! Benchmark characteristics (paper Table 1): both the published numbers
+//! and an analyzer that derives the same characteristics from our IR
+//! kernels, so tests can check structural fidelity.
+
+use np_kernel_ir::expr::Expr;
+use np_kernel_ir::stmt::{visit_stmts, Stmt};
+use np_kernel_ir::Kernel;
+
+/// Structural characteristics of a kernel's nested parallelism.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Characteristics {
+    /// Number of `np parallel for` loops (PL).
+    pub parallel_loops: u32,
+    /// Largest trip count among them (LC), resolved with param bindings.
+    pub max_loop_count: u32,
+    /// Any reduction clause (R)?
+    pub has_reduction: bool,
+    /// Any scan clause (S)?
+    pub has_scan: bool,
+}
+
+fn const_eval(e: &Expr, bindings: &[(&str, i64)]) -> Option<i64> {
+    match e {
+        Expr::ImmI32(x) => Some(*x as i64),
+        Expr::ImmU32(x) => Some(*x as i64),
+        Expr::Param(n) => bindings.iter().find(|(k, _)| k == n).map(|(_, v)| *v),
+        _ => None,
+    }
+}
+
+/// Derive PL / LC / R / S from a kernel, resolving runtime bounds through
+/// `bindings` (param name → value).
+pub fn characterize(kernel: &Kernel, bindings: &[(&str, i64)]) -> Characteristics {
+    let mut c = Characteristics {
+        parallel_loops: 0,
+        max_loop_count: 0,
+        has_reduction: false,
+        has_scan: false,
+    };
+    visit_stmts(&kernel.body, &mut |s| {
+        if let Stmt::For { init, bound, pragma: Some(p), .. } = s {
+            c.parallel_loops += 1;
+            c.has_reduction |= !p.reductions.is_empty();
+            c.has_scan |= !p.scans.is_empty();
+            if let (Some(a), Some(b)) = (const_eval(init, bindings), const_eval(bound, bindings))
+            {
+                if b > a {
+                    c.max_loop_count = c.max_loop_count.max((b - a) as u32);
+                }
+            }
+        }
+    });
+    c
+}
+
+/// One row of the paper's Table 1 (bytes per thread).
+#[derive(Debug, Clone, Copy)]
+pub struct Table1Row {
+    pub name: &'static str,
+    pub input: &'static str,
+    pub pl: u32,
+    pub lc: u32,
+    /// "R", "S", or "X".
+    pub rs: &'static str,
+    pub bl_reg: u32,
+    pub bl_sm: u32,
+    pub bl_lm: u32,
+    pub opt_reg: u32,
+    pub opt_sm: u32,
+    pub opt_lm: u32,
+}
+
+/// The published Table 1, verbatim.
+pub fn paper_table1() -> Vec<Table1Row> {
+    vec![
+        Table1Row { name: "MC", input: "grid=8", pl: 4, lc: 12, rs: "X", bl_reg: 252, bl_sm: 288, bl_lm: 40, opt_reg: 144, opt_sm: 36, opt_lm: 0 },
+        Table1Row { name: "LU", input: "2048.dat", pl: 4, lc: 32, rs: "R", bl_reg: 44, bl_sm: 96, bl_lm: 0, opt_reg: 72, opt_sm: 24, opt_lm: 0 },
+        Table1Row { name: "LE", input: "testfile.avi", pl: 3, lc: 150, rs: "R", bl_reg: 156, bl_sm: 0, bl_lm: 600, opt_reg: 252, opt_sm: 4, opt_lm: 24 },
+        Table1Row { name: "MV", input: "2K*2K", pl: 1, lc: 32, rs: "R", bl_reg: 100, bl_sm: 132, bl_lm: 0, opt_reg: 100, opt_sm: 34, opt_lm: 0 },
+        Table1Row { name: "SS", input: "DIM=8K", pl: 2, lc: 8192, rs: "R", bl_reg: 60, bl_sm: 80, bl_lm: 0, opt_reg: 72, opt_sm: 20, opt_lm: 0 },
+        Table1Row { name: "LIB", input: "NPATH=256K", pl: 4, lc: 80, rs: "S", bl_reg: 216, bl_sm: 0, bl_lm: 960, opt_reg: 200, opt_sm: 40, opt_lm: 640 },
+        Table1Row { name: "CFD", input: "fvcorr.domn.193K", pl: 1, lc: 4, rs: "R", bl_reg: 252, bl_sm: 0, bl_lm: 56, opt_reg: 252, opt_sm: 0, opt_lm: 8 },
+        Table1Row { name: "BK", input: "2M", pl: 2, lc: 32, rs: "X", bl_reg: 60, bl_sm: 128, bl_lm: 0, opt_reg: 56, opt_sm: 4, opt_lm: 0 },
+        Table1Row { name: "TMV", input: "2K*2K", pl: 1, lc: 2048, rs: "R", bl_reg: 88, bl_sm: 0, bl_lm: 0, opt_reg: 64, opt_sm: 4, opt_lm: 0 },
+        Table1Row { name: "NN", input: "1K", pl: 1, lc: 1024, rs: "R", bl_reg: 88, bl_sm: 0, bl_lm: 0, opt_reg: 56, opt_sm: 0, opt_lm: 0 },
+    ]
+}
+
+/// Look up a Table 1 row by benchmark name.
+pub fn table1_row(name: &str) -> Option<Table1Row> {
+    paper_table1().into_iter().find(|r| r.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_ten_rows() {
+        let t = paper_table1();
+        assert_eq!(t.len(), 10);
+        assert_eq!(table1_row("TMV").unwrap().lc, 2048);
+        assert!(table1_row("NOPE").is_none());
+    }
+
+    #[test]
+    fn characterize_counts_pragma_loops() {
+        use np_kernel_ir::expr::dsl::*;
+        let mut b = np_kernel_ir::KernelBuilder::new("k", 32);
+        b.param_scalar_i32("n");
+        b.decl_f32("s", f(0.0));
+        b.pragma_for("np parallel for reduction(+:s)", "i", i(0), p("n"), |b| {
+            b.assign("s", v("s") + f(1.0));
+        });
+        b.pragma_for("np parallel for", "j", i(0), i(12), |_| {});
+        let c = characterize(&b.finish(), &[("n", 150)]);
+        assert_eq!(c.parallel_loops, 2);
+        assert_eq!(c.max_loop_count, 150);
+        assert!(c.has_reduction);
+        assert!(!c.has_scan);
+    }
+}

@@ -1,0 +1,188 @@
+//! SS — Streamcluster (Rodinia), the `pgain` cost evaluation. One thread
+//! per candidate center; the center coordinates are cached in shared
+//! memory (Table 1: 80 B/thread) and the thread sweeps every point (the
+//! DIM=8K input makes this an 8192-iteration parallel loop) accumulating
+//! the assignment cost and the would-switch count.
+//! Table 1: PL=2, LC=8K, R.
+
+use crate::{hash_vec, Scale, Workload};
+use np_exec::{Args, SimOptions};
+use np_kernel_ir::expr::dsl::*;
+use np_kernel_ir::types::Dim3;
+use np_kernel_ir::{Kernel, KernelBuilder, Scalar};
+
+/// Coordinate dimensionality of points/centers.
+pub const DIM: usize = 20;
+const BLOCK: u32 = 64;
+
+pub struct Ss {
+    /// Candidate centers (threads).
+    pub centers: usize,
+    /// Points swept per candidate (the big parallel loop).
+    pub points: usize,
+    sample_blocks: Option<u64>,
+}
+
+impl Ss {
+    pub fn new(scale: Scale) -> Self {
+        match scale {
+            Scale::Test => Ss { centers: 64, points: 96, sample_blocks: None },
+            Scale::Paper => Ss { centers: 256, points: 8192, sample_blocks: Some(8) },
+        }
+    }
+
+    fn pts(&self) -> Vec<f32> {
+        hash_vec(0x5353, self.points * DIM)
+    }
+
+    fn ctr(&self) -> Vec<f32> {
+        hash_vec(0x5354, self.centers * DIM)
+    }
+
+    fn costs(&self) -> Vec<f32> {
+        hash_vec(0x5355, self.points).iter().map(|x| x.abs() * 4.0).collect()
+    }
+}
+
+impl Workload for Ss {
+    fn name(&self) -> &'static str {
+        "SS"
+    }
+
+    fn kernel(&self) -> Kernel {
+        let d = DIM as i32;
+        let mut b = KernelBuilder::new("pgain", BLOCK);
+        b.param_global_f32("points");
+        b.param_global_f32("centers");
+        b.param_global_f32("cur_cost");
+        b.param_global_f32("out");
+        b.param_scalar_i32("npoints");
+        // Each thread caches its candidate's coordinates in shared memory:
+        // 64 threads * 20 dims * 4 B = 5120 B (Table 1's 80 B/thread).
+        b.shared_array("cc", Scalar::F32, BLOCK * DIM as u32);
+        b.decl_i32("c", tidx() + bidx() * bdimx());
+        b.for_loop("dd", i(0), i(d), |b| {
+            b.store("cc", tidx() * i(d) + v("dd"), load("centers", v("c") * i(d) + v("dd")));
+        });
+        b.sync();
+        // PL 1: total assignment cost if this candidate opens.
+        b.decl_f32("gain", f(0.0));
+        b.pragma_for("np parallel for reduction(+:gain)", "pt", i(0), p("npoints"), |b| {
+            b.decl_f32("dist", f(0.0));
+            b.for_loop("k", i(0), i(d), |b| {
+                b.decl_f32(
+                    "diff",
+                    load("points", v("pt") * i(d) + v("k")) - load("cc", tidx() * i(d) + v("k")),
+                );
+                b.assign("dist", v("dist") + v("diff") * v("diff"));
+            });
+            b.assign("gain", v("gain") + min(v("dist"), load("cur_cost", v("pt"))));
+        });
+        // PL 2: how many points would switch to this candidate.
+        b.decl_f32("switched", f(0.0));
+        b.pragma_for("np parallel for reduction(+:switched)", "pt2", i(0), p("npoints"), |b| {
+            b.decl_f32("dist2", f(0.0));
+            b.for_loop("k2", i(0), i(d), |b| {
+                b.decl_f32(
+                    "diff2",
+                    load("points", v("pt2") * i(d) + v("k2"))
+                        - load("cc", tidx() * i(d) + v("k2")),
+                );
+                b.assign("dist2", v("dist2") + v("diff2") * v("diff2"));
+            });
+            b.assign(
+                "switched",
+                v("switched") + select(lt(v("dist2"), load("cur_cost", v("pt2"))), f(1.0), f(0.0)),
+            );
+        });
+        b.store("out", v("c"), v("gain") + v("switched") * f(0.001));
+        b.finish()
+    }
+
+    fn grid(&self) -> Dim3 {
+        Dim3::x1(self.centers as u32 / BLOCK)
+    }
+
+    fn make_args(&self) -> Args {
+        Args::new()
+            .buf_f32("points", self.pts())
+            .buf_f32("centers", self.ctr())
+            .buf_f32("cur_cost", self.costs())
+            .buf_f32("out", vec![0.0; self.centers])
+            .i32("npoints", self.points as i32)
+    }
+
+    fn reference(&self) -> Vec<f32> {
+        let pts = self.pts();
+        let ctr = self.ctr();
+        let costs = self.costs();
+        (0..self.centers)
+            .map(|c| {
+                let mut gain = 0.0f32;
+                let mut switched = 0.0f32;
+                for pt in 0..self.points {
+                    let mut dist = 0.0f32;
+                    for k in 0..DIM {
+                        let d = pts[pt * DIM + k] - ctr[c * DIM + k];
+                        dist += d * d;
+                    }
+                    gain += dist.min(costs[pt]);
+                    if dist < costs[pt] {
+                        switched += 1.0;
+                    }
+                }
+                gain + switched * 0.001
+            })
+            .collect()
+    }
+
+    fn sim_options(&self) -> SimOptions {
+        match self.sample_blocks {
+            Some(n) => SimOptions::sampled(n),
+            None => SimOptions::full(),
+        }
+    }
+
+    fn tolerance(&self) -> f32 {
+        // 8K-term float sums accumulate more rounding than most benchmarks.
+        5e-3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assert_close;
+    use np_exec::launch;
+    use np_gpu_sim::DeviceConfig;
+
+    #[test]
+    fn baseline_matches_cpu_reference() {
+        let w = Ss::new(Scale::Test);
+        let mut args = w.make_args();
+        launch(&DeviceConfig::gtx680(), &w.kernel(), w.grid(), &mut args, &w.sim_options())
+            .unwrap();
+        assert_close(&w.reference(), args.get_f32("out").unwrap(), w.tolerance(), "SS");
+    }
+
+    #[test]
+    fn transformed_matches_reference() {
+        let w = Ss::new(Scale::Test);
+        let t = cuda_np::transform(&w.kernel(), &cuda_np::NpOptions::inter(4)).unwrap();
+        let mut args = w.make_args();
+        launch(&DeviceConfig::gtx680(), &t.kernel, w.grid(), &mut args, &w.sim_options())
+            .unwrap();
+        assert_close(&w.reference(), args.get_f32("out").unwrap(), w.tolerance(), "SS np");
+    }
+
+    #[test]
+    fn table1_characteristics() {
+        let w = Ss::new(Scale::Paper);
+        let c = crate::spec::characterize(&w.kernel(), &[("npoints", 8192)]);
+        assert_eq!(c.parallel_loops, 2);
+        assert_eq!(c.max_loop_count, 8192);
+        assert!(c.has_reduction && !c.has_scan);
+        let res = np_exec::estimate_resources(&w.kernel(), 63);
+        assert_eq!(res.shared_per_block / BLOCK, 80, "Table 1: 80 B/thread shared");
+    }
+}

@@ -1,0 +1,127 @@
+//! TMV — transposed-matrix-vector multiplication (paper Figure 2).
+//!
+//! One thread per output element; the dot-product loop over the matrix
+//! column is the parallel loop (LC = 2K, reduction). Accesses
+//! `a[i*w + tx]` are fully coalesced in the baseline — the benchmark's
+//! problem is *limited thread count* (w threads total), which CUDA-NP
+//! fixes by adding slaves. Table 1: PL=1, LC=2K, R.
+
+use crate::{hash_vec, Scale, Workload};
+use np_exec::{Args, SimOptions};
+use np_kernel_ir::expr::dsl::*;
+use np_kernel_ir::types::Dim3;
+use np_kernel_ir::{Kernel, KernelBuilder};
+
+pub struct Tmv {
+    pub w: usize,
+    pub h: usize,
+    pub block: u32,
+}
+
+impl Tmv {
+    pub fn new(scale: Scale) -> Self {
+        match scale {
+            Scale::Test => Tmv { w: 128, h: 96, block: 32 },
+            Scale::Paper => Tmv { w: 2048, h: 2048, block: 256 },
+        }
+    }
+
+    /// Custom geometry (used by the Figure 13 sweep).
+    pub fn with_size(w: usize, h: usize) -> Self {
+        Tmv { w, h, block: 256.min(w as u32) }
+    }
+
+    /// Build the Figure-2 kernel for a given block size.
+    pub fn kernel_with_block(&self, block: u32) -> Kernel {
+        let mut b = KernelBuilder::new("tmv", block);
+        b.param_global_f32("a");
+        b.param_global_f32("b");
+        b.param_global_f32("out");
+        b.param_scalar_i32("w");
+        b.param_scalar_i32("h");
+        b.decl_f32("sum", f(0.0));
+        b.decl_i32("tx", tidx() + bidx() * bdimx());
+        b.pragma_for("np parallel for reduction(+:sum)", "i", i(0), p("h"), |b| {
+            b.assign(
+                "sum",
+                v("sum") + load("a", v("i") * p("w") + v("tx")) * load("b", v("i")),
+            );
+        });
+        b.store("out", v("tx"), v("sum"));
+        b.finish()
+    }
+}
+
+impl Workload for Tmv {
+    fn name(&self) -> &'static str {
+        "TMV"
+    }
+
+    fn kernel(&self) -> Kernel {
+        self.kernel_with_block(self.block)
+    }
+
+    fn grid(&self) -> Dim3 {
+        Dim3::x1(self.w as u32 / self.block)
+    }
+
+    fn make_args(&self) -> Args {
+        Args::new()
+            .buf_f32("a", hash_vec(0x71A1, self.w * self.h))
+            .buf_f32("b", hash_vec(0x71A2, self.h))
+            .buf_f32("out", vec![0.0; self.w])
+            .i32("w", self.w as i32)
+            .i32("h", self.h as i32)
+    }
+
+    fn reference(&self) -> Vec<f32> {
+        let a = hash_vec(0x71A1, self.w * self.h);
+        let b = hash_vec(0x71A2, self.h);
+        (0..self.w)
+            .map(|x| (0..self.h).map(|i| a[i * self.w + x] * b[i]).sum())
+            .collect()
+    }
+
+    fn sim_options(&self) -> SimOptions {
+        SimOptions::full() // 8 blocks at paper scale: cheap enough
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assert_close;
+    use np_exec::launch;
+    use np_gpu_sim::DeviceConfig;
+
+    #[test]
+    fn baseline_matches_cpu_reference() {
+        let w = Tmv::new(Scale::Test);
+        let mut args = w.make_args();
+        launch(&DeviceConfig::gtx680(), &w.kernel(), w.grid(), &mut args, &w.sim_options())
+            .unwrap();
+        assert_close(&w.reference(), args.get_f32("out").unwrap(), w.tolerance(), "TMV");
+    }
+
+    #[test]
+    fn transformed_matches_baseline() {
+        let w = Tmv::new(Scale::Test);
+        let t = cuda_np::transform(&w.kernel(), &cuda_np::NpOptions::inter(8)).unwrap();
+        let mut args = w.make_args();
+        launch(&DeviceConfig::gtx680(), &t.kernel, w.grid(), &mut args, &w.sim_options())
+            .unwrap();
+        assert_close(&w.reference(), args.get_f32("out").unwrap(), w.tolerance(), "TMV np");
+    }
+
+    #[test]
+    fn table1_characteristics() {
+        // PL=1, LC=2K, R (Table 1).
+        let w = Tmv::new(Scale::Paper);
+        let k = w.kernel();
+        let spec = crate::spec::characterize(&k, &[("h", 2048)]);
+        assert_eq!(spec.parallel_loops, 1);
+        assert_eq!(spec.max_loop_count, 2048);
+        assert!(spec.has_reduction);
+        assert!(!spec.has_scan);
+    }
+}

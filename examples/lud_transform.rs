@@ -1,0 +1,48 @@
+//! Reproduce the paper's Figure 3: the `lud_perimeter` kernel before and
+//! after the CUDA-NP transformation, printed as source, plus the Figure 6
+//! local-array example in all three relocation variants.
+//!
+//! ```text
+//! cargo run --release --example lud_transform
+//! ```
+
+use cuda_np::{transform, LocalArrayStrategy, NpOptions};
+use np_kernel_ir::printer::print_kernel;
+use np_workloads::{le::Le, lu::Lu, Scale, Workload};
+
+fn main() {
+    // Figure 3: lud_perimeter.
+    let lu = Lu::new(Scale::Test);
+    let kernel = lu.kernel();
+    println!("===== Figure 3a — input lud_perimeter =====\n{}", print_kernel(&kernel));
+
+    let t = transform(&kernel, &NpOptions::inter(8)).unwrap();
+    println!(
+        "===== Figure 3b — after CUDA-NP (inter-warp, slave_size=8) =====\n{}",
+        print_kernel(&t.kernel)
+    );
+    println!(
+        "broadcast: {:?}\nredundant: {:?}\nreductions: {:?}\n",
+        t.report.broadcasts, t.report.redundant, t.report.reductions
+    );
+
+    // Figure 6: the ellipsematching local array under each strategy.
+    let le = Le::new(Scale::Test);
+    for (label, strategy) in [
+        ("6a — local array → global memory", LocalArrayStrategy::ForceGlobal),
+        ("6b — local array → shared memory", LocalArrayStrategy::ForceShared),
+        ("6c — local array → registers (partitioned)", LocalArrayStrategy::ForceRegister),
+    ] {
+        let mut opts = NpOptions::inter(8);
+        opts.local_array = strategy;
+        let t = transform(&le.kernel(), &opts).unwrap();
+        println!("===== Figure {label} =====");
+        println!("plan: {:?}", t.report.local_arrays);
+        // Print just the first lines (the declarations) to keep it short.
+        let src = print_kernel(&t.kernel);
+        for line in src.lines().take(14) {
+            println!("{line}");
+        }
+        println!("  ...\n");
+    }
+}

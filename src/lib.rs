@@ -1,0 +1,17 @@
+//! # cuda-np-repro — root crate
+//!
+//! Re-exports the whole CUDA-NP (PPoPP'14) reproduction stack and hosts the
+//! cross-crate integration tests (`tests/`) and runnable examples
+//! (`examples/`). Start from [`cuda_np::transform`] (the paper's compiler),
+//! [`np_exec::launch`] (the simulator front door), or the `np-harness`
+//! binary (regenerates every table/figure of the paper's evaluation).
+//!
+//! See README.md for the architecture tour, DESIGN.md for the system
+//! inventory and substitution rationale, and EXPERIMENTS.md for the
+//! paper-vs-measured record.
+
+pub use cuda_np;
+pub use np_exec;
+pub use np_gpu_sim;
+pub use np_kernel_ir;
+pub use np_workloads;

@@ -1,0 +1,300 @@
+//! Property-based tests over the whole stack: the pragma grammar, the
+//! memory-system formulas, the occupancy calculator, the `__shfl`
+//! semantics, and — the central property — semantics preservation of the
+//! CUDA-NP transformation over randomized kernels and configurations.
+
+use cuda_np::{transform, NpOptions};
+use np_exec::{launch, Args, SimOptions};
+use np_gpu_sim::mem::{global::coalesce, lane_addrs, shared::conflict_passes};
+use np_gpu_sim::occupancy::{occupancy, KernelResources};
+use np_gpu_sim::DeviceConfig;
+use np_kernel_ir::expr::dsl::*;
+use np_kernel_ir::pragma::{NpPragma, NpType, RedOp};
+use np_kernel_ir::types::Dim3;
+use np_kernel_ir::KernelBuilder;
+use proptest::prelude::*;
+
+// ---------- pragma grammar ----------
+
+fn arb_redop() -> impl Strategy<Value = RedOp> {
+    prop_oneof![
+        Just(RedOp::Add),
+        Just(RedOp::Mul),
+        Just(RedOp::Min),
+        Just(RedOp::Max)
+    ]
+}
+
+fn arb_ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,8}".prop_map(|s| s)
+}
+
+fn arb_pragma() -> impl Strategy<Value = NpPragma> {
+    (
+        proptest::collection::vec((arb_redop(), arb_ident()), 0..3),
+        proptest::collection::vec((Just(RedOp::Add), arb_ident()), 0..2),
+        proptest::collection::vec(arb_ident(), 0..3),
+        proptest::option::of(1u32..64),
+        proptest::option::of(prop_oneof![Just(NpType::InterWarp), Just(NpType::IntraWarp)]),
+        proptest::option::of(10u32..60),
+    )
+        .prop_map(|(reductions, scans, copy_in, num_threads, np_type, sm_version)| NpPragma {
+            reductions,
+            scans,
+            copy_in,
+            select_out: vec![],
+            num_threads,
+            np_type,
+            sm_version,
+        })
+}
+
+proptest! {
+    #[test]
+    fn pragma_text_round_trips(p in arb_pragma()) {
+        let text = p.to_text();
+        let back = NpPragma::parse(&text).unwrap();
+        // to_text groups reductions by operator, so compare as sets.
+        let norm = |p: &NpPragma| {
+            let mut r = p.reductions.clone();
+            r.sort_by(|a, b| (a.0 as u8, &a.1).cmp(&(b.0 as u8, &b.1)));
+            (r, p.scans.clone(), p.copy_in.clone(), p.num_threads, p.np_type, p.sm_version)
+        };
+        prop_assert_eq!(norm(&p), norm(&back));
+    }
+}
+
+// ---------- memory formulas ----------
+
+proptest! {
+    /// The number of coalesced transactions equals the number of distinct
+    /// aligned segments the addresses fall into.
+    #[test]
+    fn coalescing_counts_distinct_segments(addrs in proptest::collection::vec(0u64..100_000, 1..32)) {
+        let lanes: Vec<(usize, u64)> =
+            addrs.iter().enumerate().map(|(l, &a)| (l, a)).collect();
+        let c = coalesce(&lane_addrs(lanes), 4, 128);
+        let mut segs: Vec<u64> = addrs.iter().map(|a| a & !127).collect();
+        // 4-byte accesses at (a & !127) == 124 spill into the next segment.
+        for a in &addrs {
+            if a % 128 > 124 {
+                segs.push((a & !127) + 128);
+            }
+        }
+        segs.sort_unstable();
+        segs.dedup();
+        prop_assert_eq!(c.transactions as usize, segs.len());
+    }
+
+    /// Bank conflicts never exceed the active lane count and a single
+    /// distinct word is always conflict-free.
+    #[test]
+    fn bank_conflict_bounds(addrs in proptest::collection::vec(0u64..8192, 1..32)) {
+        let n = addrs.len();
+        let lanes: Vec<(usize, u64)> =
+            addrs.iter().enumerate().map(|(l, &a)| (l, a & !3)).collect();
+        let passes = conflict_passes(&lane_addrs(lanes));
+        prop_assert!(passes >= 1);
+        prop_assert!(passes as usize <= n);
+    }
+
+    /// Occupancy decreases monotonically in every resource axis and never
+    /// exceeds the hardware limits.
+    #[test]
+    fn occupancy_is_monotone_and_bounded(
+        block in 1u32..=1024,
+        regs in 1u32..=63,
+        shared_kb in 0u32..=48,
+    ) {
+        let dev = DeviceConfig::gtx680();
+        let res = KernelResources {
+            block_size: block,
+            regs_per_thread: regs,
+            shared_per_block: shared_kb * 1024,
+            local_per_thread: 0,
+        };
+        let o = occupancy(&dev, &res).unwrap();
+        prop_assert!(o.threads_per_smx <= dev.max_threads_per_smx);
+        prop_assert!(o.blocks_per_smx <= dev.max_blocks_per_smx);
+        // More registers never increases occupancy.
+        if regs < 63 {
+            let more = KernelResources { regs_per_thread: regs + 1, ..res };
+            prop_assert!(occupancy(&dev, &more).unwrap().blocks_per_smx <= o.blocks_per_smx);
+        }
+    }
+}
+
+// ---------- __shfl semantics ----------
+
+proptest! {
+    /// `__shfl(x, src, width)` on the simulator equals the per-group
+    /// permutation definition.
+    #[test]
+    fn shfl_idx_matches_reference(src in 0i32..32, width_log in 0u32..=5) {
+        let width = 1u32 << width_log;
+        let dev = DeviceConfig::small_test();
+        let mut b = KernelBuilder::new("shflk", 32);
+        b.param_global_f32("out");
+        b.decl_f32("x", cast(np_kernel_ir::Scalar::F32, tidx()));
+        b.assign("x", shfl(v("x"), i(src), width));
+        b.store("out", tidx(), v("x"));
+        let k = b.finish();
+        let mut args = Args::new().buf_f32("out", vec![0.0; 32]);
+        launch(&dev, &k, Dim3::x1(1), &mut args, &SimOptions::full()).unwrap();
+        let out = args.get_f32("out").unwrap();
+        for (lane, got) in out.iter().enumerate() {
+            let base = lane / width as usize * width as usize;
+            let expect = base + (src.rem_euclid(width as i32)) as usize;
+            prop_assert_eq!(*got, expect as f32, "lane {}", lane);
+        }
+    }
+}
+
+// ---------- the central property: semantics preservation ----------
+
+/// A randomized reduction kernel: each thread folds `n` elements of a
+/// random array with a random operator, with a live-in offset computed in
+/// sequential code.
+fn reduction_kernel(op: RedOp, block: u32) -> np_kernel_ir::Kernel {
+    let mut b = KernelBuilder::new("prop", block);
+    b.param_global_f32("data");
+    b.param_global_f32("out");
+    b.param_scalar_i32("n");
+    b.decl_i32("t", tidx() + bidx() * bdimx());
+    b.decl_f32("scale", cast(np_kernel_ir::Scalar::F32, v("t") % i(5)) + f(1.0));
+    let init = match op {
+        RedOp::Add => f(0.0),
+        RedOp::Mul => f(1.0),
+        RedOp::Min => f(f32::INFINITY),
+        RedOp::Max => f(f32::NEG_INFINITY),
+    };
+    b.decl_f32("acc", init);
+    let pragma = NpPragma::parallel_for().with_reduction(op, "acc");
+    b.pragma_for_parsed(pragma, "j", i(0), p("n"), |b| {
+        let elem = load("data", v("t") + v("j") * i(7)) * v("scale");
+        let combined = match op {
+            RedOp::Add => v("acc") + elem,
+            RedOp::Mul => v("acc") * (elem * f(0.1) + f(1.0)),
+            RedOp::Min => min(v("acc"), elem),
+            RedOp::Max => max(v("acc"), elem),
+        };
+        b.assign("acc", combined);
+    });
+    b.store("out", v("t"), v("acc"));
+    b.finish()
+}
+
+fn cpu_reduction(op: RedOp, data: &[f32], threads: usize, n: usize) -> Vec<f32> {
+    (0..threads)
+        .map(|t| {
+            let scale = (t % 5) as f32 + 1.0;
+            let mut acc = match op {
+                RedOp::Add => 0.0f32,
+                RedOp::Mul => 1.0,
+                RedOp::Min => f32::INFINITY,
+                RedOp::Max => f32::NEG_INFINITY,
+            };
+            for j in 0..n {
+                let elem = data[t + j * 7] * scale;
+                acc = match op {
+                    RedOp::Add => acc + elem,
+                    RedOp::Mul => acc * (elem * 0.1 + 1.0),
+                    RedOp::Min => acc.min(elem),
+                    RedOp::Max => acc.max(elem),
+                };
+            }
+            acc
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    /// For random operators, loop counts, slave sizes and NP types, the
+    /// transformed kernel computes the same reduction as the CPU.
+    #[test]
+    fn transform_preserves_random_reductions(
+        op in arb_redop(),
+        n in 1usize..60,
+        s_log in 1u32..=4,
+        intra in any::<bool>(),
+        seed in 0u64..1000,
+    ) {
+        let s = 1u32 << s_log;
+        let block = 32u32;
+        let opts = if intra { NpOptions::intra(s) } else { NpOptions::inter(s) };
+        let k = reduction_kernel(op, block);
+        let t = transform(&k, &opts).unwrap();
+
+        let threads = block as usize * 2;
+        let data = np_workloads::hash_vec(seed, threads + n * 7 + 1);
+        let expect = cpu_reduction(op, &data, threads, n);
+
+        let dev = DeviceConfig::gtx680();
+        let mut args = Args::new()
+            .buf_f32("data", data)
+            .buf_f32("out", vec![0.0; threads])
+            .i32("n", n as i32);
+        launch(&dev, &t.kernel, Dim3::x1(2), &mut args, &SimOptions::full()).unwrap();
+        let got = args.get_f32("out").unwrap();
+        for (i, (e, g)) in expect.iter().zip(got).enumerate() {
+            let denom = e.abs().max(1.0);
+            prop_assert!(
+                ((e - g) / denom).abs() < 1e-3,
+                "thread {}: {} vs {} ({:?} n={} s={} intra={})",
+                i, e, g, op, n, s, intra
+            );
+        }
+    }
+
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    /// Scan loops: random chunk sizes and slave counts preserve both the
+    /// per-iteration prefix values and the final total.
+    #[test]
+    fn transform_preserves_random_scans(
+        n in 1usize..50,
+        s_log in 1u32..=4,
+        intra in any::<bool>(),
+        seed in 0u64..1000,
+    ) {
+        let s = 1u32 << s_log;
+        let opts = if intra { NpOptions::intra(s) } else { NpOptions::inter(s) };
+        let mut b = KernelBuilder::new("scanprop", 32);
+        b.param_global_f32("data");
+        b.param_global_f32("out");
+        b.param_global_f32("prefixes");
+        b.decl_i32("t", tidx());
+        b.decl_f32("acc", f(0.25));
+        let pragma = NpPragma::parse("np parallel for scan(+:acc)").unwrap();
+        b.pragma_for_parsed(pragma, "j", i(0), i(n as i32), |b| {
+            b.assign("acc", v("acc") + load("data", v("t") + v("j")));
+            b.store("prefixes", v("t") * i(n as i32) + v("j"), v("acc"));
+        });
+        b.store("out", v("t"), v("acc"));
+        let k = b.finish();
+        let t = transform(&k, &opts).unwrap();
+
+        let data = np_workloads::hash_vec(seed, 32 + n);
+        let dev = DeviceConfig::gtx680();
+        let mut args = Args::new()
+            .buf_f32("data", data.clone())
+            .buf_f32("out", vec![0.0; 32])
+            .buf_f32("prefixes", vec![0.0; 32 * n]);
+        launch(&dev, &t.kernel, Dim3::x1(1), &mut args, &SimOptions::full()).unwrap();
+
+        for th in 0..32usize {
+            let mut acc = 0.25f32;
+            for j in 0..n {
+                acc += data[th + j];
+                let got = args.get_f32("prefixes").unwrap()[th * n + j];
+                prop_assert!((acc - got).abs() < 1e-3 * acc.abs().max(1.0),
+                    "prefix t={} j={}: {} vs {}", th, j, acc, got);
+            }
+            let got = args.get_f32("out").unwrap()[th];
+            prop_assert!((acc - got).abs() < 1e-3 * acc.abs().max(1.0));
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Source-level round-trip tests: the pretty-printer and the parser form a
+//! lossless pair over every kernel in the repository — baselines and
+//! transformed kernels alike — which is what makes the `npcc` CLI a real
+//! source-to-source compiler.
+
+use cuda_np::{transform, NpOptions};
+use np_kernel_ir::parse::parse_kernel;
+use np_kernel_ir::printer::print_kernel;
+use np_workloads::{all_workloads, Scale, Workload};
+
+/// `print` must be a fixed point of `print ∘ parse` (AST equality can be
+/// perturbed by spellings like `-inff` → `Neg(inf)`, but the printed source
+/// must stabilize after one round).
+fn assert_print_parse_fixed_point(k: &np_kernel_ir::Kernel, ctx: &str) {
+    let src1 = print_kernel(k);
+    let parsed = parse_kernel(&src1)
+        .unwrap_or_else(|e| panic!("{ctx}: printed kernel failed to parse: {e}\n{src1}"));
+    let src2 = print_kernel(&parsed);
+    assert_eq!(src1, src2, "{ctx}: print/parse round-trip diverged");
+    // A second round must be stable too.
+    let parsed2 = parse_kernel(&src2).unwrap();
+    assert_eq!(parsed, parsed2, "{ctx}: parse not idempotent");
+}
+
+#[test]
+fn every_baseline_kernel_round_trips() {
+    for w in all_workloads(Scale::Test) {
+        assert_print_parse_fixed_point(&w.kernel(), w.name());
+    }
+}
+
+#[test]
+fn every_transformed_kernel_round_trips() {
+    for w in all_workloads(Scale::Test) {
+        for opts in [NpOptions::inter(4), NpOptions::intra(8)] {
+            let Ok(t) = transform(&w.kernel(), &opts) else { continue };
+            assert_print_parse_fixed_point(
+                &t.kernel,
+                &format!("{} {:?}", w.name(), opts.np_type),
+            );
+        }
+    }
+}
+
+#[test]
+fn parsed_kernel_is_executable_and_equivalent() {
+    use np_exec::{launch, SimOptions};
+    use np_gpu_sim::DeviceConfig;
+
+    // Parse the TMV baseline from source and run BOTH versions: results
+    // must be bit-identical (same AST, same execution order).
+    let w = np_workloads::tmv::Tmv::new(Scale::Test);
+    let original = w.kernel();
+    let parsed = parse_kernel(&print_kernel(&original)).unwrap();
+
+    let dev = DeviceConfig::gtx680();
+    let run = |k: &np_kernel_ir::Kernel| {
+        let mut args = w.make_args();
+        launch(&dev, k, w.grid(), &mut args, &SimOptions::full()).unwrap();
+        args.get_f32("out").unwrap().to_vec()
+    };
+    assert_eq!(run(&original), run(&parsed));
+}
+
+#[test]
+fn parsed_source_can_be_transformed_directly() {
+    // The full npcc pipeline in-process: text → parse → transform → text.
+    let src = r#"
+// blockDim = (64, 1, 1)
+__global__ void saxpy_fold(float* x, float* y, float* out, int n) {
+  float acc = 0.0f;
+  int t = threadIdx.x + blockIdx.x * blockDim.x;
+  #pragma np parallel for reduction(+:acc)
+  for (int i = 0; i < n; i++) {
+    acc += x[t * n + i] * y[i];
+  }
+  out[t] = acc;
+}
+"#;
+    let kernel = parse_kernel(src).unwrap();
+    let t = transform(&kernel, &NpOptions::intra(8)).unwrap();
+    let out = print_kernel(&t.kernel);
+    assert!(out.contains("saxpy_fold_np"), "{out}");
+    assert!(out.contains("__shfl"), "intra-warp sm30 must use shfl:\n{out}");
+    // And the output itself parses.
+    parse_kernel(&out).unwrap();
+}
