@@ -53,4 +53,4 @@ pub use local_array::{LocalArrayChoice, LocalArrayPlan};
 pub use mapping::{ThreadMap, MASTER_ID, SLAVE_ID};
 pub use options::{LocalArrayStrategy, NpOptions, TransformError};
 pub use transform::{transform, TransformReport, Transformed};
-pub use tuner::{autotune, TuneCandidate, TuneEntry, TuneResult};
+pub use tuner::{autotune, TuneCandidate, TuneEntry, TuneError, TuneOutcome, TuneResult};

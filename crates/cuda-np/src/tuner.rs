@@ -5,7 +5,7 @@
 
 use crate::options::{NpOptions, TransformError};
 use crate::transform::{transform, Transformed};
-use np_exec::{launch, Args, KernelReport, SimOptions};
+use np_exec::{launch, Args, ExecError, KernelReport, SimFault, SimOptions};
 use np_gpu_sim::DeviceConfig;
 use np_kernel_ir::kernel::Kernel;
 use np_kernel_ir::pragma::NpType;
@@ -17,15 +17,104 @@ pub struct TuneCandidate {
     pub opts: NpOptions,
 }
 
+/// How one candidate's evaluation ended. Non-exhaustive: new failure
+/// classes may be added, so downstream matches need a wildcard arm.
+#[non_exhaustive]
+#[derive(Debug, Clone)]
+pub enum TuneOutcome {
+    /// Ran to completion in this many simulated cycles.
+    Ok { cycles: u64 },
+    /// The transform rejected the configuration (e.g. block too large for
+    /// this slave count) — expected pruning, not a kernel bug.
+    Rejected(TransformError),
+    /// The sanitizer detected a contract violation in the generated kernel
+    /// (out-of-bounds access, race, divergent barrier, watchdog, ...).
+    Faulted(SimFault),
+    /// Launch setup failed (missing argument, occupancy) or the worker
+    /// thread itself died — a harness problem rather than a kernel fault.
+    LaunchFailed(String),
+}
+
+impl TuneOutcome {
+    fn from_launch_err(e: ExecError) -> Self {
+        match e {
+            ExecError::Fault(f) => TuneOutcome::Faulted(*f),
+            other => TuneOutcome::LaunchFailed(other.to_string()),
+        }
+    }
+}
+
+impl std::fmt::Display for TuneOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TuneOutcome::Ok { cycles } => write!(f, "ok ({cycles} cycles)"),
+            TuneOutcome::Rejected(e) => write!(f, "rejected: {e}"),
+            TuneOutcome::Faulted(fault) => write!(f, "faulted: {fault}"),
+            TuneOutcome::LaunchFailed(msg) => write!(f, "launch failed: {msg}"),
+        }
+    }
+}
+
 /// Outcome of evaluating one candidate.
 #[derive(Debug, Clone)]
 pub struct TuneEntry {
     pub slave_size: u32,
     pub np_type: NpType,
-    /// Simulated cycles; `None` when the candidate failed (with `error`).
-    pub cycles: Option<u64>,
-    pub error: Option<String>,
+    pub outcome: TuneOutcome,
 }
+
+impl TuneEntry {
+    /// Simulated cycles; `None` unless the candidate ran to completion.
+    pub fn cycles(&self) -> Option<u64> {
+        match self.outcome {
+            TuneOutcome::Ok { cycles } => Some(cycles),
+            _ => None,
+        }
+    }
+
+    /// The sanitizer fault, when this candidate's kernel violated the
+    /// CUDA contract.
+    pub fn fault(&self) -> Option<&SimFault> {
+        match &self.outcome {
+            TuneOutcome::Faulted(f) => Some(f),
+            _ => None,
+        }
+    }
+}
+
+/// Why an entire auto-tuning run produced no winner. Individual candidate
+/// failures are *not* errors — they become [`TuneEntry`] rows and tuning
+/// continues; this error means there was nothing left to pick from.
+#[non_exhaustive]
+#[derive(Debug, Clone)]
+pub enum TuneError {
+    /// The candidate set was empty.
+    NoCandidates,
+    /// Every candidate was rejected, faulted, or failed to launch. The
+    /// entries record each candidate's outcome.
+    AllFailed(Vec<TuneEntry>),
+}
+
+impl std::fmt::Display for TuneError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TuneError::NoCandidates => write!(f, "no tuning candidates to evaluate"),
+            TuneError::AllFailed(entries) => {
+                write!(f, "all {} tuning candidates failed:", entries.len())?;
+                for e in entries {
+                    write!(
+                        f,
+                        " [{:?} s={}: {}]",
+                        e.np_type, e.slave_size, e.outcome
+                    )?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for TuneError {}
 
 /// Result of an auto-tuning run.
 #[derive(Debug)]
@@ -100,8 +189,12 @@ pub fn candidates_from_pragmas(kernel: &Kernel, max_block_threads: u32) -> Vec<T
 /// `extra_global_buffers` named in the transform report — helper:
 /// [`alloc_extra_buffers`]).
 ///
-/// Candidates whose transform or launch fails are recorded in the entry
-/// table and skipped. Errors only if *every* candidate fails.
+/// Candidates whose transform is rejected, whose generated kernel faults
+/// under the sanitizer, or whose launch fails are recorded as typed
+/// [`TuneEntry`] rows and skipped; tuning continues with the remaining
+/// candidates and errors only if *every* candidate fails (or the set is
+/// empty). A worker thread dying never aborts the run: its candidate is
+/// recorded as failed.
 pub fn autotune(
     kernel: &Kernel,
     dev: &DeviceConfig,
@@ -109,71 +202,60 @@ pub fn autotune(
     make_args: &(dyn Fn(&Transformed) -> Args + Sync),
     sim: &SimOptions,
     candidates: &[TuneCandidate],
-) -> Result<TuneResult, TransformError> {
-    assert!(!candidates.is_empty(), "need at least one tuning candidate");
+) -> Result<TuneResult, TuneError> {
+    if candidates.is_empty() {
+        return Err(TuneError::NoCandidates);
+    }
     let mut slots: Vec<Option<(Transformed, KernelReport)>> = Vec::new();
     let mut entries: Vec<TuneEntry> = Vec::new();
-    for _ in candidates {
-        slots.push(None);
-        entries.push(TuneEntry {
-            slave_size: 0,
-            np_type: NpType::InterWarp,
-            cycles: None,
-            error: None,
-        });
-    }
 
     crossbeam::thread::scope(|scope| {
         let mut handles = Vec::new();
         for cand in candidates {
             let cand = cand.clone();
-            handles.push(scope.spawn(move |_| -> (TuneEntry, Option<(Transformed, KernelReport)>) {
-                let mut entry = TuneEntry {
-                    slave_size: cand.opts.slave_size,
-                    np_type: cand.opts.np_type,
-                    cycles: None,
-                    error: None,
-                };
+            handles.push(scope.spawn(move |_| -> (TuneOutcome, Option<(Transformed, KernelReport)>) {
                 let t = match transform(kernel, &cand.opts) {
                     Ok(t) => t,
-                    Err(e) => {
-                        entry.error = Some(e.to_string());
-                        return (entry, None);
-                    }
+                    Err(e) => return (TuneOutcome::Rejected(e), None),
                 };
                 let mut args = make_args(&t);
                 match launch(dev, &t.kernel, grid, &mut args, sim) {
                     Ok(rep) => {
-                        entry.cycles = Some(rep.cycles);
-                        (entry, Some((t, rep)))
+                        let cycles = rep.cycles;
+                        (TuneOutcome::Ok { cycles }, Some((t, rep)))
                     }
-                    Err(e) => {
-                        entry.error = Some(e.to_string());
-                        (entry, None)
-                    }
+                    Err(e) => (TuneOutcome::from_launch_err(e), None),
                 }
             }));
         }
-        for (i, h) in handles.into_iter().enumerate() {
-            let (entry, slot) = h.join().expect("tuner worker panicked");
-            entries[i] = entry;
-            slots[i] = slot;
+        for (cand, h) in candidates.iter().zip(handles) {
+            let (outcome, slot) = h.join().unwrap_or_else(|_| {
+                // A worker can only panic through a bug in make_args or the
+                // simulator itself; record it and keep tuning.
+                (TuneOutcome::LaunchFailed("tuner worker panicked".to_string()), None)
+            });
+            entries.push(TuneEntry {
+                slave_size: cand.opts.slave_size,
+                np_type: cand.opts.np_type,
+                outcome,
+            });
+            slots.push(slot);
         }
     })
+    // Internal invariant: the shim's scope only errors on an unjoined child
+    // panic, and every handle above is joined.
     .expect("tuner scope");
 
     let best_idx = entries
         .iter()
         .enumerate()
-        .filter_map(|(i, e)| e.cycles.map(|c| (i, c)))
+        .filter_map(|(i, e)| e.cycles().map(|c| (i, c)))
         .min_by_key(|&(_, c)| c)
-        .map(|(i, _)| i)
-        .ok_or_else(|| {
-            TransformError::NonCanonicalLoop(format!(
-                "all tuning candidates failed: {:?}",
-                entries.iter().filter_map(|e| e.error.clone()).collect::<Vec<_>>()
-            ))
-        })?;
+        .map(|(i, _)| i);
+    let Some(best_idx) = best_idx else {
+        return Err(TuneError::AllFailed(entries));
+    };
+    // Internal invariant: an Ok entry always has its (Transformed, report).
     let (best, best_report) = slots[best_idx].take().expect("winner has a slot");
     Ok(TuneResult { best, best_report, entries })
 }
@@ -245,6 +327,69 @@ mod tests {
         let k = kernel_with_pragma("np parallel for reduction(+:s)");
         let c = candidates_from_pragmas(&k, 1024);
         assert_eq!(c.len(), default_candidates(64, 1024).len());
+    }
+
+    #[test]
+    fn faulting_candidate_is_recorded_and_skipped() {
+        let dev = DeviceConfig::gtx680();
+        let k = kernel_with_pragma("np parallel for reduction(+:s)");
+        let grid = Dim3::x1(1);
+        let candidates = default_candidates(64, 1024);
+        assert!(candidates.len() > 2, "need a mixed candidate set");
+        // Sabotage exactly the slave_size-4 variants: a 1-element output
+        // buffer makes their generated kernels store out of bounds.
+        let make_args = |t: &Transformed| {
+            let n = if t.report.slave_size == 4 { 1 } else { 64 };
+            alloc_extra_buffers(Args::new().buf_f32("out", vec![0.0; n]), t, grid)
+        };
+        let r = autotune(&k, &dev, grid, &make_args, &SimOptions::full(), &candidates)
+            .expect("non-faulting candidates remain");
+        let faulted: Vec<_> = r.entries.iter().filter(|e| e.fault().is_some()).collect();
+        assert!(!faulted.is_empty(), "sabotaged candidates must be recorded");
+        assert!(faulted.iter().all(|e| e.slave_size == 4), "{faulted:?}");
+        assert!(matches!(
+            faulted[0].fault().unwrap().kind,
+            np_exec::FaultKind::OutOfBounds { .. }
+        ));
+        assert_ne!(r.best.report.slave_size, 4, "a faulting variant must not win");
+        let min = r.entries.iter().filter_map(|e| e.cycles()).min().unwrap();
+        assert_eq!(r.best_report.cycles, min, "winner is the fastest clean candidate");
+    }
+
+    #[test]
+    fn all_candidates_faulting_is_a_typed_error() {
+        let dev = DeviceConfig::gtx680();
+        let k = kernel_with_pragma("np parallel for reduction(+:s)");
+        let grid = Dim3::x1(1);
+        let candidates = default_candidates(64, 1024);
+        // Every variant stores past this 1-element output buffer.
+        let make_args =
+            |t: &Transformed| alloc_extra_buffers(Args::new().buf_f32("out", vec![0.0; 1]), t, grid);
+        let err = autotune(&k, &dev, grid, &make_args, &SimOptions::full(), &candidates)
+            .unwrap_err();
+        match err {
+            TuneError::AllFailed(entries) => {
+                assert_eq!(entries.len(), candidates.len());
+                assert!(entries.iter().all(|e| e.fault().is_some()), "{entries:?}");
+            }
+            other => panic!("expected AllFailed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_candidate_set_is_a_typed_error() {
+        let dev = DeviceConfig::gtx680();
+        let k = kernel_with_pragma("np parallel for reduction(+:s)");
+        let err = autotune(
+            &k,
+            &dev,
+            Dim3::x1(1),
+            &|_| Args::new(),
+            &SimOptions::full(),
+            &[],
+        )
+        .unwrap_err();
+        assert!(matches!(err, TuneError::NoCandidates));
     }
 
     #[test]

@@ -8,14 +8,27 @@
 //! * statements that contain no `__syncthreads` execute warp-at-a-time;
 //!   statements that do contain a barrier (bare syncs, uniform loops or
 //!   conditionals with syncs inside) execute in block-level lockstep, and
-//!   the interpreter *asserts* the CUDA contract that control flow around
+//!   the interpreter *checks* the CUDA contract that control flow around
 //!   barriers is uniform across the block;
 //! * warps of one block run sequentially in warp-id order between barriers,
 //!   so functional results are deterministic even for racy kernels.
+//!
+//! Contract violations never panic: every check surfaces as a typed
+//! [`SimFault`] threaded out through `Result` (see [`crate::fault`]). The
+//! per-launch [`LaunchCtx`] additionally carries the watchdog step budget
+//! and the optional memory fault injector.
 
+// Interpreter internals thread `SimFault` by value so detection sites can
+// chain `.at_warp()/.at_lane()/.with_context()` without re-boxing at every
+// hop; a fault occurs at most once per launch, and the public boundary
+// (`ExecError::Fault`) boxes it.
+#![allow(clippy::result_large_err)]
+
+use crate::fault::{FaultKind, SimFault};
 use crate::machine::{ArgValue, GlobalState};
-use crate::value::{lanes, Mask, WVal, LANES};
+use crate::value::{lanes, Mask, ValueError, WVal, LANES};
 use np_gpu_sim::config::DeviceConfig;
+use np_gpu_sim::mem::inject::{FaultInjector, InjectConfig, InjectSpace, Injection};
 use np_gpu_sim::mem::local::LocalLayout;
 use np_gpu_sim::mem::LaneAddrs;
 use np_gpu_sim::trace::{BlockTrace, TraceBuilder};
@@ -24,6 +37,51 @@ use np_kernel_ir::kernel::Kernel;
 use np_kernel_ir::stmt::{visit_stmts, Stmt};
 use np_kernel_ir::types::{Dim3, MemSpace, Scalar};
 use std::collections::HashMap;
+
+/// Watchdog state: a per-launch budget of interpreted steps.
+struct Watchdog {
+    left: u64,
+    limit: u64,
+}
+
+/// Per-launch sanitizer state shared by every block of one launch: the
+/// bound globals, the watchdog budget, and the fault injector. Keeping it
+/// launch-scoped makes the watchdog a whole-kernel bound and the injector's
+/// access counter monotone across blocks (so seeded runs are reproducible).
+pub(crate) struct LaunchCtx<'a> {
+    pub globals: &'a mut GlobalState,
+    watchdog: Option<Watchdog>,
+    injector: Option<FaultInjector>,
+}
+
+impl<'a> LaunchCtx<'a> {
+    pub fn new(
+        globals: &'a mut GlobalState,
+        watchdog_steps: Option<u64>,
+        injection: Option<InjectConfig>,
+    ) -> Self {
+        LaunchCtx {
+            globals,
+            watchdog: watchdog_steps.map(|limit| Watchdog { left: limit, limit }),
+            injector: injection.map(FaultInjector::new),
+        }
+    }
+
+    /// Charge one interpreted step against the watchdog budget.
+    fn tick(&mut self, kernel: &Kernel) -> Result<(), SimFault> {
+        let Some(wd) = &mut self.watchdog else { return Ok(()) };
+        if wd.left == 0 {
+            return Err(SimFault::new(&kernel.name, FaultKind::Watchdog { limit: wd.limit }));
+        }
+        wd.left -= 1;
+        Ok(())
+    }
+
+    /// Consult the injector for one lane load.
+    fn inject(&mut self, space: InjectSpace, addr: u64) -> Option<Injection> {
+        self.injector.as_mut()?.decide(space, addr)
+    }
+}
 
 /// Typed raw storage for a shared or local array (element-major for local:
 /// index `i` of lane `l` lives at `i * LANES + l`).
@@ -62,11 +120,32 @@ struct BlockCtx {
     race: Option<RaceMap>,
 }
 
+/// Wrap a lane-vector operation error into a fault at a known warp.
+fn vfault(kernel: &Kernel, warp: u64, e: ValueError) -> SimFault {
+    let kind = if e.ill_typed {
+        FaultKind::IllTyped { detail: e.msg }
+    } else {
+        FaultKind::InvalidOperation { detail: e.msg }
+    };
+    let mut f = SimFault::new(&kernel.name, kind).at_warp(warp);
+    if let Some(l) = e.lane {
+        f = f.at_lane(l);
+    }
+    f
+}
+
 impl BlockCtx {
-    /// Record one shared-memory access for race detection; panics on a
+    /// Record one shared-memory access for race detection; faults on a
     /// cross-warp conflict where at least one side writes.
-    fn track_shared(&mut self, array: &str, index: usize, warp: u64, write: bool, kernel: &str) {
-        let Some(tracker) = &mut self.race else { return };
+    fn track_shared(
+        &mut self,
+        array: &str,
+        index: usize,
+        warp: u64,
+        write: bool,
+        kernel: &Kernel,
+    ) -> Result<(), SimFault> {
+        let Some(tracker) = &mut self.race else { return Ok(()) };
         let len = self
             .shared
             .get(array)
@@ -75,21 +154,28 @@ impl BlockCtx {
         let slots = tracker
             .entry(array.to_string())
             .or_insert_with(|| vec![None; len]);
-        match slots.get(index).copied().flatten() {
-            Some((prev_warp, prev_write)) if prev_warp != warp && (prev_write || write) => {
-                panic!(
-                    "shared-memory race in kernel {kernel:?}: {array}[{index}] accessed by                      warp {prev_warp} ({}) and warp {warp} ({}) without an intervening                      __syncthreads()",
-                    if prev_write { "write" } else { "read" },
-                    if write { "write" } else { "read" },
+        if let Some((prev_warp, prev_write)) = slots.get(index).copied().flatten() {
+            if prev_warp != warp && (prev_write || write) {
+                return Err(SimFault::new(
+                    &kernel.name,
+                    FaultKind::SharedRace {
+                        array: array.to_string(),
+                        index,
+                        prev_warp,
+                        prev_write,
+                        warp,
+                        write,
+                    },
                 )
+                .at_warp(warp));
             }
-            _ => {}
         }
         // Writes dominate reads in the recorded state.
         if let Some(slot) = slots.get_mut(index) {
             let keep_write = write || slot.map(|(_, w)| w).unwrap_or(false);
             *slot = Some((warp, keep_write));
         }
+        Ok(())
     }
 
     /// Barrier: all pre-barrier accesses are now ordered before whatever
@@ -101,18 +187,19 @@ impl BlockCtx {
     }
 }
 
-/// Execute one thread block functionally; returns its timing trace.
+/// Execute one thread block functionally; returns its timing trace, or the
+/// first fault the sanitizer detected.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_block(
     kernel: &Kernel,
     dev: &DeviceConfig,
-    globals: &mut GlobalState,
+    ctx: &mut LaunchCtx,
     block_idx: (u32, u32),
     grid_dim: Dim3,
     first_warp_global_id: u64,
     local_bytes_per_thread: u32,
     detect_races: bool,
-) -> BlockTrace {
+) -> Result<BlockTrace, SimFault> {
     let block_dim = kernel.block_dim;
     let n_threads = block_dim.count() as usize;
     let n_warps = n_threads.div_ceil(LANES);
@@ -123,6 +210,7 @@ pub(crate) fn run_block(
     let mut shared_cursor = 0u32;
     let mut local_decls: Vec<(String, Scalar, u32, u32, bool)> = Vec::new();
     let mut local_cursor = 0u32;
+    let mut decl_fault: Option<SimFault> = None;
     visit_stmts(&kernel.body, &mut |s| {
         if let Stmt::DeclArray { name, ty, space, len } = s {
             match space {
@@ -152,10 +240,24 @@ pub(crate) fn run_block(
                         local_decls.push((name.clone(), *ty, *len, 0, true));
                     }
                 }
-                other => panic!("cannot declare an array in {other:?} space"),
+                other => {
+                    decl_fault.get_or_insert_with(|| {
+                        SimFault::new(
+                            &kernel.name,
+                            FaultKind::InvalidOperation {
+                                detail: format!(
+                                    "cannot declare array {name:?} in {other:?} space"
+                                ),
+                            },
+                        )
+                    });
+                }
             }
         }
     });
+    if let Some(f) = decl_fault {
+        return Err(f);
+    }
 
     let mut block = BlockCtx {
         shared,
@@ -209,9 +311,9 @@ pub(crate) fn run_block(
         })
         .collect();
 
-    exec_block_level(&kernel.body, kernel, &mut warps, &mut block, globals);
+    exec_block_level(&kernel.body, kernel, &mut warps, &mut block, ctx)?;
 
-    BlockTrace { warps: warps.into_iter().map(|w| w.builder.finish()).collect() }
+    Ok(BlockTrace { warps: warps.into_iter().map(|w| w.builder.finish()).collect() })
 }
 
 /// Execute statements at block level, switching between warp-at-a-time and
@@ -221,48 +323,51 @@ fn exec_block_level(
     kernel: &Kernel,
     warps: &mut [WarpCtx],
     block: &mut BlockCtx,
-    globals: &mut GlobalState,
-) {
+    ctx: &mut LaunchCtx,
+) -> Result<(), SimFault> {
     for s in stmts {
         if !s.contains_sync() {
             for w in warps.iter_mut() {
                 let mask = w.exist_mask;
-                exec_stmt_warp(s, kernel, w, block, globals, mask);
+                exec_stmt_warp(s, kernel, w, block, ctx, mask)?;
             }
             continue;
         }
         match s {
             Stmt::SyncThreads => {
+                ctx.tick(kernel)?;
                 block.clear_races();
                 for w in warps.iter_mut() {
                     w.builder.bar();
                 }
             }
             Stmt::If { cond, then_body, else_body } => {
-                let c = eval_uniform_cond(cond, kernel, warps, block, globals);
+                ctx.tick(kernel)?;
+                let c = eval_uniform_cond(cond, kernel, warps, block, ctx)?;
                 if c {
-                    exec_block_level(then_body, kernel, warps, block, globals);
+                    exec_block_level(then_body, kernel, warps, block, ctx)?;
                 } else {
-                    exec_block_level(else_body, kernel, warps, block, globals);
+                    exec_block_level(else_body, kernel, warps, block, ctx)?;
                 }
             }
             Stmt::For { var, init, bound, step, body, .. } => {
                 // Lockstep loop: every thread follows the same trip count.
                 for w in warps.iter_mut() {
                     let mask = w.exist_mask;
-                    let v = eval(init, kernel, w, block, globals, mask);
-                    set_reg(w, var, v, mask);
+                    let v = eval(init, kernel, w, block, ctx, mask)?;
+                    set_reg(w, var, v, mask, kernel)?;
                 }
                 loop {
+                    ctx.tick(kernel)?;
                     let cond = Expr::Binary(
                         np_kernel_ir::expr::BinOp::Lt,
                         Box::new(Expr::Var(var.clone())),
                         Box::new(bound.clone()),
                     );
-                    if !eval_uniform_cond(&cond, kernel, warps, block, globals) {
+                    if !eval_uniform_cond(&cond, kernel, warps, block, ctx)? {
                         break;
                     }
-                    exec_block_level(body, kernel, warps, block, globals);
+                    exec_block_level(body, kernel, warps, block, ctx)?;
                     for w in warps.iter_mut() {
                         let mask = w.exist_mask;
                         let stepped = eval(
@@ -274,16 +379,19 @@ fn exec_block_level(
                             kernel,
                             w,
                             block,
-                            globals,
+                            ctx,
                             mask,
-                        );
-                        set_reg(w, var, stepped, mask);
+                        )?;
+                        set_reg(w, var, stepped, mask, kernel)?;
                     }
                 }
             }
+            // Internal invariant: contains_sync() is true only for the
+            // statement shapes handled above.
             other => unreachable!("statement cannot contain a barrier: {other:?}"),
         }
     }
+    Ok(())
 }
 
 /// Evaluate a condition that must be uniform across the entire block
@@ -293,38 +401,65 @@ fn eval_uniform_cond(
     kernel: &Kernel,
     warps: &mut [WarpCtx],
     block: &mut BlockCtx,
-    globals: &mut GlobalState,
-) -> bool {
+    ctx: &mut LaunchCtx,
+) -> Result<bool, SimFault> {
     let mut result: Option<bool> = None;
     for w in warps.iter_mut() {
         let mask = w.exist_mask;
-        let c = eval(cond, kernel, w, block, globals, mask);
-        let t = c.true_mask(mask);
-        assert!(
-            t == 0 || t == mask,
-            "barrier under divergent control flow (condition not warp-uniform)"
-        );
+        let c = eval(cond, kernel, w, block, ctx, mask)?;
+        let wid = w.warp_global_id;
+        let t = c.true_mask(mask).map_err(|e| vfault(kernel, wid, e))?;
+        if t != 0 && t != mask {
+            return Err(SimFault::new(
+                &kernel.name,
+                FaultKind::BarrierDivergence {
+                    detail: "barrier under divergent control flow (condition not warp-uniform)"
+                        .to_string(),
+                },
+            )
+            .at_warp(wid));
+        }
         let this = t == mask && mask != 0;
         match result {
             None => result = Some(this),
-            Some(prev) => assert_eq!(
-                prev, this,
-                "barrier under divergent control flow (condition differs across warps)"
-            ),
+            Some(prev) => {
+                if prev != this {
+                    return Err(SimFault::new(
+                        &kernel.name,
+                        FaultKind::BarrierDivergence {
+                            detail:
+                                "barrier under divergent control flow (condition differs across warps)"
+                                    .to_string(),
+                        },
+                    )
+                    .at_warp(wid));
+                }
+            }
         }
     }
-    result.unwrap_or(false)
+    Ok(result.unwrap_or(false))
 }
 
-fn set_reg(w: &mut WarpCtx, name: &str, val: WVal, mask: Mask) {
+fn set_reg(
+    w: &mut WarpCtx,
+    name: &str,
+    val: WVal,
+    mask: Mask,
+    kernel: &Kernel,
+) -> Result<(), SimFault> {
+    let wid = w.warp_global_id;
     match w.regs.get_mut(name) {
-        Some(existing) => existing.merge_from(&val, mask),
+        Some(existing) => existing
+            .merge_from(&val, mask)
+            .map_err(|e| vfault(kernel, wid, e).with_context(format!("assignment to {name:?}")))?,
         None => {
             let mut fresh = WVal::zero(val.ty());
-            fresh.merge_from(&val, mask);
+            // Internal invariant: fresh has val's own type.
+            fresh.merge_from(&val, mask).expect("fresh register matches value type");
             w.regs.insert(name.to_string(), fresh);
         }
     }
+    Ok(())
 }
 
 /// Execute one statement for one warp under `mask`.
@@ -333,65 +468,80 @@ fn exec_stmt_warp(
     kernel: &Kernel,
     w: &mut WarpCtx,
     block: &mut BlockCtx,
-    globals: &mut GlobalState,
+    ctx: &mut LaunchCtx,
     mask: Mask,
-) {
+) -> Result<(), SimFault> {
     if mask == 0 {
-        return;
+        return Ok(());
     }
+    ctx.tick(kernel)?;
     match s {
         Stmt::DeclScalar { name, ty, init } => {
             let val = match init {
-                Some(e) => eval(e, kernel, w, block, globals, mask),
+                Some(e) => eval(e, kernel, w, block, ctx, mask)?,
                 None => WVal::zero(*ty),
             };
-            assert_eq!(val.ty(), *ty, "initializer type mismatch for {name:?}");
+            if val.ty() != *ty {
+                return Err(SimFault::new(
+                    &kernel.name,
+                    FaultKind::IllTyped {
+                        detail: format!(
+                            "initializer type mismatch for {name:?}: declared {ty:?}, got {:?}",
+                            val.ty()
+                        ),
+                    },
+                )
+                .at_warp(w.warp_global_id));
+            }
             // A declaration (re-)initializes: overwrite under mask, default
             // elsewhere if previously absent.
-            set_reg(w, name, val, mask);
+            set_reg(w, name, val, mask, kernel)?;
         }
         Stmt::DeclArray { .. } => { /* pre-created in run_block */ }
         Stmt::Assign { name, value } => {
-            let val = eval(value, kernel, w, block, globals, mask);
-            set_reg(w, name, val, mask);
+            let val = eval(value, kernel, w, block, ctx, mask)?;
+            set_reg(w, name, val, mask, kernel)?;
         }
         Stmt::Store { array, index, value } => {
-            let idx = eval(index, kernel, w, block, globals, mask);
-            let val = eval(value, kernel, w, block, globals, mask);
-            store_array(array, &idx, &val, kernel, w, block, globals, mask);
+            let idx = eval(index, kernel, w, block, ctx, mask)?;
+            let val = eval(value, kernel, w, block, ctx, mask)?;
+            store_array(array, &idx, &val, kernel, w, block, ctx, mask)?;
         }
         Stmt::If { cond, then_body, else_body } => {
-            let c = eval(cond, kernel, w, block, globals, mask);
-            let t_mask = c.true_mask(mask);
+            let c = eval(cond, kernel, w, block, ctx, mask)?;
+            let wid = w.warp_global_id;
+            let t_mask = c.true_mask(mask).map_err(|e| vfault(kernel, wid, e))?;
             let e_mask = mask & !t_mask;
             if t_mask != 0 {
                 for st in then_body {
-                    exec_stmt_warp(st, kernel, w, block, globals, t_mask);
+                    exec_stmt_warp(st, kernel, w, block, ctx, t_mask)?;
                 }
             }
             if e_mask != 0 {
                 for st in else_body {
-                    exec_stmt_warp(st, kernel, w, block, globals, e_mask);
+                    exec_stmt_warp(st, kernel, w, block, ctx, e_mask)?;
                 }
             }
         }
         Stmt::For { var, init, bound, step, body, .. } => {
-            let v0 = eval(init, kernel, w, block, globals, mask);
-            set_reg(w, var, v0, mask);
+            let v0 = eval(init, kernel, w, block, ctx, mask)?;
+            set_reg(w, var, v0, mask, kernel)?;
             let mut active = mask;
             loop {
+                ctx.tick(kernel)?;
                 let cond = Expr::Binary(
                     np_kernel_ir::expr::BinOp::Lt,
                     Box::new(Expr::Var(var.clone())),
                     Box::new(bound.clone()),
                 );
-                let c = eval(&cond, kernel, w, block, globals, active);
-                active = c.true_mask(active);
+                let c = eval(&cond, kernel, w, block, ctx, active)?;
+                let wid = w.warp_global_id;
+                active = c.true_mask(active).map_err(|e| vfault(kernel, wid, e))?;
                 if active == 0 {
                     break;
                 }
                 for st in body {
-                    exec_stmt_warp(st, kernel, w, block, globals, active);
+                    exec_stmt_warp(st, kernel, w, block, ctx, active)?;
                 }
                 let stepped = eval(
                     &Expr::Binary(
@@ -402,16 +552,19 @@ fn exec_stmt_warp(
                     kernel,
                     w,
                     block,
-                    globals,
+                    ctx,
                     active,
-                );
-                set_reg(w, var, stepped, active);
+                )?;
+                set_reg(w, var, stepped, active, kernel)?;
             }
         }
         Stmt::SyncThreads => {
+            // Internal invariant: exec_block_level routes every
+            // barrier-containing statement away from the warp path.
             unreachable!("barrier must be handled at block level")
         }
     }
+    Ok(())
 }
 
 /// Evaluate an expression for one warp under `mask`, emitting trace ops.
@@ -420,10 +573,10 @@ fn eval(
     kernel: &Kernel,
     w: &mut WarpCtx,
     block: &mut BlockCtx,
-    globals: &mut GlobalState,
+    ctx: &mut LaunchCtx,
     mask: Mask,
-) -> WVal {
-    match e {
+) -> Result<WVal, SimFault> {
+    let out = match e {
         Expr::ImmF32(x) => WVal::splat_f32(*x),
         Expr::ImmI32(x) => WVal::splat_i32(*x),
         Expr::ImmU32(x) => WVal::splat_u32(*x),
@@ -431,13 +584,24 @@ fn eval(
         Expr::Var(n) => w
             .regs
             .get(n)
-            .unwrap_or_else(|| panic!("use of undeclared scalar {n:?} in kernel {:?}", kernel.name))
+            .ok_or_else(|| {
+                SimFault::new(&kernel.name, FaultKind::UndeclaredName { name: n.clone() })
+                    .at_warp(w.warp_global_id)
+                    .with_context("use of undeclared scalar")
+            })?
             .clone(),
-        Expr::Param(n) => match globals.scalars.get(n) {
+        Expr::Param(n) => match ctx.globals.scalars.get(n) {
             Some(ArgValue::F32(x)) => WVal::splat_f32(*x),
             Some(ArgValue::I32(x)) => WVal::splat_i32(*x),
             Some(ArgValue::U32(x)) => WVal::splat_u32(*x),
-            _ => panic!("parameter {n:?} is not a bound scalar"),
+            _ => {
+                return Err(SimFault::new(
+                    &kernel.name,
+                    FaultKind::UndeclaredName { name: n.clone() },
+                )
+                .at_warp(w.warp_global_id)
+                .with_context("parameter is not a bound scalar"))
+            }
         },
         Expr::Special(s) => match s {
             Special::ThreadIdxX => w.tid[0].clone(),
@@ -452,100 +616,161 @@ fn eval(
             Special::GridDimY => WVal::splat_i32(block.grid_dim.y as i32),
         },
         Expr::Unary(op, a) => {
-            let va = eval(a, kernel, w, block, globals, mask);
+            let va = eval(a, kernel, w, block, ctx, mask)?;
             if op.is_sfu() {
                 w.builder.sfu(1);
             } else {
                 w.builder.alu(1);
             }
-            WVal::unary(*op, &va, mask)
+            let wid = w.warp_global_id;
+            WVal::unary(*op, &va, mask).map_err(|e| vfault(kernel, wid, e))?
         }
         Expr::Binary(op, a, b) => {
-            let va = eval(a, kernel, w, block, globals, mask);
-            let vb = eval(b, kernel, w, block, globals, mask);
+            let va = eval(a, kernel, w, block, ctx, mask)?;
+            let vb = eval(b, kernel, w, block, ctx, mask)?;
             w.builder.alu(1);
-            WVal::binary(*op, &va, &vb, mask)
+            let wid = w.warp_global_id;
+            WVal::binary(*op, &va, &vb, mask).map_err(|e| vfault(kernel, wid, e))?
         }
         Expr::Select(c, a, b) => {
-            let vc = eval(c, kernel, w, block, globals, mask);
-            let va = eval(a, kernel, w, block, globals, mask);
-            let vb = eval(b, kernel, w, block, globals, mask);
+            let vc = eval(c, kernel, w, block, ctx, mask)?;
+            let va = eval(a, kernel, w, block, ctx, mask)?;
+            let vb = eval(b, kernel, w, block, ctx, mask)?;
             w.builder.alu(1);
-            let tm = vc.true_mask(mask);
+            let wid = w.warp_global_id;
+            let tm = vc.true_mask(mask).map_err(|e| vfault(kernel, wid, e))?;
             let mut out = vb;
-            out.merge_from(&va, tm);
+            out.merge_from(&va, tm)
+                .map_err(|e| vfault(kernel, wid, e).with_context("select arms"))?;
             out
         }
         Expr::Cast(ty, a) => {
-            let va = eval(a, kernel, w, block, globals, mask);
+            let va = eval(a, kernel, w, block, ctx, mask)?;
             w.builder.alu(1);
             va.cast(*ty, mask)
         }
         Expr::Load { array, index } => {
-            let idx = eval(index, kernel, w, block, globals, mask);
-            load_array(array, &idx, kernel, w, block, globals, mask)
+            let idx = eval(index, kernel, w, block, ctx, mask)?;
+            load_array(array, &idx, kernel, w, block, ctx, mask)?
         }
         Expr::Shfl { mode, value, lane, width } => {
-            let vv = eval(value, kernel, w, block, globals, mask);
-            let vl = eval(lane, kernel, w, block, globals, mask);
+            let vv = eval(value, kernel, w, block, ctx, mask)?;
+            let vl = eval(lane, kernel, w, block, ctx, mask)?;
             w.builder.shfl();
-            shfl_permute(*mode, &vv, &vl, *width, mask)
+            let wid = w.warp_global_id;
+            shfl_permute(*mode, &vv, &vl, *width, mask, kernel)
+                .map_err(|f| f.at_warp(wid))?
         }
-    }
+    };
+    Ok(out)
 }
 
 /// CUDA `__shfl` family semantics over a warp-wide value.
-fn shfl_permute(mode: ShflMode, value: &WVal, lane_arg: &WVal, width: u32, mask: Mask) -> WVal {
-    assert!(
-        width.is_power_of_two() && width >= 1 && width as usize <= LANES,
-        "__shfl width must be a power of two in [1, 32], got {width}"
-    );
+fn shfl_permute(
+    mode: ShflMode,
+    value: &WVal,
+    lane_arg: &WVal,
+    width: u32,
+    mask: Mask,
+    kernel: &Kernel,
+) -> Result<WVal, SimFault> {
+    if !(width.is_power_of_two() && width >= 1 && width as usize <= LANES) {
+        return Err(SimFault::new(
+            &kernel.name,
+            FaultKind::InvalidOperation {
+                detail: format!("__shfl width must be a power of two in [1, 32], got {width}"),
+            },
+        ));
+    }
     let wm = width as i64;
     let mut out = value.clone();
-    let src_of = |l: usize| -> usize {
+    let mut src = [0usize; LANES];
+    for (l, s) in src.iter_mut().enumerate() {
+        let arg = lane_arg.lane_index(l).ok_or_else(|| {
+            SimFault::new(
+                &kernel.name,
+                FaultKind::IllTyped {
+                    detail: format!(
+                        "__shfl lane argument must be an integer, found {:?}",
+                        lane_arg.ty()
+                    ),
+                },
+            )
+            .at_lane(l)
+        })?;
         let base = (l as i64 / wm) * wm;
-        let arg = lane_arg.lane_index(l).expect("__shfl lane argument must be an integer");
-        match mode {
+        *s = match mode {
             ShflMode::Idx => (base + arg.rem_euclid(wm)) as usize,
             ShflMode::Up => {
-                let s = l as i64 - arg;
-                if s < base {
+                let x = l as i64 - arg;
+                if x < base {
                     l
                 } else {
-                    s as usize
+                    x as usize
                 }
             }
             ShflMode::Down => {
-                let s = l as i64 + arg;
-                if s >= base + wm {
+                let x = l as i64 + arg;
+                if x >= base + wm {
                     l
                 } else {
-                    s as usize
+                    x as usize
                 }
             }
             ShflMode::Xor => {
-                let s = l as i64 ^ arg;
-                if s >= base + wm || s < base {
+                let x = l as i64 ^ arg;
+                if x >= base + wm || x < base {
                     l
                 } else {
-                    s as usize
+                    x as usize
                 }
             }
-        }
-    };
-    let bits: [u32; LANES] = std::array::from_fn(|l| value.lane_bits(src_of(l)));
+        };
+    }
+    let bits: [u32; LANES] = std::array::from_fn(|l| value.lane_bits(src[l]));
     let permuted = WVal::from_bits(value.ty(), bits);
-    out.merge_from(&permuted, mask);
-    out
+    // Internal invariant: permuted has value's own type.
+    out.merge_from(&permuted, mask).expect("shfl preserves the value type");
+    Ok(out)
 }
 
-fn check_index(array: &str, idx: i64, len: usize, kernel: &Kernel, lane: usize) -> usize {
-    assert!(
-        idx >= 0 && (idx as usize) < len,
-        "out-of-bounds access {array}[{idx}] (len {len}) in kernel {:?}, lane {lane}",
-        kernel.name
-    );
-    idx as usize
+/// The lane's index value as an integer, or an `IllTyped` fault.
+fn lane_index(
+    idx: &WVal,
+    lane: usize,
+    array: &str,
+    kernel: &Kernel,
+) -> Result<i64, SimFault> {
+    idx.lane_index(lane).ok_or_else(|| {
+        SimFault::new(
+            &kernel.name,
+            FaultKind::IllTyped {
+                detail: format!("index into {array:?} must be an integer, found {:?}", idx.ty()),
+            },
+        )
+        .at_lane(lane)
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn check_index(
+    array: &str,
+    idx: i64,
+    len: usize,
+    space: MemSpace,
+    write: bool,
+    kernel: &Kernel,
+    lane: usize,
+) -> Result<usize, SimFault> {
+    if idx >= 0 && (idx as usize) < len {
+        Ok(idx as usize)
+    } else {
+        Err(SimFault::new(
+            &kernel.name,
+            FaultKind::OutOfBounds { space, array: array.to_string(), index: idx, len, write },
+        )
+        .at_lane(lane))
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -555,72 +780,137 @@ fn load_array(
     kernel: &Kernel,
     w: &mut WarpCtx,
     block: &mut BlockCtx,
-    globals: &mut GlobalState,
+    ctx: &mut LaunchCtx,
     mask: Mask,
-) -> WVal {
+) -> Result<WVal, SimFault> {
+    let wid = w.warp_global_id;
     // Declared arrays first (shared / local), then parameter arrays.
     if let Some(arr) = block.shared.get(array) {
         let mut addrs: LaneAddrs = [None; LANES];
         let mut bits = [0u32; LANES];
         let mut touched: Vec<usize> = Vec::new();
+        let ty = arr.ty;
+        let arr_len = arr.len as usize;
         for l in lanes(mask) {
-            let i = check_index(array, idx.lane_index(l).expect("index must be integer"),
-                arr.len as usize, kernel, l);
-            addrs[l] = Some(arr.byte_offset as u64 + i as u64 * 4);
+            let li = lane_index(idx, l, array, kernel).map_err(|f| f.at_warp(wid))?;
+            let i = check_index(array, li, arr_len, MemSpace::Shared, false, kernel, l)
+                .map_err(|f| f.at_warp(wid))?;
+            let addr = arr.byte_offset as u64 + i as u64 * 4;
+            addrs[l] = Some(addr);
             bits[l] = arr.bits[i];
+            match ctx.inject(InjectSpace::Shared, addr) {
+                Some(Injection::BitFlip(b)) => bits[l] ^= 1 << b,
+                Some(Injection::Fault) => {
+                    return Err(SimFault::new(
+                        &kernel.name,
+                        FaultKind::Injected { space: InjectSpace::Shared, addr },
+                    )
+                    .at_warp(wid)
+                    .at_lane(l)
+                    .with_context(format!("load {array}[{li}]")))
+                }
+                None => {}
+            }
             touched.push(i);
         }
-        let ty = arr.ty;
         if block.race.is_some() {
-            let wid = w.warp_global_id;
             for i in touched {
-                block.track_shared(array, i, wid, false, &kernel.name);
+                block.track_shared(array, i, wid, false, kernel)?;
             }
         }
         w.builder.shared(&addrs, false);
-        return WVal::from_bits(ty, bits);
+        return Ok(WVal::from_bits(ty, bits));
     }
     if let Some(arr) = w.local.get(array) {
         let mut offsets = [None; LANES];
         let mut bits = [0u32; LANES];
-        for l in lanes(mask) {
-            let i = check_index(array, idx.lane_index(l).expect("index must be integer"),
-                arr.len as usize, kernel, l);
-            offsets[l] = Some(arr.byte_offset + i as u32 * 4);
-            bits[l] = arr.bits[i * LANES + l];
-        }
         let ty = arr.ty;
-        if arr.in_registers {
+        let in_regs = arr.in_registers;
+        let arr_len = arr.len as usize;
+        let byte_offset = arr.byte_offset;
+        for l in lanes(mask) {
+            let li = lane_index(idx, l, array, kernel).map_err(|f| f.at_warp(wid))?;
+            let i = check_index(array, li, arr_len, MemSpace::Local, false, kernel, l)
+                .map_err(|f| f.at_warp(wid))?;
+            let off = byte_offset + i as u32 * 4;
+            offsets[l] = Some(off);
+            bits[l] = arr.bits[i * LANES + l];
+            // Register-file arrays are not memory: the injector skips them.
+            if !in_regs {
+                match ctx.inject(InjectSpace::Local, off as u64) {
+                    Some(Injection::BitFlip(b)) => bits[l] ^= 1 << b,
+                    Some(Injection::Fault) => {
+                        return Err(SimFault::new(
+                            &kernel.name,
+                            FaultKind::Injected { space: InjectSpace::Local, addr: off as u64 },
+                        )
+                        .at_warp(wid)
+                        .at_lane(l)
+                        .with_context(format!("load {array}[{li}]")))
+                    }
+                    None => {}
+                }
+            }
+        }
+        if in_regs {
             w.builder.alu(1);
         } else {
             let layout = block.local_layout;
-            let wid = w.warp_global_id;
             w.builder.local(layout, wid, &offsets, false);
         }
-        return WVal::from_bits(ty, bits);
+        return Ok(WVal::from_bits(ty, bits));
     }
-    let binding = globals
+    let binding = ctx
+        .globals
         .bindings
         .get(array)
-        .unwrap_or_else(|| panic!("unknown array {array:?} in kernel {:?}", kernel.name))
+        .ok_or_else(|| {
+            SimFault::new(&kernel.name, FaultKind::UndeclaredName { name: array.to_string() })
+                .at_warp(wid)
+                .with_context("load from unknown array")
+        })?
         .clone();
-    let buf = globals.buffers.get(array).expect("binding without buffer");
+    // Internal invariant: bind() always creates buffer and binding together.
+    let buf = ctx.globals.buffers.get(array).expect("binding without buffer");
     let mut addrs: LaneAddrs = [None; LANES];
     let mut bits = [0u32; LANES];
-    for l in lanes(mask) {
-        let i = check_index(array, idx.lane_index(l).expect("index must be integer"),
-            buf.len(), kernel, l);
-        addrs[l] = Some(binding.base_addr + i as u64 * 4);
-        bits[l] = buf.read_bits(i);
-    }
     let ty = buf.ty();
+    let buf_len = buf.len();
+    let mut loaded: Vec<(usize, i64, u64)> = Vec::new();
+    for l in lanes(mask) {
+        let li = lane_index(idx, l, array, kernel).map_err(|f| f.at_warp(wid))?;
+        let i = check_index(array, li, buf_len, binding.space, false, kernel, l)
+            .map_err(|f| f.at_warp(wid))?;
+        let addr = binding.base_addr + i as u64 * 4;
+        addrs[l] = Some(addr);
+        bits[l] = buf.read_bits(i);
+        loaded.push((l, li, addr));
+    }
+    // Second pass: the injector needs `ctx` mutably, so it runs after the
+    // buffer borrow ends.
+    for (l, li, addr) in loaded {
+        match ctx.inject(InjectSpace::Global, addr) {
+            Some(Injection::BitFlip(b)) => bits[l] ^= 1 << b,
+            Some(Injection::Fault) => {
+                return Err(SimFault::new(
+                    &kernel.name,
+                    FaultKind::Injected { space: InjectSpace::Global, addr },
+                )
+                .at_warp(wid)
+                .at_lane(l)
+                .with_context(format!("load {array}[{li}]")))
+            }
+            None => {}
+        }
+    }
     match binding.space {
         MemSpace::Global => w.builder.global(&addrs, 4, false),
         MemSpace::Texture => w.builder.tex(&addrs),
         MemSpace::Constant => w.builder.constant(&addrs),
+        // Internal invariant: bind() only creates these three spaces.
         _ => unreachable!(),
     }
-    WVal::from_bits(ty, bits)
+    Ok(WVal::from_bits(ty, bits))
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -631,35 +921,43 @@ fn store_array(
     kernel: &Kernel,
     w: &mut WarpCtx,
     block: &mut BlockCtx,
-    globals: &mut GlobalState,
+    ctx: &mut LaunchCtx,
     mask: Mask,
-) {
+) -> Result<(), SimFault> {
+    let wid = w.warp_global_id;
     if let Some(arr) = block.shared.get_mut(array) {
-        assert_eq!(val.ty(), arr.ty, "store type mismatch into shared {array:?}");
+        if val.ty() != arr.ty {
+            return Err(ill_typed_store(kernel, "shared", array, arr.ty, val.ty()).at_warp(wid));
+        }
         let mut addrs: LaneAddrs = [None; LANES];
         let mut touched: Vec<usize> = Vec::new();
+        let arr_len = arr.len as usize;
         for l in lanes(mask) {
-            let i = check_index(array, idx.lane_index(l).expect("index must be integer"),
-                arr.len as usize, kernel, l);
+            let li = lane_index(idx, l, array, kernel).map_err(|f| f.at_warp(wid))?;
+            let i = check_index(array, li, arr_len, MemSpace::Shared, true, kernel, l)
+                .map_err(|f| f.at_warp(wid))?;
             addrs[l] = Some(arr.byte_offset as u64 + i as u64 * 4);
             arr.bits[i] = val.lane_bits(l);
             touched.push(i);
         }
         if block.race.is_some() {
-            let wid = w.warp_global_id;
             for i in touched {
-                block.track_shared(array, i, wid, true, &kernel.name);
+                block.track_shared(array, i, wid, true, kernel)?;
             }
         }
         w.builder.shared(&addrs, true);
-        return;
+        return Ok(());
     }
     if let Some(arr) = w.local.get_mut(array) {
-        assert_eq!(val.ty(), arr.ty, "store type mismatch into local {array:?}");
+        if val.ty() != arr.ty {
+            return Err(ill_typed_store(kernel, "local", array, arr.ty, val.ty()).at_warp(wid));
+        }
         let mut offsets = [None; LANES];
+        let arr_len = arr.len as usize;
         for l in lanes(mask) {
-            let i = check_index(array, idx.lane_index(l).expect("index must be integer"),
-                arr.len as usize, kernel, l);
+            let li = lane_index(idx, l, array, kernel).map_err(|f| f.at_warp(wid))?;
+            let i = check_index(array, li, arr_len, MemSpace::Local, true, kernel, l)
+                .map_err(|f| f.at_warp(wid))?;
             offsets[l] = Some(arr.byte_offset + i as u32 * 4);
             arr.bits[i * LANES + l] = val.lane_bits(l);
         }
@@ -668,30 +966,63 @@ fn store_array(
             w.builder.alu(1);
         } else {
             let layout = block.local_layout;
-            let wid = w.warp_global_id;
             w.builder.local(layout, wid, &offsets, true);
         }
-        return;
+        return Ok(());
     }
-    let binding = globals
+    let binding = ctx
+        .globals
         .bindings
         .get(array)
-        .unwrap_or_else(|| panic!("unknown array {array:?} in kernel {:?}", kernel.name))
+        .ok_or_else(|| {
+            SimFault::new(&kernel.name, FaultKind::UndeclaredName { name: array.to_string() })
+                .at_warp(wid)
+                .with_context("store to unknown array")
+        })?
         .clone();
-    assert_eq!(
-        binding.space,
-        MemSpace::Global,
-        "stores are only legal to global memory ({array:?} is {:?})",
-        binding.space
-    );
-    let buf = globals.buffers.get_mut(array).expect("binding without buffer");
-    assert_eq!(val.ty(), buf.ty(), "store type mismatch into global {array:?}");
+    if binding.space != MemSpace::Global {
+        return Err(SimFault::new(
+            &kernel.name,
+            FaultKind::InvalidOperation {
+                detail: format!(
+                    "stores are only legal to global memory ({array:?} is {:?})",
+                    binding.space
+                ),
+            },
+        )
+        .at_warp(wid));
+    }
+    // Internal invariant: bind() always creates buffer and binding together.
+    let buf = ctx.globals.buffers.get_mut(array).expect("binding without buffer");
+    if val.ty() != buf.ty() {
+        let ty = buf.ty();
+        return Err(ill_typed_store(kernel, "global", array, ty, val.ty()).at_warp(wid));
+    }
     let mut addrs: LaneAddrs = [None; LANES];
     for l in lanes(mask) {
-        let i = check_index(array, idx.lane_index(l).expect("index must be integer"),
-            buf.len(), kernel, l);
+        let li = lane_index(idx, l, array, kernel).map_err(|f| f.at_warp(wid))?;
+        let i = check_index(array, li, buf.len(), MemSpace::Global, true, kernel, l)
+            .map_err(|f| f.at_warp(wid))?;
         addrs[l] = Some(binding.base_addr + i as u64 * 4);
         buf.write_bits(i, val.lane_bits(l));
     }
     w.builder.global(&addrs, 4, true);
+    Ok(())
+}
+
+fn ill_typed_store(
+    kernel: &Kernel,
+    space: &str,
+    array: &str,
+    expected: Scalar,
+    got: Scalar,
+) -> SimFault {
+    SimFault::new(
+        &kernel.name,
+        FaultKind::IllTyped {
+            detail: format!(
+                "store type mismatch into {space} {array:?}: array is {expected:?}, value is {got:?}"
+            ),
+        },
+    )
 }

@@ -2,19 +2,25 @@
 //! traces from the interpreter into the timing engine, and packages the
 //! result.
 
-use crate::interp::run_block;
+use crate::fault::SimFault;
+use crate::interp::{run_block, LaunchCtx};
 use crate::machine::{Args, ExecError, GlobalState};
 use crate::resources::estimate_resources;
 use np_gpu_sim::config::DeviceConfig;
 use np_gpu_sim::engine::Engine;
+use np_gpu_sim::mem::inject::InjectConfig;
 use np_gpu_sim::occupancy::{occupancy, KernelResources, Occupancy};
 use np_gpu_sim::stats::TimingReport;
 use np_gpu_sim::trace::BlockTrace;
 use np_kernel_ir::kernel::Kernel;
 use np_kernel_ir::types::Dim3;
 
+/// Default watchdog budget: far above anything a legitimate workload
+/// interprets, yet reached within seconds by a runaway empty loop.
+pub const DEFAULT_WATCHDOG_STEPS: u64 = 1 << 28;
+
 /// Simulation options for one launch.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct SimOptions {
     /// Simulate at most this many thread blocks and scale cycles linearly
     /// to the full grid (wave sampling). Functional output is then only
@@ -24,10 +30,29 @@ pub struct SimOptions {
     /// Override the estimated per-thread/per-block resources (used by
     /// benchmark specs that pin Table-1 baseline numbers).
     pub resources_override: Option<KernelResources>,
-    /// Panic on shared-memory data races (two different warps touching the
+    /// Fault on shared-memory data races (two different warps touching the
     /// same word between barriers with at least one write). Off by default;
     /// handy when debugging hand-written or transformed kernels.
     pub detect_races: bool,
+    /// Watchdog: fault with [`crate::FaultKind::Watchdog`] once the launch
+    /// has interpreted this many steps. `None` disables the watchdog
+    /// entirely; the default budget is [`DEFAULT_WATCHDOG_STEPS`].
+    pub watchdog_steps: Option<u64>,
+    /// Seeded memory fault injection (bit flips and forced faults); see
+    /// [`np_gpu_sim::mem::inject`]. Off by default.
+    pub fault_injection: Option<InjectConfig>,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions {
+            max_blocks: None,
+            resources_override: None,
+            detect_races: false,
+            watchdog_steps: Some(DEFAULT_WATCHDOG_STEPS),
+            fault_injection: None,
+        }
+    }
 }
 
 impl SimOptions {
@@ -44,6 +69,18 @@ impl SimOptions {
     /// Full simulation with the shared-memory race detector armed.
     pub fn checked() -> Self {
         SimOptions { detect_races: true, ..Default::default() }
+    }
+
+    /// Replace the watchdog step budget (`None` disables it).
+    pub fn with_watchdog(mut self, steps: Option<u64>) -> Self {
+        self.watchdog_steps = steps;
+        self
+    }
+
+    /// Arm seeded memory fault injection.
+    pub fn with_injection(mut self, cfg: InjectConfig) -> Self {
+        self.fault_injection = Some(cfg);
+        self
     }
 }
 
@@ -77,6 +114,11 @@ impl KernelReport {
 /// Launch `kernel` over `grid` blocks on `dev`. The kernel's own
 /// `block_dim` supplies the block shape. Buffers move out of `args` during
 /// execution and are returned (with stores applied) on completion.
+///
+/// Kernel contract violations (out-of-bounds accesses, races under
+/// `detect_races`, divergent barriers, watchdog timeouts, injected faults)
+/// never panic: they return [`ExecError::Fault`]. Buffers are returned to
+/// `args` even on a fault, holding whatever partial stores preceded it.
 pub fn launch(
     dev: &DeviceConfig,
     kernel: &Kernel,
@@ -100,29 +142,46 @@ pub fn launch(
 
     let engine = Engine::new(dev, &occ);
     let mut next: u64 = 0;
+    let mut fault: Option<SimFault> = None;
     let timing = {
+        let mut ctx = LaunchCtx::new(
+            &mut globals,
+            opts.watchdog_steps,
+            opts.fault_injection.clone(),
+        );
         let mut source = || -> Option<BlockTrace> {
-            if next >= sim_blocks {
+            if next >= sim_blocks || fault.is_some() {
                 return None;
             }
             let bx = next;
             next += 1;
             let block_idx = ((bx % grid.x as u64) as u32, (bx / grid.x as u64) as u32);
-            Some(run_block(
+            match run_block(
                 kernel,
                 dev,
-                &mut globals,
+                &mut ctx,
                 block_idx,
                 grid,
                 bx * warps_per_block,
                 local_per_thread,
                 opts.detect_races,
-            ))
+            ) {
+                Ok(trace) => Some(trace),
+                Err(f) => {
+                    fault = Some(f);
+                    None
+                }
+            }
         };
         engine.run(&occ, &mut source, total_blocks)
     };
 
+    // Return buffers even on a fault so callers keep their data (holding
+    // whatever partial stores completed before the violation).
     globals.unbind(args);
+    if let Some(f) = fault {
+        return Err(f.into());
+    }
 
     Ok(KernelReport {
         kernel_name: kernel.name.clone(),
@@ -309,19 +368,32 @@ mod tests {
     }
 
     #[test]
-    fn out_of_bounds_access_panics_with_context() {
+    fn out_of_bounds_access_faults_with_context() {
+        use crate::fault::FaultKind;
+        use np_kernel_ir::types::MemSpace;
         let dev = DeviceConfig::small_test();
         let mut b = KernelBuilder::new("oob", 32);
         b.param_global_f32("out");
         b.store("out", tidx() + i(100), f(1.0));
         let k = b.finish();
         let mut args = Args::new().buf_f32("out", vec![0.0; 32]);
-        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let _ = launch(&dev, &k, Dim3::x1(1), &mut args, &SimOptions::full());
-        }))
-        .unwrap_err();
-        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
-        assert!(msg.contains("out-of-bounds"), "message was {msg:?}");
+        let err = launch(&dev, &k, Dim3::x1(1), &mut args, &SimOptions::full()).unwrap_err();
+        let ExecError::Fault(fault) = err else { panic!("expected a fault, got {err:?}") };
+        assert_eq!(fault.kernel, "oob");
+        assert_eq!(fault.warp, Some(0));
+        assert_eq!(fault.lane, Some(0), "lane 0 is the first out of bounds");
+        match fault.kind {
+            FaultKind::OutOfBounds { space, ref array, index, len, write } => {
+                assert_eq!(space, MemSpace::Global);
+                assert_eq!(array, "out");
+                assert_eq!(index, 100);
+                assert_eq!(len, 32);
+                assert!(write);
+            }
+            ref other => panic!("expected OutOfBounds, got {other:?}"),
+        }
+        // Buffers come back even after a fault.
+        assert_eq!(args.get_f32("out").unwrap().len(), 32);
     }
 
     #[test]
@@ -364,15 +436,22 @@ mod race_tests {
 
     #[test]
     fn detector_catches_missing_barrier() {
+        use crate::fault::FaultKind;
         let dev = DeviceConfig::small_test();
         let k = racy_kernel(false);
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let mut args = Args::new().buf_f32("out", vec![0.0; 64]);
-            let _ = launch(&dev, &k, np_kernel_ir::Dim3::x1(1), &mut args, &SimOptions::checked());
-        }));
-        let err = result.unwrap_err();
-        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
-        assert!(msg.contains("shared-memory race"), "got {msg:?}");
+        let mut args = Args::new().buf_f32("out", vec![0.0; 64]);
+        let err = launch(&dev, &k, np_kernel_ir::Dim3::x1(1), &mut args, &SimOptions::checked())
+            .unwrap_err();
+        let ExecError::Fault(fault) = err else { panic!("expected a fault, got {err:?}") };
+        assert_eq!(fault.kernel, "racy");
+        match fault.kind {
+            FaultKind::SharedRace { ref array, prev_warp, warp, .. } => {
+                assert_eq!(array, "tile");
+                assert_ne!(prev_warp, warp, "race must be cross-warp");
+                assert_eq!(fault.warp, Some(warp));
+            }
+            ref other => panic!("expected SharedRace, got {other:?}"),
+        }
     }
 
     #[test]

@@ -7,12 +7,14 @@
 //! yields both the kernel's numerical output (in its argument buffers) and
 //! a cycle-level [`KernelReport`].
 
+pub mod fault;
 pub mod interp;
 pub mod launch;
 pub mod machine;
 pub mod resources;
 pub mod value;
 
-pub use launch::{launch, KernelReport, SimOptions};
+pub use fault::{FaultKind, SimFault};
+pub use launch::{launch, KernelReport, SimOptions, DEFAULT_WATCHDOG_STEPS};
 pub use machine::{ArgValue, Args, Buffer, ExecError};
 pub use resources::estimate_resources;

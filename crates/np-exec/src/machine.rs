@@ -127,7 +127,11 @@ impl Args {
     }
 }
 
-/// Launch-time setup errors.
+/// Everything a launch can fail with: setup errors (bad arguments, rejected
+/// occupancy) and runtime faults the sanitizer detected while interpreting
+/// the kernel. Non-exhaustive so new failure classes can be added without a
+/// breaking change — downstream matches need a wildcard arm.
+#[non_exhaustive]
 #[derive(Debug, Clone, PartialEq)]
 pub enum ExecError {
     /// A kernel parameter had no bound argument.
@@ -136,6 +140,26 @@ pub enum ExecError {
     ArgTypeMismatch { param: String, expected: &'static str },
     /// Occupancy computation rejected the launch.
     Launch(String),
+    /// The sanitizer detected a kernel contract violation during execution
+    /// (out-of-bounds access, race, divergent barrier, watchdog, ...).
+    /// Boxed so the happy-path `Result` stays a couple of words wide.
+    Fault(Box<crate::fault::SimFault>),
+}
+
+impl ExecError {
+    /// The fault, when this error is a detected kernel contract violation.
+    pub fn fault(&self) -> Option<&crate::fault::SimFault> {
+        match self {
+            ExecError::Fault(f) => Some(f.as_ref()),
+            _ => None,
+        }
+    }
+}
+
+impl From<crate::fault::SimFault> for ExecError {
+    fn from(f: crate::fault::SimFault) -> Self {
+        ExecError::Fault(Box::new(f))
+    }
 }
 
 impl std::fmt::Display for ExecError {
@@ -146,11 +170,19 @@ impl std::fmt::Display for ExecError {
                 write!(f, "argument for {param:?} must be {expected}")
             }
             ExecError::Launch(msg) => write!(f, "launch rejected: {msg}"),
+            ExecError::Fault(fault) => write!(f, "kernel fault: {fault}"),
         }
     }
 }
 
-impl std::error::Error for ExecError {}
+impl std::error::Error for ExecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExecError::Fault(fault) => Some(fault),
+            _ => None,
+        }
+    }
+}
 
 /// Description of one array visible to the interpreter, with its simulated
 /// base address (used for coalescing / cache analysis).

@@ -17,6 +17,28 @@ pub type Mask = u32;
 /// Full mask.
 pub const FULL_MASK: Mask = u32::MAX;
 
+/// A lane operation the kernel had no right to perform. Carried up to the
+/// interpreter, which wraps it into a typed `SimFault` with warp context.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValueError {
+    /// True for type errors (operator on wrong types, non-Bool condition);
+    /// false for dynamically invalid operations (division by zero).
+    pub ill_typed: bool,
+    /// Faulting lane, when attributable to one lane.
+    pub lane: Option<usize>,
+    pub msg: String,
+}
+
+impl ValueError {
+    fn ill_typed(msg: impl Into<String>) -> ValueError {
+        ValueError { ill_typed: true, lane: None, msg: msg.into() }
+    }
+
+    fn invalid(lane: usize, msg: impl Into<String>) -> ValueError {
+        ValueError { ill_typed: false, lane: Some(lane), msg: msg.into() }
+    }
+}
+
 /// A warp-wide value.
 #[derive(Debug, Clone, PartialEq)]
 pub enum WVal {
@@ -96,22 +118,22 @@ impl WVal {
     }
 
     /// Lane value as bool (Bool only).
-    pub fn lane_bool(&self, lane: usize) -> bool {
+    pub fn lane_bool(&self, lane: usize) -> Option<bool> {
         match self {
-            WVal::Bool(v) => v[lane],
-            _ => panic!("expected Bool, found {:?}", self.ty()),
+            WVal::Bool(v) => Some(v[lane]),
+            _ => None,
         }
     }
 
     /// Merge `new` into `self` on the active lanes of `mask`.
-    pub fn merge_from(&mut self, new: &WVal, mask: Mask) {
-        assert_eq!(
-            self.ty(),
-            new.ty(),
-            "type mismatch in assignment: {:?} = {:?}",
-            self.ty(),
-            new.ty()
-        );
+    pub fn merge_from(&mut self, new: &WVal, mask: Mask) -> Result<(), ValueError> {
+        if self.ty() != new.ty() {
+            return Err(ValueError::ill_typed(format!(
+                "type mismatch in assignment: {:?} = {:?}",
+                self.ty(),
+                new.ty()
+            )));
+        }
         match (self, new) {
             (WVal::F32(a), WVal::F32(b)) => {
                 for l in lanes(mask) {
@@ -133,14 +155,16 @@ impl WVal {
                     a[l] = b[l];
                 }
             }
+            // Internal invariant: types were checked equal above.
             _ => unreachable!(),
         }
+        Ok(())
     }
 
     /// Apply a binary operator lane-wise under `mask`.
-    pub fn binary(op: BinOp, a: &WVal, b: &WVal, mask: Mask) -> WVal {
+    pub fn binary(op: BinOp, a: &WVal, b: &WVal, mask: Mask) -> Result<WVal, ValueError> {
         use BinOp::*;
-        match (a, b) {
+        let out = match (a, b) {
             (WVal::F32(x), WVal::F32(y)) => match op {
                 Add | Sub | Mul | Div | Rem | Min | Max => {
                     let mut r = [0.0f32; LANES];
@@ -173,7 +197,7 @@ impl WVal {
                     }
                     WVal::Bool(r)
                 }
-                _ => panic!("operator {op:?} not defined on f32"),
+                _ => return Err(ValueError::ill_typed(format!("operator {op:?} not defined on f32"))),
             },
             (WVal::I32(x), WVal::I32(y)) => match op {
                 Lt | Le | Gt | Ge | Eq | Ne => {
@@ -199,11 +223,15 @@ impl WVal {
                             Sub => x[l].wrapping_sub(y[l]),
                             Mul => x[l].wrapping_mul(y[l]),
                             Div => {
-                                assert!(y[l] != 0, "integer division by zero (lane {l})");
+                                if y[l] == 0 {
+                                    return Err(ValueError::invalid(l, "integer division by zero"));
+                                }
                                 x[l].wrapping_div(y[l])
                             }
                             Rem => {
-                                assert!(y[l] != 0, "integer remainder by zero (lane {l})");
+                                if y[l] == 0 {
+                                    return Err(ValueError::invalid(l, "integer remainder by zero"));
+                                }
                                 x[l].wrapping_rem(y[l])
                             }
                             Min => x[l].min(y[l]),
@@ -213,7 +241,11 @@ impl WVal {
                             Xor => x[l] ^ y[l],
                             Shl => x[l].wrapping_shl(y[l] as u32),
                             Shr => x[l].wrapping_shr(y[l] as u32),
-                            _ => panic!("operator {op:?} not defined on i32"),
+                            _ => {
+                                return Err(ValueError::ill_typed(format!(
+                                    "operator {op:?} not defined on i32"
+                                )))
+                            }
                         };
                     }
                     WVal::I32(r)
@@ -243,11 +275,15 @@ impl WVal {
                             Sub => x[l].wrapping_sub(y[l]),
                             Mul => x[l].wrapping_mul(y[l]),
                             Div => {
-                                assert!(y[l] != 0, "integer division by zero (lane {l})");
+                                if y[l] == 0 {
+                                    return Err(ValueError::invalid(l, "integer division by zero"));
+                                }
                                 x[l] / y[l]
                             }
                             Rem => {
-                                assert!(y[l] != 0, "integer remainder by zero (lane {l})");
+                                if y[l] == 0 {
+                                    return Err(ValueError::invalid(l, "integer remainder by zero"));
+                                }
                                 x[l] % y[l]
                             }
                             Min => x[l].min(y[l]),
@@ -257,7 +293,11 @@ impl WVal {
                             Xor => x[l] ^ y[l],
                             Shl => x[l].wrapping_shl(y[l]),
                             Shr => x[l].wrapping_shr(y[l]),
-                            _ => panic!("operator {op:?} not defined on u32"),
+                            _ => {
+                                return Err(ValueError::ill_typed(format!(
+                                    "operator {op:?} not defined on u32"
+                                )))
+                            }
                         };
                     }
                     WVal::U32(r)
@@ -272,23 +312,30 @@ impl WVal {
                         Eq => x[l] == y[l],
                         Ne => x[l] != y[l],
                         Xor => x[l] != y[l],
-                        _ => panic!("operator {op:?} not defined on bool"),
+                        _ => {
+                            return Err(ValueError::ill_typed(format!(
+                                "operator {op:?} not defined on bool"
+                            )))
+                        }
                     };
                 }
                 WVal::Bool(r)
             }
-            (a, b) => panic!(
-                "type mismatch in binary {op:?}: {:?} vs {:?} (insert an explicit Cast)",
-                a.ty(),
-                b.ty()
-            ),
-        }
+            (a, b) => {
+                return Err(ValueError::ill_typed(format!(
+                    "type mismatch in binary {op:?}: {:?} vs {:?} (insert an explicit Cast)",
+                    a.ty(),
+                    b.ty()
+                )))
+            }
+        };
+        Ok(out)
     }
 
     /// Apply a unary operator lane-wise under `mask`.
-    pub fn unary(op: UnOp, a: &WVal, mask: Mask) -> WVal {
+    pub fn unary(op: UnOp, a: &WVal, mask: Mask) -> Result<WVal, ValueError> {
         use UnOp::*;
-        match a {
+        let out = match a {
             WVal::F32(x) => {
                 let mut r = [0.0f32; LANES];
                 for l in lanes(mask) {
@@ -301,7 +348,7 @@ impl WVal {
                         Cos => x[l].cos(),
                         Abs => x[l].abs(),
                         Floor => x[l].floor(),
-                        Not => panic!("logical not on f32"),
+                        Not => return Err(ValueError::ill_typed("logical not on f32")),
                     };
                 }
                 WVal::F32(r)
@@ -312,7 +359,11 @@ impl WVal {
                     r[l] = match op {
                         Neg => x[l].wrapping_neg(),
                         Abs => x[l].wrapping_abs(),
-                        _ => panic!("operator {op:?} not defined on i32"),
+                        _ => {
+                            return Err(ValueError::ill_typed(format!(
+                                "operator {op:?} not defined on i32"
+                            )))
+                        }
                     };
                 }
                 WVal::I32(r)
@@ -322,13 +373,20 @@ impl WVal {
                 for l in lanes(mask) {
                     r[l] = match op {
                         Not => !x[l],
-                        _ => panic!("operator {op:?} not defined on bool"),
+                        _ => {
+                            return Err(ValueError::ill_typed(format!(
+                                "operator {op:?} not defined on bool"
+                            )))
+                        }
                     };
                 }
                 WVal::Bool(r)
             }
-            WVal::U32(_) => panic!("operator {op:?} not defined on u32"),
-        }
+            WVal::U32(_) => {
+                return Err(ValueError::ill_typed(format!("operator {op:?} not defined on u32")))
+            }
+        };
+        Ok(out)
     }
 
     /// Lane-wise cast under `mask`.
@@ -360,9 +418,12 @@ impl WVal {
     }
 
     /// Bitmask of lanes whose Bool value is true, intersected with `mask`.
-    pub fn true_mask(&self, mask: Mask) -> Mask {
+    pub fn true_mask(&self, mask: Mask) -> Result<Mask, ValueError> {
         let WVal::Bool(v) = self else {
-            panic!("condition must be Bool, found {:?}", self.ty())
+            return Err(ValueError::ill_typed(format!(
+                "condition must be Bool, found {:?}",
+                self.ty()
+            )));
         };
         let mut m = 0;
         for l in lanes(mask) {
@@ -370,7 +431,7 @@ impl WVal {
                 m |= 1 << l;
             }
         }
-        m
+        Ok(m)
     }
 }
 
@@ -386,7 +447,7 @@ mod tests {
             v[5] = 0; // lane 5 would divide by zero
         }
         let mask = FULL_MASK & !(1 << 5);
-        let r = WVal::binary(BinOp::Div, &a, &b, mask);
+        let r = WVal::binary(BinOp::Div, &a, &b, mask).unwrap();
         if let WVal::I32(v) = r {
             assert_eq!(v[0], 5);
             assert_eq!(v[5], 0, "inactive lane stays default");
@@ -396,18 +457,20 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "division by zero")]
     fn active_division_by_zero_faults() {
         let a = WVal::splat_i32(1);
         let b = WVal::splat_i32(0);
-        WVal::binary(BinOp::Div, &a, &b, FULL_MASK);
+        let err = WVal::binary(BinOp::Div, &a, &b, FULL_MASK).unwrap_err();
+        assert!(!err.ill_typed);
+        assert_eq!(err.lane, Some(0));
+        assert!(err.msg.contains("division by zero"), "{:?}", err.msg);
     }
 
     #[test]
     fn merge_respects_mask() {
         let mut a = WVal::splat_f32(1.0);
         let b = WVal::splat_f32(2.0);
-        a.merge_from(&b, 0b1010);
+        a.merge_from(&b, 0b1010).unwrap();
         if let WVal::F32(v) = a {
             assert_eq!(v[0], 1.0);
             assert_eq!(v[1], 2.0);
@@ -422,16 +485,17 @@ mod tests {
     fn comparisons_yield_bool() {
         let a = WVal::splat_i32(3);
         let b = WVal::splat_i32(4);
-        let r = WVal::binary(BinOp::Lt, &a, &b, FULL_MASK);
-        assert_eq!(r.true_mask(FULL_MASK), FULL_MASK);
+        let r = WVal::binary(BinOp::Lt, &a, &b, FULL_MASK).unwrap();
+        assert_eq!(r.true_mask(FULL_MASK).unwrap(), FULL_MASK);
     }
 
     #[test]
-    #[should_panic(expected = "type mismatch")]
-    fn mixed_types_panic() {
+    fn mixed_types_are_ill_typed() {
         let a = WVal::splat_i32(3);
         let b = WVal::splat_f32(4.0);
-        WVal::binary(BinOp::Add, &a, &b, FULL_MASK);
+        let err = WVal::binary(BinOp::Add, &a, &b, FULL_MASK).unwrap_err();
+        assert!(err.ill_typed);
+        assert!(err.msg.contains("type mismatch"), "{:?}", err.msg);
     }
 
     #[test]
@@ -460,6 +524,12 @@ mod tests {
         if let WVal::Bool(v) = &mut c {
             v[1] = false;
         }
-        assert_eq!(c.true_mask(0b111), 0b101);
+        assert_eq!(c.true_mask(0b111).unwrap(), 0b101);
+    }
+
+    #[test]
+    fn non_bool_condition_is_ill_typed() {
+        let err = WVal::splat_i32(1).true_mask(FULL_MASK).unwrap_err();
+        assert!(err.ill_typed);
     }
 }

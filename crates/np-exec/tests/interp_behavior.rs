@@ -45,9 +45,9 @@ fn nested_divergence_resolves_per_lane() {
     let mut args = Args::new().buf_f32("out", vec![0.0; 32]);
     run1(&k, &mut args);
     let out = args.get_f32("out").unwrap();
-    for t in 0..32 {
+    for (t, &x) in out.iter().enumerate() {
         let expect = if t < 16 { 10 + t % 2 } else { 20 + t % 2 };
-        assert_eq!(out[t], expect as f32, "lane {t}");
+        assert_eq!(x, expect as f32, "lane {t}");
     }
 }
 
@@ -66,8 +66,8 @@ fn divergent_loop_trip_counts() {
     let mut args = Args::new().buf_f32("out", vec![0.0; 32]);
     run1(&k, &mut args);
     let out = args.get_f32("out").unwrap();
-    for t in 0..32 {
-        assert_eq!(out[t], t as f32);
+    for (t, &x) in out.iter().enumerate() {
+        assert_eq!(x, t as f32);
     }
 }
 
@@ -107,7 +107,7 @@ fn shfl_up_down_and_xor_semantics() {
     for l in 0..32usize {
         let base = l / 8 * 8;
         // up: read lane l-1, clamped at the group base.
-        let e_up = if l >= base + 1 { l - 1 } else { l };
+        let e_up = if l > base { l - 1 } else { l };
         // down: read lane l+2, clamped at the group end.
         let e_down = if l + 2 < base + 8 { l + 2 } else { l };
         let e_xor = l ^ 3; // stays in-group for mask 3 < 8
@@ -131,8 +131,8 @@ fn constant_and_texture_params_read_correctly() {
         .buf_f32("out", vec![0.0; 32]);
     run1(&k, &mut args);
     let out = args.get_f32("out").unwrap();
-    for t in 0..32 {
-        assert_eq!(out[t], 10.0 * (t % 4 + 1) as f32 + t as f32);
+    for (t, &x) in out.iter().enumerate() {
+        assert_eq!(x, 10.0 * (t % 4 + 1) as f32 + t as f32);
     }
 }
 
@@ -274,9 +274,9 @@ fn select_is_evaluated_without_divergence_cost() {
     let mut args = Args::new().buf_f32("out", vec![0.0; 32]);
     run1(&k, &mut args);
     let out = args.get_f32("out").unwrap();
-    for t in 0..32 {
+    for (t, &x) in out.iter().enumerate() {
         let expect = if t % 3 == 0 { t as f32 } else { -1.0 };
-        assert_eq!(out[t], expect);
+        assert_eq!(x, expect);
     }
 }
 
@@ -294,9 +294,9 @@ fn math_intrinsics_match_std() {
     let mut args = Args::new().buf_f32("out", vec![0.0; 32]);
     run1(&k, &mut args);
     let out = args.get_f32("out").unwrap();
-    for t in 0..32 {
+    for (t, &got) in out.iter().enumerate() {
         let x = t as f32 * 0.25 + 0.1;
         let expect = x.sqrt() + (-x).exp() + (x + 1.0).ln() + x;
-        assert!((out[t] - expect).abs() < 1e-5, "lane {t}: {} vs {expect}", out[t]);
+        assert!((got - expect).abs() < 1e-5, "lane {t}: {got} vs {expect}");
     }
 }

@@ -1,0 +1,204 @@
+//! Deterministic fault injection for the simulated memory system.
+//!
+//! Two injection modes, both driven by a seed so every run reproduces:
+//!
+//! * **bit flips** — a read returns its stored word with one bit flipped,
+//!   modelling a soft error. The functional result silently diverges,
+//!   which is exactly what end-to-end validation must catch;
+//! * **forced faults** — an access is decreed faulty, modelling a
+//!   hardware-detected violation (the executor surfaces it as a typed
+//!   `Injected` simulation fault instead of corrupting data).
+//!
+//! The decision for each access is a pure function of
+//! `(seed, access counter, address)`, so a given configuration always
+//! injects at the same points regardless of host parallelism — the
+//! executor owns one [`FaultInjector`] per launch and calls it from the
+//! deterministic interpreter loop.
+
+/// Memory space an injection targets. Mirrors the executor's spaces that
+/// carry raw words (constant/texture are read-only inputs and share the
+/// global path's storage, so `Global` covers them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectSpace {
+    Global,
+    Shared,
+    Local,
+}
+
+impl InjectSpace {
+    pub const ALL: [InjectSpace; 3] = [InjectSpace::Global, InjectSpace::Shared, InjectSpace::Local];
+
+    fn tag(self) -> u64 {
+        match self {
+            InjectSpace::Global => 0x47,
+            InjectSpace::Shared => 0x53,
+            InjectSpace::Local => 0x4C,
+        }
+    }
+}
+
+/// Configuration for one launch's injector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InjectConfig {
+    /// Seed for the deterministic decision stream.
+    pub seed: u64,
+    /// Flip one bit on roughly one read in this many. 0 disables flips.
+    pub bitflip_one_in: u64,
+    /// Force a typed fault on roughly one access in this many. 0 disables.
+    pub force_fault_one_in: u64,
+    /// Spaces the injector targets.
+    pub spaces: Vec<InjectSpace>,
+}
+
+impl InjectConfig {
+    /// Bit flips only, targeting every space.
+    pub fn bitflips(seed: u64, one_in: u64) -> Self {
+        InjectConfig {
+            seed,
+            bitflip_one_in: one_in,
+            force_fault_one_in: 0,
+            spaces: InjectSpace::ALL.to_vec(),
+        }
+    }
+
+    /// Forced faults only, targeting one space.
+    pub fn forced(seed: u64, one_in: u64, space: InjectSpace) -> Self {
+        InjectConfig {
+            seed,
+            bitflip_one_in: 0,
+            force_fault_one_in: one_in,
+            spaces: vec![space],
+        }
+    }
+
+    fn targets(&self, space: InjectSpace) -> bool {
+        self.spaces.contains(&space)
+    }
+}
+
+/// What the injector decided for one access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Injection {
+    /// Flip this bit (0..32) of the loaded word.
+    BitFlip(u32),
+    /// Treat the access as a detected hardware fault.
+    Fault,
+}
+
+/// Per-launch injection state: a monotone access counter hashed with the
+/// seed and address decides each access.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    cfg: InjectConfig,
+    accesses: u64,
+}
+
+fn mix(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl FaultInjector {
+    pub fn new(cfg: InjectConfig) -> Self {
+        FaultInjector { cfg, accesses: 0 }
+    }
+
+    /// Decide the fate of one lane access. Forced faults win over flips
+    /// when both rates are armed and the hash selects both.
+    pub fn decide(&mut self, space: InjectSpace, addr: u64) -> Option<Injection> {
+        self.accesses += 1;
+        if !self.cfg.targets(space) {
+            return None;
+        }
+        let h = mix(
+            self.cfg
+                .seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(self.accesses)
+                .wrapping_add(addr.rotate_left(17))
+                .wrapping_add(space.tag()),
+        );
+        if self.cfg.force_fault_one_in != 0 && h.is_multiple_of(self.cfg.force_fault_one_in) {
+            return Some(Injection::Fault);
+        }
+        if self.cfg.bitflip_one_in != 0 && (h >> 8).is_multiple_of(self.cfg.bitflip_one_in) {
+            return Some(Injection::BitFlip((h >> 32) as u32 % 32));
+        }
+        None
+    }
+
+    /// Accesses observed so far (diagnostics).
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decisions(cfg: InjectConfig, n: u64) -> Vec<(u64, Option<Injection>)> {
+        let mut inj = FaultInjector::new(cfg);
+        (0..n).map(|i| (i, inj.decide(InjectSpace::Global, 0x1000 + i * 4))).collect()
+    }
+
+    #[test]
+    fn same_seed_same_decisions() {
+        let cfg = InjectConfig::bitflips(42, 16);
+        assert_eq!(decisions(cfg.clone(), 500), decisions(cfg, 500));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = decisions(InjectConfig::bitflips(1, 16), 500);
+        let b = decisions(InjectConfig::bitflips(2, 16), 500);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn rates_are_roughly_honoured() {
+        let hits = decisions(InjectConfig::bitflips(7, 8), 4000)
+            .iter()
+            .filter(|(_, d)| d.is_some())
+            .count();
+        // one-in-8 over 4000 accesses: expect ~500, allow a wide band.
+        assert!((150..1500).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn untargeted_space_is_left_alone() {
+        let mut inj = FaultInjector::new(InjectConfig::forced(3, 1, InjectSpace::Shared));
+        for i in 0..100 {
+            assert_eq!(inj.decide(InjectSpace::Local, i), None);
+        }
+        // Rate 1 on the targeted space fires immediately.
+        assert_eq!(inj.decide(InjectSpace::Shared, 0), Some(Injection::Fault));
+    }
+
+    #[test]
+    fn forced_faults_win_over_bitflips() {
+        let cfg = InjectConfig {
+            seed: 9,
+            bitflip_one_in: 1,
+            force_fault_one_in: 1,
+            spaces: InjectSpace::ALL.to_vec(),
+        };
+        let mut inj = FaultInjector::new(cfg);
+        assert_eq!(inj.decide(InjectSpace::Global, 0), Some(Injection::Fault));
+    }
+
+    #[test]
+    fn disabled_rates_never_fire() {
+        let cfg = InjectConfig {
+            seed: 5,
+            bitflip_one_in: 0,
+            force_fault_one_in: 0,
+            spaces: InjectSpace::ALL.to_vec(),
+        };
+        let mut inj = FaultInjector::new(cfg);
+        for i in 0..1000 {
+            assert_eq!(inj.decide(InjectSpace::Global, i), None);
+        }
+    }
+}

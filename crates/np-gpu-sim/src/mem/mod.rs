@@ -9,6 +9,7 @@
 pub mod cache;
 pub mod constant;
 pub mod global;
+pub mod inject;
 pub mod local;
 pub mod shared;
 

@@ -114,7 +114,13 @@ pub fn fig10(scale: Scale) -> String {
     );
     let mut speedups = Vec::new();
     for w in all_workloads(scale) {
-        let r = best_np(w.as_ref(), &dev);
+        let r = match best_np(w.as_ref(), &dev) {
+            Ok(r) => r,
+            Err(e) => {
+                let _ = writeln!(out, "{:<5} FAULT: {e}", w.name());
+                continue;
+            }
+        };
         let rep = &r.tuned.best.report;
         let _ = writeln!(
             out,
@@ -147,7 +153,13 @@ pub fn fig11(scale: Scale) -> String {
         "Name", "scheme", "s=2", "s=4", "s=8", "s=16", "s=32"
     );
     for w in all_workloads(scale) {
-        let base = run_baseline(w.as_ref(), &dev).cycles as f64;
+        let base = match run_baseline(w.as_ref(), &dev) {
+            Ok(rep) => rep.cycles as f64,
+            Err(e) => {
+                let _ = writeln!(out, "{:<5} FAULT: {e}", w.name());
+                continue;
+            }
+        };
         for np_type in [NpType::InterWarp, NpType::IntraWarp] {
             let mut line = format!(
                 "{:<5} {:>10}",
@@ -175,9 +187,15 @@ pub fn fig11(scale: Scale) -> String {
 pub fn fig12(scale: Scale) -> String {
     let dev = DeviceConfig::gtx680();
     let w = Le::new(scale);
-    let base = run_baseline(&w, &dev).cycles as f64;
     let mut out = String::new();
     let _ = writeln!(out, "# Figure 12 — padding (P) vs no padding (NP) on LE, inter-warp");
+    let base = match run_baseline(&w, &dev) {
+        Ok(rep) => rep.cycles as f64,
+        Err(e) => {
+            let _ = writeln!(out, "LE    FAULT: {e}");
+            return out;
+        }
+    };
     let _ = writeln!(out, "{:>8} {:>8} {:>10}", "slaves", "mode", "speedup");
     for (s, pad) in [
         (2u32, true),
@@ -229,13 +247,25 @@ pub fn fig13(scale: Scale) -> String {
     );
     for &wd in widths {
         let w = Tmv::with_size(wd, h);
-        let base = run_baseline(&w, &dev);
+        let both = run_baseline(&w, &dev).and_then(|b| best_np(&w, &dev).map(|np| (b, np)));
+        let (base, np) = match both {
+            Ok(x) => x,
+            Err(e) => {
+                let _ = writeln!(out, "{wd:>8} FAULT: {e}");
+                continue;
+            }
+        };
         // CUBLAS stand-in.
         let ck = cublas_like::cublas_tmv();
         let mut cargs = w.make_args();
-        let crep = launch(&dev, &ck, Dim3::x1(wd as u32 / 128), &mut cargs, &w.sim_options())
-            .expect("cublas tmv");
-        let np = best_np(&w, &dev);
+        let crep =
+            match launch(&dev, &ck, Dim3::x1(wd as u32 / 128), &mut cargs, &w.sim_options()) {
+                Ok(c) => c,
+                Err(e) => {
+                    let _ = writeln!(out, "{wd:>8} FAULT: cublas-like TMV: {e}");
+                    continue;
+                }
+            };
         let _ = writeln!(
             out,
             "{:>8} {:>12.1} {:>12.1} {:>12.1} {:>13.2}x",
@@ -270,7 +300,14 @@ pub fn fig14(scale: Scale) -> String {
     for &ht in heights {
         let w = Mv::with_size(wd, ht);
         // SMM == our shared-memory baseline.
-        let smm = run_baseline(&w, &dev);
+        let both = run_baseline(&w, &dev).and_then(|b| best_np(&w, &dev).map(|np| (b, np)));
+        let (smm, np) = match both {
+            Ok(x) => x,
+            Err(e) => {
+                let _ = writeln!(out, "{ht:>8} FAULT: {e}");
+                continue;
+            }
+        };
         // CUBLAS-like gemv.
         let ck = cublas_like::cublas_mv();
         let mut cargs = np_exec::Args::new()
@@ -278,9 +315,14 @@ pub fn fig14(scale: Scale) -> String {
             .buf_f32("x", np_workloads::hash_vec(0x4D58, wd))
             .buf_f32("out", vec![0.0; ht])
             .i32("w", wd as i32);
-        let crep = launch(&dev, &ck, Dim3::x1(ht as u32 / 128), &mut cargs, &w.sim_options())
-            .expect("cublas mv");
-        let np = best_np(&w, &dev);
+        let crep =
+            match launch(&dev, &ck, Dim3::x1(ht as u32 / 128), &mut cargs, &w.sim_options()) {
+                Ok(c) => c,
+                Err(e) => {
+                    let _ = writeln!(out, "{ht:>8} FAULT: cublas-like MV: {e}");
+                    continue;
+                }
+            };
         let _ = writeln!(
             out,
             "{:>8} {:>12.1} {:>12.1} {:>12.1}",
@@ -302,7 +344,13 @@ pub fn fig15(scale: Scale) -> String {
     let _ = writeln!(out, "{:<5} {:>10} {:>10} {:>10}", "Name", "global", "shared", "register");
     let les: [Box<dyn Workload>; 2] = [Box::new(Le::new(scale)), Box::new(Lib::new(scale))];
     for w in les {
-        let base = run_baseline(w.as_ref(), &dev).cycles as f64;
+        let base = match run_baseline(w.as_ref(), &dev) {
+            Ok(rep) => rep.cycles as f64,
+            Err(e) => {
+                let _ = writeln!(out, "{:<5} FAULT: {e}", w.name());
+                continue;
+            }
+        };
         let mut line = format!("{:<5}", w.name());
         for strategy in [
             LocalArrayStrategy::ForceGlobal,
@@ -391,14 +439,25 @@ pub fn sec6(scale: Scale) -> String {
         if !["NN", "TMV", "LE", "LIB", "CFD"].contains(&w.name()) {
             continue;
         }
-        let base = run_baseline(w.as_ref(), &dev);
+        let base = match run_baseline(w.as_ref(), &dev) {
+            Ok(rep) => rep,
+            Err(e) => {
+                let _ = writeln!(out, "{:<5} FAULT: {e}", w.name());
+                continue;
+            }
+        };
         let k = w.kernel();
         match cuda_np::dynpar_split(&k) {
             Ok(sp) => {
                 let mut args = w.make_args();
-                let rep =
-                    cuda_np::dynpar_run(&dev, &sp, w.grid(), &mut args, &w.sim_options())
-                        .expect("split run");
+                let rep = match cuda_np::dynpar_run(&dev, &sp, w.grid(), &mut args, &w.sim_options())
+                {
+                    Ok(rep) => rep,
+                    Err(e) => {
+                        let _ = writeln!(out, "{:<5} FAULT: split run: {e}", w.name());
+                        continue;
+                    }
+                };
                 let _ = writeln!(
                     out,
                     "{:<5} {:>9.2}x {:>12} {:>12} {:>9}",

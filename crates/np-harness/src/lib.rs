@@ -9,4 +9,7 @@
 pub mod experiments;
 pub mod runner;
 
-pub use runner::{best_np, gm, run_baseline, BenchResult};
+pub use runner::{
+    all_failed, best_np, gm, run_baseline, summary, sweep, BenchResult, HarnessError,
+    WorkloadOutcome,
+};

@@ -1,14 +1,21 @@
 //! Regenerate the CUDA-NP paper's tables and figures.
 //!
 //! ```text
-//! np-harness [--test-scale] [all | fig01 | table1 | fig10 | fig11 | fig12 |
-//!             fig13 | fig14 | fig15 | fig16 | sec6]...
+//! np-harness [--test-scale] [all | sweep | fig01 | table1 | fig10 | fig11 |
+//!             fig12 | fig13 | fig14 | fig15 | fig16 | sec6]...
 //! ```
 //!
 //! Default is `all` at paper scale. `--test-scale` uses the small inputs
 //! the test suite uses (fast smoke run).
+//!
+//! `all` (and the explicit `sweep` command) end with a per-workload
+//! PASS/FAULT summary: every workload's baseline + auto-tune runs to a
+//! `Result`, faulting workloads are reported, and the remaining workloads
+//! still complete. The process exits non-zero only when *every* workload
+//! fails (exit code 1), or when an unknown experiment is named (2).
 
-use np_harness::experiments;
+use np_harness::{experiments, runner};
+use np_gpu_sim::DeviceConfig;
 use np_workloads::Scale;
 
 fn main() {
@@ -24,21 +31,40 @@ fn main() {
         .map(String::as_str)
         .collect();
 
+    let run_sweep = || -> bool {
+        let dev = DeviceConfig::gtx680();
+        let outcomes = runner::sweep(&dev, scale);
+        print!("{}", runner::summary(&outcomes));
+        runner::all_failed(&outcomes)
+    };
+
     let registry = experiments::experiments();
     if wanted.is_empty() || wanted.contains(&"all") {
         print!("{}", experiments::all(scale));
+        println!("\n===== sweep =====");
+        if run_sweep() {
+            std::process::exit(1);
+        }
         return;
     }
+    let mut everything_failed = false;
     for name in wanted {
+        if name == "sweep" {
+            everything_failed |= run_sweep();
+            continue;
+        }
         match registry.iter().find(|(n, _)| *n == name) {
             Some((_, f)) => print!("{}", f(scale)),
             None => {
                 eprintln!(
-                    "unknown experiment {name:?}; available: {}",
+                    "unknown experiment {name:?}; available: sweep, {}",
                     registry.iter().map(|(n, _)| *n).collect::<Vec<_>>().join(", ")
                 );
                 std::process::exit(2);
             }
         }
+    }
+    if everything_failed {
+        std::process::exit(1);
     }
 }

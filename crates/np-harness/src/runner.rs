@@ -1,11 +1,16 @@
 //! Shared machinery: run a workload's baseline, auto-tune its CUDA-NP
 //! versions, and aggregate results.
+//!
+//! Nothing here panics on a kernel fault: baselines and tuning runs return
+//! `Result`, so one broken workload (or one faulting transformed variant)
+//! cannot take down a whole harness sweep — the failure becomes a `FAULT`
+//! row in the summary and the remaining workloads still run.
 
-use cuda_np::tuner::{alloc_extra_buffers, autotune, default_candidates, TuneResult};
+use cuda_np::tuner::{alloc_extra_buffers, autotune, default_candidates, TuneError, TuneResult};
 use cuda_np::{transform, NpOptions, Transformed};
-use np_exec::{launch, Args, KernelReport};
+use np_exec::{launch, Args, ExecError, KernelReport};
 use np_gpu_sim::DeviceConfig;
-use np_workloads::Workload;
+use np_workloads::{all_workloads, Scale, Workload};
 
 /// Baseline + best-NP outcome for one workload.
 pub struct BenchResult {
@@ -21,24 +26,60 @@ impl BenchResult {
     }
 }
 
+/// Why one workload's harness run failed. Non-exhaustive so new failure
+/// stages can be added without breaking downstream matches.
+#[non_exhaustive]
+#[derive(Debug)]
+pub enum HarnessError {
+    /// The baseline kernel's launch failed (setup error or sanitizer
+    /// fault).
+    Baseline { workload: &'static str, source: ExecError },
+    /// Auto-tuning produced no usable candidate.
+    Tuning { workload: &'static str, source: TuneError },
+}
+
+impl std::fmt::Display for HarnessError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HarnessError::Baseline { workload, source } => {
+                write!(f, "{workload} baseline failed: {source}")
+            }
+            HarnessError::Tuning { workload, source } => {
+                write!(f, "{workload} tuning failed: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HarnessError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HarnessError::Baseline { source, .. } => Some(source),
+            HarnessError::Tuning { source, .. } => Some(source),
+        }
+    }
+}
+
 /// Simulate the baseline kernel of a workload.
-pub fn run_baseline(w: &dyn Workload, dev: &DeviceConfig) -> KernelReport {
+pub fn run_baseline(w: &dyn Workload, dev: &DeviceConfig) -> Result<KernelReport, HarnessError> {
     let mut args = w.make_args();
     launch(dev, &w.kernel(), w.grid(), &mut args, &w.sim_options())
-        .unwrap_or_else(|e| panic!("{} baseline failed: {e}", w.name()))
+        .map_err(|source| HarnessError::Baseline { workload: w.name(), source })
 }
 
 /// Auto-tune a workload over the paper's candidate space and return both
-/// the baseline report and the tuning table.
-pub fn best_np(w: &dyn Workload, dev: &DeviceConfig) -> BenchResult {
+/// the baseline report and the tuning table. Individual faulting candidates
+/// are recorded in the table and skipped; this errors only when the
+/// baseline fails or *every* candidate fails.
+pub fn best_np(w: &dyn Workload, dev: &DeviceConfig) -> Result<BenchResult, HarnessError> {
     let kernel = w.kernel();
     let candidates = default_candidates(kernel.block_dim.x, 1024);
     let sim = w.sim_options();
     let grid = w.grid();
     let make_args = |t: &Transformed| alloc_extra_buffers(w.make_args(), t, grid);
     let tuned = autotune(&kernel, dev, grid, &make_args, &sim, &candidates)
-        .unwrap_or_else(|e| panic!("{} tuning failed: {e}", w.name()));
-    BenchResult { name: w.name(), baseline: run_baseline(w, dev), tuned }
+        .map_err(|source| HarnessError::Tuning { workload: w.name(), source })?;
+    Ok(BenchResult { name: w.name(), baseline: run_baseline(w, dev)?, tuned })
 }
 
 /// Run one specific NP configuration of a workload (None = failed config).
@@ -50,6 +91,48 @@ pub fn run_config(
     let t = transform(&w.kernel(), opts).ok()?;
     let mut args: Args = alloc_extra_buffers(w.make_args(), &t, w.grid());
     launch(dev, &t.kernel, w.grid(), &mut args, &w.sim_options()).ok()
+}
+
+/// One workload's end-to-end outcome in a sweep.
+pub struct WorkloadOutcome {
+    pub name: &'static str,
+    pub result: Result<BenchResult, HarnessError>,
+}
+
+/// Baseline + auto-tune every Table-1 workload, collecting per-workload
+/// `Result`s instead of stopping at the first failure.
+pub fn sweep(dev: &DeviceConfig, scale: Scale) -> Vec<WorkloadOutcome> {
+    all_workloads(scale)
+        .into_iter()
+        .map(|w| WorkloadOutcome { name: w.name(), result: best_np(w.as_ref(), dev) })
+        .collect()
+}
+
+/// PASS/FAULT table over sweep outcomes (one line per workload plus a
+/// tally).
+pub fn summary(outcomes: &[WorkloadOutcome]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "# Workload summary");
+    for o in outcomes {
+        match &o.result {
+            Ok(r) => {
+                let _ = writeln!(out, "{:<5} PASS   {:.2}x best-NP speedup", o.name, r.speedup());
+            }
+            Err(e) => {
+                let _ = writeln!(out, "{:<5} FAULT  {e}", o.name);
+            }
+        }
+    }
+    let passed = outcomes.iter().filter(|o| o.result.is_ok()).count();
+    let _ = writeln!(out, "{passed}/{} workloads passed", outcomes.len());
+    out
+}
+
+/// True when not a single workload completed — the only condition the
+/// harness binary treats as a failing exit.
+pub fn all_failed(outcomes: &[WorkloadOutcome]) -> bool {
+    !outcomes.is_empty() && outcomes.iter().all(|o| o.result.is_err())
 }
 
 /// Geometric mean.
@@ -75,13 +158,36 @@ mod tests {
     #[test]
     fn tmv_tuning_beats_baseline() {
         let dev = DeviceConfig::gtx680();
-        let r = best_np(&Tmv::new(Scale::Test), &dev);
+        let r = best_np(&Tmv::new(Scale::Test), &dev).expect("TMV tunes cleanly");
         assert!(
             r.speedup() > 1.2,
             "CUDA-NP must speed TMV up, got {:.2}x",
             r.speedup()
         );
         // At least one intra and one inter candidate must have run.
-        assert!(r.tuned.entries.iter().any(|e| e.cycles.is_some()));
+        assert!(r.tuned.entries.iter().any(|e| e.cycles().is_some()));
+    }
+
+    #[test]
+    fn summary_reports_pass_and_fault_rows() {
+        let dev = DeviceConfig::gtx680();
+        let pass = WorkloadOutcome {
+            name: "TMV",
+            result: best_np(&Tmv::new(Scale::Test), &dev),
+        };
+        let fault = WorkloadOutcome {
+            name: "BAD",
+            result: Err(HarnessError::Tuning {
+                workload: "BAD",
+                source: cuda_np::TuneError::NoCandidates,
+            }),
+        };
+        let outcomes = vec![pass, fault];
+        let s = summary(&outcomes);
+        assert!(s.contains("TMV   PASS"), "{s}");
+        assert!(s.contains("BAD   FAULT"), "{s}");
+        assert!(s.contains("1/2 workloads passed"), "{s}");
+        assert!(!all_failed(&outcomes), "one pass means the run is not a failure");
+        assert!(all_failed(&outcomes[1..]));
     }
 }

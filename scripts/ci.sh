@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Full CI gate: release build, tests, and lint-clean clippy.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --workspace
+cargo test -q --workspace
+cargo clippy --workspace --all-targets -- -D warnings

@@ -1,0 +1,45 @@
+//! Offline shim for `crossbeam`: only the scoped-thread API the workspace
+//! uses, implemented on top of `std::thread::scope` (Rust >= 1.63).
+
+pub mod thread {
+    /// Mirrors `crossbeam::thread::Scope`; spawn closures receive a
+    /// `&Scope` argument like the original API.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Join handle for a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Run `f` with a scope handle; all spawned threads are joined before
+    /// this returns. `std::thread::scope` propagates child panics by
+    /// panicking, so the `Err` arm is unreachable in practice — the
+    /// `Result` exists for crossbeam API compatibility.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}

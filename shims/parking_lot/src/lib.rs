@@ -1,0 +1,43 @@
+//! Offline shim for `parking_lot`: std-backed locks with parking_lot's
+//! non-poisoning signatures (a poisoned std lock panics here, matching
+//! parking_lot's behaviour of not tracking poison at all).
+
+use std::sync::{self, MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+
+#[derive(Debug, Default)]
+pub struct Mutex<T>(sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    pub fn new(value: T) -> Self {
+        Mutex(sync::Mutex::new(value))
+    }
+
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().expect("mutex poisoned")
+    }
+
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().expect("mutex poisoned")
+    }
+}
+
+#[derive(Debug, Default)]
+pub struct RwLock<T>(sync::RwLock<T>);
+
+impl<T> RwLock<T> {
+    pub fn new(value: T) -> Self {
+        RwLock(sync::RwLock::new(value))
+    }
+
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.0.read().expect("rwlock poisoned")
+    }
+
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.0.write().expect("rwlock poisoned")
+    }
+
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().expect("rwlock poisoned")
+    }
+}

@@ -1,0 +1,130 @@
+//! Offline shim for `proptest`: a deterministic, dependency-free subset of
+//! the proptest API. Strategies generate values from a splitmix64 stream
+//! seeded by the test's name, so every run (and every failure) reproduces
+//! exactly. Supported surface: `proptest!` (with optional
+//! `#![proptest_config(..)]`), `prop_oneof!`, `prop_assert!`,
+//! `prop_assert_eq!`, `Just`, ranges, tuples, `prop_map`, `boxed`,
+//! `collection::vec`, `option::of`, `any::<bool>()`, and string strategies
+//! from a small regex subset (char classes + `{m,n}`/`+`/`*`/`?`).
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+/// Define property tests. Each generated function runs `config.cases`
+/// deterministic cases; assertion failures panic like normal tests.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut __rng =
+                    $crate::test_runner::TestRng::from_name(stringify!($name));
+                for __case in 0..__config.cases {
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::generate(&($strat), &mut __rng);
+                    )*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Choose uniformly among several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::Strategy::boxed($strat) ),+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::from_name("ranges");
+        for _ in 0..200 {
+            let x = (3u32..17).generate(&mut rng);
+            assert!((3..17).contains(&x));
+            let y = (5u64..=5).generate(&mut rng);
+            assert_eq!(y, 5);
+        }
+    }
+
+    #[test]
+    fn string_pattern_generates_matching_idents() {
+        let mut rng = TestRng::from_name("idents");
+        for _ in 0..100 {
+            let s = "[a-z][a-z0-9_]{0,8}".generate(&mut rng);
+            let mut chars = s.chars();
+            let first = chars.next().unwrap();
+            assert!(first.is_ascii_lowercase(), "{s:?}");
+            assert!(s.len() <= 9, "{s:?}");
+            assert!(
+                chars.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn oneof_and_vec_compose() {
+        let mut rng = TestRng::from_name("compose");
+        let strat = crate::collection::vec(prop_oneof![Just(1u32), Just(2), Just(3)], 1..5);
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!((1..5).contains(&v.len()));
+            assert!(v.iter().all(|x| (1..=3).contains(x)));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn macro_form_runs(x in 0u32..10, flag in crate::arbitrary::any::<bool>()) {
+            prop_assert!(x < 10);
+            let _ = flag;
+        }
+    }
+}

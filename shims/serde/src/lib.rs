@@ -1,0 +1,13 @@
+//! Offline shim for `serde`: the traits exist so `use serde::{Serialize,
+//! Deserialize}` resolves, and the derive macros (re-exported from the
+//! `serde_derive` shim) expand to nothing.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {}
+
+pub trait Deserialize<'de>: Sized {}
+
+/// Owned-deserialization alias, mirroring serde's blanket scheme.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}

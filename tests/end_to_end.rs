@@ -64,7 +64,7 @@ fn autotuner_only_returns_correct_and_faster_or_equal_versions() {
         let min = tuned
             .entries
             .iter()
-            .filter_map(|e| e.cycles)
+            .filter_map(|e| e.cycles())
             .min()
             .expect("at least one candidate succeeded");
         assert_eq!(tuned.best_report.cycles, min, "{}", w.name());
