@@ -12,10 +12,21 @@
 //!   --pad                pad loop trip counts to a slave_size multiple
 //!   --no-redundant       broadcast every live-in (disable Section 3.1)
 //!   --report             print the transform decisions to stderr
+//!   --explain            auto-tune on the simulator with synthesized
+//!                        arguments, emit the winning kernel, and print a
+//!                        per-candidate counter table to stderr saying why
+//!                        the winner won
 //! ```
 
-use cuda_np::{transform, LocalArrayStrategy, NpOptions};
+use cuda_np::tuner::{
+    alloc_extra_buffers, autotune, candidates_from_pragmas, TuneOutcome,
+};
+use cuda_np::{transform, LocalArrayStrategy, NpOptions, Transformed};
+use np_exec::{launch, Args, SimOptions};
+use np_gpu_sim::{DeviceConfig, ProfileCounters};
+use np_kernel_ir::kernel::{Kernel, ParamKind};
 use np_kernel_ir::pragma::NpType;
+use np_kernel_ir::types::{Dim3, Scalar};
 use np_kernel_ir::{parse_kernel, printer};
 use std::io::Read;
 use std::process::ExitCode;
@@ -24,15 +35,201 @@ fn usage() -> ! {
     eprintln!(
         "usage: npcc [--slave-size N] [--np-type inter|intra] [--sm V] \
          [--local-array auto|global|shared|register] [--pad] [--no-redundant] \
-         [--report] <kernel.cu | ->"
+         [--report] [--explain] <kernel.cu | ->"
     );
     std::process::exit(2)
+}
+
+/// Deterministic synthesized arguments for `--explain`: every array gets
+/// 64Ki elements of reproducible non-trivial data, every integer scalar a
+/// small positive value (a plausible loop bound), every float 1.0.
+fn synth_args(kernel: &Kernel) -> Args {
+    let n = 1usize << 16;
+    let mut args = Args::new();
+    for p in &kernel.params {
+        args = match p.kind {
+            ParamKind::Scalar(Scalar::F32) => args.f32(&p.name, 1.0),
+            ParamKind::Scalar(Scalar::I32) => args.i32(&p.name, 8),
+            ParamKind::Scalar(_) => args.u32(&p.name, 8),
+            ParamKind::GlobalArray(ty) | ParamKind::TexArray(ty) | ParamKind::ConstArray(ty) => {
+                match ty {
+                    Scalar::F32 => args.buf_f32(
+                        &p.name,
+                        (0..n).map(|i| ((i * 37 + 11) % 97) as f32 / 97.0).collect(),
+                    ),
+                    Scalar::I32 => {
+                        args.buf_i32(&p.name, (0..n).map(|i| (i % 7) as i32).collect())
+                    }
+                    _ => args.buf_u32(&p.name, (0..n).map(|i| (i % 7) as u32).collect()),
+                }
+            }
+        };
+    }
+    args
+}
+
+fn np_type_str(t: NpType) -> &'static str {
+    match t {
+        NpType::InterWarp => "inter",
+        NpType::IntraWarp => "intra",
+    }
+}
+
+fn counter_cells(p: &ProfileCounters) -> String {
+    format!(
+        "{:>9} {:>7} {:>10} {:>9.3} {:>10} {:>12} {:>9} {:>8}",
+        p.instructions,
+        p.divergence_events,
+        p.divergent_instructions,
+        p.coalescing_efficiency(),
+        p.bank_conflict_replays,
+        format!(
+            "{}/{}/{}",
+            p.shfl_broadcasts, p.shfl_reduction_steps, p.shfl_scan_steps
+        ),
+        p.shared_broadcasts,
+        p.barrier_waits,
+    )
+}
+
+/// Auto-tune `kernel` on the simulated GTX 680 and print the per-candidate
+/// counter table plus a winner analysis to stderr. Returns the winning
+/// transform, or `None` when nothing ran to completion.
+fn explain(kernel: &Kernel) -> Option<Transformed> {
+    let dev = DeviceConfig::gtx680();
+    let grid = Dim3::x1(4);
+    let header = format!(
+        "{:<14} {:>10} {:>9} {:>7} {:>10} {:>9} {:>10} {:>12} {:>9} {:>8}",
+        "config",
+        "cycles",
+        "instr",
+        "div.ev",
+        "div.instr",
+        "coalesce",
+        "sh.replays",
+        "shfl b/r/s",
+        "bcast(sh)",
+        "barriers"
+    );
+    eprintln!(
+        "npcc: explaining kernel {:?} on gtx680, grid {} x {} threads",
+        kernel.name,
+        grid.count(),
+        kernel.block_dim.count()
+    );
+    eprintln!("{header}");
+
+    let baseline = launch(&dev, kernel, grid, &mut synth_args(kernel), &SimOptions::full());
+    let base = match &baseline {
+        Ok(rep) => {
+            eprintln!(
+                "{:<14} {:>10} {}",
+                "baseline",
+                rep.cycles,
+                counter_cells(&rep.profile.total)
+            );
+            Some((rep.cycles, rep.profile.total.clone()))
+        }
+        Err(e) => {
+            eprintln!("{:<14} {}", "baseline", e);
+            None
+        }
+    };
+
+    let candidates = candidates_from_pragmas(kernel, 1024);
+    let make_args =
+        |t: &Transformed| alloc_extra_buffers(synth_args(&t.kernel), t, grid);
+    let result = autotune(kernel, &dev, grid, &make_args, &SimOptions::full(), &candidates);
+    let (entries, winner) = match result {
+        Ok(r) => {
+            let cycles = r.best_report.cycles;
+            (r.entries, Some((r.best, cycles)))
+        }
+        Err(cuda_np::TuneError::AllFailed(entries)) => (entries, None),
+        Err(e) => {
+            eprintln!("npcc: tuning failed: {e}");
+            return None;
+        }
+    };
+
+    // min_by_key breaks ties toward the earliest candidate, so the winner
+    // is the first entry matching the winning cycle count.
+    let winner_idx = winner
+        .as_ref()
+        .and_then(|(_, c)| entries.iter().position(|e| e.cycles() == Some(*c)));
+    for (i, e) in entries.iter().enumerate() {
+        let label = format!("{} s={}", np_type_str(e.np_type), e.slave_size);
+        match (&e.outcome, &e.profile) {
+            (TuneOutcome::Ok { cycles }, Some(p)) => {
+                let mark = if winner_idx == Some(i) { "*" } else { " " };
+                eprintln!("{mark}{label:<13} {cycles:>10} {}", counter_cells(p));
+            }
+            (outcome, _) => eprintln!(" {label:<13} {outcome}"),
+        }
+    }
+
+    let (best, best_cycles) = winner?;
+    let best_entry = entries.iter().find(|e| e.cycles() == Some(best_cycles));
+    let best_p = best_entry.and_then(|e| e.profile.clone()).unwrap_or_default();
+    let (w_type, w_size) = best_entry
+        .map(|e| (np_type_str(e.np_type), e.slave_size))
+        .unwrap_or(("?", best.report.slave_size));
+    eprintln!("npcc: winner {w_type} s={w_size} in {best_cycles} cycles");
+    if let Some((base_cycles, base_p)) = base {
+        eprintln!(
+            "npcc:   speedup over baseline: {:.2}x",
+            base_cycles as f64 / best_cycles as f64
+        );
+        let why = [
+            (
+                "coalescing efficiency",
+                format!(
+                    "{:.3} -> {:.3}",
+                    base_p.coalescing_efficiency(),
+                    best_p.coalescing_efficiency()
+                ),
+                best_p.coalescing_efficiency() > base_p.coalescing_efficiency(),
+            ),
+            (
+                "divergent instructions",
+                format!(
+                    "{} -> {}",
+                    base_p.divergent_instructions, best_p.divergent_instructions
+                ),
+                best_p.divergent_instructions < base_p.divergent_instructions,
+            ),
+            (
+                "shfl replaces shared-memory broadcast",
+                format!(
+                    "{} shfl vs {} staged broadcasts",
+                    best_p.shfl_ops(),
+                    best_p.shared_broadcasts
+                ),
+                best_p.shfl_ops() > 0,
+            ),
+            (
+                "bank-conflict replays",
+                format!(
+                    "{} -> {}",
+                    base_p.bank_conflict_replays, best_p.bank_conflict_replays
+                ),
+                best_p.bank_conflict_replays < base_p.bank_conflict_replays,
+            ),
+        ];
+        for (name, detail, relevant) in why {
+            if relevant {
+                eprintln!("npcc:   {name}: {detail}");
+            }
+        }
+    }
+    Some(best)
 }
 
 fn main() -> ExitCode {
     let mut opts = NpOptions::inter(4);
     let mut input: Option<String> = None;
     let mut report = false;
+    let mut explain_flag = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -61,6 +258,7 @@ fn main() -> ExitCode {
             "--pad" => opts.pad = true,
             "--no-redundant" => opts.redundant_uniform = false,
             "--report" => report = true,
+            "--explain" => explain_flag = true,
             "--help" | "-h" => usage(),
             other if input.is_none() && !other.starts_with("--") => {
                 input = Some(other.to_string())
@@ -98,6 +296,22 @@ fn main() -> ExitCode {
     // Preprocess: multi-dimensional blocks are flattened automatically
     // (Section 3.7 item 1).
     cuda_np::preprocess::flatten_block(&mut kernel);
+
+    if explain_flag {
+        return match explain(&kernel) {
+            Some(best) => {
+                print!("{}", printer::print_kernel(&best.kernel));
+                if report {
+                    eprintln!("npcc: {:#?}", best.report);
+                }
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!("npcc: {path}: no tuning candidate ran to completion");
+                ExitCode::FAILURE
+            }
+        };
+    }
 
     match transform(&kernel, &opts) {
         Ok(t) => {

@@ -61,6 +61,9 @@ pub struct TuneEntry {
     pub slave_size: u32,
     pub np_type: NpType,
     pub outcome: TuneOutcome,
+    /// Launch-total profile counters when the candidate ran to completion —
+    /// the evidence `npcc --explain` uses to say *why* the winner won.
+    pub profile: Option<np_gpu_sim::ProfileCounters>,
 }
 
 impl TuneEntry {
@@ -238,6 +241,7 @@ pub fn autotune(
                 slave_size: cand.opts.slave_size,
                 np_type: cand.opts.np_type,
                 outcome,
+                profile: slot.as_ref().map(|(_, rep)| rep.profile.total.clone()),
             });
             slots.push(slot);
         }
@@ -354,6 +358,37 @@ mod tests {
         assert_ne!(r.best.report.slave_size, 4, "a faulting variant must not win");
         let min = r.entries.iter().filter_map(|e| e.cycles()).min().unwrap();
         assert_eq!(r.best_report.cycles, min, "winner is the fastest clean candidate");
+    }
+
+    #[test]
+    fn entries_record_profiles_for_completed_candidates() {
+        let dev = DeviceConfig::gtx680();
+        let k = kernel_with_pragma("np parallel for reduction(+:s)");
+        let grid = Dim3::x1(1);
+        let candidates = default_candidates(64, 1024);
+        let make_args = |t: &Transformed| {
+            alloc_extra_buffers(Args::new().buf_f32("out", vec![0.0; 64]), t, grid)
+        };
+        let r = autotune(&k, &dev, grid, &make_args, &SimOptions::full(), &candidates)
+            .expect("tuning succeeds");
+        for e in &r.entries {
+            match &e.outcome {
+                TuneOutcome::Ok { .. } => {
+                    let p = e.profile.as_ref().expect("completed candidate has counters");
+                    assert!(p.instructions > 0);
+                    let eff = p.coalescing_efficiency();
+                    assert!(eff > 0.0 && eff <= 1.0);
+                }
+                _ => assert!(e.profile.is_none(), "failed candidate must not carry counters"),
+            }
+        }
+        // The winner's entry counters equal the winning report's totals.
+        let w = r
+            .entries
+            .iter()
+            .find(|e| e.cycles() == Some(r.best_report.cycles))
+            .expect("winner entry");
+        assert_eq!(w.profile.as_ref().unwrap(), &r.best_report.profile.total);
     }
 
     #[test]

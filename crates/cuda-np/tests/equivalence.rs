@@ -453,3 +453,43 @@ fn transformed_source_matches_figure3_shape() {
     assert!(src.contains("i += 8"), "{src}");
     assert!(src.contains("(__np_slave_id == 0)"), "{src}");
 }
+
+/// Differential-equivalence sweep over the paper's ten workloads: every
+/// transformed variant across slave counts {2, 4, 8, 16} x {inter-warp,
+/// intra-warp} must reproduce the *scalar CPU reference* (not merely the
+/// GPU baseline), within the workload's tolerance. Transform rejections
+/// (block-size cap, warp containment) are legitimate pruning; a launch
+/// fault or a wrong output is a bug.
+#[test]
+fn every_workload_matches_reference_across_slave_sweep() {
+    let dev = dev();
+    let mut checked = 0u32;
+    for w in np_workloads::all_workloads(np_workloads::Scale::Test) {
+        let kernel = w.kernel();
+        let reference = w.reference();
+        let grid = w.grid();
+        let tol = w.tolerance().max(1e-3); // reductions reorder
+        for s in [2u32, 4, 8, 16] {
+            for opts in [NpOptions::inter(s), NpOptions::intra(s)] {
+                let ctx = format!("{} {:?} slave_size={s}", w.name(), opts.np_type);
+                let t = match transform(&kernel, &opts) {
+                    Ok(t) => t,
+                    Err(_) => continue, // rejected config, not an error
+                };
+                let mut args = alloc_extra_buffers(w.make_args(), &t, grid);
+                launch(&dev, &t.kernel, grid, &mut args, &w.sim_options())
+                    .unwrap_or_else(|e| panic!("{ctx}: launch failed: {e}"));
+                np_workloads::assert_close(
+                    &reference,
+                    args.get_f32(w.output_name()).unwrap(),
+                    tol,
+                    &ctx,
+                );
+                checked += 1;
+            }
+        }
+    }
+    // 10 workloads x 8 configs minus legitimate rejections; well over half
+    // must actually run or the sweep is vacuous.
+    assert!(checked >= 40, "only {checked} configurations ran");
+}

@@ -192,6 +192,70 @@ fn fig16_shfl(c: &mut Criterion) {
     g.finish();
 }
 
+/// Profile counters: assert the paper's mechanisms hold alongside the cycle
+/// numbers (an incidental regression in the counters fails `cargo bench`
+/// even when timing still looks plausible), then measure the deterministic
+/// JSON/chrome-trace export.
+fn profile_counters(c: &mut Criterion) {
+    let dev = DeviceConfig::gtx680();
+    let w = Tmv::new(Scale::Test);
+
+    let baseline = {
+        let mut args = w.make_args();
+        launch(&dev, &w.kernel(), w.grid(), &mut args, &w.sim_options()).unwrap()
+    };
+    let run_intra8 = |use_shfl: bool| {
+        let mut opts = NpOptions::intra(8);
+        opts.use_shfl = Some(use_shfl);
+        let t = transform(&w.kernel(), &opts).unwrap();
+        let mut args = alloc_extra_buffers(w.make_args(), &t, w.grid());
+        launch(&dev, &t.kernel, w.grid(), &mut args, &w.sim_options()).unwrap()
+    };
+    let shfl = run_intra8(true);
+    let shared = run_intra8(false);
+
+    // Figure 16's mechanism: the shfl variant combines live-outs in
+    // registers; the shared variant stages through shared memory instead.
+    assert!(shfl.profile.total.shfl_ops() > 0, "intra+shfl must emit shfl traffic");
+    assert_eq!(shared.profile.total.shfl_ops(), 0, "no-shfl variant must not shfl");
+    assert!(
+        shared.profile.total.shared_accesses > shfl.profile.total.shared_accesses,
+        "shared-memory staging must show up in the counters"
+    );
+    // Section 5.3's mechanism, on the workload that exhibits it: NN's
+    // baseline loop is badly strided, and slave threads coalesce it.
+    {
+        let nn = np_workloads::nn::Nn::new(Scale::Test);
+        let base_nn = {
+            let mut args = nn.make_args();
+            launch(&dev, &nn.kernel(), nn.grid(), &mut args, &nn.sim_options()).unwrap()
+        };
+        let t = transform(&nn.kernel(), &NpOptions::intra(8)).unwrap();
+        let mut args = alloc_extra_buffers(nn.make_args(), &t, nn.grid());
+        let np_nn = launch(&dev, &t.kernel, nn.grid(), &mut args, &nn.sim_options()).unwrap();
+        assert!(
+            np_nn.profile.coalescing_efficiency() > base_nn.profile.coalescing_efficiency(),
+            "NP transform must improve NN coalescing: {:.3} -> {:.3}",
+            base_nn.profile.coalescing_efficiency(),
+            np_nn.profile.coalescing_efficiency()
+        );
+    }
+    for rep in [&baseline, &shfl, &shared] {
+        let e = rep.profile.coalescing_efficiency();
+        assert!(e > 0.0 && e <= 1.0, "efficiency out of range: {e}");
+        assert!(rep.profile.total.instructions > 0);
+    }
+    // Determinism: a rerun exports byte-identical JSON.
+    assert_eq!(run_intra8(true).profile.to_json(), shfl.profile.to_json());
+
+    c.bench_function("profile/json_export", |b| {
+        b.iter(|| {
+            black_box(shfl.profile.to_json());
+            black_box(shfl.chrome_trace())
+        })
+    });
+}
+
 criterion_group! {
     name = figures;
     config = fast_criterion();
@@ -204,6 +268,7 @@ criterion_group! {
     fig13_autotune,
     fig15_local_array,
     fig16_shfl,
+    profile_counters,
 }
 fn fast_criterion() -> Criterion {
     Criterion::default()

@@ -31,7 +31,7 @@ use np_gpu_sim::config::DeviceConfig;
 use np_gpu_sim::mem::inject::{FaultInjector, InjectConfig, InjectSpace, Injection};
 use np_gpu_sim::mem::local::LocalLayout;
 use np_gpu_sim::mem::LaneAddrs;
-use np_gpu_sim::trace::{BlockTrace, TraceBuilder};
+use np_gpu_sim::trace::{BlockTrace, ShflKind, TraceBuilder};
 use np_kernel_ir::expr::{Expr, ShflMode, Special};
 use np_kernel_ir::kernel::Kernel;
 use np_kernel_ir::stmt::{visit_stmts, Stmt};
@@ -512,6 +512,14 @@ fn exec_stmt_warp(
             let wid = w.warp_global_id;
             let t_mask = c.true_mask(mask).map_err(|e| vfault(kernel, wid, e))?;
             let e_mask = mask & !t_mask;
+            // Both sides populated: the warp serializes through each path.
+            let diverged = t_mask != 0 && e_mask != 0;
+            if diverged {
+                w.builder.divergence_event();
+                w.builder.enter_divergent();
+            }
+            // A fault unwinds past the exit_divergent below; that's fine —
+            // the faulted launch discards its builder and counters.
             if t_mask != 0 {
                 for st in then_body {
                     exec_stmt_warp(st, kernel, w, block, ctx, t_mask)?;
@@ -522,11 +530,18 @@ fn exec_stmt_warp(
                     exec_stmt_warp(st, kernel, w, block, ctx, e_mask)?;
                 }
             }
+            if diverged {
+                w.builder.exit_divergent();
+            }
         }
         Stmt::For { var, init, bound, step, body, .. } => {
             let v0 = eval(init, kernel, w, block, ctx, mask)?;
             set_reg(w, var, v0, mask, kernel)?;
             let mut active = mask;
+            // Lanes exit a warp-level loop independently; once the live set
+            // shrinks below the entry mask the remaining iterations run
+            // divergent (the mask only ever shrinks, so enter once).
+            let mut partial = false;
             loop {
                 ctx.tick(kernel)?;
                 let cond = Expr::Binary(
@@ -539,6 +554,11 @@ fn exec_stmt_warp(
                 active = c.true_mask(active).map_err(|e| vfault(kernel, wid, e))?;
                 if active == 0 {
                     break;
+                }
+                if !partial && active != mask {
+                    partial = true;
+                    w.builder.divergence_event();
+                    w.builder.enter_divergent();
                 }
                 for st in body {
                     exec_stmt_warp(st, kernel, w, block, ctx, active)?;
@@ -556,6 +576,9 @@ fn exec_stmt_warp(
                     active,
                 )?;
                 set_reg(w, var, stepped, active, kernel)?;
+            }
+            if partial {
+                w.builder.exit_divergent();
             }
         }
         Stmt::SyncThreads => {
@@ -656,7 +679,12 @@ fn eval(
         Expr::Shfl { mode, value, lane, width } => {
             let vv = eval(value, kernel, w, block, ctx, mask)?;
             let vl = eval(lane, kernel, w, block, ctx, mask)?;
-            w.builder.shfl();
+            w.builder.shfl(match mode {
+                ShflMode::Idx => ShflKind::Broadcast,
+                ShflMode::Xor => ShflKind::Xor,
+                ShflMode::Up => ShflKind::Up,
+                ShflMode::Down => ShflKind::Down,
+            });
             let wid = w.warp_global_id;
             shfl_permute(*mode, &vv, &vl, *width, mask, kernel)
                 .map_err(|f| f.at_warp(wid))?

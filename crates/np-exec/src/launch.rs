@@ -10,6 +10,7 @@ use np_gpu_sim::config::DeviceConfig;
 use np_gpu_sim::engine::Engine;
 use np_gpu_sim::mem::inject::InjectConfig;
 use np_gpu_sim::occupancy::{occupancy, KernelResources, Occupancy};
+use np_gpu_sim::profile::ProfileReport;
 use np_gpu_sim::stats::TimingReport;
 use np_gpu_sim::trace::BlockTrace;
 use np_kernel_ir::kernel::Kernel;
@@ -92,6 +93,9 @@ pub struct KernelReport {
     pub timing: TimingReport,
     pub occupancy: Occupancy,
     pub resources: KernelResources,
+    /// Deterministic per-launch hardware counters, exact for every simulated
+    /// block (never scaled by wave sampling).
+    pub profile: ProfileReport,
     /// Total cycles (same as `timing.cycles`, hoisted for convenience).
     pub cycles: u64,
     /// Wall time at the device clock.
@@ -101,13 +105,22 @@ pub struct KernelReport {
 impl KernelReport {
     /// Effective global-memory bandwidth achieved in GB/s.
     pub fn bandwidth_gbps(&self, dev: &DeviceConfig) -> f64 {
-        let bytes = if self.timing.is_sampled() {
+        let bytes = if self.timing.is_sampled() && self.timing.blocks_simulated > 0 {
+            // Scale sampled traffic up to the full grid. The simulated-block
+            // guard matters: an empty sample (blocks_simulated == 0 with a
+            // nonzero grid) would otherwise multiply the already-total byte
+            // count by blocks_total — double counting.
             self.timing.global_bytes as f64 * self.timing.blocks_total as f64
-                / self.timing.blocks_simulated.max(1) as f64
+                / self.timing.blocks_simulated as f64
         } else {
             self.timing.global_bytes as f64
         };
         dev.bandwidth_gbps(bytes as u64, self.cycles)
+    }
+
+    /// Chrome-trace (about://tracing) export of the profile counters.
+    pub fn chrome_trace(&self) -> String {
+        self.profile.to_chrome_trace(&self.kernel_name)
     }
 }
 
@@ -143,6 +156,7 @@ pub fn launch(
     let engine = Engine::new(dev, &occ);
     let mut next: u64 = 0;
     let mut fault: Option<SimFault> = None;
+    let mut profile = ProfileReport::default();
     let timing = {
         let mut ctx = LaunchCtx::new(
             &mut globals,
@@ -166,7 +180,10 @@ pub fn launch(
                 local_per_thread,
                 opts.detect_races,
             ) {
-                Ok(trace) => Some(trace),
+                Ok(trace) => {
+                    profile.record_block(&trace);
+                    Some(trace)
+                }
                 Err(f) => {
                     fault = Some(f);
                     None
@@ -190,6 +207,7 @@ pub fn launch(
         timing,
         occupancy: occ,
         resources,
+        profile,
     })
 }
 
@@ -394,6 +412,109 @@ mod tests {
         }
         // Buffers come back even after a fault.
         assert_eq!(args.get_f32("out").unwrap().len(), 32);
+    }
+
+    #[test]
+    fn bandwidth_does_not_double_count_with_empty_sample() {
+        let dev = DeviceConfig::small_test();
+        let k = vecadd_kernel();
+        let n = 256usize;
+        let mut args = Args::new()
+            .buf_f32("a", vec![1.0; n])
+            .buf_f32("b", vec![1.0; n])
+            .buf_f32("out", vec![0.0; n]);
+        let mut rep =
+            launch(&dev, &k, Dim3::x1(4), &mut args, &SimOptions::full()).unwrap();
+        let honest = rep.bandwidth_gbps(&dev);
+        // Forge the pathological report shape: sampling looks on
+        // (blocks_total > blocks_simulated) yet no block was simulated.
+        // The byte count must pass through unscaled instead of being
+        // multiplied by blocks_total.
+        rep.timing.blocks_simulated = 0;
+        rep.timing.blocks_total = 1000;
+        let guarded = rep.bandwidth_gbps(&dev);
+        assert!(
+            (guarded - honest).abs() < 1e-9,
+            "empty sample must not scale bytes: {guarded} vs {honest}"
+        );
+    }
+
+    #[test]
+    fn profile_counts_divergence_and_uniform_branches() {
+        let dev = DeviceConfig::small_test();
+        // Divergent: lanes split 16/16 inside each warp.
+        let mut b = KernelBuilder::new("div", 32);
+        b.param_global_f32("out");
+        b.decl_i32("t", tidx());
+        b.if_else(
+            lt(v("t"), i(16)),
+            |b| b.store("out", v("t"), f(1.0)),
+            |b| b.store("out", v("t"), f(2.0)),
+        );
+        let k = b.finish();
+        let mut args = Args::new().buf_f32("out", vec![0.0; 32]);
+        let rep = launch(&dev, &k, Dim3::x1(1), &mut args, &SimOptions::full()).unwrap();
+        assert_eq!(rep.profile.total.divergence_events, 1);
+        assert!(rep.profile.total.divergent_instructions > 0);
+
+        // Uniform: every lane takes the same path -> zero divergence.
+        let mut b = KernelBuilder::new("uni", 32);
+        b.param_global_f32("out");
+        b.decl_i32("t", tidx());
+        b.if_else(
+            lt(i(0), i(16)),
+            |b| b.store("out", v("t"), f(1.0)),
+            |b| b.store("out", v("t"), f(2.0)),
+        );
+        let k = b.finish();
+        let mut args = Args::new().buf_f32("out", vec![0.0; 32]);
+        let rep = launch(&dev, &k, Dim3::x1(1), &mut args, &SimOptions::full()).unwrap();
+        assert_eq!(rep.profile.total.divergence_events, 0);
+        assert_eq!(rep.profile.total.divergent_instructions, 0);
+    }
+
+    #[test]
+    fn profile_counts_memory_shfl_and_barriers() {
+        let dev = DeviceConfig::small_test();
+        let k = vecadd_kernel();
+        let n = 256usize;
+        let mut args = Args::new()
+            .buf_f32("a", vec![1.0; n])
+            .buf_f32("b", vec![1.0; n])
+            .buf_f32("out", vec![0.0; n]);
+        let rep = launch(&dev, &k, Dim3::x1(4), &mut args, &SimOptions::full()).unwrap();
+        let p = &rep.profile.total;
+        // 2 loads + 1 store per warp, 2 warps per block, 4 blocks; each
+        // access moves 32 lanes x 4 bytes.
+        assert_eq!(p.global_bytes, 3 * 128 * 2 * 4);
+        assert!(p.global_transactions >= p.ideal_global_transactions);
+        let e = rep.profile.coalescing_efficiency();
+        assert!(e > 0.0 && e <= 1.0);
+        assert_eq!(rep.profile.blocks.len(), 4);
+        // Per-block totals sum to the launch total.
+        let mut sum = np_gpu_sim::profile::ProfileCounters::default();
+        for bp in &rep.profile.blocks {
+            sum.add(&bp.total);
+        }
+        assert_eq!(&sum, p);
+    }
+
+    #[test]
+    fn profile_json_is_byte_identical_across_reruns() {
+        let dev = DeviceConfig::small_test();
+        let k = vecadd_kernel();
+        let n = 256usize;
+        let run = || {
+            let mut args = Args::new()
+                .buf_f32("a", vec![1.0; n])
+                .buf_f32("b", vec![2.0; n])
+                .buf_f32("out", vec![0.0; n]);
+            launch(&dev, &k, Dim3::x1(4), &mut args, &SimOptions::full()).unwrap()
+        };
+        let (r1, r2) = (run(), run());
+        assert_eq!(r1.profile.to_json(), r2.profile.to_json());
+        assert_eq!(r1.chrome_trace(), r2.chrome_trace());
+        assert!(r1.chrome_trace().contains("\"pid\":\"vecadd\""));
     }
 
     #[test]

@@ -496,7 +496,7 @@ impl<'d> Engine<'d> {
                     self.stats.instructions += 1;
                     self.stats.const_serializations += w - 1;
                 }
-                WarpOp::Shfl => {
+                WarpOp::Shfl { .. } => {
                     self.smxs[smx_id].issue_free = t_issue + self.tick_per_issue;
                     ready = t_issue + Self::tk(self.dev.shfl_latency as u64);
                     self.stats.instructions += 1;

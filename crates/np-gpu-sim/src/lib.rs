@@ -29,11 +29,13 @@ pub mod dynpar;
 pub mod engine;
 pub mod mem;
 pub mod occupancy;
+pub mod profile;
 pub mod stats;
 pub mod trace;
 
 pub use config::{DeviceConfig, DynParConfig, TICKS_PER_CYCLE, WARP_SIZE};
 pub use engine::{simulate_blocks, BlockSource, Engine, IterSource};
 pub use occupancy::{occupancy, KernelResources, Limiter, Occupancy, OccupancyError};
+pub use profile::{BlockProfile, ProfileCounters, ProfileReport};
 pub use stats::TimingReport;
-pub use trace::{BlockTrace, TraceBuilder, WarpOp, WarpTrace};
+pub use trace::{BlockTrace, ShflKind, TraceBuilder, WarpOp, WarpTrace};

@@ -9,10 +9,28 @@
 //! timing engine.
 
 use crate::mem::{constant, global, local::LocalLayout, shared, LaneAddrs};
+use crate::profile::ProfileCounters;
 
 /// Line base addresses touched by one L1-path warp access. Usually length 1
 /// (a coalesced uniform-index local access) — worst case 32.
 pub type Lines = Vec<u64>;
+
+/// What a `__shfl` exchange is doing, classified at emission time from the
+/// intrinsic mode. The timing engine charges all kinds identically; the
+/// profiler keeps them apart because the paper argues about them separately
+/// (broadcast replaces shared-memory staging, xor implements the live-out
+/// reduction butterfly, up/down implement scan steps).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShflKind {
+    /// `__shfl(v, lane)` — broadcast one lane's value.
+    Broadcast,
+    /// `__shfl_xor(v, mask)` — butterfly reduction step.
+    Xor,
+    /// `__shfl_up(v, delta)` — scan step.
+    Up,
+    /// `__shfl_down(v, delta)` — scan step.
+    Down,
+}
 
 /// One warp-level instruction in a trace.
 #[derive(Debug, Clone, PartialEq)]
@@ -40,15 +58,17 @@ pub enum WarpOp {
     /// Constant-cache load touching `words` distinct words.
     ConstLoad { words: u8 },
     /// A `__shfl` register exchange.
-    Shfl,
+    Shfl { kind: ShflKind },
     /// `__syncthreads()` — block-wide barrier.
     Bar,
 }
 
-/// The instruction trace of one warp within one block.
+/// The instruction trace of one warp within one block, with the
+/// deterministic profile counters accumulated while it was built.
 #[derive(Debug, Clone, Default)]
 pub struct WarpTrace {
     pub ops: Vec<WarpOp>,
+    pub counters: ProfileCounters,
 }
 
 /// The traces of every warp of one thread block.
@@ -77,20 +97,61 @@ impl BlockTrace {
     }
 }
 
-/// Incremental builder for one warp's trace; folds consecutive ALU/SFU ops
-/// and converts raw lane addresses into cost summaries.
+/// Incremental builder for one warp's trace; folds consecutive ALU/SFU ops,
+/// converts raw lane addresses into cost summaries, and accumulates the
+/// deterministic [`ProfileCounters`] as a side effect of each emission.
 #[derive(Debug)]
 pub struct TraceBuilder {
     ops: Vec<WarpOp>,
     txn_bytes: u32,
     l1_line: u64,
+    counters: ProfileCounters,
+    /// Nesting depth of divergent control constructs the interpreter is
+    /// currently inside; instructions emitted while > 0 count as divergent.
+    div_depth: u32,
 }
 
 impl TraceBuilder {
     /// `txn_bytes` is the global-memory transaction size, `l1_line` the L1
     /// line size (both from the device config).
     pub fn new(txn_bytes: u32, l1_line: u32) -> Self {
-        TraceBuilder { ops: Vec::new(), txn_bytes, l1_line: l1_line as u64 }
+        TraceBuilder {
+            ops: Vec::new(),
+            txn_bytes,
+            l1_line: l1_line as u64,
+            counters: ProfileCounters::default(),
+            div_depth: 0,
+        }
+    }
+
+    fn count_instr(&mut self, n: u64) {
+        self.counters.instructions += n;
+        if self.div_depth > 0 {
+            self.counters.divergent_instructions += n;
+        }
+    }
+
+    /// The warp diverged: both branch paths run, or a warp-level loop runs
+    /// with a partial mask. Called once per divergent construct entry.
+    pub fn divergence_event(&mut self) {
+        self.counters.divergence_events += 1;
+    }
+
+    /// Enter a divergent region — instructions emitted until the matching
+    /// [`TraceBuilder::exit_divergent`] count as divergent. Nests without
+    /// double counting.
+    pub fn enter_divergent(&mut self) {
+        self.div_depth += 1;
+    }
+
+    /// Leave the innermost divergent region.
+    pub fn exit_divergent(&mut self) {
+        self.div_depth = self.div_depth.saturating_sub(1);
+    }
+
+    /// Counters accumulated so far (finalized copy lands on the trace).
+    pub fn counters(&self) -> &ProfileCounters {
+        &self.counters
     }
 
     /// Record `n` arithmetic instructions.
@@ -98,6 +159,7 @@ impl TraceBuilder {
         if n == 0 {
             return;
         }
+        self.count_instr(n as u64);
         if let Some(WarpOp::Alu { count }) = self.ops.last_mut() {
             if let Some(c) = count.checked_add(n) {
                 *count = c;
@@ -112,6 +174,7 @@ impl TraceBuilder {
         if n == 0 {
             return;
         }
+        self.count_instr(n as u64);
         if let Some(WarpOp::Sfu { count }) = self.ops.last_mut() {
             if let Some(c) = count.checked_add(n) {
                 *count = c;
@@ -129,6 +192,11 @@ impl TraceBuilder {
         }
         let active = addrs.iter().flatten().count() as u16;
         let bytes = active * access_bytes as u16;
+        self.count_instr(1);
+        self.counters.global_transactions += c.transactions as u64;
+        let moved = active as u64 * access_bytes as u64;
+        self.counters.ideal_global_transactions += moved.div_ceil(self.txn_bytes as u64).max(1);
+        self.counters.global_bytes += moved;
         self.ops.push(if is_store {
             WarpOp::GlobalStore { segs: c.segments, bytes }
         } else {
@@ -141,6 +209,19 @@ impl TraceBuilder {
         let passes = shared::conflict_passes(addrs);
         if passes == 0 {
             return;
+        }
+        self.count_instr(1);
+        self.counters.shared_accesses += 1;
+        self.counters.bank_conflict_replays += passes as u64 - 1;
+        let active = addrs.iter().flatten().count() as u64;
+        self.counters.shared_bytes += active * 4;
+        if !is_store && active >= 2 {
+            // One distinct word read by several lanes = a broadcast (the
+            // pattern __shfl replaces when slaves share a warp).
+            let first = addrs.iter().flatten().next().copied().map(|a| a / 4);
+            if addrs.iter().flatten().all(|a| Some(a / 4) == first) {
+                self.counters.shared_broadcasts += 1;
+            }
         }
         let passes = passes.min(255) as u8;
         self.ops.push(if is_store {
@@ -172,6 +253,9 @@ impl TraceBuilder {
         if lines.is_empty() {
             return;
         }
+        self.count_instr(1);
+        self.counters.local_accesses += 1;
+        self.counters.local_bytes += offsets.iter().flatten().count() as u64 * 4;
         lines.sort_unstable();
         for l in &mut lines {
             *l *= self.l1_line;
@@ -195,6 +279,9 @@ impl TraceBuilder {
         if lines.is_empty() {
             return;
         }
+        self.count_instr(1);
+        self.counters.tex_accesses += 1;
+        self.counters.tex_bytes += addrs.iter().flatten().count() as u64 * 4;
         lines.sort_unstable();
         self.ops.push(WarpOp::TexLoad { lines });
     }
@@ -205,28 +292,45 @@ impl TraceBuilder {
         if words == 0 {
             return;
         }
+        self.count_instr(1);
+        self.counters.const_accesses += 1;
+        self.counters.const_bytes += addrs.iter().flatten().count() as u64 * 4;
         self.ops.push(WarpOp::ConstLoad { words: words.min(255) as u8 });
     }
 
-    /// Record a `__shfl`.
-    pub fn shfl(&mut self) {
-        self.ops.push(WarpOp::Shfl);
+    /// Record a `__shfl` of the given kind.
+    pub fn shfl(&mut self, kind: ShflKind) {
+        self.count_instr(1);
+        match kind {
+            ShflKind::Broadcast => self.counters.shfl_broadcasts += 1,
+            ShflKind::Xor => self.counters.shfl_reduction_steps += 1,
+            ShflKind::Up | ShflKind::Down => self.counters.shfl_scan_steps += 1,
+        }
+        self.ops.push(WarpOp::Shfl { kind });
     }
 
     /// Record a barrier.
     pub fn bar(&mut self) {
+        self.count_instr(1);
+        self.counters.barrier_waits += 1;
         self.ops.push(WarpOp::Bar);
     }
 
     /// Push a pre-built op. Intended for tests and microbenchmark harnesses
-    /// that construct traces directly.
+    /// that construct traces directly; counts instructions but does not
+    /// reconstruct memory-space counters (the addresses are gone).
     pub fn push_raw(&mut self, op: WarpOp) {
+        let n = match &op {
+            WarpOp::Alu { count } | WarpOp::Sfu { count } => *count as u64,
+            _ => 1,
+        };
+        self.count_instr(n);
         self.ops.push(op);
     }
 
-    /// Finish, yielding the warp trace.
+    /// Finish, yielding the warp trace with its counters.
     pub fn finish(self) -> WarpTrace {
-        WarpTrace { ops: self.ops }
+        WarpTrace { ops: self.ops, counters: self.counters }
     }
 }
 

@@ -35,6 +35,8 @@ fn main() {
         let dev = DeviceConfig::gtx680();
         let outcomes = runner::sweep(&dev, scale);
         print!("{}", runner::summary(&outcomes));
+        println!();
+        print!("{}", runner::counter_table(&outcomes));
         runner::all_failed(&outcomes)
     };
 

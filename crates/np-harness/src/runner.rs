@@ -129,6 +129,45 @@ pub fn summary(outcomes: &[WorkloadOutcome]) -> String {
     out
 }
 
+/// Per-workload counter table over sweep outcomes: the paper's mechanisms
+/// (divergence, coalescing, shfl traffic, barriers) for baseline vs. the
+/// tuning winner, one row per completed workload.
+pub fn counter_table(outcomes: &[WorkloadOutcome]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "# Counter table (baseline -> best NP)");
+    let _ = writeln!(
+        out,
+        "{:<5} {:>23} {:>17} {:>19} {:>16} {:>13}",
+        "name", "coalesce", "div.events", "divergent.instr", "shfl b/r/s", "barriers"
+    );
+    for o in outcomes {
+        let Ok(r) = &o.result else { continue };
+        let base = &r.baseline.profile.total;
+        // The winner's entry carries the same totals as best_report; use
+        // the report so the row exists even if entries were pruned.
+        let best = &r.tuned.best_report.profile.total;
+        let _ = writeln!(
+            out,
+            "{:<5} {:>10.3} -> {:<10.3} {:>7} -> {:<6} {:>8} -> {:<8} {:>16} {:>6} -> {:<6}",
+            o.name,
+            base.coalescing_efficiency(),
+            best.coalescing_efficiency(),
+            base.divergence_events,
+            best.divergence_events,
+            base.divergent_instructions,
+            best.divergent_instructions,
+            format!(
+                "{}/{}/{}",
+                best.shfl_broadcasts, best.shfl_reduction_steps, best.shfl_scan_steps
+            ),
+            base.barrier_waits,
+            best.barrier_waits,
+        );
+    }
+    out
+}
+
 /// True when not a single workload completed — the only condition the
 /// harness binary treats as a failing exit.
 pub fn all_failed(outcomes: &[WorkloadOutcome]) -> bool {
@@ -189,5 +228,11 @@ mod tests {
         assert!(s.contains("1/2 workloads passed"), "{s}");
         assert!(!all_failed(&outcomes), "one pass means the run is not a failure");
         assert!(all_failed(&outcomes[1..]));
+
+        // The counter table has a row for the completed workload only.
+        let t = counter_table(&outcomes);
+        assert!(t.contains("TMV"), "{t}");
+        assert!(!t.contains("BAD"), "failed workloads have no counters: {t}");
+        assert!(t.contains("->"), "{t}");
     }
 }

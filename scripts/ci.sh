@@ -6,3 +6,9 @@ cd "$(dirname "$0")/.."
 cargo build --release --workspace
 cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
+
+# Profiler regression gates: golden counters must match the checked-in
+# snapshots byte-for-byte, and every workload must stay equivalent to its
+# scalar reference across the slave-size x np-type sweep.
+cargo test --release -q --test golden_counters
+cargo test --release -q -p cuda-np --test equivalence

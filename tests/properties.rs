@@ -150,6 +150,100 @@ proptest! {
     }
 }
 
+// ---------- profile counters ----------
+
+/// A kernel whose per-lane global access pattern is a random stride; every
+/// lane also runs a data-independent (uniform) branch.
+fn strided_kernel(stride: i32, uniform_cond: bool) -> np_kernel_ir::Kernel {
+    let mut b = KernelBuilder::new("counterk", 32);
+    b.param_global_f32("data");
+    b.param_global_f32("out");
+    b.decl_i32("t", tidx() + bidx() * bdimx());
+    b.decl_f32("x", load("data", v("t") * i(stride)));
+    let cond = if uniform_cond {
+        lt(i(1), i(2)) // same for every lane: never diverges
+    } else {
+        lt(v("t") % i(2), i(1)) // alternating lanes: always diverges
+    };
+    b.if_else(
+        cond,
+        |b| b.assign("x", v("x") + f(1.0)),
+        |b| b.assign("x", v("x") * f(2.0)),
+    );
+    b.store("out", v("t"), v("x"));
+    b.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    /// Coalescing efficiency is a ratio of ideal to issued transactions and
+    /// stays in (0, 1] for every access stride; stride 1 achieves 1.0.
+    #[test]
+    fn coalescing_efficiency_in_unit_interval(stride in 1i32..40, blocks in 1u32..4) {
+        let dev = DeviceConfig::gtx680();
+        let k = strided_kernel(stride, true);
+        let n = 32 * blocks as usize * stride as usize + 1;
+        let mut args = Args::new()
+            .buf_f32("data", vec![1.0; n])
+            .buf_f32("out", vec![0.0; 32 * blocks as usize]);
+        let rep = launch(&dev, &k, Dim3::x1(blocks), &mut args, &SimOptions::full()).unwrap();
+        let e = rep.profile.coalescing_efficiency();
+        prop_assert!(e > 0.0 && e <= 1.0, "stride {}: efficiency {}", stride, e);
+        prop_assert!(
+            rep.profile.total.global_transactions >= rep.profile.total.ideal_global_transactions
+        );
+        if stride == 1 {
+            prop_assert_eq!(e, 1.0, "unit stride must be perfectly coalesced");
+        }
+    }
+
+    /// Kernels whose branches are uniform across each warp record zero
+    /// divergence events; per-lane alternation records one per warp.
+    #[test]
+    fn uniform_branches_never_count_as_divergence(blocks in 1u32..5) {
+        let dev = DeviceConfig::gtx680();
+        let run = |uniform: bool| {
+            let k = strided_kernel(1, uniform);
+            let n = 32 * blocks as usize + 1;
+            let mut args = Args::new()
+                .buf_f32("data", vec![1.0; n])
+                .buf_f32("out", vec![0.0; 32 * blocks as usize]);
+            launch(&dev, &k, Dim3::x1(blocks), &mut args, &SimOptions::full()).unwrap()
+        };
+        let uni = run(true);
+        prop_assert_eq!(uni.profile.total.divergence_events, 0);
+        prop_assert_eq!(uni.profile.total.divergent_instructions, 0);
+        let div = run(false);
+        prop_assert_eq!(div.profile.total.divergence_events, blocks as u64);
+        prop_assert!(div.profile.total.divergent_instructions > 0);
+    }
+
+    /// Counters are additive: the launch total equals the field-by-field
+    /// sum of the per-block profiles, for arbitrary grid sizes.
+    #[test]
+    fn counters_are_additive_across_blocks(stride in 1i32..8, blocks in 1u32..6) {
+        let dev = DeviceConfig::gtx680();
+        let k = strided_kernel(stride, false);
+        let n = 32 * blocks as usize * stride as usize + 1;
+        let mut args = Args::new()
+            .buf_f32("data", vec![1.0; n])
+            .buf_f32("out", vec![0.0; 32 * blocks as usize]);
+        let rep = launch(&dev, &k, Dim3::x1(blocks), &mut args, &SimOptions::full()).unwrap();
+        prop_assert_eq!(rep.profile.blocks.len(), blocks as usize);
+        let mut sum = np_gpu_sim::ProfileCounters::default();
+        for b in &rep.profile.blocks {
+            sum.add(&b.total);
+            // Each block total is itself the sum of its warp counters.
+            let mut wsum = np_gpu_sim::ProfileCounters::default();
+            for w in &b.warps {
+                wsum.add(w);
+            }
+            prop_assert_eq!(&wsum, &b.total);
+        }
+        prop_assert_eq!(&sum, &rep.profile.total);
+    }
+}
+
 // ---------- the central property: semantics preservation ----------
 
 /// A randomized reduction kernel: each thread folds `n` elements of a
