@@ -16,6 +16,9 @@
 //!                        arguments, emit the winning kernel, and print a
 //!                        per-candidate counter table to stderr saying why
 //!                        the winner won
+//!   --timeline           simulate the emitted kernel with synthesized
+//!                        arguments and render the per-SMX stall timeline
+//!                        (Gantt + utilization) to stderr
 //! ```
 
 use cuda_np::tuner::{
@@ -35,7 +38,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: npcc [--slave-size N] [--np-type inter|intra] [--sm V] \
          [--local-array auto|global|shared|register] [--pad] [--no-redundant] \
-         [--report] [--explain] <kernel.cu | ->"
+         [--report] [--explain] [--timeline] <kernel.cu | ->"
     );
     std::process::exit(2)
 }
@@ -128,7 +131,7 @@ fn explain(kernel: &Kernel) -> Option<Transformed> {
                 rep.cycles,
                 counter_cells(&rep.profile.total)
             );
-            Some((rep.cycles, rep.profile.total.clone()))
+            Some((rep.cycles, rep.profile.total.clone(), rep.timing.stall.clone()))
         }
         Err(e) => {
             eprintln!("{:<14} {}", "baseline", e);
@@ -175,11 +178,38 @@ fn explain(kernel: &Kernel) -> Option<Transformed> {
         .map(|e| (np_type_str(e.np_type), e.slave_size))
         .unwrap_or(("?", best.report.slave_size));
     eprintln!("npcc: winner {w_type} s={w_size} in {best_cycles} cycles");
-    if let Some((base_cycles, base_p)) = base {
+    // Where the winner's cycles go (the flight-recorder attribution).
+    if let Some(st) = best_entry.and_then(|e| e.stall.as_ref()) {
+        eprintln!(
+            "npcc:   cycle attribution: issue {:.1}%  issue-limit {:.1}%  \
+             memory {:.1}%  dram-saturated {:.1}%  barrier {:.1}%  \
+             scoreboard {:.1}%  idle {:.1}%",
+            100.0 * st.issue as f64 / st.total().max(1) as f64,
+            100.0 * st.issue_limit as f64 / st.total().max(1) as f64,
+            100.0 * st.memory_pending as f64 / st.total().max(1) as f64,
+            100.0 * st.dram_saturated as f64 / st.total().max(1) as f64,
+            100.0 * st.barrier_wait as f64 / st.total().max(1) as f64,
+            100.0 * st.scoreboard_dependency as f64 / st.total().max(1) as f64,
+            100.0 * st.no_block_resident as f64 / st.total().max(1) as f64,
+        );
+    }
+    if let Some((base_cycles, base_p, base_st)) = base {
         eprintln!(
             "npcc:   speedup over baseline: {:.2}x",
             base_cycles as f64 / best_cycles as f64
         );
+        if let Some(st) = best_entry.and_then(|e| e.stall.as_ref()) {
+            eprintln!(
+                "npcc:   stall shift vs baseline: memory {:.1}% -> {:.1}%, \
+                 barrier {:.1}% -> {:.1}%, issuing {:.1}% -> {:.1}%",
+                100.0 * base_st.memory_fraction(),
+                100.0 * st.memory_fraction(),
+                100.0 * base_st.barrier_wait as f64 / base_st.total().max(1) as f64,
+                100.0 * st.barrier_wait as f64 / st.total().max(1) as f64,
+                100.0 * base_st.issue_fraction(),
+                100.0 * st.issue_fraction(),
+            );
+        }
         let why = [
             (
                 "coalescing efficiency",
@@ -225,11 +255,36 @@ fn explain(kernel: &Kernel) -> Option<Transformed> {
     Some(best)
 }
 
+/// Simulate `t`'s kernel with synthesized arguments on the GTX 680 and
+/// render the per-SMX stall timeline to stderr.
+fn render_timeline(t: &Transformed) -> bool {
+    let dev = DeviceConfig::gtx680();
+    let grid = Dim3::x1(4);
+    let mut args = alloc_extra_buffers(synth_args(&t.kernel), t, grid);
+    match launch(&dev, &t.kernel, grid, &mut args, &SimOptions::full()) {
+        Ok(rep) => {
+            eprintln!(
+                "npcc: timeline for {:?} on gtx680, grid {} x {} threads",
+                t.kernel.name,
+                grid.count(),
+                t.kernel.block_dim.count()
+            );
+            eprint!("{}", rep.timing.timeline.render_gantt(96));
+            true
+        }
+        Err(e) => {
+            eprintln!("npcc: timeline simulation failed: {e}");
+            false
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let mut opts = NpOptions::inter(4);
     let mut input: Option<String> = None;
     let mut report = false;
     let mut explain_flag = false;
+    let mut timeline_flag = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -259,6 +314,7 @@ fn main() -> ExitCode {
             "--no-redundant" => opts.redundant_uniform = false,
             "--report" => report = true,
             "--explain" => explain_flag = true,
+            "--timeline" => timeline_flag = true,
             "--help" | "-h" => usage(),
             other if input.is_none() && !other.starts_with("--") => {
                 input = Some(other.to_string())
@@ -304,6 +360,9 @@ fn main() -> ExitCode {
                 if report {
                     eprintln!("npcc: {:#?}", best.report);
                 }
+                if timeline_flag && !render_timeline(&best) {
+                    return ExitCode::FAILURE;
+                }
                 ExitCode::SUCCESS
             }
             None => {
@@ -318,6 +377,9 @@ fn main() -> ExitCode {
             print!("{}", printer::print_kernel(&t.kernel));
             if report {
                 eprintln!("npcc: {:#?}", t.report);
+            }
+            if timeline_flag && !render_timeline(&t) {
+                return ExitCode::FAILURE;
             }
             ExitCode::SUCCESS
         }

@@ -64,6 +64,10 @@ pub struct TuneEntry {
     /// Launch-total profile counters when the candidate ran to completion —
     /// the evidence `npcc --explain` uses to say *why* the winner won.
     pub profile: Option<np_gpu_sim::ProfileCounters>,
+    /// Device-wide stall breakdown from the timeline flight recorder, when
+    /// the candidate ran to completion (buckets sum to
+    /// `simulated_cycles × SMX count`).
+    pub stall: Option<np_gpu_sim::StallBreakdown>,
 }
 
 impl TuneEntry {
@@ -242,6 +246,7 @@ pub fn autotune(
                 np_type: cand.opts.np_type,
                 outcome,
                 profile: slot.as_ref().map(|(_, rep)| rep.profile.total.clone()),
+                stall: slot.as_ref().map(|(_, rep)| rep.timing.stall.clone()),
             });
             slots.push(slot);
         }
@@ -378,8 +383,13 @@ mod tests {
                     assert!(p.instructions > 0);
                     let eff = p.coalescing_efficiency();
                     assert!(eff > 0.0 && eff <= 1.0);
+                    let st = e.stall.as_ref().expect("completed candidate has a breakdown");
+                    assert!(st.issue > 0, "a completed run must have issued: {st:?}");
                 }
-                _ => assert!(e.profile.is_none(), "failed candidate must not carry counters"),
+                _ => {
+                    assert!(e.profile.is_none(), "failed candidate must not carry counters");
+                    assert!(e.stall.is_none(), "failed candidate must not carry a breakdown");
+                }
             }
         }
         // The winner's entry counters equal the winning report's totals.

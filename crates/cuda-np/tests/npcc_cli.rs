@@ -1,0 +1,76 @@
+//! End-to-end tests of the `npcc` binary, driven through the printed
+//! sources of real paper workloads (the printer/parser round-trip makes
+//! this equivalent to feeding hand-written `.cu` files).
+
+use np_kernel_ir::printer::print_kernel;
+use np_workloads::{lu::Lu, mv::Mv, Scale, Workload};
+use std::process::Command;
+
+fn npcc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_npcc"))
+}
+
+fn write_kernel(w: &dyn Workload) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("npcc_cli_{}.cu", w.name()));
+    std::fs::write(&path, print_kernel(&w.kernel())).expect("write kernel source");
+    path
+}
+
+/// The acceptance criterion: `npcc --timeline` renders a per-SMX stall
+/// timeline for (at least) the MV and LU workloads.
+#[test]
+fn timeline_renders_for_mv_and_lu() {
+    let workloads: [Box<dyn Workload>; 2] =
+        [Box::new(Mv::new(Scale::Test)), Box::new(Lu::new(Scale::Test))];
+    for w in workloads {
+        let path = write_kernel(w.as_ref());
+        let out = npcc()
+            .args(["--slave-size", "4", "--timeline"])
+            .arg(&path)
+            .output()
+            .expect("run npcc");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            out.status.success(),
+            "{}: npcc --timeline failed\nstderr: {stderr}",
+            w.name()
+        );
+        assert!(stdout.contains("__global__"), "{}: kernel still emitted", w.name());
+        assert!(stderr.contains("# SMX timeline"), "{}: {stderr}", w.name());
+        assert!(stderr.contains("SMX  0 |"), "{}: {stderr}", w.name());
+        assert!(stderr.contains("legend:"), "{}: {stderr}", w.name());
+        assert!(stderr.contains("device:"), "{}: {stderr}", w.name());
+    }
+}
+
+/// `--explain` gains the flight-recorder narrative: a cycle-attribution
+/// line for the winner and the stall shift vs the baseline.
+#[test]
+fn explain_reports_stall_attribution() {
+    let w = Mv::new(Scale::Test);
+    let path = write_kernel(&w);
+    let out = npcc().arg("--explain").arg(&path).output().expect("run npcc");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "npcc --explain failed\nstderr: {stderr}");
+    assert!(stderr.contains("cycle attribution:"), "{stderr}");
+    assert!(stderr.contains("stall shift vs baseline:"), "{stderr}");
+}
+
+/// Timeline output is deterministic: two invocations render byte-identical
+/// Gantt charts.
+#[test]
+fn timeline_is_deterministic_across_runs() {
+    let w = Mv::new(Scale::Test);
+    let path = write_kernel(&w);
+    let run = || {
+        let out = npcc()
+            .args(["--slave-size", "4", "--timeline"])
+            .arg(&path)
+            .output()
+            .expect("run npcc");
+        assert!(out.status.success());
+        String::from_utf8_lossy(&out.stderr).into_owned()
+    };
+    assert_eq!(run(), run());
+}

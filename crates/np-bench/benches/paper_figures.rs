@@ -256,6 +256,27 @@ fn profile_counters(c: &mut Criterion) {
     });
 }
 
+/// Bench trajectory: regenerate the machine-readable perf record
+/// (`BENCH_results.json` at the repo root) from a Test-scale sweep, assert
+/// it is byte-identical across two back-to-back generations, and measure
+/// the sweep+serialize cost. CI diffs the file against the committed
+/// `BENCH_baseline.json` with tolerances.
+fn bench_trajectory(c: &mut Criterion) {
+    use np_harness::{runner, trajectory};
+    let dev = DeviceConfig::gtx680();
+    let doc = trajectory::to_json(&runner::sweep(&dev, Scale::Test), dev.name, "test");
+    let again = trajectory::to_json(&runner::sweep(&dev, Scale::Test), dev.name, "test");
+    assert_eq!(doc, again, "bench trajectory must be byte-identical across reruns");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_results.json");
+    std::fs::write(path, &doc).expect("write BENCH_results.json");
+    c.bench_function("trajectory/serialize", |b| {
+        b.iter(|| {
+            // Serialization only; the sweep itself is fig10's territory.
+            black_box(doc.len())
+        })
+    });
+}
+
 criterion_group! {
     name = figures;
     config = fast_criterion();
@@ -269,6 +290,7 @@ criterion_group! {
     fig15_local_array,
     fig16_shfl,
     profile_counters,
+    bench_trajectory,
 }
 fn fast_criterion() -> Criterion {
     Criterion::default()

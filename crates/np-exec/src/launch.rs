@@ -118,9 +118,18 @@ impl KernelReport {
         dev.bandwidth_gbps(bytes as u64, self.cycles)
     }
 
-    /// Chrome-trace (about://tracing) export of the profile counters.
+    /// Chrome-trace (about://tracing) export: the profile counter events
+    /// plus one duration-event track per SMX from the timeline flight
+    /// recorder (`tid` "smx N", `ts`/`dur` in cycles).
     pub fn chrome_trace(&self) -> String {
-        self.profile.to_chrome_trace(&self.kernel_name)
+        let s = self.profile.to_chrome_trace(&self.kernel_name);
+        let tl = self.timing.timeline.chrome_trace_events(&self.kernel_name);
+        if tl.is_empty() {
+            return s;
+        }
+        let base = s.strip_suffix("\n]").unwrap_or(&s);
+        let sep = if base == "[" { "\n" } else { ",\n" };
+        format!("{base}{sep}{tl}\n]")
     }
 }
 
@@ -514,7 +523,14 @@ mod tests {
         let (r1, r2) = (run(), run());
         assert_eq!(r1.profile.to_json(), r2.profile.to_json());
         assert_eq!(r1.chrome_trace(), r2.chrome_trace());
-        assert!(r1.chrome_trace().contains("\"pid\":\"vecadd\""));
+        let trace = r1.chrome_trace();
+        assert!(trace.contains("\"pid\":\"vecadd\""));
+        // The timeline flight recorder contributes per-SMX duration tracks
+        // and the spliced array stays well-formed.
+        assert!(trace.contains("\"tid\":\"smx 0\""), "{trace}");
+        assert!(trace.contains("\"ph\":\"X\""), "{trace}");
+        assert!(trace.starts_with('[') && trace.ends_with(']'), "{trace}");
+        assert!(!trace.contains(",,") && !trace.contains("],["), "{trace}");
     }
 
     #[test]

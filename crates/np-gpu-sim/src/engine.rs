@@ -22,6 +22,7 @@ use crate::config::{DeviceConfig, TICKS_PER_CYCLE};
 use crate::mem::cache::Cache;
 use crate::occupancy::Occupancy;
 use crate::stats::TimingReport;
+use crate::timeline::{SmxState, Timeline};
 use crate::trace::{BlockTrace, WarpOp, WarpTrace};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -54,9 +55,13 @@ struct WarpRt {
     pc: usize,
     block: usize,
     active: bool,
-    /// Completion times of in-flight long-latency memory ops (bounded by
-    /// `mem_queue_depth`).
-    pending: Vec<u64>,
+    /// In-flight long-latency memory ops (bounded by `mem_queue_depth`):
+    /// completion tick plus whether the access queued at the DRAM
+    /// interface (bandwidth-bound rather than latency-bound).
+    pending: Vec<(u64, bool)>,
+    /// Why this warp is currently unready — the stall reason charged to the
+    /// scheduler gap it ends when it next issues.
+    wait: SmxState,
 }
 
 #[derive(Debug)]
@@ -94,6 +99,7 @@ pub struct Engine<'d> {
     seq: u64,
     end_time: u64,
     stats: TimingReport,
+    timeline: Timeline,
 }
 
 impl<'d> Engine<'d> {
@@ -125,6 +131,7 @@ impl<'d> Engine<'d> {
             seq: 0,
             end_time: 0,
             stats: TimingReport::default(),
+            timeline: Timeline::new(dev.num_smx as usize),
         }
     }
 
@@ -142,38 +149,61 @@ impl<'d> Engine<'d> {
     /// queue. The warp proceeds immediately while fewer than
     /// `mem_queue_depth` ops are outstanding, and otherwise blocks on the
     /// oldest one — approximating compiler-scheduled memory-level
-    /// parallelism without per-register dependence tracking.
-    fn queue_mem(&mut self, wslot: usize, t_issue: u64, completion: u64) -> u64 {
+    /// parallelism without per-register dependence tracking. Returns the
+    /// warp's ready time plus the stall reason that wait represents.
+    fn queue_mem(
+        &mut self,
+        wslot: usize,
+        t_issue: u64,
+        completion: u64,
+        dram_queued: bool,
+    ) -> (u64, SmxState) {
         let depth = self.dev.mem_queue_depth.max(1) as usize;
         let pending = &mut self.warps[wslot].pending;
-        pending.push(completion);
+        pending.push((completion, dram_queued));
         if pending.len() <= depth {
-            t_issue + Self::tk(2)
+            (t_issue + Self::tk(2), SmxState::ScoreboardDependency)
         } else {
             let oldest = pending
                 .iter()
                 .enumerate()
-                .min_by_key(|(_, &t)| t)
+                .min_by_key(|(_, &(t, _))| t)
                 .map(|(i, _)| i)
                 .expect("non-empty");
-            pending.swap_remove(oldest).max(t_issue)
+            let (done, queued) = pending.swap_remove(oldest);
+            let reason = if queued { SmxState::DramSaturated } else { SmxState::MemoryPending };
+            (done.max(t_issue), reason)
         }
     }
 
     /// Drain the warp's in-flight memory queue (barriers, warp exit).
     fn drain_mem(&mut self, wslot: usize, t: u64) -> u64 {
         let pending = &mut self.warps[wslot].pending;
-        let max = pending.iter().copied().fold(t, u64::max);
+        let max = pending.iter().map(|&(t, _)| t).fold(t, u64::max);
         pending.clear();
         max
     }
 
+    /// Occupy the shared DRAM interface for `txns` transactions arriving at
+    /// `t_issue` — the single accumulation site for `dram_busy_cycles`.
+    /// Returns the tick at which the interface finishes this batch and
+    /// whether the batch had to queue behind earlier traffic (the signal
+    /// behind [`SmxState::DramSaturated`]).
+    fn dram_transfer(&mut self, t_issue: u64, txns: u64) -> (u64, bool) {
+        let start = t_issue.max(self.dram_free);
+        let busy = txns * self.txn_ticks;
+        self.dram_free = start + busy;
+        self.stats.dram_busy_cycles += busy / TICKS_PER_CYCLE;
+        (self.dram_free, start > t_issue)
+    }
+
     /// Serve a set of L1/tex-missed lines through L2 and DRAM; returns the
-    /// extra latency in ticks (0 lines = an L1 hit). When `blocking` is
-    /// false only the bandwidth/occupancy effects are applied.
-    fn serve_through_l2(&mut self, t_issue: u64, missed: &[u64], blocking: bool) -> u64 {
+    /// extra latency in ticks (0 lines = an L1 hit) and whether the request
+    /// queued at DRAM. When `blocking` is false only the
+    /// bandwidth/occupancy effects are applied.
+    fn serve_through_l2(&mut self, t_issue: u64, missed: &[u64], blocking: bool) -> (u64, bool) {
         if missed.is_empty() {
-            return Self::tk(self.dev.l1_hit_latency as u64);
+            return (Self::tk(self.dev.l1_hit_latency as u64), false);
         }
         let mut dram_misses = 0u64;
         for line in missed {
@@ -185,18 +215,15 @@ impl<'d> Engine<'d> {
             }
         }
         if dram_misses > 0 {
-            let start = t_issue.max(self.dram_free);
-            let busy = dram_misses * self.txn_ticks;
-            self.dram_free = start + busy;
-            self.stats.dram_busy_cycles += busy / TICKS_PER_CYCLE;
+            let (done, queued) = self.dram_transfer(t_issue, dram_misses);
             if blocking {
-                return (self.dram_free - t_issue) + Self::tk(self.dev.global_latency as u64);
+                return ((done - t_issue) + Self::tk(self.dev.global_latency as u64), queued);
             }
         }
         if blocking {
-            Self::tk(self.dev.l2_latency as u64) + Self::tk(missed.len() as u64 - 1)
+            (Self::tk(self.dev.l2_latency as u64) + Self::tk(missed.len() as u64 - 1), false)
         } else {
-            0
+            (0, false)
         }
     }
 
@@ -247,6 +274,7 @@ impl<'d> Engine<'d> {
                     block: 0,
                     active: false,
                     pending: Vec::new(),
+                    wait: SmxState::NoBlockResident,
                 });
                 self.warps.len() - 1
             });
@@ -256,6 +284,9 @@ impl<'d> Engine<'d> {
                 block: block_slot,
                 active: true,
                 pending: Vec::new(),
+                // Until its first issue the warp is inside the block-launch
+                // window; a gap it ends counts as no-block-resident time.
+                wait: SmxState::NoBlockResident,
             };
             warp_slots.push(wslot);
             live += 1;
@@ -324,7 +355,13 @@ impl<'d> Engine<'d> {
 
             if self.warps[wslot].pc >= self.warps[wslot].trace.ops.len() {
                 // Warp finished (its last op completed at `t`, pending
-                // memory drains now).
+                // memory drains now). The scheduler gap it ends is charged
+                // to whatever it was waiting on.
+                self.timeline.record_stall(
+                    smx_id,
+                    t / TICKS_PER_CYCLE,
+                    self.warps[wslot].wait,
+                );
                 let drained = self.drain_mem(wslot, t);
                 self.warps[wslot].active = false;
                 let b = &mut self.blocks[block_slot];
@@ -345,8 +382,20 @@ impl<'d> Engine<'d> {
             let op = self.warps[wslot].trace.ops[self.warps[wslot].pc].clone();
             self.warps[wslot].pc += 1;
 
+            // The reason this warp was unready until now; it was the
+            // earliest-ready warp on the SMX, so the scheduler gap it ends
+            // is charged to that reason.
+            let gap_reason = self.warps[wslot].wait;
+            // Instructions actually issued by this op (folded runs count
+            // fully); port slots held beyond these are IssueLimit time.
+            let n_instr: u64 = match &op {
+                WarpOp::Alu { count } | WarpOp::Sfu { count } => *count as u64,
+                _ => 1,
+            };
+
             let mut ready = t_issue;
             let mut at_barrier = false;
+            let mut wait = SmxState::ScoreboardDependency;
             match op {
                 WarpOp::Alu { count } => {
                     let c = count as u64;
@@ -377,18 +426,18 @@ impl<'d> Engine<'d> {
                     self.stats.instructions += 1;
                     self.stats.global_txns += segs.len() as u64;
                     self.stats.global_bytes += bytes as u64;
-                    let completion = if misses > 0 {
-                        let start = t_issue.max(self.dram_free);
-                        let busy = misses * self.txn_ticks;
-                        self.dram_free = start + busy;
-                        self.stats.dram_busy_cycles += busy / TICKS_PER_CYCLE;
-                        self.dram_free + Self::tk(self.dev.global_latency as u64)
+                    let (completion, queued) = if misses > 0 {
+                        let (done, queued) = self.dram_transfer(t_issue, misses);
+                        (done + Self::tk(self.dev.global_latency as u64), queued)
                     } else {
-                        t_issue
-                            + Self::tk(self.dev.l2_latency as u64)
-                            + Self::tk(segs.len() as u64 - 1)
+                        (
+                            t_issue
+                                + Self::tk(self.dev.l2_latency as u64)
+                                + Self::tk(segs.len() as u64 - 1),
+                            false,
+                        )
                     };
-                    ready = self.queue_mem(wslot, t_issue, completion);
+                    (ready, wait) = self.queue_mem(wslot, t_issue, completion, queued);
                 }
                 WarpOp::GlobalStore { segs, bytes } => {
                     self.smxs[smx_id].issue_free =
@@ -406,10 +455,7 @@ impl<'d> Engine<'d> {
                         }
                     }
                     if misses > 0 {
-                        let start = t_issue.max(self.dram_free);
-                        let busy = misses * self.txn_ticks;
-                        self.dram_free = start + busy;
-                        self.stats.dram_busy_cycles += busy / TICKS_PER_CYCLE;
+                        let _ = self.dram_transfer(t_issue, misses);
                     }
                     ready = t_issue + Self::tk(4);
                     self.stats.instructions += 1;
@@ -449,8 +495,8 @@ impl<'d> Engine<'d> {
                         }
                     }
                     self.stats.instructions += 1;
-                    let completion = t_issue + self.serve_through_l2(t_issue, &l1_misses, true);
-                    ready = self.queue_mem(wslot, t_issue, completion);
+                    let (lat, queued) = self.serve_through_l2(t_issue, &l1_misses, true);
+                    (ready, wait) = self.queue_mem(wslot, t_issue, t_issue + lat, queued);
                 }
                 WarpOp::LocalStore { lines } => {
                     self.smxs[smx_id].issue_free =
@@ -482,8 +528,8 @@ impl<'d> Engine<'d> {
                         }
                     }
                     self.stats.instructions += 1;
-                    let completion = t_issue + self.serve_through_l2(t_issue, &t_misses, true);
-                    ready = self.queue_mem(wslot, t_issue, completion);
+                    let (lat, queued) = self.serve_through_l2(t_issue, &t_misses, true);
+                    (ready, wait) = self.queue_mem(wslot, t_issue, t_issue + lat, queued);
                 }
                 WarpOp::ConstLoad { words } => {
                     let w = words as u64;
@@ -506,6 +552,7 @@ impl<'d> Engine<'d> {
                     self.stats.instructions += 1;
                     self.stats.barriers += 1;
                     at_barrier = true;
+                    wait = SmxState::BarrierWait;
                     let drained = self.drain_mem(wslot, t_issue);
                     let b = &mut self.blocks[block_slot];
                     b.bar_count += 1;
@@ -518,6 +565,7 @@ impl<'d> Engine<'d> {
                         let slots = b.warp_slots.clone();
                         for w in slots {
                             if self.warps[w].active {
+                                self.warps[w].wait = SmxState::BarrierWait;
                                 self.push_event(release, w);
                             }
                         }
@@ -525,10 +573,25 @@ impl<'d> Engine<'d> {
                 }
             }
 
+            // Flight-recorder attribution for this scheduler decision: the
+            // gap before the issue (stall), the issue slots themselves, and
+            // any extra serialized port slots (IssueLimit). A barrier holds
+            // the port for one slot even though `issue_free` is untouched.
+            let port_end = self.smxs[smx_id].issue_free.max(t_issue + self.tick_per_issue);
+            let instr_end = (t_issue + n_instr * self.tick_per_issue).min(port_end);
+            self.timeline.record_issue(
+                smx_id,
+                gap_reason,
+                t_issue / TICKS_PER_CYCLE,
+                instr_end.div_ceil(TICKS_PER_CYCLE),
+                port_end.div_ceil(TICKS_PER_CYCLE),
+            );
+            self.warps[wslot].wait = wait;
+
             self.end_time = self
                 .end_time
                 .max(ready)
-                .max(self.warps[wslot].pending.iter().copied().max().unwrap_or(0));
+                .max(self.warps[wslot].pending.iter().map(|&(t, _)| t).max().unwrap_or(0));
 
             if at_barrier {
                 // The warp was either parked (waiting for peers) or already
@@ -542,8 +605,23 @@ impl<'d> Engine<'d> {
             self.push_event(ready, wslot);
         }
 
+        // The launch is not over until every pipeline drains: the DRAM
+        // interface and each SMX's issue port may still be busy past the
+        // last warp's ready time (trailing stores). Folding them in keeps
+        // `dram_busy_cycles <= simulated_cycles` and lets the timeline tile
+        // exactly.
+        self.end_time = self.end_time.max(self.dram_free);
+        for smx in &self.smxs {
+            self.end_time = self.end_time.max(smx.issue_free);
+        }
         let simulated_cycles = self.end_time.div_ceil(TICKS_PER_CYCLE);
+        self.timeline.finish(simulated_cycles);
+        if let Err(e) = self.timeline.check_total_attribution() {
+            debug_assert!(false, "stall attribution must be total: {e}");
+        }
         let mut stats = self.stats;
+        stats.stall = self.timeline.total();
+        stats.timeline = self.timeline;
         stats.simulated_cycles = simulated_cycles;
         stats.blocks_total = blocks_total.max(stats.blocks_simulated);
         stats.cycles = if stats.blocks_simulated > 0 && stats.blocks_total > stats.blocks_simulated

@@ -31,6 +31,7 @@ pub mod mem;
 pub mod occupancy;
 pub mod profile;
 pub mod stats;
+pub mod timeline;
 pub mod trace;
 
 pub use config::{DeviceConfig, DynParConfig, TICKS_PER_CYCLE, WARP_SIZE};
@@ -38,4 +39,5 @@ pub use engine::{simulate_blocks, BlockSource, Engine, IterSource};
 pub use occupancy::{occupancy, KernelResources, Limiter, Occupancy, OccupancyError};
 pub use profile::{BlockProfile, ProfileCounters, ProfileReport};
 pub use stats::TimingReport;
+pub use timeline::{SmxState, StallBreakdown, Timeline};
 pub use trace::{BlockTrace, ShflKind, TraceBuilder, WarpOp, WarpTrace};

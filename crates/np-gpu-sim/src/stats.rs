@@ -1,5 +1,6 @@
 //! Aggregate statistics produced by one timing simulation.
 
+use crate::timeline::{StallBreakdown, Timeline};
 use serde::{Deserialize, Serialize};
 
 /// Counters and the final cycle count for one kernel launch.
@@ -39,6 +40,12 @@ pub struct TimingReport {
     pub blocks_simulated: u64,
     /// Blocks in the logical launch (>= blocks_simulated when sampled).
     pub blocks_total: u64,
+    /// Device-wide cycle attribution: buckets sum to
+    /// `simulated_cycles * num_smx` (checked in the engine).
+    pub stall: StallBreakdown,
+    /// Per-SMX flight-recorder tracks behind [`Self::stall`]; bounded ring
+    /// of coalesced warp-state intervals.
+    pub timeline: Timeline,
 }
 
 impl TimingReport {

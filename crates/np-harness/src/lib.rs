@@ -8,8 +8,9 @@
 
 pub mod experiments;
 pub mod runner;
+pub mod trajectory;
 
 pub use runner::{
-    all_failed, best_np, gm, run_baseline, summary, sweep, BenchResult, HarnessError,
-    WorkloadOutcome,
+    all_failed, best_np, gm, run_baseline, stall_table, summary, sweep, BenchResult,
+    HarnessError, WorkloadOutcome,
 };

@@ -1,20 +1,31 @@
 //! Regenerate the CUDA-NP paper's tables and figures.
 //!
 //! ```text
-//! np-harness [--test-scale] [all | sweep | fig01 | table1 | fig10 | fig11 |
+//! np-harness [--test-scale] [--json [PATH]] [--check-bench BASELINE]
+//!            [--tolerance FRACTION]
+//!            [all | sweep | fig01 | table1 | fig10 | fig11 |
 //!             fig12 | fig13 | fig14 | fig15 | fig16 | sec6]...
 //! ```
 //!
 //! Default is `all` at paper scale. `--test-scale` uses the small inputs
 //! the test suite uses (fast smoke run).
 //!
+//! `--json [PATH]` writes the machine-readable bench trajectory (cycles,
+//! speedups, stall breakdowns, profile counters per workload) after the
+//! sweep — byte-identical across reruns; PATH defaults to
+//! `BENCH_results.json`. `--check-bench BASELINE` additionally diffs the
+//! fresh trajectory against a committed baseline and exits 1 on any cycle
+//! count outside `--tolerance` (relative, default 0.02 = ±2%). Both flags
+//! imply the sweep runs.
+//!
 //! `all` (and the explicit `sweep` command) end with a per-workload
 //! PASS/FAULT summary: every workload's baseline + auto-tune runs to a
 //! `Result`, faulting workloads are reported, and the remaining workloads
 //! still complete. The process exits non-zero only when *every* workload
-//! fails (exit code 1), or when an unknown experiment is named (2).
+//! fails (exit code 1), or when an unknown experiment is named or a flag
+//! is malformed (2).
 
-use np_harness::{experiments, runner};
+use np_harness::{experiments, runner, trajectory};
 use np_gpu_sim::DeviceConfig;
 use np_workloads::Scale;
 
@@ -25,23 +36,106 @@ fn main() {
     } else {
         Scale::Paper
     };
-    let wanted: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .collect();
 
+    let mut json_path: Option<String> = None;
+    let mut check_baseline: Option<String> = None;
+    let mut tolerance = 0.02f64;
+    let mut wanted: Vec<String> = Vec::new();
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--test-scale" => {}
+            "--json" => {
+                // Optional value: consume the next token unless it is a
+                // flag or a subcommand-looking word ending in no '.json'.
+                let path = match it.peek() {
+                    Some(p) if p.ends_with(".json") => it.next().cloned(),
+                    _ => None,
+                };
+                json_path = Some(path.unwrap_or_else(|| "BENCH_results.json".to_string()));
+            }
+            "--check-bench" => match it.next() {
+                Some(p) => check_baseline = Some(p.clone()),
+                None => {
+                    eprintln!("--check-bench needs a baseline JSON path");
+                    std::process::exit(2);
+                }
+            },
+            "--tolerance" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(t) if t >= 0.0 => tolerance = t,
+                _ => {
+                    eprintln!("--tolerance needs a non-negative fraction (e.g. 0.02)");
+                    std::process::exit(2);
+                }
+            },
+            other if !other.starts_with("--") => wanted.push(other.to_string()),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let scale_label = match scale {
+        Scale::Test => "test",
+        _ => "paper",
+    };
+    let bench_mode = json_path.is_some() || check_baseline.is_some();
+
+    // The sweep: PASS/FAULT summary, counter + stall tables, and (in bench
+    // mode) the trajectory document. Returns true when everything failed.
     let run_sweep = || -> bool {
         let dev = DeviceConfig::gtx680();
         let outcomes = runner::sweep(&dev, scale);
         print!("{}", runner::summary(&outcomes));
         println!();
         print!("{}", runner::counter_table(&outcomes));
+        println!();
+        print!("{}", runner::stall_table(&outcomes));
+        if bench_mode {
+            let doc = trajectory::to_json(&outcomes, dev.name, scale_label);
+            if let Some(path) = &json_path {
+                if let Err(e) = std::fs::write(path, &doc) {
+                    eprintln!("np-harness: cannot write {path}: {e}");
+                    return true;
+                }
+                eprintln!("np-harness: wrote {path}");
+            }
+            if let Some(base_path) = &check_baseline {
+                let base = match std::fs::read_to_string(base_path) {
+                    Ok(b) => b,
+                    Err(e) => {
+                        eprintln!("np-harness: cannot read baseline {base_path}: {e}");
+                        return true;
+                    }
+                };
+                match trajectory::check_against_baseline(&doc, &base, tolerance) {
+                    Ok(()) => eprintln!(
+                        "np-harness: bench trajectory within ±{:.1}% of {base_path}",
+                        100.0 * tolerance
+                    ),
+                    Err(problems) => {
+                        for p in &problems {
+                            eprintln!("np-harness: bench regression: {p}");
+                        }
+                        return true;
+                    }
+                }
+            }
+        }
         runner::all_failed(&outcomes)
     };
 
     let registry = experiments::experiments();
-    if wanted.is_empty() || wanted.contains(&"all") {
+    if bench_mode && wanted.is_empty() {
+        // Bench-trajectory runs default to just the sweep (the experiments
+        // prose is noise for CI).
+        if run_sweep() {
+            std::process::exit(1);
+        }
+        return;
+    }
+    if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
         print!("{}", experiments::all(scale));
         println!("\n===== sweep =====");
         if run_sweep() {
@@ -50,12 +144,12 @@ fn main() {
         return;
     }
     let mut everything_failed = false;
-    for name in wanted {
+    for name in &wanted {
         if name == "sweep" {
             everything_failed |= run_sweep();
             continue;
         }
-        match registry.iter().find(|(n, _)| *n == name) {
+        match registry.iter().find(|(n, _)| *n == name.as_str()) {
             Some((_, f)) => print!("{}", f(scale)),
             None => {
                 eprintln!(

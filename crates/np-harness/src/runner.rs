@@ -168,6 +168,43 @@ pub fn counter_table(outcomes: &[WorkloadOutcome]) -> String {
     out
 }
 
+/// Per-workload stall table over sweep outcomes: where the cycles went
+/// (the timeline flight recorder's attribution), baseline vs. the tuning
+/// winner. Percentages are of `simulated_cycles × SMX count`.
+pub fn stall_table(outcomes: &[WorkloadOutcome]) -> String {
+    use std::fmt::Write as _;
+    let pct = |part: u64, st: &np_gpu_sim::StallBreakdown| {
+        100.0 * part as f64 / st.total().max(1) as f64
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "# Stall table (baseline -> best NP, % of SMX cycles)");
+    let _ = writeln!(
+        out,
+        "{:<5} {:>16} {:>16} {:>16} {:>16} {:>16}",
+        "name", "issue", "memory", "dram-sat", "barrier", "idle"
+    );
+    for o in outcomes {
+        let Ok(r) = &o.result else { continue };
+        let base = &r.baseline.timing.stall;
+        let best = &r.tuned.best_report.timing.stall;
+        let cell = |b: u64, base_st: &np_gpu_sim::StallBreakdown,
+                    n: u64, best_st: &np_gpu_sim::StallBreakdown| {
+            format!("{:>5.1} -> {:<5.1}", pct(b, base_st), pct(n, best_st))
+        };
+        let _ = writeln!(
+            out,
+            "{:<5} {:>16} {:>16} {:>16} {:>16} {:>16}",
+            o.name,
+            cell(base.issue + base.issue_limit, base, best.issue + best.issue_limit, best),
+            cell(base.memory_pending, base, best.memory_pending, best),
+            cell(base.dram_saturated, base, best.dram_saturated, best),
+            cell(base.barrier_wait, base, best.barrier_wait, best),
+            cell(base.no_block_resident, base, best.no_block_resident, best),
+        );
+    }
+    out
+}
+
 /// True when not a single workload completed — the only condition the
 /// harness binary treats as a failing exit.
 pub fn all_failed(outcomes: &[WorkloadOutcome]) -> bool {
@@ -234,5 +271,12 @@ mod tests {
         assert!(t.contains("TMV"), "{t}");
         assert!(!t.contains("BAD"), "failed workloads have no counters: {t}");
         assert!(t.contains("->"), "{t}");
+
+        // Same for the stall table, which also carries the attribution
+        // header.
+        let st = stall_table(&outcomes);
+        assert!(st.contains("TMV"), "{st}");
+        assert!(!st.contains("BAD"), "{st}");
+        assert!(st.contains("% of SMX cycles"), "{st}");
     }
 }

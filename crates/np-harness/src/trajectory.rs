@@ -1,0 +1,246 @@
+//! Machine-readable bench trajectory: `BENCH_results.json`.
+//!
+//! One document per sweep, carrying every workload's baseline/best-NP
+//! cycles, speedup, winning configuration, stall breakdown (the timeline
+//! flight recorder's attribution), and profile counters. The writer is a
+//! pure function of the sweep outcomes — the simulator is deterministic, so
+//! two consecutive runs produce *byte-identical* files; CI regenerates the
+//! document and diffs it against the committed `BENCH_baseline.json` with a
+//! relative cycle tolerance (see [`check_against_baseline`]).
+//!
+//! The serde shim is a no-op, so both serialization and the baseline check
+//! are hand-rolled over the exact format emitted here (one workload object
+//! per line; diffs read naturally).
+
+use crate::runner::{gm, WorkloadOutcome};
+use cuda_np::tuner::TuneEntry;
+use np_kernel_ir::pragma::NpType;
+
+/// Schema tag written into every document; bump when the layout changes.
+pub const SCHEMA: &str = "np-bench-trajectory-v1";
+
+fn np_type_str(t: NpType) -> &'static str {
+    match t {
+        NpType::InterWarp => "inter",
+        NpType::IntraWarp => "intra",
+    }
+}
+
+/// The tuning winner's entry: `autotune` breaks cycle ties toward the
+/// earliest candidate, so the first entry matching the winning cycle count
+/// is the winner.
+fn winner_entry(o: &WorkloadOutcome) -> Option<&TuneEntry> {
+    let r = o.result.as_ref().ok()?;
+    let best = r.tuned.best_report.cycles;
+    r.tuned.entries.iter().find(|e| e.cycles() == Some(best))
+}
+
+/// Render sweep outcomes as the `BENCH_results.json` document (trailing
+/// newline included). Deterministic: workloads appear in sweep order and
+/// every number is either an exact integer or a fixed-precision float.
+pub fn to_json(outcomes: &[WorkloadOutcome], device: &str, scale: &str) -> String {
+    let mut s = format!(
+        "{{\n  \"schema\": \"{SCHEMA}\",\n  \"device\": \"{device}\",\n  \
+         \"scale\": \"{scale}\",\n  \"workloads\": [\n"
+    );
+    let mut speedups = Vec::new();
+    let mut first = true;
+    for o in outcomes {
+        let Ok(r) = &o.result else {
+            if !first {
+                s.push_str(",\n");
+            }
+            first = false;
+            s.push_str(&format!("    {{\"name\":\"{}\",\"failed\":true}}", o.name));
+            continue;
+        };
+        speedups.push(r.speedup());
+        let (np_type, slave_size) = winner_entry(o)
+            .map(|e| (np_type_str(e.np_type), e.slave_size))
+            .unwrap_or(("?", 0));
+        if !first {
+            s.push_str(",\n");
+        }
+        first = false;
+        s.push_str(&format!(
+            "    {{\"name\":\"{}\",\"baseline_cycles\":{},\"best_cycles\":{},\
+             \"speedup\":{:.4},\"np_type\":\"{}\",\"slave_size\":{},\
+             \"baseline_stall\":{},\"best_stall\":{},\
+             \"baseline_profile\":{},\"best_profile\":{}}}",
+            o.name,
+            r.baseline.cycles,
+            r.tuned.best_report.cycles,
+            r.speedup(),
+            np_type,
+            slave_size,
+            r.baseline.timing.stall.to_json(),
+            r.tuned.best_report.timing.stall.to_json(),
+            r.baseline.profile.total.to_json(),
+            r.tuned.best_report.profile.total.to_json(),
+        ));
+    }
+    s.push_str(&format!(
+        "\n  ],\n  \"geomean_speedup\": {:.4}\n}}\n",
+        gm(&speedups)
+    ));
+    s
+}
+
+/// Extract the `{...}` object for workload `name` out of a trajectory
+/// document (objects are one per line, `"name"` first).
+fn workload_object<'a>(doc: &'a str, name: &str) -> Option<&'a str> {
+    let tag = format!("{{\"name\":\"{name}\",");
+    let start = doc.find(&tag)?;
+    let rest = &doc[start..];
+    let end = rest.find('\n').unwrap_or(rest.len());
+    Some(rest[..end].trim_end_matches(','))
+}
+
+/// Scan `obj` for `"key":<integer>`. First match wins; the trajectory
+/// format never repeats a key inside one workload object's top level before
+/// its nested breakdowns, so ordering in [`to_json`] keeps this exact for
+/// the cycle fields checked below.
+fn extract_u64(obj: &str, key: &str) -> Option<u64> {
+    let tag = format!("\"{key}\":");
+    let at = obj.find(&tag)?;
+    let digits: String = obj[at + tag.len()..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().ok()
+}
+
+/// Every workload name appearing in a trajectory document, in order.
+fn workload_names(doc: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = doc;
+    while let Some(at) = rest.find("{\"name\":\"") {
+        let tail = &rest[at + 9..];
+        if let Some(end) = tail.find('"') {
+            out.push(tail[..end].to_string());
+            rest = &tail[end..];
+        } else {
+            break;
+        }
+    }
+    out
+}
+
+/// Compare a freshly generated trajectory against a committed baseline.
+///
+/// For every workload in the baseline, `baseline_cycles` and `best_cycles`
+/// must match within relative `tolerance` (e.g. `0.02` = ±2%); a workload
+/// missing from the current document, a parse failure, or a cycle count
+/// drifting past tolerance each produce one diagnostic. Workloads *added*
+/// in the current document are fine (the trajectory grows); `Ok` means the
+/// gate is green.
+pub fn check_against_baseline(
+    current: &str,
+    baseline: &str,
+    tolerance: f64,
+) -> Result<(), Vec<String>> {
+    let mut problems = Vec::new();
+    let names = workload_names(baseline);
+    if names.is_empty() {
+        problems.push("baseline document lists no workloads".to_string());
+    }
+    for name in names {
+        let Some(b) = workload_object(baseline, &name) else { continue };
+        if b.contains("\"failed\":true") {
+            continue;
+        }
+        let Some(c) = workload_object(current, &name) else {
+            problems.push(format!("{name}: missing from current results"));
+            continue;
+        };
+        for key in ["baseline_cycles", "best_cycles"] {
+            match (extract_u64(b, key), extract_u64(c, key)) {
+                (Some(want), Some(got)) => {
+                    let rel = (got as f64 - want as f64).abs() / (want as f64).max(1.0);
+                    if rel > tolerance {
+                        problems.push(format!(
+                            "{name}: {key} drifted {want} -> {got} \
+                             ({:+.1}% > ±{:.1}% tolerance)",
+                            100.0 * (got as f64 - want as f64) / (want as f64).max(1.0),
+                            100.0 * tolerance
+                        ));
+                    }
+                }
+                (Some(_), None) => {
+                    problems.push(format!("{name}: {key} missing from current results"))
+                }
+                (None, _) => problems.push(format!("{name}: {key} missing from baseline")),
+            }
+        }
+    }
+    if problems.is_empty() {
+        Ok(())
+    } else {
+        Err(problems)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::sweep;
+    use np_gpu_sim::DeviceConfig;
+    use np_workloads::Scale;
+
+    fn doc(workloads: &[(&str, u64, u64)]) -> String {
+        let mut s = String::from("{\n  \"workloads\": [\n");
+        for (i, (n, b, c)) in workloads.iter().enumerate() {
+            if i > 0 {
+                s.push_str(",\n");
+            }
+            s.push_str(&format!(
+                "    {{\"name\":\"{n}\",\"baseline_cycles\":{b},\"best_cycles\":{c},\
+                 \"speedup\":1.0}}"
+            ));
+        }
+        s.push_str("\n  ]\n}\n");
+        s
+    }
+
+    #[test]
+    fn identical_documents_pass() {
+        let d = doc(&[("TMV", 1000, 400), ("MV", 2000, 900)]);
+        check_against_baseline(&d, &d, 0.0).unwrap();
+    }
+
+    #[test]
+    fn drift_within_tolerance_passes_beyond_fails() {
+        let base = doc(&[("TMV", 1000, 400)]);
+        let near = doc(&[("TMV", 1010, 404)]);
+        let far = doc(&[("TMV", 1500, 400)]);
+        check_against_baseline(&near, &base, 0.02).unwrap();
+        let errs = check_against_baseline(&far, &base, 0.02).unwrap_err();
+        assert_eq!(errs.len(), 1, "{errs:?}");
+        assert!(errs[0].contains("baseline_cycles"), "{errs:?}");
+        assert!(errs[0].contains("1000 -> 1500"), "{errs:?}");
+    }
+
+    #[test]
+    fn missing_workload_is_flagged_but_additions_are_fine() {
+        let base = doc(&[("TMV", 1000, 400)]);
+        let cur = doc(&[("MV", 1000, 400)]);
+        let errs = check_against_baseline(&cur, &base, 0.5).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("TMV") && e.contains("missing")), "{errs:?}");
+        // Extra workloads in current never fail the gate.
+        let grown = doc(&[("TMV", 1000, 400), ("NEW", 7, 3)]);
+        check_against_baseline(&grown, &base, 0.0).unwrap();
+    }
+
+    #[test]
+    fn sweep_trajectory_is_byte_identical_and_self_consistent() {
+        let dev = DeviceConfig::gtx680();
+        let a = to_json(&sweep(&dev, Scale::Test), dev.name, "test");
+        let b = to_json(&sweep(&dev, Scale::Test), dev.name, "test");
+        assert_eq!(a, b, "trajectory must be deterministic");
+        assert!(a.contains(SCHEMA));
+        assert!(a.contains("\"baseline_stall\""));
+        assert!(a.contains("\"geomean_speedup\""));
+        // The freshly generated document passes its own gate exactly.
+        check_against_baseline(&a, &a, 0.0).unwrap();
+    }
+}

@@ -12,3 +12,14 @@ cargo clippy --workspace --all-targets -- -D warnings
 # scalar reference across the slave-size x np-type sweep.
 cargo test --release -q --test golden_counters
 cargo test --release -q -p cuda-np --test equivalence
+
+# Bench-trajectory gate: regenerate the machine-readable perf record twice
+# (it must be byte-identical — the simulator is deterministic), then diff it
+# against the committed baseline with a ±2% cycle tolerance.
+cargo run --release -q -p np-harness -- --test-scale --json BENCH_results.json
+cp BENCH_results.json BENCH_results.rerun.json
+cargo run --release -q -p np-harness -- --test-scale --json BENCH_results.json \
+  --check-bench BENCH_baseline.json --tolerance 0.02
+cmp BENCH_results.json BENCH_results.rerun.json \
+  || { echo "BENCH_results.json is not deterministic" >&2; exit 1; }
+rm -f BENCH_results.rerun.json

@@ -59,13 +59,17 @@ fn snapshot(w: &dyn Workload, dev: &DeviceConfig) -> String {
 
     let indent = |json: &str| json.replace('\n', "\n  ");
     format!(
-        "{{\n  \"workload\": \"{}\",\n  \"baseline\": {},\n  \"best\": {{\n    \
-         \"np_type\": \"{}\",\n    \"slave_size\": {},\n    \"profile\": {}\n  }}\n}}\n",
+        "{{\n  \"workload\": \"{}\",\n  \"baseline\": {},\n  \"baseline_stall\": {},\n  \
+         \"best\": {{\n    \
+         \"np_type\": \"{}\",\n    \"slave_size\": {},\n    \"profile\": {},\n    \
+         \"stall\": {}\n  }}\n}}\n",
         w.name(),
         indent(&baseline.profile.to_json()),
+        baseline.timing.stall.to_json(),
         np_type_str(winner.np_type),
         winner.slave_size,
         indent(&indent(&tuned.best_report.profile.to_json())),
+        tuned.best_report.timing.stall.to_json(),
     )
 }
 

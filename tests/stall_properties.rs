@@ -1,0 +1,209 @@
+//! Property suite for the timeline flight recorder's stall attribution.
+//!
+//! The contract under test (ISSUE 3): attribution is *total* — for every
+//! launch, the stall-breakdown buckets are additive across SMXs and sum
+//! exactly to `simulated_cycles × SMX count`; the exports are byte-stable
+//! across reruns (with and without wave sampling); a barrier-free
+//! single-warp kernel never reports `BarrierWait`; and the deduplicated
+//! DRAM accounting can never claim more busy cycles than the launch
+//! simulated.
+
+use np_exec::{launch, Args, KernelReport, SimOptions};
+use np_gpu_sim::{DeviceConfig, StallBreakdown};
+use np_kernel_ir::expr::dsl::*;
+use np_kernel_ir::types::Dim3;
+use np_kernel_ir::KernelBuilder;
+use np_workloads::{all_workloads, Scale, Workload};
+use proptest::prelude::*;
+
+/// The checked invariant, asserted from the outside: per-SMX tracks tile
+/// the launch, buckets are additive across SMXs, and the device total is
+/// exactly `simulated_cycles × SMX count`.
+fn assert_total_attribution(rep: &KernelReport, dev: &DeviceConfig, ctx: &str) {
+    let tl = &rep.timing.timeline;
+    tl.check_total_attribution()
+        .unwrap_or_else(|e| panic!("{ctx}: {e}"));
+    assert_eq!(tl.tracks.len(), dev.num_smx as usize, "{ctx}: one track per SMX");
+    assert_eq!(
+        tl.end_cycle, rep.timing.simulated_cycles,
+        "{ctx}: timeline closes at the launch end"
+    );
+    let mut sum = StallBreakdown::default();
+    for t in &tl.tracks {
+        sum.add(&t.breakdown);
+    }
+    assert_eq!(sum, rep.timing.stall, "{ctx}: buckets additive across SMXs");
+    assert_eq!(
+        rep.timing.stall.total(),
+        rep.timing.simulated_cycles * dev.num_smx as u64,
+        "{ctx}: attribution must be total"
+    );
+}
+
+fn run_workload(w: &dyn Workload, dev: &DeviceConfig, opts: &SimOptions) -> KernelReport {
+    let mut args = w.make_args();
+    launch(dev, &w.kernel(), w.grid(), &mut args, opts)
+        .unwrap_or_else(|e| panic!("{}: launch failed: {e}", w.name()))
+}
+
+#[test]
+fn stall_buckets_are_total_and_additive_for_every_workload() {
+    let dev = DeviceConfig::gtx680();
+    for w in all_workloads(Scale::Test) {
+        let rep = run_workload(w.as_ref(), &dev, &w.sim_options());
+        assert_total_attribution(&rep, &dev, w.name());
+        // The breakdown travels intact through TimingReport.
+        assert_eq!(rep.timing.stall, rep.timing.timeline.total(), "{}", w.name());
+    }
+}
+
+#[test]
+fn timeline_export_is_byte_identical_across_reruns_and_sampling() {
+    let dev = DeviceConfig::gtx680();
+    for w in all_workloads(Scale::Test).into_iter().take(3) {
+        for opts in [SimOptions::full(), SimOptions::sampled(2)] {
+            let a = run_workload(w.as_ref(), &dev, &opts);
+            let b = run_workload(w.as_ref(), &dev, &opts);
+            assert_eq!(
+                a.timing.timeline.to_json(),
+                b.timing.timeline.to_json(),
+                "{}: timeline JSON must be deterministic",
+                w.name()
+            );
+            assert_eq!(a.chrome_trace(), b.chrome_trace(), "{}", w.name());
+            assert_eq!(
+                a.timing.timeline.render_gantt(80),
+                b.timing.timeline.render_gantt(80),
+                "{}",
+                w.name()
+            );
+            // Wave sampling scales `cycles`, never the attribution: the
+            // invariant is over the simulated (pre-scaling) cycles.
+            assert_total_attribution(&a, &dev, w.name());
+        }
+    }
+}
+
+#[test]
+fn barrier_free_single_warp_kernel_reports_zero_barrier_wait() {
+    let dev = DeviceConfig::gtx680();
+    let mut b = KernelBuilder::new("nobar", 32);
+    b.param_global_f32("a");
+    b.param_global_f32("out");
+    b.decl_i32("t", tidx());
+    b.decl_f32("acc", f(0.0));
+    b.for_loop("i", i(0), i(8), |b| {
+        b.assign("acc", v("acc") + load("a", v("t") + v("i") * i(32)));
+    });
+    b.store("out", v("t"), v("acc"));
+    let k = b.finish();
+    let mut args = Args::new()
+        .buf_f32("a", vec![1.0; 512])
+        .buf_f32("out", vec![0.0; 32]);
+    let rep = launch(&dev, &k, Dim3::x1(1), &mut args, &SimOptions::full()).unwrap();
+    assert_eq!(rep.timing.barriers, 0, "kernel has no __syncthreads");
+    assert_eq!(
+        rep.timing.stall.barrier_wait, 0,
+        "no barrier can mean no BarrierWait cycles: {:?}",
+        rep.timing.stall
+    );
+    assert_total_attribution(&rep, &dev, "nobar");
+}
+
+/// Regression for the deduplicated DRAM accounting: a single helper now
+/// accumulates `dram_busy_cycles`, and the launch end extends over the
+/// DRAM drain, so busy cycles can never exceed simulated cycles — not even
+/// for store-heavy kernels whose DRAM traffic outlives the last warp.
+#[test]
+fn dram_busy_cycles_never_exceed_simulated_cycles() {
+    let dev = DeviceConfig::gtx680();
+    for w in all_workloads(Scale::Test) {
+        let rep = run_workload(w.as_ref(), &dev, &w.sim_options());
+        assert!(
+            rep.timing.dram_busy_cycles <= rep.timing.simulated_cycles,
+            "{}: DRAM busy {} > simulated {}",
+            w.name(),
+            rep.timing.dram_busy_cycles,
+            rep.timing.simulated_cycles
+        );
+        assert!(rep.timing.dram_utilization() <= 1.0);
+    }
+
+    // The adversarial shape: nothing but wide uncoalesced stores, so the
+    // DRAM interface is still draining when the last warp retires.
+    let mut b = KernelBuilder::new("storestorm", 64);
+    b.param_global_f32("out");
+    b.decl_i32("t", tidx() + bidx() * bdimx());
+    b.for_loop("i", i(0), i(16), |b| {
+        b.store("out", (v("t") * i(16) + v("i")) * i(33), f(1.0));
+    });
+    let k = b.finish();
+    let n = 64 * 8 * 16 * 33 + 1;
+    let mut args = Args::new().buf_f32("out", vec![0.0; n]);
+    let rep = launch(&dev, &k, Dim3::x1(8), &mut args, &SimOptions::full()).unwrap();
+    assert!(rep.timing.dram_busy_cycles > 0, "stores must hit DRAM");
+    assert!(
+        rep.timing.dram_busy_cycles <= rep.timing.simulated_cycles,
+        "store drain: busy {} > simulated {}",
+        rep.timing.dram_busy_cycles,
+        rep.timing.simulated_cycles
+    );
+    assert_total_attribution(&rep, &dev, "storestorm");
+}
+
+// ---------- randomized kernels ----------
+
+/// Build a small kernel parameterized over arithmetic intensity, memory
+/// stride (1 = coalesced, larger = split transactions), and an optional
+/// barrier, then check every invariant on both device models.
+fn arb_kernel(alu: u32, stride: u32, barrier: bool) -> np_kernel_ir::Kernel {
+    let mut b = KernelBuilder::new("rand", 64);
+    b.param_global_f32("a");
+    b.param_global_f32("out");
+    b.decl_i32("t", tidx() + bidx() * bdimx());
+    b.decl_f32("acc", load("a", v("t") * i(stride as i32)));
+    b.for_loop("i", i(0), i(alu as i32), |b| {
+        b.assign("acc", v("acc") + f(1.0));
+    });
+    if barrier {
+        b.sync();
+    }
+    b.store("out", v("t"), v("acc"));
+    b.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn randomized_kernels_attribute_every_cycle(
+        alu in 1u32..48,
+        stride in prop_oneof![Just(1u32), Just(2), Just(17), Just(33)],
+        blocks in 1u32..5,
+        barrier in prop_oneof![Just(false), Just(true)],
+    ) {
+        let k = arb_kernel(alu, stride, barrier);
+        let n = (64 * blocks as usize) * stride as usize + 1;
+        for dev in [DeviceConfig::small_test(), DeviceConfig::gtx680()] {
+            let run = || {
+                let mut args = Args::new()
+                    .buf_f32("a", vec![1.0; n])
+                    .buf_f32("out", vec![0.0; 64 * blocks as usize]);
+                launch(&dev, &k, Dim3::x1(blocks), &mut args, &SimOptions::full()).unwrap()
+            };
+            let rep = run();
+            assert_total_attribution(&rep, &dev, &format!("alu={alu} stride={stride}"));
+            prop_assert!(rep.timing.dram_busy_cycles <= rep.timing.simulated_cycles);
+            if !barrier {
+                prop_assert_eq!(rep.timing.stall.barrier_wait, 0);
+            }
+            // Determinism of the whole attribution surface.
+            let rep2 = run();
+            prop_assert_eq!(rep.timing.stall.to_json(), rep2.timing.stall.to_json());
+            prop_assert_eq!(
+                rep.timing.timeline.to_json(),
+                rep2.timing.timeline.to_json()
+            );
+        }
+    }
+}
