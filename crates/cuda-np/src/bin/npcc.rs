@@ -19,14 +19,27 @@
 //!   --timeline           simulate the emitted kernel with synthesized
 //!                        arguments and render the per-SMX stall timeline
 //!                        (Gantt + utilization) to stderr
+//!   --check-races        simulate the emitted kernel with the happens-before
+//!                        race checker armed and print the report to stderr;
+//!                        exit nonzero on any finding. With --explain, also
+//!                        print a narrative naming the two racing accesses by
+//!                        pc/space/address
+//!   --mutate M           apply a conformance mutation to the transformed
+//!                        kernel before emitting/checking it:
+//!                        drop-barrier[:N] or unguard-broadcast
 //! ```
 
 use cuda_np::tuner::{
     alloc_extra_buffers, autotune, candidates_from_pragmas, TuneOutcome,
 };
-use cuda_np::{transform, LocalArrayStrategy, NpOptions, Transformed};
-use np_exec::{launch, Args, SimOptions};
+use cuda_np::{
+    drop_barrier, drop_broadcast_guard, gating_policy, transform, LocalArrayStrategy,
+    NpOptions, Transformed,
+};
+use np_exec::{launch, Args, RaceCheckMode, SimOptions};
+use np_gpu_sim::racecheck::RaceCheckOptions;
 use np_gpu_sim::{DeviceConfig, ProfileCounters};
+use np_kernel_ir::analysis::barriers::count_barriers;
 use np_kernel_ir::kernel::{Kernel, ParamKind};
 use np_kernel_ir::pragma::NpType;
 use np_kernel_ir::types::{Dim3, Scalar};
@@ -38,22 +51,24 @@ fn usage() -> ! {
     eprintln!(
         "usage: npcc [--slave-size N] [--np-type inter|intra] [--sm V] \
          [--local-array auto|global|shared|register] [--pad] [--no-redundant] \
-         [--report] [--explain] [--timeline] <kernel.cu | ->"
+         [--report] [--explain] [--timeline] [--check-races] \
+         [--mutate drop-barrier[:N]|unguard-broadcast] <kernel.cu | ->"
     );
     std::process::exit(2)
 }
 
-/// Deterministic synthesized arguments for `--explain`: every array gets
-/// 64Ki elements of reproducible non-trivial data, every integer scalar a
-/// small positive value (a plausible loop bound), every float 1.0.
+/// Deterministic synthesized arguments for `--explain` / `--check-races`:
+/// every array gets 64Ki elements of reproducible non-trivial data, every
+/// integer scalar a plausible dimension — a multiple of the warp width, so
+/// tiled loops with bounds like `w / 32` actually run — every float 1.0.
 fn synth_args(kernel: &Kernel) -> Args {
     let n = 1usize << 16;
     let mut args = Args::new();
     for p in &kernel.params {
         args = match p.kind {
             ParamKind::Scalar(Scalar::F32) => args.f32(&p.name, 1.0),
-            ParamKind::Scalar(Scalar::I32) => args.i32(&p.name, 8),
-            ParamKind::Scalar(_) => args.u32(&p.name, 8),
+            ParamKind::Scalar(Scalar::I32) => args.i32(&p.name, 64),
+            ParamKind::Scalar(_) => args.u32(&p.name, 64),
             ParamKind::GlobalArray(ty) | ParamKind::TexArray(ty) | ParamKind::ConstArray(ty) => {
                 match ty {
                     Scalar::F32 => args.buf_f32(
@@ -255,6 +270,64 @@ fn explain(kernel: &Kernel) -> Option<Transformed> {
     Some(best)
 }
 
+/// Apply a `--mutate` spec to the transformed kernel. The mutations are the
+/// conformance suite's known-broken variants: they exist so CI (and tests)
+/// can assert the race checker actually fires.
+fn apply_mutation(t: &Transformed, spec: &str) -> Result<Kernel, String> {
+    if let Some(rest) = spec.strip_prefix("drop-barrier") {
+        let n: usize = if rest.is_empty() {
+            0
+        } else {
+            rest.strip_prefix(':')
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| format!("bad mutation spec {spec:?}"))?
+        };
+        drop_barrier(&t.kernel, n).ok_or_else(|| {
+            format!(
+                "kernel has no barrier site {n} (only {} sites)",
+                count_barriers(&t.kernel)
+            )
+        })
+    } else if spec == "unguard-broadcast" {
+        drop_broadcast_guard(&t.kernel)
+            .ok_or_else(|| "kernel has no guarded broadcast store to un-gate".to_string())
+    } else {
+        Err(format!("unknown mutation {spec:?} (want drop-barrier[:N] or unguard-broadcast)"))
+    }
+}
+
+/// Simulate `kernel` (the emitted kernel of `t`, possibly mutated) with the
+/// happens-before checker recording and print the report to stderr. Returns
+/// true when the run is race-free.
+fn check_races(t: &Transformed, kernel: &Kernel, explain: bool) -> bool {
+    let dev = DeviceConfig::gtx680();
+    let grid = Dim3::x1(4);
+    let mut args = alloc_extra_buffers(synth_args(&t.kernel), t, grid);
+    let sim = SimOptions::full()
+        .with_race_check(RaceCheckMode::Record)
+        .with_race_options(RaceCheckOptions { max_findings: None, policy: gating_policy(t) });
+    match launch(&dev, kernel, grid, &mut args, &sim) {
+        Ok(rep) => {
+            eprintln!(
+                "npcc: race check for {:?} on gtx680, grid {} x {} threads: {}",
+                kernel.name,
+                grid.count(),
+                kernel.block_dim.count(),
+                if rep.race.is_clean() { "clean" } else { "RACES FOUND" }
+            );
+            eprintln!("{}", rep.race.to_json());
+            if explain {
+                eprint!("{}", rep.race.narrative());
+            }
+            rep.race.is_clean()
+        }
+        Err(e) => {
+            eprintln!("npcc: race check simulation failed: {e}");
+            false
+        }
+    }
+}
+
 /// Simulate `t`'s kernel with synthesized arguments on the GTX 680 and
 /// render the per-SMX stall timeline to stderr.
 fn render_timeline(t: &Transformed) -> bool {
@@ -285,6 +358,8 @@ fn main() -> ExitCode {
     let mut report = false;
     let mut explain_flag = false;
     let mut timeline_flag = false;
+    let mut check_races_flag = false;
+    let mut mutate: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -315,6 +390,8 @@ fn main() -> ExitCode {
             "--report" => report = true,
             "--explain" => explain_flag = true,
             "--timeline" => timeline_flag = true,
+            "--check-races" => check_races_flag = true,
+            "--mutate" => mutate = Some(args.next().unwrap_or_else(|| usage())),
             "--help" | "-h" => usage(),
             other if input.is_none() && !other.starts_with("--") => {
                 input = Some(other.to_string())
@@ -352,6 +429,37 @@ fn main() -> ExitCode {
     // Preprocess: multi-dimensional blocks are flattened automatically
     // (Section 3.7 item 1).
     cuda_np::preprocess::flatten_block(&mut kernel);
+
+    // `--check-races` pins the config (no autotune): transform, optionally
+    // mutate, simulate with the checker armed, and gate the exit code on
+    // the report. `--explain` here means "narrate the findings".
+    if check_races_flag || mutate.is_some() {
+        let t = match transform(&kernel, &opts) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("npcc: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let emitted = match &mutate {
+            Some(spec) => match apply_mutation(&t, spec) {
+                Ok(k) => k,
+                Err(e) => {
+                    eprintln!("npcc: {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            None => t.kernel.clone(),
+        };
+        print!("{}", printer::print_kernel(&emitted));
+        if report {
+            eprintln!("npcc: {:#?}", t.report);
+        }
+        if check_races_flag && !check_races(&t, &emitted, explain_flag) {
+            return ExitCode::FAILURE;
+        }
+        return ExitCode::SUCCESS;
+    }
 
     if explain_flag {
         return match explain(&kernel) {

@@ -1,0 +1,214 @@
+//! Transformation conformance: race-injection mutations and gating-policy
+//! derivation.
+//!
+//! The conformance suite validates the transform *negatively* as well as
+//! positively: a correct transformed kernel must pass the happens-before
+//! race checker, and known-broken mutants of it — a dropped barrier, an
+//! un-gated broadcast store — must be flagged. The mutation helpers here
+//! produce those mutants deterministically from the transformed IR; the
+//! `--mutate` flag of `npcc` exposes them for CLI-level tests and CI.
+
+use crate::mapping::SLAVE_ID;
+use crate::transform::Transformed;
+use np_gpu_sim::racecheck::GatingPolicy;
+use np_kernel_ir::analysis::barriers::remove_barrier;
+use np_kernel_ir::expr::Expr;
+use np_kernel_ir::kernel::Kernel;
+use np_kernel_ir::pragma::NpType;
+use np_kernel_ir::stmt::Stmt;
+
+/// Prefix of the shared-memory live-in staging buffers the transform emits
+/// (see `crate::broadcast`); only the master may write them.
+pub const BCAST_PREFIX: &str = "__np_bcast_";
+
+/// Drop the barrier with pre-order id `n` from a kernel. `None` when the
+/// kernel has fewer than `n + 1` barriers.
+pub fn drop_barrier(kernel: &Kernel, n: usize) -> Option<Kernel> {
+    let mut k = kernel.clone();
+    if !remove_barrier(&mut k.body, n) {
+        return None;
+    }
+    k.name = format!("{}_nobar{n}", k.name);
+    Some(k)
+}
+
+fn mentions_slave_id(e: &Expr) -> bool {
+    let mut found = false;
+    e.visit(&mut |e| {
+        if let Expr::Var(n) = e {
+            if n == SLAVE_ID {
+                found = true;
+            }
+        }
+    });
+    found
+}
+
+fn stores_to_bcast(stmts: &[Stmt]) -> bool {
+    let mut found = false;
+    np_kernel_ir::stmt::visit_stmts(stmts, &mut |s| {
+        if let Stmt::Store { array, .. } = s {
+            if array.starts_with(BCAST_PREFIX) {
+                found = true;
+            }
+        }
+    });
+    found
+}
+
+fn unguard(stmts: &mut Vec<Stmt>) -> bool {
+    let mut i = 0;
+    while i < stmts.len() {
+        let splice = match &mut stmts[i] {
+            Stmt::If { cond, then_body, else_body }
+                if else_body.is_empty()
+                    && mentions_slave_id(cond)
+                    && stores_to_bcast(then_body) =>
+            {
+                Some(std::mem::take(then_body))
+            }
+            Stmt::If { then_body, else_body, .. } => {
+                if unguard(then_body) || unguard(else_body) {
+                    return true;
+                }
+                None
+            }
+            Stmt::For { body, .. } => {
+                if unguard(body) {
+                    return true;
+                }
+                None
+            }
+            _ => None,
+        };
+        if let Some(body) = splice {
+            stmts.splice(i..=i, body);
+            return true;
+        }
+        i += 1;
+    }
+    false
+}
+
+/// Remove the master-only guard around the first broadcast staging store,
+/// so every slave executes it — the paper's "unguarded broadcast" bug.
+/// `None` when the kernel has no guarded broadcast store (e.g. the `__shfl`
+/// broadcast path, which stages nothing in memory).
+pub fn drop_broadcast_guard(kernel: &Kernel) -> Option<Kernel> {
+    let mut k = kernel.clone();
+    if !unguard(&mut k.body) {
+        return None;
+    }
+    k.name = format!("{}_unguarded", k.name);
+    Some(k)
+}
+
+/// Shared arrays of `kernel` only the master may write (the broadcast
+/// staging buffers).
+pub fn master_only_arrays(kernel: &Kernel) -> Vec<String> {
+    let mut out: Vec<String> = kernel
+        .declared_arrays()
+        .into_iter()
+        .map(|(n, _)| n)
+        .filter(|n| n.starts_with(BCAST_PREFIX))
+        .collect();
+    out.sort();
+    out
+}
+
+/// The gating policy of a transformed kernel: its master/slave layout plus
+/// the master-only staging buffers. `None` for an untransformed kernel
+/// (no NP mapping to gate on).
+pub fn gating_policy(t: &Transformed) -> Option<GatingPolicy> {
+    let np_type = t.report.np_type?;
+    Some(GatingPolicy {
+        master_size: t.report.master_size,
+        slave_size: t.report.slave_size,
+        intra: np_type == NpType::IntraWarp,
+        master_only: master_only_arrays(&t.kernel),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::options::NpOptions;
+    use crate::transform::transform;
+    use np_kernel_ir::analysis::barriers::count_barriers;
+    use np_kernel_ir::expr::dsl::*;
+    use np_kernel_ir::KernelBuilder;
+
+    /// A kernel whose inter-warp transform must broadcast `scale` through
+    /// shared memory (barriers on both sides of the staging store).
+    fn bcast_kernel() -> np_kernel_ir::Kernel {
+        let mut b = KernelBuilder::new("bc", 32);
+        b.param_global_f32("src");
+        b.param_global_f32("out");
+        b.decl_f32("scale", load("src", tidx()));
+        b.pragma_for("np parallel for", "n", i(0), i(64), |b| {
+            b.store("out", tidx() * i(64) + v("n"), v("scale") * cast(np_kernel_ir::Scalar::F32, v("n")));
+        });
+        b.finish()
+    }
+
+    #[test]
+    fn drop_barrier_removes_exactly_one_site() {
+        let t = transform(&bcast_kernel(), &NpOptions::inter(4)).expect("transforms");
+        let n = count_barriers(&t.kernel);
+        assert!(n >= 2, "broadcast staging emits barriers, got {n}");
+        for i in 0..n {
+            let mutant = drop_barrier(&t.kernel, i).expect("site exists");
+            assert_eq!(count_barriers(&mutant), n - 1);
+            assert_ne!(mutant.name, t.kernel.name);
+        }
+        assert!(drop_barrier(&t.kernel, n).is_none(), "out of range");
+    }
+
+    #[test]
+    fn drop_broadcast_guard_ungates_the_staging_store() {
+        let t = transform(&bcast_kernel(), &NpOptions::inter(4)).expect("transforms");
+        let src = np_kernel_ir::printer::print_kernel(&t.kernel);
+        assert!(src.contains(BCAST_PREFIX), "transform staged a broadcast: {src}");
+        let mutant = drop_broadcast_guard(&t.kernel).expect("has a guarded store");
+        // The mutant still stores to the staging buffer, but at least one
+        // such store is no longer under a slave-id guard: the guard count
+        // drops.
+        let guards = |k: &np_kernel_ir::Kernel| {
+            let mut n = 0;
+            np_kernel_ir::stmt::visit_stmts(&k.body, &mut |s| {
+                if let np_kernel_ir::stmt::Stmt::If { cond, then_body, .. } = s {
+                    if mentions_slave_id(cond) && stores_to_bcast(then_body) {
+                        n += 1;
+                    }
+                }
+            });
+            n
+        };
+        assert_eq!(guards(&mutant), guards(&t.kernel) - 1);
+        assert!(stores_to_bcast(&mutant.body));
+    }
+
+    #[test]
+    fn gating_policy_names_the_staging_buffers() {
+        let t = transform(&bcast_kernel(), &NpOptions::inter(4)).expect("transforms");
+        let policy = gating_policy(&t).expect("transformed kernels have a policy");
+        assert_eq!(policy.slave_size, 4);
+        assert!(!policy.intra);
+        assert!(
+            policy.master_only.iter().any(|a| a.starts_with(BCAST_PREFIX)),
+            "{:?}",
+            policy.master_only
+        );
+    }
+
+    #[test]
+    fn shfl_path_has_no_guarded_broadcast_to_drop() {
+        // Intra-warp with power-of-two slaves broadcasts through __shfl:
+        // no staging buffer, so the mutation is inapplicable.
+        let t = transform(&bcast_kernel(), &NpOptions::intra(4)).expect("transforms");
+        if t.report.use_shfl {
+            assert!(drop_broadcast_guard(&t.kernel).is_none());
+            assert!(master_only_arrays(&t.kernel).is_empty());
+        }
+    }
+}

@@ -38,6 +38,7 @@
 //! ```
 
 pub mod broadcast;
+pub mod conformance;
 pub mod dynpar_split;
 pub mod liveout;
 pub mod local_array;
@@ -48,6 +49,7 @@ pub mod scan;
 pub mod transform;
 pub mod tuner;
 
+pub use conformance::{drop_barrier, drop_broadcast_guard, gating_policy, master_only_arrays};
 pub use dynpar_split::{split as dynpar_split, run_split as dynpar_run, DynParSplit, DynParSplitError};
 pub use local_array::{LocalArrayChoice, LocalArrayPlan};
 pub use mapping::{ThreadMap, MASTER_ID, SLAVE_ID};

@@ -1,0 +1,165 @@
+//! Transformation conformance: every paper workload's transformed kernel
+//! is race-free under the happens-before checker at several slave sizes,
+//! reports are byte-identical across reruns, and known-broken mutants
+//! (dropped barrier, un-gated broadcast) are always flagged with both
+//! access sites identified.
+
+use cuda_np::conformance::{drop_barrier, drop_broadcast_guard, gating_policy};
+use cuda_np::tuner::alloc_extra_buffers;
+use cuda_np::{transform, NpOptions, Transformed};
+use np_exec::{launch, KernelReport, RaceCheckMode, SimOptions};
+use np_gpu_sim::racecheck::{RaceCheckOptions, RaceFinding};
+use np_gpu_sim::DeviceConfig;
+use np_kernel_ir::analysis::barriers::count_barriers;
+use np_kernel_ir::kernel::Kernel;
+use np_workloads::{all_workloads, Scale, Workload};
+
+const SLAVE_SIZES: [u32; 3] = [2, 4, 8];
+
+fn race_armed(base: SimOptions, t: Option<&Transformed>) -> SimOptions {
+    base.with_race_check(RaceCheckMode::Record).with_race_options(RaceCheckOptions {
+        max_findings: None,
+        policy: t.and_then(gating_policy),
+    })
+}
+
+/// Launch a (possibly mutated) transformed kernel of `w` with the checker
+/// recording.
+fn launch_checked(
+    w: &dyn Workload,
+    dev: &DeviceConfig,
+    t: &Transformed,
+    kernel: &Kernel,
+) -> KernelReport {
+    let mut args = alloc_extra_buffers(w.make_args(), t, w.grid());
+    launch(dev, kernel, w.grid(), &mut args, &race_armed(w.sim_options(), Some(t)))
+        .unwrap_or_else(|e| panic!("{} ({}): launch failed: {e}", w.name(), kernel.name))
+}
+
+#[test]
+fn transformed_workloads_are_race_free_across_slave_sizes() {
+    let dev = DeviceConfig::gtx680();
+    let mut checked = 0;
+    for w in all_workloads(Scale::Test) {
+        for s in SLAVE_SIZES {
+            for opts in [NpOptions::inter(s), NpOptions::intra(s)] {
+                let Ok(t) = transform(&w.kernel(), &opts) else {
+                    continue; // legitimately untransformable at this config
+                };
+                let rep = launch_checked(w.as_ref(), &dev, &t, &t.kernel);
+                assert!(rep.race.checked, "{} s={s}: checker must be armed", w.name());
+                assert!(
+                    rep.race.is_clean(),
+                    "{} s={s} {}: transformed kernel races:\n{}",
+                    w.name(),
+                    t.kernel.name,
+                    rep.race.narrative()
+                );
+                assert!(rep.race.accesses_checked > 0, "{} s={s}: no accesses seen", w.name());
+                // Byte-identical report across reruns.
+                let again = launch_checked(w.as_ref(), &dev, &t, &t.kernel);
+                assert_eq!(
+                    rep.race.to_json(),
+                    again.race.to_json(),
+                    "{} s={s}: report must be deterministic",
+                    w.name()
+                );
+                checked += 1;
+            }
+        }
+    }
+    assert!(checked >= 30, "only {checked} workload configs transformed");
+}
+
+#[test]
+fn baseline_workloads_are_race_free() {
+    let dev = DeviceConfig::gtx680();
+    for w in all_workloads(Scale::Test) {
+        let mut args = w.make_args();
+        let rep = launch(
+            &dev,
+            &w.kernel(),
+            w.grid(),
+            &mut args,
+            &race_armed(w.sim_options(), None),
+        )
+        .unwrap_or_else(|e| panic!("{} baseline: {e}", w.name()));
+        assert!(rep.race.checked);
+        assert!(
+            rep.race.is_clean(),
+            "{} baseline races:\n{}",
+            w.name(),
+            rep.race.narrative()
+        );
+    }
+}
+
+/// The acceptance criterion: for every workload whose transformed kernel
+/// has barriers, some dropped barrier is reported as a race naming both
+/// access sites.
+#[test]
+fn dropped_barrier_mutants_are_flagged() {
+    let dev = DeviceConfig::gtx680();
+    let mut workloads_with_barriers = 0;
+    for w in all_workloads(Scale::Test) {
+        let Ok(t) = transform(&w.kernel(), &NpOptions::inter(4)) else { continue };
+        let n = count_barriers(&t.kernel);
+        if n == 0 {
+            continue;
+        }
+        workloads_with_barriers += 1;
+        let mut detected = false;
+        for site in 0..n {
+            let mutant = drop_barrier(&t.kernel, site).expect("site exists");
+            let rep = launch_checked(w.as_ref(), &dev, &t, &mutant);
+            if let Some(RaceFinding::MemoryRace { first, second, .. }) = rep
+                .race
+                .findings
+                .iter()
+                .find(|f| matches!(f, RaceFinding::MemoryRace { .. }))
+            {
+                assert_ne!(first.thread, second.thread, "{}: two distinct threads", w.name());
+                assert!(first.pc < second.pc, "{}: sites ordered by pc", w.name());
+                detected = true;
+            }
+        }
+        assert!(
+            detected,
+            "{}: no dropped barrier out of {n} was reported as a race",
+            w.name()
+        );
+    }
+    assert!(
+        workloads_with_barriers >= 3,
+        "only {workloads_with_barriers} inter-transformed workloads have barriers"
+    );
+}
+
+/// Un-gating a broadcast staging store makes every slave write the
+/// master's slot: flagged as a gating violation (policy) and a race.
+#[test]
+fn unguarded_broadcast_mutants_are_flagged() {
+    let dev = DeviceConfig::gtx680();
+    let mut mutated = 0;
+    for w in all_workloads(Scale::Test) {
+        let Ok(t) = transform(&w.kernel(), &NpOptions::inter(4)) else { continue };
+        let Some(mutant) = drop_broadcast_guard(&t.kernel) else { continue };
+        mutated += 1;
+        let rep = launch_checked(w.as_ref(), &dev, &t, &mutant);
+        assert!(
+            !rep.race.is_clean(),
+            "{}: un-gated broadcast must be flagged",
+            w.name()
+        );
+        assert!(
+            rep.race
+                .findings
+                .iter()
+                .any(|f| matches!(f, RaceFinding::MasterGatingViolation { .. })),
+            "{}: expected a gating violation, got:\n{}",
+            w.name(),
+            rep.race.narrative()
+        );
+    }
+    assert!(mutated >= 2, "only {mutated} workloads had a guarded broadcast to drop");
+}

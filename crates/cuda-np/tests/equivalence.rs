@@ -4,8 +4,9 @@
 //! same outputs as the baseline, for every slave count, NP type, shfl
 //! setting, and local-array strategy.
 
-use cuda_np::{transform, tuner::alloc_extra_buffers, LocalArrayStrategy, NpOptions};
-use np_exec::{launch, Args, SimOptions};
+use cuda_np::{gating_policy, transform, tuner::alloc_extra_buffers, LocalArrayStrategy, NpOptions};
+use np_exec::{launch, Args, RaceCheckMode, SimOptions};
+use np_gpu_sim::racecheck::RaceCheckOptions;
 use np_gpu_sim::DeviceConfig;
 use np_kernel_ir::expr::dsl::*;
 use np_kernel_ir::pragma::NpType;
@@ -457,9 +458,11 @@ fn transformed_source_matches_figure3_shape() {
 /// Differential-equivalence sweep over the paper's ten workloads: every
 /// transformed variant across slave counts {2, 4, 8, 16} x {inter-warp,
 /// intra-warp} must reproduce the *scalar CPU reference* (not merely the
-/// GPU baseline), within the workload's tolerance. Transform rejections
-/// (block-size cap, warp containment) are legitimate pruning; a launch
-/// fault or a wrong output is a bug.
+/// GPU baseline), within the workload's tolerance — and both the baseline
+/// and every transformed launch must come back clean from the
+/// happens-before race checker. Transform rejections (block-size cap,
+/// warp containment) are legitimate pruning; a launch fault, a wrong
+/// output, or a race finding is a bug.
 #[test]
 fn every_workload_matches_reference_across_slave_sweep() {
     let dev = dev();
@@ -469,6 +472,19 @@ fn every_workload_matches_reference_across_slave_sweep() {
         let reference = w.reference();
         let grid = w.grid();
         let tol = w.tolerance().max(1e-3); // reductions reorder
+
+        let base_sim = w.sim_options().with_race_check(RaceCheckMode::Record);
+        let mut base_args = w.make_args();
+        let base_rep = launch(&dev, &kernel, grid, &mut base_args, &base_sim)
+            .unwrap_or_else(|e| panic!("{} baseline: launch failed: {e}", w.name()));
+        assert!(base_rep.race.checked);
+        assert!(
+            base_rep.race.is_clean(),
+            "{} baseline races:\n{}",
+            w.name(),
+            base_rep.race.narrative()
+        );
+
         for s in [2u32, 4, 8, 16] {
             for opts in [NpOptions::inter(s), NpOptions::intra(s)] {
                 let ctx = format!("{} {:?} slave_size={s}", w.name(), opts.np_type);
@@ -476,9 +492,22 @@ fn every_workload_matches_reference_across_slave_sweep() {
                     Ok(t) => t,
                     Err(_) => continue, // rejected config, not an error
                 };
+                let sim = w
+                    .sim_options()
+                    .with_race_check(RaceCheckMode::Record)
+                    .with_race_options(RaceCheckOptions {
+                        max_findings: None,
+                        policy: gating_policy(&t),
+                    });
                 let mut args = alloc_extra_buffers(w.make_args(), &t, grid);
-                launch(&dev, &t.kernel, grid, &mut args, &w.sim_options())
+                let rep = launch(&dev, &t.kernel, grid, &mut args, &sim)
                     .unwrap_or_else(|e| panic!("{ctx}: launch failed: {e}"));
+                assert!(rep.race.checked, "{ctx}: checker must be armed");
+                assert!(
+                    rep.race.is_clean(),
+                    "{ctx}: transformed kernel races:\n{}",
+                    rep.race.narrative()
+                );
                 np_workloads::assert_close(
                     &reference,
                     args.get_f32(w.output_name()).unwrap(),

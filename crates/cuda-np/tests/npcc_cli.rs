@@ -57,6 +57,97 @@ fn explain_reports_stall_attribution() {
     assert!(stderr.contains("stall shift vs baseline:"), "{stderr}");
 }
 
+/// `--check-races` on a clean transformed workload exits 0 and prints a
+/// clean report.
+#[test]
+fn check_races_exits_zero_on_clean_kernel() {
+    let w = Mv::new(Scale::Test);
+    let path = write_kernel(&w);
+    let out = npcc()
+        .args(["--slave-size", "4", "--check-races"])
+        .arg(&path)
+        .output()
+        .expect("run npcc");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "clean kernel must pass\nstderr: {stderr}");
+    assert!(stderr.contains("race check for"), "{stderr}");
+    assert!(stderr.contains(": clean"), "{stderr}");
+    assert!(stderr.contains("\"checked\":true"), "{stderr}");
+    assert!(stderr.contains("\"findings\":[]"), "{stderr}");
+}
+
+/// `--check-races` with an injected dropped barrier exits nonzero and the
+/// report contains a race finding.
+#[test]
+fn check_races_exits_nonzero_on_dropped_barrier() {
+    let w = Mv::new(Scale::Test);
+    let path = write_kernel(&w);
+    let out = npcc()
+        .args(["--slave-size", "4", "--check-races", "--mutate", "drop-barrier:1"])
+        .arg(&path)
+        .output()
+        .expect("run npcc");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!out.status.success(), "mutant must fail the gate\nstderr: {stderr}");
+    assert!(stderr.contains("RACES FOUND"), "{stderr}");
+    assert!(
+        stderr.contains("ww-race") || stderr.contains("rw-race"),
+        "{stderr}"
+    );
+}
+
+/// `--explain` with `--check-races` narrates the race: both access sites
+/// named by pc, with the space and address of the conflicting word.
+#[test]
+fn check_races_explain_names_both_access_sites() {
+    let w = Mv::new(Scale::Test);
+    let path = write_kernel(&w);
+    let out = npcc()
+        .args(["--slave-size", "4", "--check-races", "--explain", "--mutate", "drop-barrier:1"])
+        .arg(&path)
+        .output()
+        .expect("run npcc");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!out.status.success(), "{stderr}");
+    // The narrative names the conflicting word ("shared xs[…]") and both
+    // racing accesses by pc.
+    assert!(stderr.contains("shared "), "{stderr}");
+    assert!(stderr.matches("pc ").count() >= 2, "{stderr}");
+    assert!(stderr.contains("block "), "{stderr}");
+}
+
+/// An out-of-range or unknown mutation spec is a usage error, not a silent
+/// no-op that would let a broken CI gate pass vacuously.
+#[test]
+fn bad_mutation_specs_are_rejected() {
+    let w = Mv::new(Scale::Test);
+    let path = write_kernel(&w);
+    for spec in ["drop-barrier:99", "unknown-mutation"] {
+        let out = npcc()
+            .args(["--check-races", "--mutate", spec])
+            .arg(&path)
+            .output()
+            .expect("run npcc");
+        assert!(!out.status.success(), "spec {spec:?} must be rejected");
+    }
+}
+
+/// The `--check-races` report is byte-identical across reruns.
+#[test]
+fn check_races_report_is_deterministic() {
+    let w = Mv::new(Scale::Test);
+    let path = write_kernel(&w);
+    let run = || {
+        let out = npcc()
+            .args(["--slave-size", "4", "--check-races", "--mutate", "drop-barrier:1"])
+            .arg(&path)
+            .output()
+            .expect("run npcc");
+        String::from_utf8_lossy(&out.stderr).into_owned()
+    };
+    assert_eq!(run(), run());
+}
+
 /// Timeline output is deterministic: two invocations render byte-identical
 /// Gantt charts.
 #[test]

@@ -54,6 +54,10 @@ pub enum FaultKind {
     /// A fault forced by the seeded injector
     /// ([`np_gpu_sim::mem::inject`]).
     Injected { space: InjectSpace, addr: u64 },
+    /// The happens-before race checker found a violation while running in
+    /// fatal mode ([`crate::RaceCheckMode::Fatal`]). The detail is the
+    /// finding's rendered narrative, naming both access sites.
+    RaceDetected { detail: String },
 }
 
 impl FaultKind {
@@ -68,6 +72,7 @@ impl FaultKind {
             FaultKind::InvalidOperation { .. } => "invalid operation",
             FaultKind::Watchdog { .. } => "watchdog timeout",
             FaultKind::Injected { .. } => "injected fault",
+            FaultKind::RaceDetected { .. } => "race detected",
         }
     }
 }
@@ -142,6 +147,7 @@ impl std::fmt::Display for SimFault {
             FaultKind::Injected { space, addr } => {
                 write!(f, ": forced at {space:?} address {addr:#x}")?
             }
+            FaultKind::RaceDetected { detail } => write!(f, ": {detail}")?,
         }
         if let Some(c) = &self.context {
             write!(f, " [{c}]")?;

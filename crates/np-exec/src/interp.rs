@@ -31,6 +31,7 @@ use np_gpu_sim::config::DeviceConfig;
 use np_gpu_sim::mem::inject::{FaultInjector, InjectConfig, InjectSpace, Injection};
 use np_gpu_sim::mem::local::LocalLayout;
 use np_gpu_sim::mem::LaneAddrs;
+use np_gpu_sim::racecheck::{RaceRecorder, RaceSpace};
 use np_gpu_sim::trace::{BlockTrace, ShflKind, TraceBuilder};
 use np_kernel_ir::expr::{Expr, ShflMode, Special};
 use np_kernel_ir::kernel::Kernel;
@@ -52,6 +53,12 @@ pub(crate) struct LaunchCtx<'a> {
     pub globals: &'a mut GlobalState,
     watchdog: Option<Watchdog>,
     injector: Option<FaultInjector>,
+    /// The happens-before race checker, when armed; the bool is fatal mode
+    /// (the first finding becomes a [`FaultKind::RaceDetected`] fault).
+    race: Option<(RaceRecorder, bool)>,
+    /// Monotone interpreted-step counter: the deterministic "pc" race
+    /// findings use to name access sites.
+    step: u64,
 }
 
 impl<'a> LaunchCtx<'a> {
@@ -59,16 +66,20 @@ impl<'a> LaunchCtx<'a> {
         globals: &'a mut GlobalState,
         watchdog_steps: Option<u64>,
         injection: Option<InjectConfig>,
+        race: Option<(RaceRecorder, bool)>,
     ) -> Self {
         LaunchCtx {
             globals,
             watchdog: watchdog_steps.map(|limit| Watchdog { left: limit, limit }),
             injector: injection.map(FaultInjector::new),
+            race,
+            step: 0,
         }
     }
 
     /// Charge one interpreted step against the watchdog budget.
     fn tick(&mut self, kernel: &Kernel) -> Result<(), SimFault> {
+        self.step += 1;
         let Some(wd) = &mut self.watchdog else { return Ok(()) };
         if wd.left == 0 {
             return Err(SimFault::new(&kernel.name, FaultKind::Watchdog { limit: wd.limit }));
@@ -80,6 +91,65 @@ impl<'a> LaunchCtx<'a> {
     /// Consult the injector for one lane load.
     fn inject(&mut self, space: InjectSpace, addr: u64) -> Option<Injection> {
         self.injector.as_mut()?.decide(space, addr)
+    }
+
+    /// Feed one thread-granular access to the race checker; in fatal mode a
+    /// triggered finding becomes a fault at the second access's warp.
+    #[allow(clippy::too_many_arguments)]
+    fn race_access(
+        &mut self,
+        kernel: &Kernel,
+        space: RaceSpace,
+        array: &str,
+        index: u64,
+        thread: u32,
+        write: bool,
+        warp: u64,
+    ) -> Result<(), SimFault> {
+        let pc = self.step;
+        let Some((rec, fatal)) = &mut self.race else { return Ok(()) };
+        let finding = rec.record_access(space, array, index, thread, write, pc);
+        if *fatal {
+            if let Some(f) = finding {
+                return Err(SimFault::new(
+                    &kernel.name,
+                    FaultKind::RaceDetected { detail: f.to_string() },
+                )
+                .at_warp(warp)
+                .at_lane(thread as usize % LANES));
+            }
+        }
+        Ok(())
+    }
+
+    /// Every thread of the current block passed a barrier.
+    fn race_barrier_all(&mut self) {
+        let pc = self.step;
+        if let Some((rec, _)) = &mut self.race {
+            rec.barrier_all(pc);
+        }
+    }
+
+    /// Begin / end race tracking for one block.
+    fn race_begin_block(&mut self, block: u64, n_threads: u32) {
+        if let Some((rec, _)) = &mut self.race {
+            rec.begin_block(block, n_threads);
+        }
+    }
+
+    fn race_end_block(&mut self) {
+        if let Some((rec, _)) = &mut self.race {
+            rec.end_block();
+        }
+    }
+
+    fn race_armed(&self) -> bool {
+        self.race.is_some()
+    }
+
+    /// Take the recorder out (launch teardown).
+    pub fn take_race(&mut self) -> Option<RaceRecorder> {
+        self.race.take().map(|(rec, _)| rec)
     }
 }
 
@@ -102,6 +172,9 @@ struct WarpCtx {
     tid: [WVal; 3],
     exist_mask: Mask,
     warp_global_id: u64,
+    /// Block-local warp index: lane `l` of this warp is block-linear
+    /// thread `warp_in_block * 32 + l` (race findings are thread-granular).
+    warp_in_block: u32,
     builder: TraceBuilder,
 }
 
@@ -306,12 +379,16 @@ pub(crate) fn run_block(
                 tid: [WVal::I32(tx), WVal::I32(ty_), WVal::I32(tz)],
                 exist_mask: exist,
                 warp_global_id: first_warp_global_id + w as u64,
+                warp_in_block: w as u32,
                 builder: TraceBuilder::new(dev.txn_bytes, dev.l1_line),
             }
         })
         .collect();
 
+    let block_linear = block_idx.1 as u64 * grid_dim.x as u64 + block_idx.0 as u64;
+    ctx.race_begin_block(block_linear, n_threads as u32);
     exec_block_level(&kernel.body, kernel, &mut warps, &mut block, ctx)?;
+    ctx.race_end_block();
 
     Ok(BlockTrace { warps: warps.into_iter().map(|w| w.builder.finish()).collect() })
 }
@@ -337,6 +414,7 @@ fn exec_block_level(
             Stmt::SyncThreads => {
                 ctx.tick(kernel)?;
                 block.clear_races();
+                ctx.race_barrier_all();
                 for w in warps.iter_mut() {
                     w.builder.bar();
                 }
@@ -816,7 +894,7 @@ fn load_array(
     if let Some(arr) = block.shared.get(array) {
         let mut addrs: LaneAddrs = [None; LANES];
         let mut bits = [0u32; LANES];
-        let mut touched: Vec<usize> = Vec::new();
+        let mut touched: Vec<(usize, usize)> = Vec::new();
         let ty = arr.ty;
         let arr_len = arr.len as usize;
         for l in lanes(mask) {
@@ -839,11 +917,25 @@ fn load_array(
                 }
                 None => {}
             }
-            touched.push(i);
+            touched.push((l, i));
         }
         if block.race.is_some() {
-            for i in touched {
+            for &(_, i) in &touched {
                 block.track_shared(array, i, wid, false, kernel)?;
+            }
+        }
+        if ctx.race_armed() {
+            let warp_base = w.warp_in_block * LANES as u32;
+            for (l, i) in touched {
+                ctx.race_access(
+                    kernel,
+                    RaceSpace::Shared,
+                    array,
+                    i as u64,
+                    warp_base + l as u32,
+                    false,
+                    wid,
+                )?;
             }
         }
         w.builder.shared(&addrs, false);
@@ -916,6 +1008,20 @@ fn load_array(
     }
     // Second pass: the injector needs `ctx` mutably, so it runs after the
     // buffer borrow ends.
+    if ctx.race_armed() && binding.space == MemSpace::Global {
+        let warp_base = w.warp_in_block * LANES as u32;
+        for &(l, li, _) in &loaded {
+            ctx.race_access(
+                kernel,
+                RaceSpace::Global,
+                array,
+                li as u64,
+                warp_base + l as u32,
+                false,
+                wid,
+            )?;
+        }
+    }
     for (l, li, addr) in loaded {
         match ctx.inject(InjectSpace::Global, addr) {
             Some(Injection::BitFlip(b)) => bits[l] ^= 1 << b,
@@ -958,7 +1064,7 @@ fn store_array(
             return Err(ill_typed_store(kernel, "shared", array, arr.ty, val.ty()).at_warp(wid));
         }
         let mut addrs: LaneAddrs = [None; LANES];
-        let mut touched: Vec<usize> = Vec::new();
+        let mut touched: Vec<(usize, usize)> = Vec::new();
         let arr_len = arr.len as usize;
         for l in lanes(mask) {
             let li = lane_index(idx, l, array, kernel).map_err(|f| f.at_warp(wid))?;
@@ -966,11 +1072,25 @@ fn store_array(
                 .map_err(|f| f.at_warp(wid))?;
             addrs[l] = Some(arr.byte_offset as u64 + i as u64 * 4);
             arr.bits[i] = val.lane_bits(l);
-            touched.push(i);
+            touched.push((l, i));
         }
         if block.race.is_some() {
-            for i in touched {
+            for &(_, i) in &touched {
                 block.track_shared(array, i, wid, true, kernel)?;
+            }
+        }
+        if ctx.race_armed() {
+            let warp_base = w.warp_in_block * LANES as u32;
+            for (l, i) in touched {
+                ctx.race_access(
+                    kernel,
+                    RaceSpace::Shared,
+                    array,
+                    i as u64,
+                    warp_base + l as u32,
+                    true,
+                    wid,
+                )?;
             }
         }
         w.builder.shared(&addrs, true);
@@ -1027,12 +1147,28 @@ fn store_array(
         return Err(ill_typed_store(kernel, "global", array, ty, val.ty()).at_warp(wid));
     }
     let mut addrs: LaneAddrs = [None; LANES];
+    let mut stored: Vec<(usize, usize)> = Vec::new();
     for l in lanes(mask) {
         let li = lane_index(idx, l, array, kernel).map_err(|f| f.at_warp(wid))?;
         let i = check_index(array, li, buf.len(), MemSpace::Global, true, kernel, l)
             .map_err(|f| f.at_warp(wid))?;
         addrs[l] = Some(binding.base_addr + i as u64 * 4);
         buf.write_bits(i, val.lane_bits(l));
+        stored.push((l, i));
+    }
+    if ctx.race_armed() {
+        let warp_base = w.warp_in_block * LANES as u32;
+        for (l, i) in stored {
+            ctx.race_access(
+                kernel,
+                RaceSpace::Global,
+                array,
+                i as u64,
+                warp_base + l as u32,
+                true,
+                wid,
+            )?;
+        }
     }
     w.builder.global(&addrs, 4, true);
     Ok(())

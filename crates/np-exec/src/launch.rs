@@ -11,6 +11,7 @@ use np_gpu_sim::engine::Engine;
 use np_gpu_sim::mem::inject::InjectConfig;
 use np_gpu_sim::occupancy::{occupancy, KernelResources, Occupancy};
 use np_gpu_sim::profile::ProfileReport;
+use np_gpu_sim::racecheck::{RaceCheckOptions, RaceRecorder, RaceReport};
 use np_gpu_sim::stats::TimingReport;
 use np_gpu_sim::trace::BlockTrace;
 use np_kernel_ir::kernel::Kernel;
@@ -19,6 +20,20 @@ use np_kernel_ir::types::Dim3;
 /// Default watchdog budget: far above anything a legitimate workload
 /// interprets, yet reached within seconds by a runaway empty loop.
 pub const DEFAULT_WATCHDOG_STEPS: u64 = 1 << 28;
+
+/// How the happens-before race checker runs for one launch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RaceCheckMode {
+    /// Not armed; `KernelReport::race` comes back with `checked == false`.
+    #[default]
+    Off,
+    /// Record every finding into `KernelReport::race`; the launch itself
+    /// still succeeds.
+    Record,
+    /// The first finding aborts the launch with
+    /// [`crate::FaultKind::RaceDetected`].
+    Fatal,
+}
 
 /// Simulation options for one launch.
 #[derive(Debug, Clone)]
@@ -42,6 +57,12 @@ pub struct SimOptions {
     /// Seeded memory fault injection (bit flips and forced faults); see
     /// [`np_gpu_sim::mem::inject`]. Off by default.
     pub fault_injection: Option<InjectConfig>,
+    /// The thread-granular happens-before race checker (shared + global
+    /// spaces, barrier epochs). Independent of the older warp-granular
+    /// `detect_races` fast path. Off by default.
+    pub check_races: RaceCheckMode,
+    /// Finding cap and master/slave gating policy for the race checker.
+    pub race_options: RaceCheckOptions,
 }
 
 impl Default for SimOptions {
@@ -52,6 +73,8 @@ impl Default for SimOptions {
             detect_races: false,
             watchdog_steps: Some(DEFAULT_WATCHDOG_STEPS),
             fault_injection: None,
+            check_races: RaceCheckMode::Off,
+            race_options: RaceCheckOptions::default(),
         }
     }
 }
@@ -83,6 +106,23 @@ impl SimOptions {
         self.fault_injection = Some(cfg);
         self
     }
+
+    /// Arm the happens-before race checker in the given mode.
+    pub fn with_race_check(mut self, mode: RaceCheckMode) -> Self {
+        self.check_races = mode;
+        self
+    }
+
+    /// Set the race checker's finding cap / gating policy.
+    pub fn with_race_options(mut self, opts: RaceCheckOptions) -> Self {
+        self.race_options = opts;
+        self
+    }
+
+    /// Full simulation with the happens-before checker recording findings.
+    pub fn race_checked() -> Self {
+        SimOptions::default().with_race_check(RaceCheckMode::Record)
+    }
 }
 
 /// Everything a launch produces besides the functional output (which lands
@@ -96,6 +136,9 @@ pub struct KernelReport {
     /// Deterministic per-launch hardware counters, exact for every simulated
     /// block (never scaled by wave sampling).
     pub profile: ProfileReport,
+    /// Happens-before race findings (`checked == false` when the launch ran
+    /// with [`RaceCheckMode::Off`]).
+    pub race: RaceReport,
     /// Total cycles (same as `timing.cycles`, hoisted for convenience).
     pub cycles: u64,
     /// Wall time at the device clock.
@@ -166,40 +209,55 @@ pub fn launch(
     let mut next: u64 = 0;
     let mut fault: Option<SimFault> = None;
     let mut profile = ProfileReport::default();
-    let timing = {
+    let recorder = match opts.check_races {
+        RaceCheckMode::Off => None,
+        RaceCheckMode::Record => {
+            Some((RaceRecorder::new(opts.race_options.clone()), false))
+        }
+        RaceCheckMode::Fatal => Some((RaceRecorder::new(opts.race_options.clone()), true)),
+    };
+    let (timing, race) = {
         let mut ctx = LaunchCtx::new(
             &mut globals,
             opts.watchdog_steps,
             opts.fault_injection.clone(),
+            recorder,
         );
-        let mut source = || -> Option<BlockTrace> {
-            if next >= sim_blocks || fault.is_some() {
-                return None;
-            }
-            let bx = next;
-            next += 1;
-            let block_idx = ((bx % grid.x as u64) as u32, (bx / grid.x as u64) as u32);
-            match run_block(
-                kernel,
-                dev,
-                &mut ctx,
-                block_idx,
-                grid,
-                bx * warps_per_block,
-                local_per_thread,
-                opts.detect_races,
-            ) {
-                Ok(trace) => {
-                    profile.record_block(&trace);
-                    Some(trace)
+        let timing = {
+            let mut source = || -> Option<BlockTrace> {
+                if next >= sim_blocks || fault.is_some() {
+                    return None;
                 }
-                Err(f) => {
-                    fault = Some(f);
-                    None
+                let bx = next;
+                next += 1;
+                let block_idx = ((bx % grid.x as u64) as u32, (bx / grid.x as u64) as u32);
+                match run_block(
+                    kernel,
+                    dev,
+                    &mut ctx,
+                    block_idx,
+                    grid,
+                    bx * warps_per_block,
+                    local_per_thread,
+                    opts.detect_races,
+                ) {
+                    Ok(trace) => {
+                        profile.record_block(&trace);
+                        Some(trace)
+                    }
+                    Err(f) => {
+                        fault = Some(f);
+                        None
+                    }
                 }
-            }
+            };
+            engine.run(&occ, &mut source, total_blocks)
         };
-        engine.run(&occ, &mut source, total_blocks)
+        let race = ctx
+            .take_race()
+            .map(|rec| rec.finish())
+            .unwrap_or_default();
+        (timing, race)
     };
 
     // Return buffers even on a fault so callers keep their data (holding
@@ -217,6 +275,7 @@ pub fn launch(
         occupancy: occ,
         resources,
         profile,
+        race,
     })
 }
 
@@ -621,5 +680,200 @@ mod race_tests {
         // Racy but tolerated when the detector is off (deterministic
         // warp-order semantics still apply).
         launch(&dev, &k, np_kernel_ir::Dim3::x1(1), &mut args, &SimOptions::full()).unwrap();
+    }
+}
+
+#[cfg(test)]
+mod hb_race_tests {
+    use super::race_tests_helpers::racy_kernel;
+    use super::*;
+    use crate::fault::FaultKind;
+    use np_gpu_sim::racecheck::{GatingPolicy, RaceFinding};
+    use np_kernel_ir::expr::dsl::*;
+    use np_kernel_ir::{Dim3 as KDim3, KernelBuilder, Scalar};
+
+    #[test]
+    fn record_mode_reports_both_access_sites() {
+        let dev = DeviceConfig::small_test();
+        let k = racy_kernel(false);
+        let mut args = Args::new().buf_f32("out", vec![0.0; 64]);
+        let rep =
+            launch(&dev, &k, KDim3::x1(1), &mut args, &SimOptions::race_checked()).unwrap();
+        assert!(rep.race.checked);
+        assert!(!rep.race.is_clean());
+        match &rep.race.findings[0] {
+            RaceFinding::MemoryRace { array, first, second, .. } => {
+                assert_eq!(array, "tile");
+                assert_ne!(first.thread, second.thread);
+                assert!(first.pc < second.pc, "sites are ordered by interpreter step");
+                assert_eq!(first.epoch, second.epoch, "same barrier epoch = unordered");
+            }
+            other => panic!("expected MemoryRace, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn barrier_makes_the_report_clean() {
+        let dev = DeviceConfig::small_test();
+        let k = racy_kernel(true);
+        let mut args = Args::new().buf_f32("out", vec![0.0; 64]);
+        let rep =
+            launch(&dev, &k, KDim3::x1(1), &mut args, &SimOptions::race_checked()).unwrap();
+        assert!(rep.race.checked && rep.race.is_clean(), "{:?}", rep.race.findings);
+        assert!(rep.race.barriers_seen > 0);
+        assert!(rep.race.accesses_checked > 0);
+    }
+
+    #[test]
+    fn fatal_mode_faults_with_race_detected() {
+        let dev = DeviceConfig::small_test();
+        let k = racy_kernel(false);
+        let mut args = Args::new().buf_f32("out", vec![0.0; 64]);
+        let opts = SimOptions::default().with_race_check(RaceCheckMode::Fatal);
+        let err = launch(&dev, &k, KDim3::x1(1), &mut args, &opts).unwrap_err();
+        let ExecError::Fault(fault) = err else { panic!("expected a fault, got {err:?}") };
+        match &fault.kind {
+            FaultKind::RaceDetected { detail } => {
+                assert!(detail.contains("tile["), "{detail}");
+                assert!(detail.contains("thread"), "{detail}");
+            }
+            other => panic!("expected RaceDetected, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn same_warp_conflict_is_caught_at_thread_granularity() {
+        // The warp-granular fast path deliberately ignores this (see
+        // same_warp_reuse_is_not_a_race); the HB checker must not, because
+        // the CUDA-NP transform never relies on implicit warp sync for
+        // shared-memory communication.
+        let dev = DeviceConfig::small_test();
+        let mut b = KernelBuilder::new("onewarp", 32);
+        b.param_global_f32("out");
+        b.shared_array("tile", Scalar::F32, 32);
+        b.store("tile", tidx(), f(1.0));
+        b.store("out", tidx(), load("tile", i(31) - tidx()));
+        let k = b.finish();
+        let mut args = Args::new().buf_f32("out", vec![0.0; 32]);
+        let rep =
+            launch(&dev, &k, KDim3::x1(1), &mut args, &SimOptions::race_checked()).unwrap();
+        assert!(!rep.race.is_clean());
+    }
+
+    #[test]
+    fn global_space_write_write_race_is_reported() {
+        let dev = DeviceConfig::small_test();
+        // Every thread writes out[0]: 63 conflicting pairs, one finding
+        // (per-word dedupe).
+        let mut b = KernelBuilder::new("gracy", 64);
+        b.param_global_f32("out");
+        b.store("out", i(0), cast(Scalar::F32, tidx()));
+        let k = b.finish();
+        let mut args = Args::new().buf_f32("out", vec![0.0; 4]);
+        let rep =
+            launch(&dev, &k, KDim3::x1(1), &mut args, &SimOptions::race_checked()).unwrap();
+        assert_eq!(rep.race.findings.len(), 1, "{:?}", rep.race.findings);
+        match &rep.race.findings[0] {
+            RaceFinding::MemoryRace { space, array, index, .. } => {
+                assert_eq!(*space, np_gpu_sim::racecheck::RaceSpace::Global);
+                assert_eq!(array, "out");
+                assert_eq!(*index, 0);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn disjoint_global_writes_are_clean_across_blocks() {
+        let dev = DeviceConfig::small_test();
+        let mut b = KernelBuilder::new("vec", 32);
+        b.param_global_f32("out");
+        b.store("out", tidx() + bidx() * bdimx(), f(1.0));
+        let k = b.finish();
+        let mut args = Args::new().buf_f32("out", vec![0.0; 128]);
+        let rep =
+            launch(&dev, &k, KDim3::x1(4), &mut args, &SimOptions::race_checked()).unwrap();
+        assert!(rep.race.is_clean());
+        assert_eq!(rep.race.blocks_checked, 4);
+    }
+
+    #[test]
+    fn gating_policy_reports_slave_writes_through_launch() {
+        let dev = DeviceConfig::small_test();
+        // 32x2 block; policy says threadIdx.y is the slave id and "stage"
+        // is master-only — yet every thread stores to it.
+        let mut b = KernelBuilder::new("gate", 32);
+        b.param_global_f32("out");
+        b.shared_array("stage", Scalar::F32, 32);
+        b.store("stage", tidx(), cast(Scalar::F32, tidy()));
+        b.sync();
+        b.store("out", tidx() + tidy() * bdimx(), load("stage", tidx()));
+        let mut k = b.finish();
+        k.block_dim = np_kernel_ir::Dim3::xy(32, 2);
+        let mut args = Args::new().buf_f32("out", vec![0.0; 64]);
+        let opts = SimOptions::race_checked().with_race_options(RaceCheckOptions {
+            max_findings: None,
+            policy: Some(GatingPolicy {
+                master_size: 32,
+                slave_size: 2,
+                intra: false,
+                master_only: vec!["stage".into()],
+            }),
+        });
+        let rep = launch(&dev, &k, KDim3::x1(1), &mut args, &opts).unwrap();
+        assert!(rep
+            .race
+            .findings
+            .iter()
+            .any(|f| matches!(f, RaceFinding::MasterGatingViolation { .. })),
+            "{:?}",
+            rep.race.findings
+        );
+    }
+
+    #[test]
+    fn off_mode_reports_unchecked() {
+        let dev = DeviceConfig::small_test();
+        let k = racy_kernel(false);
+        let mut args = Args::new().buf_f32("out", vec![0.0; 64]);
+        let rep = launch(&dev, &k, KDim3::x1(1), &mut args, &SimOptions::full()).unwrap();
+        assert!(!rep.race.checked);
+        assert!(rep.race.is_clean(), "vacuously clean when unchecked");
+    }
+
+    #[test]
+    fn race_report_json_is_byte_identical_across_reruns() {
+        let dev = DeviceConfig::small_test();
+        for clean in [false, true] {
+            let k = racy_kernel(clean);
+            let run = || {
+                let mut args = Args::new().buf_f32("out", vec![0.0; 64]);
+                launch(&dev, &k, KDim3::x1(1), &mut args, &SimOptions::race_checked())
+                    .unwrap()
+                    .race
+                    .to_json()
+            };
+            assert_eq!(run(), run());
+        }
+    }
+}
+
+#[cfg(test)]
+mod race_tests_helpers {
+    use np_kernel_ir::expr::dsl::*;
+    use np_kernel_ir::{Kernel, KernelBuilder, Scalar};
+
+    /// tile[t] then read tile[63 - t]: threads conflict without a barrier.
+    pub fn racy_kernel(with_sync: bool) -> Kernel {
+        let mut b = KernelBuilder::new("racy", 64);
+        b.param_global_f32("out");
+        b.shared_array("tile", Scalar::F32, 64);
+        b.decl_i32("t", tidx());
+        b.store("tile", v("t"), cast(Scalar::F32, v("t")));
+        if with_sync {
+            b.sync();
+        }
+        b.store("out", v("t"), load("tile", i(63) - v("t")));
+        b.finish()
     }
 }

@@ -30,6 +30,7 @@ pub mod engine;
 pub mod mem;
 pub mod occupancy;
 pub mod profile;
+pub mod racecheck;
 pub mod stats;
 pub mod timeline;
 pub mod trace;
@@ -38,6 +39,10 @@ pub use config::{DeviceConfig, DynParConfig, TICKS_PER_CYCLE, WARP_SIZE};
 pub use engine::{simulate_blocks, BlockSource, Engine, IterSource};
 pub use occupancy::{occupancy, KernelResources, Limiter, Occupancy, OccupancyError};
 pub use profile::{BlockProfile, ProfileCounters, ProfileReport};
+pub use racecheck::{
+    AccessSite, GatingPolicy, RaceCheckOptions, RaceFinding, RaceKind, RaceRecorder, RaceReport,
+    RaceSpace,
+};
 pub use stats::TimingReport;
 pub use timeline::{SmxState, StallBreakdown, Timeline};
 pub use trace::{BlockTrace, ShflKind, TraceBuilder, WarpOp, WarpTrace};

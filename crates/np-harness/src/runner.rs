@@ -7,8 +7,9 @@
 //! row in the summary and the remaining workloads still run.
 
 use cuda_np::tuner::{alloc_extra_buffers, autotune, default_candidates, TuneError, TuneResult};
-use cuda_np::{transform, NpOptions, Transformed};
-use np_exec::{launch, Args, ExecError, KernelReport};
+use cuda_np::{gating_policy, transform, NpOptions, Transformed};
+use np_exec::{launch, Args, ExecError, KernelReport, RaceCheckMode};
+use np_gpu_sim::racecheck::{RaceCheckOptions, RaceReport};
 use np_gpu_sim::DeviceConfig;
 use np_workloads::{all_workloads, Scale, Workload};
 
@@ -17,12 +18,21 @@ pub struct BenchResult {
     pub name: &'static str,
     pub baseline: KernelReport,
     pub tuned: TuneResult,
+    /// Happens-before report of the tuning winner, re-run with the race
+    /// checker armed (the baseline's report rides on `baseline.race`).
+    pub winner_race: RaceReport,
 }
 
 impl BenchResult {
     /// The headline Figure-10 number.
     pub fn speedup(&self) -> f64 {
         self.baseline.cycles as f64 / self.tuned.best_report.cycles as f64
+    }
+
+    /// True when both the baseline and the tuning winner came back clean
+    /// from the race checker.
+    pub fn race_free(&self) -> bool {
+        self.baseline.race.is_clean() && self.winner_race.is_clean()
     }
 }
 
@@ -36,6 +46,9 @@ pub enum HarnessError {
     Baseline { workload: &'static str, source: ExecError },
     /// Auto-tuning produced no usable candidate.
     Tuning { workload: &'static str, source: TuneError },
+    /// Re-running the tuning winner with the race checker armed failed,
+    /// even though the same configuration completed during tuning.
+    Recheck { workload: &'static str, source: ExecError },
 }
 
 impl std::fmt::Display for HarnessError {
@@ -47,6 +60,9 @@ impl std::fmt::Display for HarnessError {
             HarnessError::Tuning { workload, source } => {
                 write!(f, "{workload} tuning failed: {source}")
             }
+            HarnessError::Recheck { workload, source } => {
+                write!(f, "{workload} winner race re-check failed: {source}")
+            }
         }
     }
 }
@@ -56,21 +72,26 @@ impl std::error::Error for HarnessError {
         match self {
             HarnessError::Baseline { source, .. } => Some(source),
             HarnessError::Tuning { source, .. } => Some(source),
+            HarnessError::Recheck { source, .. } => Some(source),
         }
     }
 }
 
-/// Simulate the baseline kernel of a workload.
+/// Simulate the baseline kernel of a workload, with the happens-before
+/// race checker recording (its report rides on the returned
+/// `KernelReport::race`).
 pub fn run_baseline(w: &dyn Workload, dev: &DeviceConfig) -> Result<KernelReport, HarnessError> {
     let mut args = w.make_args();
-    launch(dev, &w.kernel(), w.grid(), &mut args, &w.sim_options())
+    let sim = w.sim_options().with_race_check(RaceCheckMode::Record);
+    launch(dev, &w.kernel(), w.grid(), &mut args, &sim)
         .map_err(|source| HarnessError::Baseline { workload: w.name(), source })
 }
 
 /// Auto-tune a workload over the paper's candidate space and return both
-/// the baseline report and the tuning table. Individual faulting candidates
-/// are recorded in the table and skipped; this errors only when the
-/// baseline fails or *every* candidate fails.
+/// the baseline report and the tuning table, plus a race-checked re-run of
+/// the winner. Individual faulting candidates are recorded in the table
+/// and skipped; this errors only when the baseline fails, *every*
+/// candidate fails, or the winner's re-check launch fails.
 pub fn best_np(w: &dyn Workload, dev: &DeviceConfig) -> Result<BenchResult, HarnessError> {
     let kernel = w.kernel();
     let candidates = default_candidates(kernel.block_dim.x, 1024);
@@ -79,7 +100,17 @@ pub fn best_np(w: &dyn Workload, dev: &DeviceConfig) -> Result<BenchResult, Harn
     let make_args = |t: &Transformed| alloc_extra_buffers(w.make_args(), t, grid);
     let tuned = autotune(&kernel, dev, grid, &make_args, &sim, &candidates)
         .map_err(|source| HarnessError::Tuning { workload: w.name(), source })?;
-    Ok(BenchResult { name: w.name(), baseline: run_baseline(w, dev)?, tuned })
+    // Re-run the winner with the checker armed: tuning runs stay
+    // recorder-free (the checker's bookkeeping would pollute nothing, but
+    // keeping timing runs identical to the seed keeps cycles comparable).
+    let mut args = make_args(&tuned.best);
+    let checked_sim = sim
+        .with_race_check(RaceCheckMode::Record)
+        .with_race_options(RaceCheckOptions { max_findings: None, policy: gating_policy(&tuned.best) });
+    let winner_race = launch(dev, &tuned.best.kernel, grid, &mut args, &checked_sim)
+        .map_err(|source| HarnessError::Recheck { workload: w.name(), source })?
+        .race;
+    Ok(BenchResult { name: w.name(), baseline: run_baseline(w, dev)?, tuned, winner_race })
 }
 
 /// Run one specific NP configuration of a workload (None = failed config).
@@ -117,7 +148,20 @@ pub fn summary(outcomes: &[WorkloadOutcome]) -> String {
     for o in outcomes {
         match &o.result {
             Ok(r) => {
-                let _ = writeln!(out, "{:<5} PASS   {:.2}x best-NP speedup", o.name, r.speedup());
+                let races = if r.race_free() {
+                    "races none".to_string()
+                } else {
+                    format!(
+                        "RACES {}",
+                        r.baseline.race.findings.len() + r.winner_race.findings.len()
+                    )
+                };
+                let _ = writeln!(
+                    out,
+                    "{:<5} PASS   {:.2}x best-NP speedup   {races}",
+                    o.name,
+                    r.speedup()
+                );
             }
             Err(e) => {
                 let _ = writeln!(out, "{:<5} FAULT  {e}", o.name);
@@ -261,6 +305,7 @@ mod tests {
         let outcomes = vec![pass, fault];
         let s = summary(&outcomes);
         assert!(s.contains("TMV   PASS"), "{s}");
+        assert!(s.contains("races none"), "the race column reports the clean check: {s}");
         assert!(s.contains("BAD   FAULT"), "{s}");
         assert!(s.contains("1/2 workloads passed"), "{s}");
         assert!(!all_failed(&outcomes), "one pass means the run is not a failure");

@@ -1,0 +1,163 @@
+//! Barrier-site enumeration.
+//!
+//! Assigns every `__syncthreads()` in a kernel a stable pre-order id and a
+//! structural path, so tooling can name sites ("barrier #2 at
+//! body[4].then[0]") and mutation helpers can remove the n-th site
+//! deterministically. Ids are stable under re-parsing because they depend
+//! only on statement order, never on allocation or hashing.
+
+use crate::kernel::Kernel;
+use crate::stmt::Stmt;
+
+/// One static `__syncthreads()` site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BarrierSite {
+    /// Pre-order index among the kernel's barriers (0-based).
+    pub id: u32,
+    /// Structural path from the kernel body root, e.g.
+    /// `body[4].then[0].for[2]` — each segment names the child list and the
+    /// statement index within it.
+    pub path: String,
+}
+
+fn walk(stmts: &[Stmt], prefix: &str, out: &mut Vec<BarrierSite>) {
+    for (i, s) in stmts.iter().enumerate() {
+        match s {
+            Stmt::SyncThreads => {
+                out.push(BarrierSite {
+                    id: out.len() as u32,
+                    path: format!("{prefix}[{i}]"),
+                });
+            }
+            Stmt::If { then_body, else_body, .. } => {
+                walk(then_body, &format!("{prefix}[{i}].then"), out);
+                walk(else_body, &format!("{prefix}[{i}].else"), out);
+            }
+            Stmt::For { body, .. } => {
+                walk(body, &format!("{prefix}[{i}].for"), out);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Every barrier site of `kernel`, in pre-order.
+pub fn barrier_sites(kernel: &Kernel) -> Vec<BarrierSite> {
+    let mut out = Vec::new();
+    walk(&kernel.body, "body", &mut out);
+    out
+}
+
+/// Number of static barrier sites in `kernel`.
+pub fn count_barriers(kernel: &Kernel) -> usize {
+    barrier_sites(kernel).len()
+}
+
+/// Remove the barrier with pre-order id `n` from `stmts`. Returns true if
+/// a site was removed (false when `n` is out of range).
+pub fn remove_barrier(stmts: &mut Vec<Stmt>, n: usize) -> bool {
+    fn go(stmts: &mut Vec<Stmt>, n: usize, seen: &mut usize) -> bool {
+        let mut i = 0;
+        while i < stmts.len() {
+            if matches!(stmts[i], Stmt::SyncThreads) {
+                if *seen == n {
+                    stmts.remove(i);
+                    return true;
+                }
+                *seen += 1;
+            } else if let Stmt::If { then_body, else_body, .. } = &mut stmts[i] {
+                if go(then_body, n, seen) || go(else_body, n, seen) {
+                    return true;
+                }
+            } else if let Stmt::For { body, .. } = &mut stmts[i] {
+                if go(body, n, seen) {
+                    return true;
+                }
+            }
+            i += 1;
+        }
+        false
+    }
+    let mut seen = 0;
+    go(stmts, n, &mut seen)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::dsl::*;
+    use crate::{KernelBuilder, Scalar};
+
+    fn kernel_with_barriers() -> Kernel {
+        let mut b = KernelBuilder::new("k", 64);
+        b.param_global_f32("out");
+        b.shared_array("tile", Scalar::F32, 64);
+        b.store("tile", tidx(), f(1.0));
+        b.sync(); // site 0: body[2]
+        b.if_else(
+            lt(i(0), i(1)),
+            |b| {
+                b.sync(); // site 1: body[3].then[0]
+                b.store("out", tidx(), load("tile", tidx()));
+            },
+            |_| {},
+        );
+        b.sync(); // site 2: body[4]
+        b.finish()
+    }
+
+    #[test]
+    fn sites_enumerate_in_preorder_with_paths() {
+        let k = kernel_with_barriers();
+        let sites = barrier_sites(&k);
+        assert_eq!(sites.len(), 3);
+        assert_eq!(count_barriers(&k), 3);
+        assert_eq!(sites[0], BarrierSite { id: 0, path: "body[2]".into() });
+        assert_eq!(sites[1], BarrierSite { id: 1, path: "body[3].then[0]".into() });
+        assert_eq!(sites[2], BarrierSite { id: 2, path: "body[4]".into() });
+    }
+
+    #[test]
+    fn remove_targets_exactly_one_site() {
+        let k = kernel_with_barriers();
+        for n in 0..3 {
+            let mut body = k.body.clone();
+            assert!(remove_barrier(&mut body, n));
+            let mut k2 = k.clone();
+            k2.body = body;
+            assert_eq!(count_barriers(&k2), 2, "dropping site {n}");
+        }
+        let mut body = k.body.clone();
+        assert!(!remove_barrier(&mut body, 3), "out of range");
+        assert_eq!(body.len(), k.body.len());
+    }
+
+    #[test]
+    fn nested_loop_sites_are_found() {
+        let mut b = KernelBuilder::new("k", 32);
+        b.param_global_f32("out");
+        b.for_loop("j", i(0), i(4), |b| {
+            b.sync();
+        });
+        let k = b.finish();
+        let sites = barrier_sites(&k);
+        assert_eq!(sites.len(), 1);
+        assert_eq!(sites[0].path, "body[0].for[0]");
+        let mut body = k.body.clone();
+        assert!(remove_barrier(&mut body, 0));
+        let mut k2 = k.clone();
+        k2.body = body;
+        assert_eq!(count_barriers(&k2), 0);
+    }
+
+    #[test]
+    fn barrier_free_kernel_has_no_sites() {
+        let mut b = KernelBuilder::new("k", 32);
+        b.param_global_f32("out");
+        b.store("out", tidx(), f(0.0));
+        let k = b.finish();
+        assert!(barrier_sites(&k).is_empty());
+        let mut body = k.body.clone();
+        assert!(!remove_barrier(&mut body, 0));
+    }
+}

@@ -1,8 +1,11 @@
 //! Dataflow analyses consumed by the CUDA-NP transformation.
 
+pub mod barriers;
 pub mod liveness;
 pub mod loops;
 pub mod uniform;
+
+pub use barriers::{barrier_sites, count_barriers, remove_barrier, BarrierSite};
 
 pub use liveness::{
     arrays_read, arrays_written, live_in_of_loop, live_out_candidates, scalars_declared,

@@ -13,6 +13,14 @@ cargo clippy --workspace --all-targets -- -D warnings
 cargo test --release -q --test golden_counters
 cargo test --release -q -p cuda-np --test equivalence
 
+# Race-freedom gate: every paper workload's transformed kernel must pass
+# the happens-before checker at slave sizes {2,4,8} (and its dropped-barrier
+# / un-gated-broadcast mutants must fail it), both through the test suites
+# and through the npcc --check-races CLI exit codes.
+cargo test --release -q -p cuda-np --test conformance
+cargo test --release -q --test racecheck_properties
+cargo test --release -q -p cuda-np --test npcc_cli
+
 # Bench-trajectory gate: regenerate the machine-readable perf record twice
 # (it must be byte-identical — the simulator is deterministic), then diff it
 # against the committed baseline with a ±2% cycle tolerance.
