@@ -1,7 +1,10 @@
 //! Auto-tuning (Section 4): CUDA-NP generates a small number of versions —
 //! slave counts × {inter-warp, intra-warp} — and picks the fastest by
-//! running each on the simulator. Candidates are evaluated on parallel host
-//! threads via `crossbeam::scope` since each simulation is independent.
+//! running each on the simulator. Candidates are evaluated on a bounded
+//! pool of host threads (`min(available_parallelism, candidates)`) via
+//! `crossbeam::scope` since each simulation is independent; results are
+//! collected into per-candidate slots so [`TuneResult::entries`] stays in
+//! candidate order regardless of which worker finished first.
 
 use crate::options::{NpOptions, TransformError};
 use crate::transform::{transform, Transformed};
@@ -213,47 +216,81 @@ pub fn autotune(
     if candidates.is_empty() {
         return Err(TuneError::NoCandidates);
     }
-    let mut slots: Vec<Option<(Transformed, KernelReport)>> = Vec::new();
-    let mut entries: Vec<TuneEntry> = Vec::new();
+    type CandResult = (TuneOutcome, Option<(Transformed, KernelReport)>);
+
+    // A bounded pool, not one OS thread per candidate: workers claim
+    // candidates off a shared counter and park each result in that
+    // candidate's slot, so entry order is candidate order no matter how
+    // evaluations interleave.
+    let n_workers = std::thread::available_parallelism()
+        .map_or(1, |n| n.get())
+        .min(candidates.len());
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results: Vec<std::sync::Mutex<Option<CandResult>>> =
+        candidates.iter().map(|_| std::sync::Mutex::new(None)).collect();
 
     crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for cand in candidates {
-            let cand = cand.clone();
-            handles.push(scope.spawn(move |_| -> (TuneOutcome, Option<(Transformed, KernelReport)>) {
-                let t = match transform(kernel, &cand.opts) {
-                    Ok(t) => t,
-                    Err(e) => return (TuneOutcome::Rejected(e), None),
-                };
-                let mut args = make_args(&t);
-                match launch(dev, &t.kernel, grid, &mut args, sim) {
-                    Ok(rep) => {
-                        let cycles = rep.cycles;
-                        (TuneOutcome::Ok { cycles }, Some((t, rep)))
-                    }
-                    Err(e) => (TuneOutcome::from_launch_err(e), None),
-                }
-            }));
-        }
-        for (cand, h) in candidates.iter().zip(handles) {
-            let (outcome, slot) = h.join().unwrap_or_else(|_| {
+        for _ in 0..n_workers {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some(cand) = candidates.get(i) else { break };
+                let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                    || -> CandResult {
+                        let t = match transform(kernel, &cand.opts) {
+                            Ok(t) => t,
+                            Err(e) => return (TuneOutcome::Rejected(e), None),
+                        };
+                        let mut args = make_args(&t);
+                        match launch(dev, &t.kernel, grid, &mut args, sim) {
+                            Ok(rep) => {
+                                let cycles = rep.cycles;
+                                (TuneOutcome::Ok { cycles }, Some((t, rep)))
+                            }
+                            Err(e) => (TuneOutcome::from_launch_err(e), None),
+                        }
+                    },
+                ));
                 // A worker can only panic through a bug in make_args or the
-                // simulator itself; record it and keep tuning.
-                (TuneOutcome::LaunchFailed("tuner worker panicked".to_string()), None)
+                // simulator itself; record which candidate died (and what it
+                // said) and keep tuning.
+                let result = run.unwrap_or_else(|payload| {
+                    let msg = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "<non-string panic payload>".to_string());
+                    (
+                        TuneOutcome::LaunchFailed(format!(
+                            "tuner worker panicked evaluating {:?} slave_size={}: {msg}",
+                            cand.opts.np_type, cand.opts.slave_size
+                        )),
+                        None,
+                    )
+                });
+                *results[i].lock().expect("tuner slot lock") = Some(result);
             });
-            entries.push(TuneEntry {
-                slave_size: cand.opts.slave_size,
-                np_type: cand.opts.np_type,
-                outcome,
-                profile: slot.as_ref().map(|(_, rep)| rep.profile.total.clone()),
-                stall: slot.as_ref().map(|(_, rep)| rep.timing.stall.clone()),
-            });
-            slots.push(slot);
         }
     })
     // Internal invariant: the shim's scope only errors on an unjoined child
-    // panic, and every handle above is joined.
+    // panic, and every worker's panics are caught above.
     .expect("tuner scope");
+
+    let mut slots: Vec<Option<(Transformed, KernelReport)>> = Vec::new();
+    let mut entries: Vec<TuneEntry> = Vec::new();
+    for (cand, cell) in candidates.iter().zip(results) {
+        let (outcome, slot) = cell
+            .into_inner()
+            .expect("tuner slot lock")
+            .expect("every candidate was evaluated");
+        entries.push(TuneEntry {
+            slave_size: cand.opts.slave_size,
+            np_type: cand.opts.np_type,
+            outcome,
+            profile: slot.as_ref().map(|(_, rep)| rep.profile.total.clone()),
+            stall: slot.as_ref().map(|(_, rep)| rep.timing.stall.clone()),
+        });
+        slots.push(slot);
+    }
 
     let best_idx = entries
         .iter()
@@ -399,6 +436,47 @@ mod tests {
             .find(|e| e.cycles() == Some(r.best_report.cycles))
             .expect("winner entry");
         assert_eq!(w.profile.as_ref().unwrap(), &r.best_report.profile.total);
+    }
+
+    #[test]
+    fn panicking_worker_is_recorded_with_candidate_identity() {
+        let dev = DeviceConfig::gtx680();
+        let k = kernel_with_pragma("np parallel for reduction(+:s)");
+        let grid = Dim3::x1(1);
+        let candidates = default_candidates(64, 1024);
+        assert!(candidates.len() > 2, "need a mixed candidate set");
+        // make_args blows up for exactly the inter-warp slave_size-4
+        // candidate; every other candidate must still be evaluated.
+        let make_args = |t: &Transformed| {
+            if t.report.slave_size == 4 && t.report.np_type == Some(NpType::InterWarp) {
+                panic!("boom in make_args");
+            }
+            alloc_extra_buffers(Args::new().buf_f32("out", vec![0.0; 64]), t, grid)
+        };
+        let r = autotune(&k, &dev, grid, &make_args, &SimOptions::full(), &candidates)
+            .expect("surviving candidates still produce a winner");
+        assert_eq!(r.entries.len(), candidates.len());
+        // Entries stay in candidate order.
+        for (e, c) in r.entries.iter().zip(&candidates) {
+            assert_eq!(e.slave_size, c.opts.slave_size);
+            assert_eq!(e.np_type, c.opts.np_type);
+        }
+        let dead: Vec<_> = r
+            .entries
+            .iter()
+            .filter(|e| matches!(e.outcome, TuneOutcome::LaunchFailed(_)))
+            .collect();
+        assert_eq!(dead.len(), 1, "{:?}", r.entries);
+        assert_eq!(dead[0].slave_size, 4);
+        assert_eq!(dead[0].np_type, NpType::InterWarp);
+        let TuneOutcome::LaunchFailed(msg) = &dead[0].outcome else { unreachable!() };
+        assert!(msg.contains("slave_size=4"), "{msg}");
+        assert!(msg.contains("InterWarp"), "{msg}");
+        assert!(msg.contains("boom in make_args"), "{msg}");
+        assert!(
+            !(r.best.report.np_type == Some(NpType::InterWarp) && r.best.report.slave_size == 4),
+            "the panicked candidate must not win"
+        );
     }
 
     #[test]

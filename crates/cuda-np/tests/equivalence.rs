@@ -455,6 +455,118 @@ fn transformed_source_matches_figure3_shape() {
     assert!(src.contains("(__np_slave_id == 0)"), "{src}");
 }
 
+/// Everything observable about one launch, rendered to bytes.
+struct ReportBytes {
+    cycles: u64,
+    time_us: f64,
+    profile_json: String,
+    race_json: String,
+    chrome_trace: String,
+    out_bits: Vec<u32>,
+}
+
+fn report_bytes(
+    kernel: &Kernel,
+    grid: Dim3,
+    mut args: Args,
+    sim: &SimOptions,
+    out_name: &str,
+    ctx: &str,
+) -> ReportBytes {
+    let rep = launch(&dev(), kernel, grid, &mut args, sim)
+        .unwrap_or_else(|e| panic!("{ctx}: launch failed: {e}"));
+    ReportBytes {
+        cycles: rep.cycles,
+        time_us: rep.time_us,
+        profile_json: rep.profile.to_json(),
+        race_json: rep.race.to_json(),
+        chrome_trace: rep.chrome_trace(),
+        out_bits: args.get_f32(out_name).unwrap().iter().map(|x| x.to_bits()).collect(),
+    }
+}
+
+/// Launch the same kernel twice — forced-sequential and forced-parallel
+/// interpretation — and require every observable byte to match: output
+/// buffer bits, cycle counts, golden profile counters, race report, chrome
+/// trace.
+fn assert_serial_parallel_identical(
+    kernel: &Kernel,
+    grid: Dim3,
+    make_args: &dyn Fn() -> Args,
+    sim: &SimOptions,
+    out_name: &str,
+    ctx: &str,
+) {
+    let serial = report_bytes(
+        kernel,
+        grid,
+        make_args(),
+        &sim.clone().with_interp_threads(Some(1)),
+        out_name,
+        &format!("{ctx} [serial]"),
+    );
+    let parallel = report_bytes(
+        kernel,
+        grid,
+        make_args(),
+        &sim.clone().with_interp_threads(Some(4)),
+        out_name,
+        &format!("{ctx} [parallel]"),
+    );
+    assert_eq!(serial.out_bits, parallel.out_bits, "{ctx}: output bits differ");
+    assert_eq!(serial.cycles, parallel.cycles, "{ctx}: cycles differ");
+    assert_eq!(serial.time_us.to_bits(), parallel.time_us.to_bits(), "{ctx}: time differs");
+    assert_eq!(serial.profile_json, parallel.profile_json, "{ctx}: profile JSON differs");
+    assert_eq!(serial.race_json, parallel.race_json, "{ctx}: race JSON differs");
+    assert_eq!(serial.chrome_trace, parallel.chrome_trace, "{ctx}: chrome trace differs");
+}
+
+/// The tentpole's byte-equivalence contract: for all ten workloads, slave
+/// sizes {2, 4, 8} × {inter-warp, intra-warp} (plus the untransformed
+/// baseline), parallel per-block interpretation must reproduce sequential
+/// interpretation byte for byte — outputs, golden counters, race reports,
+/// chrome traces, cycles.
+#[test]
+fn serial_and_parallel_interpretation_are_byte_identical() {
+    let mut compared = 0u32;
+    for w in np_workloads::all_workloads(np_workloads::Scale::Test) {
+        let kernel = w.kernel();
+        let grid = w.grid();
+        let base_sim = w.sim_options().with_race_check(RaceCheckMode::Record);
+        assert_serial_parallel_identical(
+            &kernel,
+            grid,
+            &|| w.make_args(),
+            &base_sim,
+            w.output_name(),
+            &format!("{} baseline", w.name()),
+        );
+        for s in [2u32, 4, 8] {
+            for opts in [NpOptions::inter(s), NpOptions::intra(s)] {
+                let Ok(t) = transform(&kernel, &opts) else { continue };
+                let sim = w
+                    .sim_options()
+                    .with_race_check(RaceCheckMode::Record)
+                    .with_race_options(RaceCheckOptions {
+                        max_findings: None,
+                        policy: gating_policy(&t),
+                    });
+                assert_serial_parallel_identical(
+                    &t.kernel,
+                    grid,
+                    &|| alloc_extra_buffers(w.make_args(), &t, grid),
+                    &sim,
+                    w.output_name(),
+                    &format!("{} {:?} slave_size={s}", w.name(), opts.np_type),
+                );
+                compared += 1;
+            }
+        }
+    }
+    // 10 workloads x 6 configs minus legitimate transform rejections.
+    assert!(compared >= 30, "only {compared} transformed configurations compared");
+}
+
 /// Differential-equivalence sweep over the paper's ten workloads: every
 /// transformed variant across slave counts {2, 4, 8, 16} x {inter-warp,
 /// intra-warp} must reproduce the *scalar CPU reference* (not merely the

@@ -58,6 +58,10 @@ pub enum FaultKind {
     /// fatal mode ([`crate::RaceCheckMode::Fatal`]). The detail is the
     /// finding's rendered narrative, naming both access sites.
     RaceDetected { detail: String },
+    /// The host code violated the launch API contract (e.g. binding the
+    /// same argument name twice). Detected at launch setup, before any
+    /// kernel code runs.
+    ContractViolation { detail: String },
 }
 
 impl FaultKind {
@@ -73,6 +77,7 @@ impl FaultKind {
             FaultKind::Watchdog { .. } => "watchdog timeout",
             FaultKind::Injected { .. } => "injected fault",
             FaultKind::RaceDetected { .. } => "race detected",
+            FaultKind::ContractViolation { .. } => "contract violation",
         }
     }
 }
@@ -148,6 +153,7 @@ impl std::fmt::Display for SimFault {
                 write!(f, ": forced at {space:?} address {addr:#x}")?
             }
             FaultKind::RaceDetected { detail } => write!(f, ": {detail}")?,
+            FaultKind::ContractViolation { detail } => write!(f, ": {detail}")?,
         }
         if let Some(c) = &self.context {
             write!(f, " [{c}]")?;

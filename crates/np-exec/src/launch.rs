@@ -1,9 +1,42 @@
 //! Kernel launching: binds arguments, checks occupancy, streams block
 //! traces from the interpreter into the timing engine, and packages the
 //! result.
+//!
+//! ## Parallel per-block interpretation
+//!
+//! Thread blocks of one kernel launch are independent except for global
+//! memory, and the CUDA-NP transform never introduces inter-block
+//! communication — so functional interpretation (the hot path) can fan
+//! out across host threads. Each worker runs whole blocks against an
+//! immutable snapshot of global memory, journaling its stores instead of
+//! applying them; the main thread then *merges in block order*, which
+//! keeps every observable byte — output buffers, golden counters, race
+//! reports, chrome traces — identical to a sequential run:
+//!
+//! * a block that read an element some earlier block wrote (cross-block
+//!   read-after-write, possible only for arrays the kernel both loads and
+//!   stores) invalidates the snapshot run; the launch falls back to plain
+//!   sequential interpretation from the untouched pre-launch state;
+//! * the watchdog budget is a whole-launch bound, so each worker runs
+//!   with the full budget and the merge re-cuts: a block whose step count
+//!   exceeds the budget remaining *at its sequential position* becomes a
+//!   watchdog fault, and its journaled stores are applied only up to the
+//!   cut;
+//! * a real fault in block `b` stops the merge exactly where a sequential
+//!   run would have stopped: earlier blocks' stores land, later blocks'
+//!   never ran as far as the caller can tell;
+//! * happens-before race events are journaled with block-local step
+//!   numbers and replayed into one recorder in block order, rebased by
+//!   the cumulative step count — reproducing sequential `pc` values.
+//!
+//! Fault injection (one seeded counter across blocks) and
+//! [`RaceCheckMode::Fatal`] (mid-launch abort at an exact global step)
+//! are inherently sequential and force the fallback path.
 
-use crate::fault::SimFault;
-use crate::interp::{run_block, LaunchCtx};
+use crate::fault::{FaultKind, SimFault};
+use crate::interp::{
+    bit_set, bitmaps_intersect, run_block, BlockLog, LaunchCtx, RaceEvent, StoreRec,
+};
 use crate::machine::{Args, ExecError, GlobalState};
 use crate::resources::estimate_resources;
 use np_gpu_sim::config::DeviceConfig;
@@ -15,7 +48,10 @@ use np_gpu_sim::racecheck::{RaceCheckOptions, RaceRecorder, RaceReport};
 use np_gpu_sim::stats::TimingReport;
 use np_gpu_sim::trace::BlockTrace;
 use np_kernel_ir::kernel::Kernel;
+use np_kernel_ir::slots::InternedKernel;
 use np_kernel_ir::types::Dim3;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Default watchdog budget: far above anything a legitimate workload
 /// interprets, yet reached within seconds by a runaway empty loop.
@@ -63,6 +99,11 @@ pub struct SimOptions {
     pub check_races: RaceCheckMode,
     /// Finding cap and master/slave gating policy for the race checker.
     pub race_options: RaceCheckOptions,
+    /// Host threads for per-block functional interpretation. `None` (the
+    /// default) uses `min(available_parallelism, simulated blocks)`;
+    /// `Some(1)` forces the sequential path. Purely a host-side throughput
+    /// knob: every observable byte of the report is identical either way.
+    pub interp_threads: Option<usize>,
 }
 
 impl Default for SimOptions {
@@ -75,6 +116,7 @@ impl Default for SimOptions {
             fault_injection: None,
             check_races: RaceCheckMode::Off,
             race_options: RaceCheckOptions::default(),
+            interp_threads: None,
         }
     }
 }
@@ -122,6 +164,13 @@ impl SimOptions {
     /// Full simulation with the happens-before checker recording findings.
     pub fn race_checked() -> Self {
         SimOptions::default().with_race_check(RaceCheckMode::Record)
+    }
+
+    /// Pin the interpreter worker-pool size (`Some(1)` forces the
+    /// sequential path, `None` restores the automatic choice).
+    pub fn with_interp_threads(mut self, n: Option<usize>) -> Self {
+        self.interp_threads = n;
+        self
     }
 }
 
@@ -198,6 +247,10 @@ pub fn launch(
 
     let mut globals = GlobalState::bind(kernel, args)?;
 
+    // All name resolution happens once, here: the interpreter itself works
+    // over dense slot indices.
+    let ik = InternedKernel::from_kernel(kernel);
+
     let total_blocks = grid.count();
     let sim_blocks = opts.max_blocks.map_or(total_blocks, |m| m.min(total_blocks)).max(
         if total_blocks == 0 { 0 } else { 1 },
@@ -205,68 +258,41 @@ pub fn launch(
     let warps_per_block = kernel.block_dim.count().div_ceil(32);
     let local_per_thread = resources.local_per_thread;
 
-    let engine = Engine::new(dev, &occ);
-    let mut next: u64 = 0;
-    let mut fault: Option<SimFault> = None;
-    let mut profile = ProfileReport::default();
-    let recorder = match opts.check_races {
-        RaceCheckMode::Off => None,
-        RaceCheckMode::Record => {
-            Some((RaceRecorder::new(opts.race_options.clone()), false))
-        }
-        RaceCheckMode::Fatal => Some((RaceRecorder::new(opts.race_options.clone()), true)),
+    let pool = opts
+        .interp_threads
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+        .min(sim_blocks.max(1) as usize)
+        .max(1);
+    let can_parallel = pool > 1
+        && sim_blocks > 1
+        && opts.fault_injection.is_none()
+        && opts.check_races != RaceCheckMode::Fatal;
+
+    let env = RunEnv {
+        dev,
+        ik: &ik,
+        occ: &occ,
+        grid,
+        sim_blocks,
+        total_blocks,
+        warps_per_block,
+        local_per_thread,
+        opts,
     };
-    let (timing, race) = {
-        let mut ctx = LaunchCtx::new(
-            &mut globals,
-            opts.watchdog_steps,
-            opts.fault_injection.clone(),
-            recorder,
-        );
-        let timing = {
-            let mut source = || -> Option<BlockTrace> {
-                if next >= sim_blocks || fault.is_some() {
-                    return None;
-                }
-                let bx = next;
-                next += 1;
-                let block_idx = ((bx % grid.x as u64) as u32, (bx / grid.x as u64) as u32);
-                match run_block(
-                    kernel,
-                    dev,
-                    &mut ctx,
-                    block_idx,
-                    grid,
-                    bx * warps_per_block,
-                    local_per_thread,
-                    opts.detect_races,
-                ) {
-                    Ok(trace) => {
-                        profile.record_block(&trace);
-                        Some(trace)
-                    }
-                    Err(f) => {
-                        fault = Some(f);
-                        None
-                    }
-                }
-            };
-            engine.run(&occ, &mut source, total_blocks)
-        };
-        let race = ctx
-            .take_race()
-            .map(|rec| rec.finish())
-            .unwrap_or_default();
-        (timing, race)
+    let out = if can_parallel { run_parallel(&env, &mut globals, pool) } else { None };
+    let out = match out {
+        Some(o) => o,
+        None => run_sequential(&env, &mut globals),
     };
 
     // Return buffers even on a fault so callers keep their data (holding
     // whatever partial stores completed before the violation).
     globals.unbind(args);
-    if let Some(f) = fault {
+    if let Some(f) = out.fault {
         return Err(f.into());
     }
 
+    let timing = out.timing;
     Ok(KernelReport {
         kernel_name: kernel.name.clone(),
         cycles: timing.cycles,
@@ -274,9 +300,262 @@ pub fn launch(
         timing,
         occupancy: occ,
         resources,
-        profile,
-        race,
+        profile: out.profile,
+        race: out.race,
     })
+}
+
+/// Per-launch invariants shared by both interpretation strategies.
+struct RunEnv<'a> {
+    dev: &'a DeviceConfig,
+    ik: &'a InternedKernel,
+    occ: &'a Occupancy,
+    grid: Dim3,
+    sim_blocks: u64,
+    total_blocks: u64,
+    warps_per_block: u64,
+    local_per_thread: u32,
+    opts: &'a SimOptions,
+}
+
+impl RunEnv<'_> {
+    fn block_idx(&self, bx: u64) -> (u32, u32) {
+        ((bx % self.grid.x as u64) as u32, (bx / self.grid.x as u64) as u32)
+    }
+}
+
+/// What a run produces: the timing report, race report, profile, and the
+/// first fault (which, when present, makes the caller discard the rest).
+struct RunOutput {
+    timing: TimingReport,
+    race: RaceReport,
+    profile: ProfileReport,
+    fault: Option<SimFault>,
+}
+
+/// The classic path: one launch-scoped context, blocks interpreted in
+/// order, traces streamed straight into the timing engine.
+fn run_sequential(env: &RunEnv, globals: &mut GlobalState) -> RunOutput {
+    let opts = env.opts;
+    let engine = Engine::new(env.dev, env.occ);
+    let mut next: u64 = 0;
+    let mut fault: Option<SimFault> = None;
+    let mut profile = ProfileReport::default();
+    let recorder = match opts.check_races {
+        RaceCheckMode::Off => None,
+        RaceCheckMode::Record => Some((RaceRecorder::new(opts.race_options.clone()), false)),
+        RaceCheckMode::Fatal => Some((RaceRecorder::new(opts.race_options.clone()), true)),
+    };
+    let mut ctx = LaunchCtx::new(
+        globals,
+        opts.watchdog_steps,
+        opts.fault_injection.clone(),
+        recorder,
+    );
+    let timing = {
+        let mut source = || -> Option<BlockTrace> {
+            if next >= env.sim_blocks || fault.is_some() {
+                return None;
+            }
+            let bx = next;
+            next += 1;
+            match run_block(
+                env.ik,
+                env.dev,
+                &mut ctx,
+                env.block_idx(bx),
+                env.grid,
+                bx * env.warps_per_block,
+                env.local_per_thread,
+                opts.detect_races,
+            ) {
+                Ok(trace) => {
+                    profile.record_block(&trace);
+                    Some(trace)
+                }
+                Err(f) => {
+                    fault = Some(f);
+                    None
+                }
+            }
+        };
+        engine.run(env.occ, &mut source, env.total_blocks)
+    };
+    let race = ctx.take_race().map(|rec| rec.finish()).unwrap_or_default();
+    RunOutput { timing, race, profile, fault }
+}
+
+/// One worker's result for one block: the trace (when the block ran to
+/// completion) and the store/race journal either way.
+enum Outcome {
+    Ok(BlockTrace, BlockLog),
+    Fault(SimFault, BlockLog),
+}
+
+/// Fan blocks out across `pool` worker threads against an immutable
+/// snapshot of `globals`, then merge in block order. Returns `None` when a
+/// cross-block read-after-write invalidates the snapshot run — `globals`
+/// is untouched in that case, so the caller reruns sequentially from the
+/// pristine pre-launch state.
+fn run_parallel(env: &RunEnv, globals: &mut GlobalState, pool: usize) -> Option<RunOutput> {
+    let opts = env.opts;
+    let ik = env.ik;
+    let rw: Vec<bool> = ik.array_params.iter().map(|p| p.loaded && p.stored).collect();
+    let log_races = opts.check_races == RaceCheckMode::Record;
+    let sim_blocks = env.sim_blocks;
+
+    let next = AtomicU64::new(0);
+    // Lowest faulting block index seen so far: no sequential run ever gets
+    // past it, so workers stop claiming blocks beyond it.
+    let fault_floor = AtomicU64::new(u64::MAX);
+    let results: Vec<Mutex<Option<Outcome>>> =
+        (0..sim_blocks).map(|_| Mutex::new(None)).collect();
+    {
+        let base: &GlobalState = globals;
+        std::thread::scope(|s| {
+            for _ in 0..pool {
+                s.spawn(|| loop {
+                    let bx = next.fetch_add(1, Ordering::Relaxed);
+                    if bx >= sim_blocks || bx > fault_floor.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let mut ctx =
+                        LaunchCtx::new_logged(base, &rw, opts.watchdog_steps, log_races);
+                    let r = run_block(
+                        ik,
+                        env.dev,
+                        &mut ctx,
+                        env.block_idx(bx),
+                        env.grid,
+                        bx * env.warps_per_block,
+                        env.local_per_thread,
+                        opts.detect_races,
+                    );
+                    let log = ctx.finish_logged();
+                    let outcome = match r {
+                        Ok(trace) => Outcome::Ok(trace, log),
+                        Err(f) => {
+                            fault_floor.fetch_min(bx, Ordering::Relaxed);
+                            Outcome::Fault(f, log)
+                        }
+                    };
+                    *results[bx as usize].lock().expect("worker slot lock") = Some(outcome);
+                });
+            }
+        });
+    }
+
+    // Ordered merge: each block's journal is validated, cut, and applied
+    // exactly as a sequential run would have executed it.
+    let limit = opts.watchdog_steps;
+    let n_arrays = globals.buffers.len();
+    let mut written_so_far: Vec<Vec<u64>> = vec![Vec::new(); n_arrays];
+    let mut cum_steps: u64 = 0;
+    let mut fault: Option<SimFault> = None;
+    let mut traces: Vec<BlockTrace> = Vec::with_capacity(sim_blocks as usize);
+    let mut logs: Vec<BlockLog> = Vec::with_capacity(sim_blocks as usize);
+    for bx in 0..sim_blocks {
+        let outcome = results[bx as usize]
+            .lock()
+            .expect("merge slot lock")
+            .take()
+            .expect("every block before the first fault was executed");
+        let (trace, log, wfault) = match outcome {
+            Outcome::Ok(t, l) => (Some(t), l, None),
+            Outcome::Fault(f, l) => (None, l, Some(f)),
+        };
+        // A block that read an element some earlier block wrote saw a
+        // stale snapshot: nothing in its journal can be trusted.
+        for (ai, reads) in log.reads_before_write.iter().enumerate() {
+            if !reads.is_empty() && bitmaps_intersect(reads, &written_so_far[ai]) {
+                return None;
+            }
+        }
+        // Re-cut the whole-launch watchdog budget at this block's
+        // sequential position: the worker ran with the full budget.
+        let t_avail = limit.map(|l| l.saturating_sub(cum_steps));
+        if t_avail.is_some_and(|t| log.steps > t) {
+            apply_stores(globals, &log.stores, t_avail);
+            fault = Some(SimFault::new(
+                &ik.name,
+                FaultKind::Watchdog { limit: limit.expect("t_avail implies a limit") },
+            ));
+            break;
+        }
+        apply_stores(globals, &log.stores, None);
+        if let Some(f) = wfault {
+            fault = Some(f);
+            break;
+        }
+        for s in &log.stores {
+            if rw[s.arr as usize] {
+                let len = globals.buffers[s.arr as usize].len();
+                bit_set(&mut written_so_far[s.arr as usize], s.idx as usize, len);
+            }
+        }
+        traces.push(trace.expect("fault-free outcome carries a trace"));
+        logs.push(log);
+        cum_steps += logs.last().expect("just pushed").steps;
+    }
+
+    let mut profile = ProfileReport::default();
+    for t in &traces {
+        profile.record_block(t);
+    }
+
+    // Replay journaled race events in block order on one recorder,
+    // rebasing block-local steps to the cumulative launch step — the same
+    // `pc` values sequential recording would have produced. (On a fault
+    // the launch returns `Err` and the report is discarded, so replay is
+    // skipped.)
+    let race = if log_races && fault.is_none() {
+        let mut rec = RaceRecorder::new(opts.race_options.clone());
+        let n_threads = ik.block_dim.count() as u32;
+        let mut base_step: u64 = 0;
+        for (bx, log) in logs.iter().enumerate() {
+            let (bix, biy) = env.block_idx(bx as u64);
+            let block_linear = biy as u64 * env.grid.x as u64 + bix as u64;
+            rec.begin_block(block_linear, n_threads);
+            for ev in &log.race_events {
+                match *ev {
+                    RaceEvent::Access { site, index, thread, write, step } => {
+                        rec.record_access(
+                            site.space(),
+                            site.name(ik),
+                            index,
+                            thread,
+                            write,
+                            base_step + step,
+                        );
+                    }
+                    RaceEvent::Barrier { step } => rec.barrier_all(base_step + step),
+                }
+            }
+            rec.end_block();
+            base_step += log.steps;
+        }
+        rec.finish()
+    } else {
+        RaceReport::default()
+    };
+
+    let engine = Engine::new(env.dev, env.occ);
+    let mut it = traces.into_iter();
+    let mut source = || it.next();
+    let timing = engine.run(env.occ, &mut source, env.total_blocks);
+
+    Some(RunOutput { timing, race, profile, fault })
+}
+
+/// Apply a block's journaled stores to the real buffers, optionally cut at
+/// a watchdog step boundary (journal entries are step-ordered).
+fn apply_stores(globals: &mut GlobalState, stores: &[StoreRec], cut: Option<u64>) {
+    for s in stores {
+        if cut.is_some_and(|c| s.step > c) {
+            break;
+        }
+        globals.buffers[s.arr as usize].write_bits(s.idx as usize, s.bits);
+    }
 }
 
 #[cfg(test)]

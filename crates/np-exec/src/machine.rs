@@ -62,9 +62,16 @@ pub enum ArgValue {
 
 /// Kernel arguments by parameter name. Buffers are moved in and can be
 /// taken back out after the launch.
+///
+/// Binding the same name twice is a host-side contract violation, not a
+/// silent last-write-wins: the first duplicate is remembered and surfaces
+/// as a typed [`FaultKind::ContractViolation`](crate::FaultKind) when the
+/// arguments are bound at launch.
 #[derive(Debug, Clone, Default)]
 pub struct Args {
     map: HashMap<String, ArgValue>,
+    /// First argument name bound more than once, if any.
+    duplicate: Option<String>,
 }
 
 impl Args {
@@ -72,33 +79,39 @@ impl Args {
         Args::default()
     }
 
+    fn set(&mut self, name: &str, v: ArgValue) {
+        if self.map.insert(name.to_string(), v).is_some() && self.duplicate.is_none() {
+            self.duplicate = Some(name.to_string());
+        }
+    }
+
     pub fn f32(mut self, name: &str, v: f32) -> Self {
-        self.map.insert(name.to_string(), ArgValue::F32(v));
+        self.set(name, ArgValue::F32(v));
         self
     }
 
     pub fn i32(mut self, name: &str, v: i32) -> Self {
-        self.map.insert(name.to_string(), ArgValue::I32(v));
+        self.set(name, ArgValue::I32(v));
         self
     }
 
     pub fn u32(mut self, name: &str, v: u32) -> Self {
-        self.map.insert(name.to_string(), ArgValue::U32(v));
+        self.set(name, ArgValue::U32(v));
         self
     }
 
     pub fn buf_f32(mut self, name: &str, v: Vec<f32>) -> Self {
-        self.map.insert(name.to_string(), ArgValue::Buf(Buffer::F32(v)));
+        self.set(name, ArgValue::Buf(Buffer::F32(v)));
         self
     }
 
     pub fn buf_i32(mut self, name: &str, v: Vec<i32>) -> Self {
-        self.map.insert(name.to_string(), ArgValue::Buf(Buffer::I32(v)));
+        self.set(name, ArgValue::Buf(Buffer::I32(v)));
         self
     }
 
     pub fn buf_u32(mut self, name: &str, v: Vec<u32>) -> Self {
-        self.map.insert(name.to_string(), ArgValue::Buf(Buffer::U32(v)));
+        self.set(name, ArgValue::Buf(Buffer::U32(v)));
         self
     }
 
@@ -186,7 +199,7 @@ impl std::error::Error for ExecError {
 
 /// Description of one array visible to the interpreter, with its simulated
 /// base address (used for coalescing / cache analysis).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 pub(crate) struct ArrayBinding {
     pub space: np_kernel_ir::types::MemSpace,
     pub base_addr: u64,
@@ -194,18 +207,37 @@ pub(crate) struct ArrayBinding {
 
 /// Global machine state for one launch: every parameter array, moved out of
 /// `Args`, with an assigned simulated address.
+///
+/// Storage is slot-indexed, not name-keyed: scalar parameters occupy
+/// `scalars` in declaration order, array parameters occupy `buffers` /
+/// `bindings` in declaration order — the same numbering
+/// [`np_kernel_ir::slots::InternedKernel`] assigns, so the interpreter
+/// reaches every parameter by a vector index.
+#[derive(Debug)]
 pub(crate) struct GlobalState {
-    pub buffers: HashMap<String, Buffer>,
-    pub bindings: HashMap<String, ArrayBinding>,
-    pub scalars: HashMap<String, ArgValue>,
+    pub buffers: Vec<Buffer>,
+    pub bindings: Vec<ArrayBinding>,
+    pub scalars: Vec<ArgValue>,
+    /// Array parameter names by slot, to return buffers at unbind.
+    array_names: Vec<String>,
 }
 
 impl GlobalState {
     /// Bind `args` to the kernel's parameters, assigning addresses.
     pub fn bind(kernel: &Kernel, args: &mut Args) -> Result<GlobalState, ExecError> {
-        let mut buffers = HashMap::new();
-        let mut bindings = HashMap::new();
-        let mut scalars = HashMap::new();
+        if let Some(name) = &args.duplicate {
+            return Err(crate::fault::SimFault::new(
+                &kernel.name,
+                crate::fault::FaultKind::ContractViolation {
+                    detail: format!("argument {name:?} bound more than once"),
+                },
+            )
+            .into());
+        }
+        let mut buffers = Vec::new();
+        let mut bindings = Vec::new();
+        let mut scalars = Vec::new();
+        let mut array_names = Vec::new();
         let mut cursor: u64 = 0x1000; // leave page zero unmapped
         for p in &kernel.params {
             match p.kind {
@@ -226,7 +258,7 @@ impl GlobalState {
                             expected: ty.c_name(),
                         });
                     }
-                    scalars.insert(p.name.clone(), v);
+                    scalars.push(v);
                 }
                 ParamKind::GlobalArray(ty)
                 | ParamKind::TexArray(ty)
@@ -251,22 +283,20 @@ impl GlobalState {
                         ParamKind::ConstArray(_) => np_kernel_ir::types::MemSpace::Constant,
                         ParamKind::Scalar(_) => unreachable!(),
                     };
-                    bindings.insert(
-                        p.name.clone(),
-                        ArrayBinding { space, base_addr: cursor },
-                    );
+                    bindings.push(ArrayBinding { space, base_addr: cursor });
                     cursor += (buf.len() as u64 * 4 + 255) & !255;
                     cursor += 256;
-                    buffers.insert(p.name.clone(), buf);
+                    buffers.push(buf);
+                    array_names.push(p.name.clone());
                 }
             }
         }
-        Ok(GlobalState { buffers, bindings, scalars })
+        Ok(GlobalState { buffers, bindings, scalars, array_names })
     }
 
     /// Return buffers to `args` after the launch (so callers see outputs).
     pub fn unbind(self, args: &mut Args) {
-        for (name, buf) in self.buffers {
+        for (name, buf) in self.array_names.into_iter().zip(self.buffers) {
             args.map.insert(name, ArgValue::Buf(buf));
         }
     }
@@ -289,10 +319,31 @@ mod tests {
         let k = kernel();
         let mut args = Args::new().buf_f32("data", vec![1.0, 2.0]).i32("n", 2);
         let gs = GlobalState::bind(&k, &mut args).unwrap();
-        assert_eq!(gs.buffers["data"].len(), 2);
-        assert!(gs.bindings["data"].base_addr >= 0x1000);
+        assert_eq!(gs.buffers[0].len(), 2);
+        assert!(gs.bindings[0].base_addr >= 0x1000);
         gs.unbind(&mut args);
         assert_eq!(args.get_f32("data").unwrap(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn rebinding_an_argument_is_a_contract_violation() {
+        let k = kernel();
+        // Same name bound twice: the second `buf_f32` would silently win
+        // under last-write-wins; instead binding fails with a typed fault.
+        let mut args = Args::new()
+            .buf_f32("data", vec![1.0, 2.0])
+            .buf_f32("data", vec![9.0, 9.0])
+            .i32("n", 2);
+        let err = GlobalState::bind(&k, &mut args).unwrap_err();
+        let fault = err.fault().expect("typed fault, not a setup error");
+        assert!(
+            matches!(
+                &fault.kind,
+                crate::fault::FaultKind::ContractViolation { detail }
+                    if detail.contains("\"data\"")
+            ),
+            "unexpected fault: {fault}"
+        );
     }
 
     #[test]
@@ -324,8 +375,8 @@ mod tests {
         let mut args =
             Args::new().buf_f32("a", vec![0.0; 100]).buf_f32("bb", vec![0.0; 100]);
         let gs = GlobalState::bind(&k, &mut args).unwrap();
-        let a = gs.bindings["a"].base_addr;
-        let b_ = gs.bindings["bb"].base_addr;
+        let a = gs.bindings[0].base_addr;
+        let b_ = gs.bindings[1].base_addr;
         assert!(b_ >= a + 400, "buffers must not overlap: {a} {b_}");
     }
 }

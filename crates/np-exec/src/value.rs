@@ -134,6 +134,12 @@ impl WVal {
                 new.ty()
             )));
         }
+        // Every lane active (the common case): a whole-value copy replaces
+        // the per-lane masked loop, lane-for-lane identical.
+        if mask == FULL_MASK {
+            self.clone_from(new);
+            return Ok(());
+        }
         match (self, new) {
             (WVal::F32(a), WVal::F32(b)) => {
                 for l in lanes(mask) {
@@ -164,6 +170,45 @@ impl WVal {
     /// Apply a binary operator lane-wise under `mask`.
     pub fn binary(op: BinOp, a: &WVal, b: &WVal, mask: Mask) -> Result<WVal, ValueError> {
         use BinOp::*;
+        // Fully-active warps (the overwhelmingly common case) take straight
+        // 0..LANES loops over the hottest operators so the compiler can
+        // vectorize them; results are lane-for-lane identical to the masked
+        // path because no lane is skipped.
+        if mask == FULL_MASK {
+            match (op, a, b) {
+                (Add, WVal::F32(x), WVal::F32(y)) => {
+                    return Ok(WVal::F32(std::array::from_fn(|l| x[l] + y[l])))
+                }
+                (Sub, WVal::F32(x), WVal::F32(y)) => {
+                    return Ok(WVal::F32(std::array::from_fn(|l| x[l] - y[l])))
+                }
+                (Mul, WVal::F32(x), WVal::F32(y)) => {
+                    return Ok(WVal::F32(std::array::from_fn(|l| x[l] * y[l])))
+                }
+                (Add, WVal::I32(x), WVal::I32(y)) => {
+                    return Ok(WVal::I32(std::array::from_fn(|l| x[l].wrapping_add(y[l]))))
+                }
+                (Sub, WVal::I32(x), WVal::I32(y)) => {
+                    return Ok(WVal::I32(std::array::from_fn(|l| x[l].wrapping_sub(y[l]))))
+                }
+                (Mul, WVal::I32(x), WVal::I32(y)) => {
+                    return Ok(WVal::I32(std::array::from_fn(|l| x[l].wrapping_mul(y[l]))))
+                }
+                (Lt, WVal::I32(x), WVal::I32(y)) => {
+                    return Ok(WVal::Bool(std::array::from_fn(|l| x[l] < y[l])))
+                }
+                (Le, WVal::I32(x), WVal::I32(y)) => {
+                    return Ok(WVal::Bool(std::array::from_fn(|l| x[l] <= y[l])))
+                }
+                (Gt, WVal::I32(x), WVal::I32(y)) => {
+                    return Ok(WVal::Bool(std::array::from_fn(|l| x[l] > y[l])))
+                }
+                (Ge, WVal::I32(x), WVal::I32(y)) => {
+                    return Ok(WVal::Bool(std::array::from_fn(|l| x[l] >= y[l])))
+                }
+                _ => {}
+            }
+        }
         let out = match (a, b) {
             (WVal::F32(x), WVal::F32(y)) => match op {
                 Add | Sub | Mul | Div | Rem | Min | Max => {

@@ -379,7 +379,13 @@ impl<'d> Engine<'d> {
             }
 
             let t_issue = t.max(self.smxs[smx_id].issue_free);
-            let op = self.warps[wslot].trace.ops[self.warps[wslot].pc].clone();
+            // Each op is executed exactly once and never re-read (pc only
+            // advances; retire resets the trace), so take it out instead of
+            // cloning — GlobalLoad/Local/Tex ops carry heap-allocated line
+            // lists a clone would have to copy.
+            let pc = self.warps[wslot].pc;
+            let op =
+                std::mem::replace(&mut self.warps[wslot].trace.ops[pc], WarpOp::Alu { count: 0 });
             self.warps[wslot].pc += 1;
 
             // The reason this warp was unready until now; it was the

@@ -27,14 +27,32 @@ pub struct Coalesced {
 pub fn coalesce(addrs: &LaneAddrs, access_bytes: u32, txn_bytes: u32) -> Coalesced {
     debug_assert!(txn_bytes.is_power_of_two());
     let mask = !(txn_bytes as u64 - 1);
-    let mut segments: Vec<u64> = Vec::with_capacity(4);
+    // 4-byte lane accesses produce at most 32 segments; collect them in a
+    // fixed scratch buffer so the common (even fully strided) case costs a
+    // single exact-size allocation. Wider or unaligned accesses can exceed
+    // the scratch capacity and fall back to a plain Vec.
+    let mut scratch = [0u64; 64];
+    let mut nseg = 0usize;
+    let mut spill: Option<Vec<u64>> = None;
     for addr in addrs.iter().flatten() {
         let first = *addr & mask;
         let last = (*addr + access_bytes as u64 - 1) & mask;
         let mut seg = first;
         loop {
-            if let Err(pos) = segments.binary_search(&seg) {
-                segments.insert(pos, seg);
+            if let Some(v) = &mut spill {
+                if let Err(pos) = v.binary_search(&seg) {
+                    v.insert(pos, seg);
+                }
+            } else if let Err(pos) = scratch[..nseg].binary_search(&seg) {
+                if nseg == scratch.len() {
+                    let mut v = scratch.to_vec();
+                    v.insert(pos, seg);
+                    spill = Some(v);
+                } else {
+                    scratch.copy_within(pos..nseg, pos + 1);
+                    scratch[pos] = seg;
+                    nseg += 1;
+                }
             }
             if seg == last {
                 break;
@@ -42,6 +60,7 @@ pub fn coalesce(addrs: &LaneAddrs, access_bytes: u32, txn_bytes: u32) -> Coalesc
             seg += txn_bytes as u64;
         }
     }
+    let segments = spill.unwrap_or_else(|| scratch[..nseg].to_vec());
     Coalesced { transactions: segments.len() as u32, segments }
 }
 

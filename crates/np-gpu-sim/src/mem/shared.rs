@@ -16,21 +16,23 @@ pub const BANK_BYTES: u64 = 4;
 /// Number of serialized passes (>= 1 for any active access, 0 if no lane is
 /// active) needed by one warp shared-memory access.
 pub fn conflict_passes(addrs: &LaneAddrs) -> u32 {
-    // words[bank] holds the distinct word indices seen in that bank.
-    let mut words: [Vec<u64>; NUM_BANKS as usize] = std::array::from_fn(|_| Vec::new());
-    let mut any = false;
+    // At most one distinct word per active lane, so a fixed scratch array
+    // covers the worst case without touching the heap on this hot path.
+    let mut seen = [0u64; 32];
+    let mut nseen = 0usize;
+    let mut per_bank = [0u32; NUM_BANKS as usize];
     for addr in addrs.iter().flatten() {
-        any = true;
         let word = *addr / BANK_BYTES;
-        let bank = (word % NUM_BANKS) as usize;
-        if !words[bank].contains(&word) {
-            words[bank].push(word);
+        if !seen[..nseen].contains(&word) {
+            seen[nseen] = word;
+            nseen += 1;
+            per_bank[(word % NUM_BANKS) as usize] += 1;
         }
     }
-    if !any {
+    if nseen == 0 {
         return 0;
     }
-    words.iter().map(|w| w.len() as u32).max().unwrap_or(0).max(1)
+    per_bank.iter().copied().max().unwrap_or(0).max(1)
 }
 
 #[cfg(test)]

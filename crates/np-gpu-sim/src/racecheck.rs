@@ -354,6 +354,11 @@ impl RaceReport {
 struct WordState {
     last_write: Option<AccessSite>,
     reads: Vec<AccessSite>,
+    /// Thread -> slot in `reads`, built lazily once a word is read by many
+    /// threads (broadcast loads would otherwise make the per-access
+    /// dedup scan quadratic in the thread count). Pure index: the `reads`
+    /// vector and its order are exactly what they were without it.
+    read_map: Option<HashMap<u32, u32>>,
     /// At most one memory-race finding is filed per word, so one dropped
     /// barrier reads as one finding per conflicting word rather than one
     /// per access pair.
@@ -415,6 +420,13 @@ impl RaceRecorder {
         id
     }
 
+    /// Intern an array name once and reuse the id across
+    /// [`RaceRecorder::record_access_by_id`] calls — callers on the hot
+    /// path cache the id instead of paying a string hash per access.
+    pub fn intern_id(&mut self, array: &str) -> u32 {
+        self.intern(array)
+    }
+
     fn file(&mut self, finding: RaceFinding) -> Option<&RaceFinding> {
         if self.report.findings.len() >= self.opts.cap() {
             self.report.truncated = true;
@@ -449,6 +461,21 @@ impl RaceRecorder {
         pc: u64,
     ) -> Option<&RaceFinding> {
         let array_id = self.intern(array);
+        self.record_access_by_id(space, array_id, index, thread, write, pc)
+    }
+
+    /// [`RaceRecorder::record_access`] with a pre-interned array id (from
+    /// [`RaceRecorder::intern_id`]); behaviorally identical.
+    pub fn record_access_by_id(
+        &mut self,
+        space: RaceSpace,
+        array_id: u32,
+        index: u64,
+        thread: u32,
+        write: bool,
+        pc: u64,
+    ) -> Option<&RaceFinding> {
+        let array: &str = &self.array_names[array_id as usize];
         let Some(cur) = &mut self.cur else { return None };
         self.report.accesses_checked += 1;
         let epoch = cur.epochs.get(thread as usize).copied().unwrap_or(0);
@@ -507,14 +534,38 @@ impl RaceRecorder {
         }
 
         // Update word state: writes supersede; reads keep one slot per
-        // thread.
+        // thread (dedup goes through the lazy thread->slot index once the
+        // reader set is large; the vector contents and order are
+        // unchanged either way).
         if write {
             word.last_write = Some(access);
             word.reads.clear();
+            word.read_map = None;
         } else {
-            match word.reads.iter_mut().find(|r| r.thread == thread) {
-                Some(slot) => *slot = access,
-                None => word.reads.push(access),
+            const READ_MAP_AT: usize = 16;
+            let slot = if let Some(m) = &word.read_map {
+                m.get(&thread).copied()
+            } else if word.reads.len() >= READ_MAP_AT {
+                let m: HashMap<u32, u32> = word
+                    .reads
+                    .iter()
+                    .enumerate()
+                    .map(|(i, r)| (r.thread, i as u32))
+                    .collect();
+                let slot = m.get(&thread).copied();
+                word.read_map = Some(m);
+                slot
+            } else {
+                word.reads.iter().position(|r| r.thread == thread).map(|i| i as u32)
+            };
+            match slot {
+                Some(i) => word.reads[i as usize] = access,
+                None => {
+                    if let Some(m) = &mut word.read_map {
+                        m.insert(thread, word.reads.len() as u32);
+                    }
+                    word.reads.push(access);
+                }
             }
         }
 

@@ -111,6 +111,7 @@ pub struct TraceBuilder {
     div_depth: u32,
 }
 
+
 impl TraceBuilder {
     /// `txn_bytes` is the global-memory transaction size, `l1_line` the L1
     /// line size (both from the device config).

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! np-harness [--test-scale] [--json [PATH]] [--check-bench BASELINE]
-//!            [--tolerance FRACTION]
+//!            [--tolerance FRACTION] [--wall-clock]
 //!            [all | sweep | fig01 | table1 | fig10 | fig11 |
 //!             fig12 | fig13 | fig14 | fig15 | fig16 | sec6]...
 //! ```
@@ -17,6 +17,12 @@
 //! fresh trajectory against a committed baseline and exits 1 on any cycle
 //! count outside `--tolerance` (relative, default 0.02 = ±2%). Both flags
 //! imply the sweep runs.
+//!
+//! `--wall-clock` times the sweep on the host: a throughput line
+//! (blocks/sec, total seconds) goes to stderr and the measurement is
+//! written to `BENCH_wallclock.json`. Host timing varies run to run, so
+//! this document is informational only — it is a separate schema from the
+//! byte-stable trajectory and is never gated by `--check-bench`.
 //!
 //! `all` (and the explicit `sweep` command) end with a per-workload
 //! PASS/FAULT summary: every workload's baseline + auto-tune runs to a
@@ -40,6 +46,7 @@ fn main() {
     let mut json_path: Option<String> = None;
     let mut check_baseline: Option<String> = None;
     let mut tolerance = 0.02f64;
+    let mut wall_clock = false;
     let mut wanted: Vec<String> = Vec::new();
     let mut it = args.iter().peekable();
     while let Some(a) = it.next() {
@@ -61,6 +68,7 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--wall-clock" => wall_clock = true,
             "--tolerance" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
                 Some(t) if t >= 0.0 => tolerance = t,
                 _ => {
@@ -86,7 +94,18 @@ fn main() {
     // mode) the trajectory document. Returns true when everything failed.
     let run_sweep = || -> bool {
         let dev = DeviceConfig::gtx680();
-        let outcomes = runner::sweep(&dev, scale);
+        let (outcomes, elapsed) = runner::sweep_timed(&dev, scale);
+        if wall_clock {
+            // Host throughput is informational: it goes to stderr and its
+            // own non-gated document, never into the byte-stable
+            // trajectory that --check-bench compares.
+            eprintln!("{}", elapsed.summary_line(scale_label));
+            let doc = elapsed.to_json(dev.name, scale_label);
+            match std::fs::write("BENCH_wallclock.json", &doc) {
+                Ok(()) => eprintln!("np-harness: wrote BENCH_wallclock.json"),
+                Err(e) => eprintln!("np-harness: cannot write BENCH_wallclock.json: {e}"),
+            }
+        }
         print!("{}", runner::summary(&outcomes));
         println!();
         print!("{}", runner::counter_table(&outcomes));

@@ -255,6 +255,65 @@ pub fn all_failed(outcomes: &[WorkloadOutcome]) -> bool {
     !outcomes.is_empty() && outcomes.iter().all(|o| o.result.is_err())
 }
 
+/// Host-side throughput of one sweep: wall-clock seconds and simulated
+/// blocks interpreted per second. This is a measurement of *this machine
+/// on this run* — inherently non-deterministic, which is why it lives in
+/// its own `BENCH_wallclock.json` document and never enters the
+/// byte-stable trajectory schema that `--check-bench` gates on.
+pub struct WallClock {
+    pub seconds: f64,
+    /// Simulated blocks across every completed launch the sweep timed
+    /// (baseline + tuning winner per passing workload).
+    pub blocks: u64,
+}
+
+impl WallClock {
+    pub fn blocks_per_sec(&self) -> f64 {
+        if self.seconds > 0.0 {
+            self.blocks as f64 / self.seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// One human line for stderr.
+    pub fn summary_line(&self, scale: &str) -> String {
+        format!(
+            "np-harness: sweep wall-clock {:.2}s, {} blocks, {:.0} blocks/sec ({scale} scale)",
+            self.seconds,
+            self.blocks,
+            self.blocks_per_sec()
+        )
+    }
+
+    /// The `BENCH_wallclock.json` document (schema `np-wallclock-v1`).
+    /// Deliberately separate from the trajectory schema: these numbers
+    /// change run to run and machine to machine.
+    pub fn to_json(&self, device: &str, scale: &str) -> String {
+        format!(
+            "{{\n  \"schema\": \"np-wallclock-v1\",\n  \"device\": \"{device}\",\n  \
+             \"scale\": \"{scale}\",\n  \"blocks\": {},\n  \"seconds\": {:.3},\n  \
+             \"blocks_per_sec\": {:.1}\n}}\n",
+            self.blocks,
+            self.seconds,
+            self.blocks_per_sec()
+        )
+    }
+}
+
+/// [`sweep`], timed: returns the outcomes plus host-side throughput.
+pub fn sweep_timed(dev: &DeviceConfig, scale: Scale) -> (Vec<WorkloadOutcome>, WallClock) {
+    let start = std::time::Instant::now();
+    let outcomes = sweep(dev, scale);
+    let seconds = start.elapsed().as_secs_f64();
+    let blocks = outcomes
+        .iter()
+        .filter_map(|o| o.result.as_ref().ok())
+        .map(|r| r.baseline.timing.blocks_simulated + r.tuned.best_report.timing.blocks_simulated)
+        .sum();
+    (outcomes, WallClock { seconds, blocks })
+}
+
 /// Geometric mean.
 pub fn gm(xs: &[f64]) -> f64 {
     if xs.is_empty() {
@@ -267,6 +326,27 @@ pub fn gm(xs: &[f64]) -> f64 {
 mod tests {
     use super::*;
     use np_workloads::{tmv::Tmv, Scale};
+
+    #[test]
+    fn wallclock_json_and_summary_carry_throughput() {
+        let wc = WallClock { seconds: 2.5, blocks: 1000 };
+        assert_eq!(wc.blocks_per_sec(), 400.0);
+        let j = wc.to_json("GTX 680", "test");
+        for needle in [
+            "\"schema\": \"np-wallclock-v1\"",
+            "\"device\": \"GTX 680\"",
+            "\"scale\": \"test\"",
+            "\"blocks\": 1000",
+            "\"seconds\": 2.500",
+            "\"blocks_per_sec\": 400.0",
+        ] {
+            assert!(j.contains(needle), "{j} missing {needle}");
+        }
+        let line = wc.summary_line("test");
+        assert!(line.contains("2.50s") && line.contains("400 blocks/sec"), "{line}");
+        // Degenerate timer reading must not divide by zero.
+        assert_eq!(WallClock { seconds: 0.0, blocks: 5 }.blocks_per_sec(), 0.0);
+    }
 
     #[test]
     fn gm_matches_hand_computation() {

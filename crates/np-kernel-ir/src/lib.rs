@@ -19,6 +19,7 @@ pub mod kernel;
 pub mod parse;
 pub mod pragma;
 pub mod printer;
+pub mod slots;
 pub mod stmt;
 pub mod types;
 
