@@ -27,8 +27,32 @@
 //!   --mutate M           apply a conformance mutation to the transformed
 //!                        kernel before emitting/checking it:
 //!                        drop-barrier[:N] or unguard-broadcast
+//!   --watchdog B         interpreter step budget for every simulation this
+//!                        invocation runs (a count, or `none` to disarm);
+//!                        the same spellings the serve protocol accepts
+//!
+//! npcc serve [options]   JSONL batch service on stdin/stdout
+//!
+//!   --workers N          simulation worker threads (default 2)
+//!   --queue N            admission queue bound (default 16)
+//!   --cache N            result cache capacity in entries (default 256)
+//!   --deadline-ms MS     default per-request wall-clock deadline
+//!   --watchdog B         default step budget (count or `none`)
+//!   --chaos SEED         arm seeded chaos (delays, panics, faults,
+//!                        cache corruption)
+//!   --soak SECS          run the built-in chaos-soak client driver for
+//!                        SECS seconds instead of reading stdin; exits
+//!                        nonzero unless the exactly-once and
+//!                        byte-identity invariants held
+//!   --clients N          soak client threads (default 4)
+//!   --bench-out PATH     write BENCH_serve.json here (default
+//!                        BENCH_serve.json in soak mode)
 //! ```
 
+use cuda_np::serve::{
+    parse_step_budget, soak, synth_args, ChaosConfig, RetryPolicy, ServeConfig, Server,
+    SoakConfig,
+};
 use cuda_np::tuner::{
     alloc_extra_buffers, autotune, candidates_from_pragmas, TuneOutcome,
 };
@@ -36,54 +60,33 @@ use cuda_np::{
     drop_barrier, drop_broadcast_guard, gating_policy, transform, LocalArrayStrategy,
     NpOptions, Transformed,
 };
-use np_exec::{launch, Args, RaceCheckMode, SimOptions};
+use np_exec::{launch, RaceCheckMode, SimOptions};
 use np_gpu_sim::racecheck::RaceCheckOptions;
 use np_gpu_sim::{DeviceConfig, ProfileCounters};
 use np_kernel_ir::analysis::barriers::count_barriers;
-use np_kernel_ir::kernel::{Kernel, ParamKind};
+use np_kernel_ir::kernel::Kernel;
 use np_kernel_ir::pragma::NpType;
-use np_kernel_ir::types::{Dim3, Scalar};
+use np_kernel_ir::types::Dim3;
 use np_kernel_ir::{parse_kernel, printer};
-use std::io::Read;
+use std::io::{BufRead, Read, Write};
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, RecvTimeoutError};
+use std::sync::Arc;
+use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
         "usage: npcc [--slave-size N] [--np-type inter|intra] [--sm V] \
          [--local-array auto|global|shared|register] [--pad] [--no-redundant] \
          [--report] [--explain] [--timeline] [--check-races] \
-         [--mutate drop-barrier[:N]|unguard-broadcast] <kernel.cu | ->"
+         [--mutate drop-barrier[:N]|unguard-broadcast] [--watchdog B|none] \
+         <kernel.cu | ->\n\
+         \x20      npcc serve [--workers N] [--queue N] [--cache N] \
+         [--deadline-ms MS] [--watchdog B|none] [--chaos SEED] \
+         [--soak SECS] [--clients N] [--bench-out PATH]"
     );
     std::process::exit(2)
-}
-
-/// Deterministic synthesized arguments for `--explain` / `--check-races`:
-/// every array gets 64Ki elements of reproducible non-trivial data, every
-/// integer scalar a plausible dimension — a multiple of the warp width, so
-/// tiled loops with bounds like `w / 32` actually run — every float 1.0.
-fn synth_args(kernel: &Kernel) -> Args {
-    let n = 1usize << 16;
-    let mut args = Args::new();
-    for p in &kernel.params {
-        args = match p.kind {
-            ParamKind::Scalar(Scalar::F32) => args.f32(&p.name, 1.0),
-            ParamKind::Scalar(Scalar::I32) => args.i32(&p.name, 64),
-            ParamKind::Scalar(_) => args.u32(&p.name, 64),
-            ParamKind::GlobalArray(ty) | ParamKind::TexArray(ty) | ParamKind::ConstArray(ty) => {
-                match ty {
-                    Scalar::F32 => args.buf_f32(
-                        &p.name,
-                        (0..n).map(|i| ((i * 37 + 11) % 97) as f32 / 97.0).collect(),
-                    ),
-                    Scalar::I32 => {
-                        args.buf_i32(&p.name, (0..n).map(|i| (i % 7) as i32).collect())
-                    }
-                    _ => args.buf_u32(&p.name, (0..n).map(|i| (i % 7) as u32).collect()),
-                }
-            }
-        };
-    }
-    args
 }
 
 fn np_type_str(t: NpType) -> &'static str {
@@ -113,7 +116,7 @@ fn counter_cells(p: &ProfileCounters) -> String {
 /// Auto-tune `kernel` on the simulated GTX 680 and print the per-candidate
 /// counter table plus a winner analysis to stderr. Returns the winning
 /// transform, or `None` when nothing ran to completion.
-fn explain(kernel: &Kernel) -> Option<Transformed> {
+fn explain(kernel: &Kernel, sim: &SimOptions) -> Option<Transformed> {
     let dev = DeviceConfig::gtx680();
     let grid = Dim3::x1(4);
     let header = format!(
@@ -137,7 +140,7 @@ fn explain(kernel: &Kernel) -> Option<Transformed> {
     );
     eprintln!("{header}");
 
-    let baseline = launch(&dev, kernel, grid, &mut synth_args(kernel), &SimOptions::full());
+    let baseline = launch(&dev, kernel, grid, &mut synth_args(kernel), sim);
     let base = match &baseline {
         Ok(rep) => {
             eprintln!(
@@ -157,7 +160,7 @@ fn explain(kernel: &Kernel) -> Option<Transformed> {
     let candidates = candidates_from_pragmas(kernel, 1024);
     let make_args =
         |t: &Transformed| alloc_extra_buffers(synth_args(&t.kernel), t, grid);
-    let result = autotune(kernel, &dev, grid, &make_args, &SimOptions::full(), &candidates);
+    let result = autotune(kernel, &dev, grid, &make_args, sim, &candidates);
     let (entries, winner) = match result {
         Ok(r) => {
             let cycles = r.best_report.cycles;
@@ -299,11 +302,12 @@ fn apply_mutation(t: &Transformed, spec: &str) -> Result<Kernel, String> {
 /// Simulate `kernel` (the emitted kernel of `t`, possibly mutated) with the
 /// happens-before checker recording and print the report to stderr. Returns
 /// true when the run is race-free.
-fn check_races(t: &Transformed, kernel: &Kernel, explain: bool) -> bool {
+fn check_races(t: &Transformed, kernel: &Kernel, explain: bool, sim: &SimOptions) -> bool {
     let dev = DeviceConfig::gtx680();
     let grid = Dim3::x1(4);
     let mut args = alloc_extra_buffers(synth_args(&t.kernel), t, grid);
-    let sim = SimOptions::full()
+    let sim = sim
+        .clone()
         .with_race_check(RaceCheckMode::Record)
         .with_race_options(RaceCheckOptions { max_findings: None, policy: gating_policy(t) });
     match launch(&dev, kernel, grid, &mut args, &sim) {
@@ -330,11 +334,11 @@ fn check_races(t: &Transformed, kernel: &Kernel, explain: bool) -> bool {
 
 /// Simulate `t`'s kernel with synthesized arguments on the GTX 680 and
 /// render the per-SMX stall timeline to stderr.
-fn render_timeline(t: &Transformed) -> bool {
+fn render_timeline(t: &Transformed, sim: &SimOptions) -> bool {
     let dev = DeviceConfig::gtx680();
     let grid = Dim3::x1(4);
     let mut args = alloc_extra_buffers(synth_args(&t.kernel), t, grid);
-    match launch(&dev, &t.kernel, grid, &mut args, &SimOptions::full()) {
+    match launch(&dev, &t.kernel, grid, &mut args, sim) {
         Ok(rep) => {
             eprintln!(
                 "npcc: timeline for {:?} on gtx680, grid {} x {} threads",
@@ -360,10 +364,14 @@ fn main() -> ExitCode {
     let mut timeline_flag = false;
     let mut check_races_flag = false;
     let mut mutate: Option<String> = None;
+    // `--watchdog` step budget: absent = simulator default,
+    // Some(None) = disarmed, Some(Some(n)) = n steps.
+    let mut watchdog: Option<Option<u64>> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
+            "serve" => return serve_main(args),
             "--slave-size" => {
                 opts.slave_size = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
             }
@@ -392,6 +400,16 @@ fn main() -> ExitCode {
             "--timeline" => timeline_flag = true,
             "--check-races" => check_races_flag = true,
             "--mutate" => mutate = Some(args.next().unwrap_or_else(|| usage())),
+            "--watchdog" => {
+                let spec = args.next().unwrap_or_else(|| usage());
+                watchdog = match parse_step_budget(&spec) {
+                    Ok(b) => Some(b),
+                    Err(e) => {
+                        eprintln!("npcc: --watchdog: {e}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
             "--help" | "-h" => usage(),
             other if input.is_none() && !other.starts_with("--") => {
                 input = Some(other.to_string())
@@ -400,6 +418,11 @@ fn main() -> ExitCode {
         }
     }
     let Some(path) = input else { usage() };
+    // The step budget every simulation in this invocation runs under.
+    let sim = match watchdog {
+        None => SimOptions::full(),
+        Some(b) => SimOptions::full().with_watchdog(b),
+    };
 
     let src = if path == "-" {
         let mut s = String::new();
@@ -455,20 +478,20 @@ fn main() -> ExitCode {
         if report {
             eprintln!("npcc: {:#?}", t.report);
         }
-        if check_races_flag && !check_races(&t, &emitted, explain_flag) {
+        if check_races_flag && !check_races(&t, &emitted, explain_flag, &sim) {
             return ExitCode::FAILURE;
         }
         return ExitCode::SUCCESS;
     }
 
     if explain_flag {
-        return match explain(&kernel) {
+        return match explain(&kernel, &sim) {
             Some(best) => {
                 print!("{}", printer::print_kernel(&best.kernel));
                 if report {
                     eprintln!("npcc: {:#?}", best.report);
                 }
-                if timeline_flag && !render_timeline(&best) {
+                if timeline_flag && !render_timeline(&best, &sim) {
                     return ExitCode::FAILURE;
                 }
                 ExitCode::SUCCESS
@@ -486,7 +509,7 @@ fn main() -> ExitCode {
             if report {
                 eprintln!("npcc: {:#?}", t.report);
             }
-            if timeline_flag && !render_timeline(&t) {
+            if timeline_flag && !render_timeline(&t, &sim) {
                 return ExitCode::FAILURE;
             }
             ExitCode::SUCCESS
@@ -495,5 +518,213 @@ fn main() -> ExitCode {
             eprintln!("npcc: {path}: {e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+/// SIGTERM/SIGINT flag for the serve loop. Set from a raw C signal
+/// handler (no libc crate in this workspace): storing a relaxed atomic
+/// bool is async-signal-safe.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_sig: i32) {
+    SHUTDOWN.store(true, Ordering::Relaxed);
+}
+
+fn install_signal_handlers() {
+    #[cfg(unix)]
+    {
+        unsafe extern "C" {
+            /// POSIX `signal(2)`; resolved from the platform libc the
+            /// binary already links against.
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        let handler = on_signal as *const () as usize;
+        unsafe {
+            signal(SIGTERM, handler);
+            signal(SIGINT, handler);
+        }
+    }
+}
+
+/// `npcc serve`: JSONL requests on stdin, JSONL responses on stdout,
+/// operational log on stderr. SIGTERM/SIGINT (or stdin EOF) triggers a
+/// graceful drain: accepted jobs finish, the cache index is flushed, and
+/// the exit is clean.
+fn serve_main(mut args: std::iter::Skip<std::env::Args>) -> ExitCode {
+    let mut cfg = ServeConfig { queue_cap: 16, ..ServeConfig::default() };
+    let mut chaos_seed: Option<u64> = None;
+    let mut soak_secs: Option<u64> = None;
+    let mut clients = 4usize;
+    let mut bench_out: Option<String> = None;
+
+    let num = |args: &mut std::iter::Skip<std::env::Args>| -> u64 {
+        args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+    };
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--workers" => cfg.workers = num(&mut args).max(1) as usize,
+            "--queue" => cfg.queue_cap = num(&mut args).max(1) as usize,
+            "--cache" => cfg.cache_cap = num(&mut args).max(1) as usize,
+            "--deadline-ms" => cfg.default_deadline_ms = Some(num(&mut args)),
+            "--watchdog" => {
+                let spec = args.next().unwrap_or_else(|| usage());
+                cfg.default_watchdog = match parse_step_budget(&spec) {
+                    Ok(b) => b,
+                    Err(e) => {
+                        eprintln!("npcc serve: --watchdog: {e}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--chaos" => chaos_seed = Some(num(&mut args)),
+            "--soak" => soak_secs = Some(num(&mut args)),
+            "--clients" => clients = num(&mut args).max(1) as usize,
+            "--bench-out" => bench_out = Some(args.next().unwrap_or_else(|| usage())),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    cfg.chaos = chaos_seed.map(ChaosConfig::standard);
+
+    if let Some(secs) = soak_secs {
+        return soak_main(cfg, chaos_seed, secs, clients, bench_out);
+    }
+
+    install_signal_handlers();
+    let server = Server::start(cfg.clone());
+    eprintln!(
+        "npcc serve: ready ({} workers, queue {}, cache {}{})",
+        cfg.workers,
+        cfg.queue_cap,
+        cfg.cache_cap,
+        match chaos_seed {
+            Some(s) => format!(", CHAOS seed {s}"),
+            None => String::new(),
+        }
+    );
+
+    // Stdin on its own thread: a blocked read must not stop the main loop
+    // from noticing SIGTERM or printing worker responses.
+    let (line_tx, line_rx) = channel::<String>();
+    std::thread::spawn(move || {
+        let stdin = std::io::stdin();
+        for line in stdin.lock().lines() {
+            let Ok(line) = line else { break };
+            if line.trim().is_empty() {
+                continue;
+            }
+            if line_tx.send(line).is_err() {
+                break;
+            }
+        }
+        // Dropping line_tx signals EOF to the main loop.
+    });
+
+    let (resp_tx, resp_rx) = channel();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let mut print = |resp: cuda_np::serve::Response| {
+        let _ = writeln!(out, "{}", resp.to_json_line());
+        let _ = out.flush();
+    };
+
+    let reason = loop {
+        if SHUTDOWN.load(Ordering::Relaxed) {
+            break "signal";
+        }
+        match line_rx.recv_timeout(Duration::from_millis(50)) {
+            Ok(line) => {
+                server.submit(&line, &resp_tx);
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => break "eof",
+        }
+        while let Ok(resp) = resp_rx.try_recv() {
+            print(resp);
+        }
+    };
+
+    eprintln!(
+        "npcc serve: {reason}, draining {} queued job(s)",
+        server.queue_len()
+    );
+    let end = server.shutdown();
+    // Workers are joined: every outstanding response is in the channel.
+    while let Ok(resp) = resp_rx.try_recv() {
+        print(resp);
+    }
+    if let Some(path) = &bench_out {
+        let doc = end.snapshot.bench_json(chaos_seed, None);
+        if let Err(e) = std::fs::write(path, doc) {
+            eprintln!("npcc serve: cannot write {path}: {e}");
+        }
+    }
+    eprint!("npcc serve: cache index: {}", end.cache_index);
+    eprintln!(
+        "npcc serve: drained cleanly ({} answered, p50 {} us, p99 {} us, \
+         hits {}, shed {}, quarantined {}, worker panics {})",
+        end.snapshot.answered,
+        end.snapshot.p50_us,
+        end.snapshot.p99_us,
+        end.snapshot.cache_hits,
+        end.snapshot.shed_overloaded,
+        end.snapshot.quarantined_rejects,
+        end.worker_panics,
+    );
+    if end.worker_panics == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// `npcc serve --soak SECS`: hammer an in-process server with the seeded
+/// client fleet, write `BENCH_serve.json`, and gate the exit code on the
+/// exactly-once + byte-identity invariants.
+fn soak_main(
+    cfg: ServeConfig,
+    chaos_seed: Option<u64>,
+    secs: u64,
+    clients: usize,
+    bench_out: Option<String>,
+) -> ExitCode {
+    let seed = chaos_seed.unwrap_or(0);
+    eprintln!(
+        "npcc serve: soaking for {secs} s with {clients} clients, {} workers, \
+         queue {}, seed {seed}{}",
+        cfg.workers,
+        cfg.queue_cap,
+        if cfg.chaos.is_some() { " (chaos armed)" } else { "" }
+    );
+    let server = Arc::new(Server::start(cfg));
+    let report = soak(
+        server,
+        &SoakConfig {
+            seed,
+            clients,
+            duration: Duration::from_secs(secs),
+            retry: RetryPolicy::default(),
+        },
+    );
+    eprintln!("npcc serve: {}", report.summary());
+    let path = bench_out.unwrap_or_else(|| "BENCH_serve.json".to_string());
+    if let Some(snap) = &report.snapshot {
+        let doc = snap.bench_json(chaos_seed, Some(secs));
+        match std::fs::write(&path, &doc) {
+            Ok(()) => eprintln!("npcc serve: wrote {path}"),
+            Err(e) => {
+                eprintln!("npcc serve: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if report.passed() {
+        eprintln!("npcc serve: soak PASSED");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("npcc serve: soak FAILED");
+        ExitCode::FAILURE
     }
 }

@@ -46,6 +46,7 @@ pub mod mapping;
 pub mod options;
 pub mod preprocess;
 pub mod scan;
+pub mod serve;
 pub mod transform;
 pub mod tuner;
 

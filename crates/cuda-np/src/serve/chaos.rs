@@ -1,0 +1,155 @@
+//! Seeded chaos for the serve loop, in the mold of
+//! `np_gpu_sim::mem::inject`: every decision is a pure function of
+//! `(seed, job sequence number)`, so a chaos soak is exactly reproducible
+//! from its seed — the same jobs get delayed, panicked, hardware-faulted,
+//! and the same cache entries get corrupted, run after run.
+//!
+//! Four hazards, mirroring what a long-running batch service actually
+//! meets: scheduling **delay** (latency tails), worker **panics**
+//! (poisoned kernels / compiler bugs), transient **hardware faults**
+//! (surfaced through the existing seeded memory injector as typed
+//! `Injected` sim faults), and cache **corruption** (bit rot — which the
+//! checksummed cache must catch rather than serve).
+
+use np_gpu_sim::mem::inject::{InjectConfig, InjectSpace};
+
+/// Chaos rates. A rate of `0` disables that hazard.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    pub seed: u64,
+    /// Delay roughly one job in this many...
+    pub delay_one_in: u64,
+    /// ...by up to this many milliseconds.
+    pub delay_max_ms: u64,
+    /// Panic the worker on roughly one job in this many.
+    pub panic_one_in: u64,
+    /// Arm forced memory-fault injection on roughly one job in this many.
+    pub fault_one_in: u64,
+    /// After roughly one job in this many, flip a byte of some cache entry.
+    pub corrupt_one_in: u64,
+}
+
+impl ChaosConfig {
+    /// The soak-test mix: every hazard armed at rates that exercise each
+    /// path many times over a 30-second run without drowning the service.
+    pub fn standard(seed: u64) -> Self {
+        ChaosConfig {
+            seed,
+            delay_one_in: 4,
+            delay_max_ms: 15,
+            panic_one_in: 19,
+            fault_one_in: 11,
+            corrupt_one_in: 7,
+        }
+    }
+}
+
+/// What chaos decreed for one job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosPlan {
+    /// Sleep this long before running the job.
+    pub delay_ms: Option<u64>,
+    /// Panic instead of running the job (caught by the worker's
+    /// `catch_unwind`; must become a typed `panicked` response).
+    pub panic: bool,
+    /// Arm the simulator's seeded fault injector for this launch (forced
+    /// faults only — bit flips would change functional output, which must
+    /// never be cached as a clean result).
+    pub inject: Option<InjectConfig>,
+    /// After the job completes, corrupt one byte of some cache entry.
+    pub corrupt_cache: bool,
+}
+
+impl ChaosPlan {
+    /// No chaos (what every job gets when chaos mode is off).
+    pub fn none() -> Self {
+        ChaosPlan { delay_ms: None, panic: false, inject: None, corrupt_cache: false }
+    }
+}
+
+fn mix(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Decide one job's fate. Pure: `(cfg, seq) -> plan`, independent of
+/// thread interleaving, wall clock, or prior calls. Hazards are decided
+/// independently (a job can be both delayed and panicked).
+pub fn plan(cfg: &ChaosConfig, seq: u64) -> ChaosPlan {
+    let h = |salt: u64| mix(cfg.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ seq.wrapping_add(salt));
+    let hits = |salt: u64, one_in: u64| one_in != 0 && h(salt) % one_in == 0;
+    ChaosPlan {
+        delay_ms: if hits(0x44, cfg.delay_one_in) && cfg.delay_max_ms > 0 {
+            Some(h(0x45) % cfg.delay_max_ms + 1)
+        } else {
+            None
+        },
+        panic: hits(0x50, cfg.panic_one_in),
+        inject: if hits(0x46, cfg.fault_one_in) {
+            // Seed the memory injector from the job sequence so different
+            // jobs fault at different accesses, still reproducibly.
+            Some(InjectConfig::forced(cfg.seed ^ seq, 64, InjectSpace::Global))
+        } else {
+            None
+        },
+        corrupt_cache: hits(0x43, cfg.corrupt_one_in),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_pure_functions_of_seed_and_seq() {
+        let cfg = ChaosConfig::standard(42);
+        for seq in 0..200 {
+            assert_eq!(plan(&cfg, seq), plan(&cfg, seq));
+        }
+        let other = ChaosConfig::standard(43);
+        assert_ne!(
+            (0..200).map(|s| plan(&cfg, s)).collect::<Vec<_>>(),
+            (0..200).map(|s| plan(&other, s)).collect::<Vec<_>>(),
+            "different seeds must differ somewhere"
+        );
+    }
+
+    #[test]
+    fn standard_mix_exercises_every_hazard() {
+        let cfg = ChaosConfig::standard(7);
+        let plans: Vec<ChaosPlan> = (0..500).map(|s| plan(&cfg, s)).collect();
+        assert!(plans.iter().any(|p| p.delay_ms.is_some()));
+        assert!(plans.iter().any(|p| p.panic));
+        assert!(plans.iter().any(|p| p.inject.is_some()));
+        assert!(plans.iter().any(|p| p.corrupt_cache));
+        // ... but most jobs run clean.
+        let clean = plans.iter().filter(|p| **p == ChaosPlan::none()).count();
+        assert!(clean > 200, "only {clean}/500 clean");
+    }
+
+    #[test]
+    fn zero_rates_disable_hazards() {
+        let cfg = ChaosConfig {
+            seed: 1,
+            delay_one_in: 0,
+            delay_max_ms: 10,
+            panic_one_in: 0,
+            fault_one_in: 0,
+            corrupt_one_in: 0,
+        };
+        for seq in 0..300 {
+            assert_eq!(plan(&cfg, seq), ChaosPlan::none());
+        }
+    }
+
+    #[test]
+    fn delays_respect_the_cap() {
+        let cfg = ChaosConfig { delay_one_in: 1, delay_max_ms: 5, ..ChaosConfig::standard(3) };
+        for seq in 0..300 {
+            if let Some(ms) = plan(&cfg, seq).delay_ms {
+                assert!((1..=5).contains(&ms), "{ms}");
+            }
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Serve-loop counters and latency aggregation.
+//!
+//! Counters are lock-free atomics bumped from worker threads; latencies
+//! are appended under a short mutex (a `Vec<u64>` push — contention is
+//! negligible next to a simulation). `snapshot()` freezes everything into
+//! a plain struct, and `bench_json` renders the `BENCH_serve.json`
+//! document the chaos soak and CI gate read.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+#[derive(Default)]
+pub struct Metrics {
+    pub submitted: AtomicU64,
+    pub completed_ok: AtomicU64,
+    pub cache_hits: AtomicU64,
+    pub cache_corrupt_evicted: AtomicU64,
+    pub shed_overloaded: AtomicU64,
+    pub deadline_exceeded: AtomicU64,
+    pub faulted: AtomicU64,
+    pub panicked: AtomicU64,
+    pub quarantined_rejects: AtomicU64,
+    pub rejected_malformed: AtomicU64,
+    pub shutdown_rejects: AtomicU64,
+    pub retries: AtomicU64,
+    pub chaos_delays: AtomicU64,
+    pub chaos_panics: AtomicU64,
+    pub chaos_faults: AtomicU64,
+    pub chaos_corruptions: AtomicU64,
+    latencies_us: Mutex<Vec<u64>>,
+}
+
+/// A frozen view of the counters plus latency percentiles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    pub submitted: u64,
+    pub completed_ok: u64,
+    pub cache_hits: u64,
+    pub cache_corrupt_evicted: u64,
+    pub shed_overloaded: u64,
+    pub deadline_exceeded: u64,
+    pub faulted: u64,
+    pub panicked: u64,
+    pub quarantined_rejects: u64,
+    pub rejected_malformed: u64,
+    pub shutdown_rejects: u64,
+    pub retries: u64,
+    pub chaos_delays: u64,
+    pub chaos_panics: u64,
+    pub chaos_faults: u64,
+    pub chaos_corruptions: u64,
+    pub answered: u64,
+    pub p50_us: u64,
+    pub p99_us: u64,
+    pub max_us: u64,
+}
+
+impl Metrics {
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a request's end-to-end latency (admission to response).
+    pub fn observe_latency_us(&self, us: u64) {
+        self.latencies_us.lock().unwrap().push(us);
+    }
+
+    pub fn snapshot(&self) -> Snapshot {
+        let mut lats = self.latencies_us.lock().unwrap().clone();
+        lats.sort_unstable();
+        // Nearest-rank percentile: the smallest value with at least p of
+        // the distribution at or below it.
+        let pct = |p: f64| -> u64 {
+            if lats.is_empty() {
+                return 0;
+            }
+            let rank = (p * lats.len() as f64).ceil() as usize;
+            lats[rank.clamp(1, lats.len()) - 1]
+        };
+        let g = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        Snapshot {
+            submitted: g(&self.submitted),
+            completed_ok: g(&self.completed_ok),
+            cache_hits: g(&self.cache_hits),
+            cache_corrupt_evicted: g(&self.cache_corrupt_evicted),
+            shed_overloaded: g(&self.shed_overloaded),
+            deadline_exceeded: g(&self.deadline_exceeded),
+            faulted: g(&self.faulted),
+            panicked: g(&self.panicked),
+            quarantined_rejects: g(&self.quarantined_rejects),
+            rejected_malformed: g(&self.rejected_malformed),
+            shutdown_rejects: g(&self.shutdown_rejects),
+            retries: g(&self.retries),
+            chaos_delays: g(&self.chaos_delays),
+            chaos_panics: g(&self.chaos_panics),
+            chaos_faults: g(&self.chaos_faults),
+            chaos_corruptions: g(&self.chaos_corruptions),
+            answered: lats.len() as u64,
+            p50_us: pct(0.50),
+            p99_us: pct(0.99),
+            max_us: lats.last().copied().unwrap_or(0),
+        }
+    }
+}
+
+impl Snapshot {
+    /// Render the `BENCH_serve.json` document.
+    pub fn bench_json(&self, chaos_seed: Option<u64>, soak_secs: Option<u64>) -> String {
+        let chaos = match chaos_seed {
+            Some(s) => s.to_string(),
+            None => "null".to_string(),
+        };
+        let soak = match soak_secs {
+            Some(s) => s.to_string(),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"schema\":\"np-serve-bench-v1\",\"chaos_seed\":{chaos},\"soak_secs\":{soak},\
+             \"requests\":{{\"submitted\":{},\"answered\":{},\"ok\":{},\"shed\":{},\
+             \"deadline\":{},\"faulted\":{},\"panicked\":{},\"quarantined\":{},\
+             \"malformed\":{},\"shutdown\":{},\"retries\":{}}},\
+             \"cache\":{{\"hits\":{},\"corrupt_evicted\":{}}},\
+             \"chaos\":{{\"delays\":{},\"panics\":{},\"faults\":{},\"corruptions\":{}}},\
+             \"latency_us\":{{\"p50\":{},\"p99\":{},\"max\":{}}}}}\n",
+            self.submitted,
+            self.answered,
+            self.completed_ok,
+            self.shed_overloaded,
+            self.deadline_exceeded,
+            self.faulted,
+            self.panicked,
+            self.quarantined_rejects,
+            self.rejected_malformed,
+            self.shutdown_rejects,
+            self.retries,
+            self.cache_hits,
+            self.cache_corrupt_evicted,
+            self.chaos_delays,
+            self.chaos_panics,
+            self.chaos_faults,
+            self.chaos_corruptions,
+            self.p50_us,
+            self.p99_us,
+            self.max_us,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_come_from_the_sorted_tail() {
+        let m = Metrics::new();
+        for us in (1..=100).rev() {
+            m.observe_latency_us(us);
+        }
+        let s = m.snapshot();
+        assert_eq!(s.answered, 100);
+        assert_eq!(s.p50_us, 50);
+        assert_eq!(s.p99_us, 99);
+        assert_eq!(s.max_us, 100);
+    }
+
+    #[test]
+    fn empty_metrics_render_zeroes_not_panics() {
+        let s = Metrics::new().snapshot();
+        assert_eq!((s.p50_us, s.p99_us, s.max_us, s.answered), (0, 0, 0, 0));
+        let doc = s.bench_json(None, None);
+        assert!(doc.contains("\"chaos_seed\":null"), "{doc}");
+        assert!(doc.contains("\"p50\":0"), "{doc}");
+    }
+
+    #[test]
+    fn bench_json_carries_counters_and_seed() {
+        let m = Metrics::new();
+        Metrics::bump(&m.submitted);
+        Metrics::bump(&m.submitted);
+        Metrics::bump(&m.completed_ok);
+        Metrics::bump(&m.shed_overloaded);
+        Metrics::bump(&m.cache_hits);
+        m.observe_latency_us(1234);
+        let doc = m.snapshot().bench_json(Some(42), Some(30));
+        assert!(doc.contains("\"schema\":\"np-serve-bench-v1\""), "{doc}");
+        assert!(doc.contains("\"chaos_seed\":42"), "{doc}");
+        assert!(doc.contains("\"soak_secs\":30"), "{doc}");
+        assert!(doc.contains("\"submitted\":2"), "{doc}");
+        assert!(doc.contains("\"shed\":1"), "{doc}");
+        assert!(doc.contains("\"hits\":1"), "{doc}");
+        assert!(doc.contains("\"p50\":1234"), "{doc}");
+        // Single line: JSONL-safe.
+        assert_eq!(doc.trim_end().lines().count(), 1);
+    }
+}

@@ -1,0 +1,569 @@
+//! The serve engine: a bounded admission queue in front of a worker pool,
+//! with crash isolation, per-request deadlines, a checksummed result
+//! cache, and poison quarantine.
+//!
+//! Invariant the whole module is built around: **every submitted line gets
+//! exactly one terminal [`Response`]**, delivered on the `mpsc::Sender`
+//! the caller handed to [`Server::submit`] — whether the job is shed at
+//! admission, served from cache, times out in the queue, faults in the
+//! simulator, or panics the worker (the panic is caught; the worker
+//! thread survives and keeps draining the queue). The chaos soak
+//! ([`super::client::soak`]) hammers this invariant with seeded delays,
+//! panics, forced faults, and cache corruption.
+
+use super::cache::{cache_key, fnv64, Cache, Lookup};
+use super::chaos::{plan, ChaosConfig, ChaosPlan};
+use super::metrics::{Metrics, Snapshot};
+use super::proto::{report_json, tune_json, Mode, Request, Response, Status};
+use super::synth_args;
+use crate::transform;
+use crate::tuner::{alloc_extra_buffers, autotune, candidates_from_pragmas};
+use crate::TuneError;
+use np_exec::{launch, DeadlineSpec, SimOptions};
+use np_gpu_sim::DeviceConfig;
+use np_kernel_ir::types::Dim3;
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// Server tuning knobs. `Default` is sized for tests and the CLI daemon
+/// alike: a small pool, a queue a few times deeper than the pool.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads simulating jobs.
+    pub workers: usize,
+    /// Admission queue bound; a full queue sheds with `overloaded`.
+    pub queue_cap: usize,
+    /// Result cache capacity (entries).
+    pub cache_cap: usize,
+    /// Deadline applied when a request names none (`None` = unbounded).
+    pub default_deadline_ms: Option<u64>,
+    /// Watchdog step budget applied when a request names none.
+    pub default_watchdog: Option<u64>,
+    /// Panics from one kernel before it is quarantined.
+    pub quarantine_threshold: u32,
+    /// Chaos mode (None = run clean).
+    pub chaos: Option<ChaosConfig>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 2,
+            queue_cap: 8,
+            cache_cap: 256,
+            default_deadline_ms: None,
+            default_watchdog: Some(np_exec::DEFAULT_WATCHDOG_STEPS),
+            quarantine_threshold: 2,
+            chaos: None,
+        }
+    }
+}
+
+struct Job {
+    req: Request,
+    /// Monotone admission sequence number — the chaos plan's input.
+    seq: u64,
+    /// Wall clock at admission (latency measurement starts here).
+    admitted: Instant,
+    /// Deadline fixed at admission so queue wait counts against it.
+    deadline: Option<DeadlineSpec>,
+    reply: Sender<Response>,
+}
+
+#[derive(Default)]
+struct QueueState {
+    jobs: VecDeque<Job>,
+    draining: bool,
+}
+
+struct Inner {
+    cfg: ServeConfig,
+    queue: Mutex<QueueState>,
+    /// Signals workers: new job or drain started.
+    wake: Condvar,
+    cache: Mutex<Cache>,
+    /// Panic counts per kernel identity (`fnv64` of the canonical source).
+    quarantine: Mutex<HashMap<u64, u32>>,
+    metrics: Metrics,
+    dev: DeviceConfig,
+}
+
+/// What a graceful drain leaves behind.
+pub struct ShutdownReport {
+    pub snapshot: Snapshot,
+    /// The flushed `Cache::index_json` document.
+    pub cache_index: String,
+    /// Worker threads that died to an *uncaught* panic. Always 0 unless
+    /// the crash-isolation `catch_unwind` has a hole.
+    pub worker_panics: usize,
+}
+
+/// A running serve engine. Dropping without [`Server::shutdown`] aborts
+/// workers mid-queue; call `shutdown` for the drain + index flush path.
+pub struct Server {
+    inner: Arc<Inner>,
+    /// Behind a mutex so `shutdown(&self)` can join through an `Arc`.
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    next_seq: std::sync::atomic::AtomicU64,
+}
+
+/// Silence the default panic hook for serve workers: their panics are
+/// *expected* (chaos injects them on purpose), caught, and converted to
+/// typed responses — a backtrace per caught panic would bury the JSONL
+/// log. Panics on any other thread keep the previous hook.
+fn install_quiet_panic_hook() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let from_worker = std::thread::current()
+                .name()
+                .is_some_and(|n| n.starts_with("np-serve-"));
+            if !from_worker {
+                prev(info);
+            }
+        }));
+    });
+}
+
+impl Server {
+    pub fn start(cfg: ServeConfig) -> Server {
+        install_quiet_panic_hook();
+        let inner = Arc::new(Inner {
+            cache: Mutex::new(Cache::new(cfg.cache_cap)),
+            cfg,
+            queue: Mutex::new(QueueState::default()),
+            wake: Condvar::new(),
+            quarantine: Mutex::new(HashMap::new()),
+            metrics: Metrics::new(),
+            dev: DeviceConfig::gtx680(),
+        });
+        let workers = (0..inner.cfg.workers.max(1))
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("np-serve-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        Server { inner, workers: Mutex::new(workers), next_seq: std::sync::atomic::AtomicU64::new(0) }
+    }
+
+    /// Admit one JSONL request line. Exactly one terminal response will be
+    /// sent on `reply`, either synchronously here (rejections, shedding)
+    /// or later from a worker. Returns whether the job was *enqueued*.
+    pub fn submit(&self, line: &str, reply: &Sender<Response>) -> bool {
+        let admitted = Instant::now();
+        let m = &self.inner.metrics;
+        Metrics::bump(&m.submitted);
+
+        let finish = |mut resp: Response| {
+            resp.latency_us = admitted.elapsed().as_micros() as u64;
+            m.observe_latency_us(resp.latency_us);
+            let _ = reply.send(resp);
+            false
+        };
+
+        let req = match Request::from_json_line(line) {
+            Ok(r) => r,
+            Err((id, msg)) => {
+                Metrics::bump(&m.rejected_malformed);
+                return finish(Response::new(id, Status::Rejected).with_error(msg));
+            }
+        };
+        let id = Some(req.id.clone());
+
+        let kernel_key = fnv64(req.canon.as_bytes());
+        let strikes =
+            self.inner.quarantine.lock().unwrap().get(&kernel_key).copied().unwrap_or(0);
+        if strikes >= self.inner.cfg.quarantine_threshold {
+            Metrics::bump(&m.quarantined_rejects);
+            return finish(Response::new(id, Status::Quarantined).with_error(format!(
+                "kernel is quarantined: it panicked the worker {strikes} times"
+            )));
+        }
+
+        let deadline_ms = req.deadline_ms.or(self.inner.cfg.default_deadline_ms);
+        let seq = self.next_seq.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+
+        let mut q = self.inner.queue.lock().unwrap();
+        if q.draining {
+            Metrics::bump(&m.shutdown_rejects);
+            return finish(
+                Response::new(id, Status::Shutdown)
+                    .with_error("server is draining; resubmit to a live instance"),
+            );
+        }
+        if q.jobs.len() >= self.inner.cfg.queue_cap {
+            Metrics::bump(&m.shed_overloaded);
+            // Backoff hint: assume each queued job costs a few ms; deeper
+            // queue, longer hint. Purely advisory.
+            let hint = 5 * (q.jobs.len() as u64 + 1);
+            return finish(
+                Response::new(id, Status::Overloaded)
+                    .retryable(Some(hint))
+                    .with_error(format!(
+                        "admission queue full ({}/{})",
+                        q.jobs.len(),
+                        self.inner.cfg.queue_cap
+                    )),
+            );
+        }
+        q.jobs.push_back(Job {
+            req,
+            seq,
+            admitted,
+            deadline: deadline_ms.map(DeadlineSpec::in_ms),
+            reply: reply.clone(),
+        });
+        drop(q);
+        self.inner.wake.notify_one();
+        true
+    }
+
+    /// Current queue depth (for tests and the drain log line).
+    pub fn queue_len(&self) -> usize {
+        self.inner.queue.lock().unwrap().jobs.len()
+    }
+
+    pub fn metrics(&self) -> Snapshot {
+        self.inner.metrics.snapshot()
+    }
+
+    /// The cache index document (see `Cache::index_json`).
+    pub fn cache_index_json(&self) -> String {
+        self.inner.cache.lock().unwrap().index_json()
+    }
+
+    /// Graceful shutdown: stop admitting, let the workers drain every
+    /// already-accepted job, join them, and return the final metrics
+    /// snapshot plus the flushed cache index. Safe to call through an
+    /// `Arc` from any thread; later calls just re-snapshot.
+    pub fn shutdown(&self) -> ShutdownReport {
+        {
+            let mut q = self.inner.queue.lock().unwrap();
+            q.draining = true;
+        }
+        self.inner.wake.notify_all();
+        let handles: Vec<_> = self.workers.lock().unwrap().drain(..).collect();
+        // A worker thread dying is a *bug* — every job panic is supposed to
+        // be caught and typed — so escaped panics are counted, not hidden.
+        let worker_panics = handles.into_iter().map(|h| h.join()).filter(Result::is_err).count();
+        ShutdownReport {
+            snapshot: self.inner.metrics.snapshot(),
+            cache_index: self.inner.cache.lock().unwrap().index_json(),
+            worker_panics,
+        }
+    }
+
+    /// Book one client-side retry (exposed so the retry driver's backoff
+    /// loop lands in the same `BENCH_serve.json` counters).
+    pub fn note_retry(&self) {
+        Metrics::bump(&self.inner.metrics.retries);
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    loop {
+        let job = {
+            let mut q = inner.queue.lock().unwrap();
+            loop {
+                if let Some(job) = q.jobs.pop_front() {
+                    break job;
+                }
+                if q.draining {
+                    return;
+                }
+                q = inner.wake.wait(q).unwrap();
+            }
+        };
+        run_job(inner, job);
+    }
+}
+
+fn run_job(inner: &Inner, job: Job) {
+    let m = &inner.metrics;
+    let chaos = match &inner.cfg.chaos {
+        Some(cfg) => plan(cfg, job.seq),
+        None => ChaosPlan::none(),
+    };
+    if let Some(ms) = chaos.delay_ms {
+        Metrics::bump(&m.chaos_delays);
+        std::thread::sleep(std::time::Duration::from_millis(ms));
+    }
+
+    let mut resp = compute_response(inner, &job, &chaos);
+
+    // Chaos bit rot, after the job (and any insert) completed: flip a byte
+    // of some cached entry *without* touching its checksum. A later lookup
+    // of that entry must detect, evict, and recompute — never serve it.
+    if chaos.corrupt_cache
+        && inner
+            .cache
+            .lock()
+            .unwrap()
+            .corrupt_nth(job.seq as usize, 0x11 | (job.seq as u8 & 0x2E))
+            .is_some()
+    {
+        Metrics::bump(&m.chaos_corruptions);
+    }
+
+    resp.latency_us = job.admitted.elapsed().as_micros() as u64;
+    m.observe_latency_us(resp.latency_us);
+    // A dropped receiver (client gave up) is not a server error.
+    let _ = job.reply.send(resp);
+}
+
+/// Produce `job`'s terminal response. Never panics outward: the simulate
+/// path (and the chaos panic) runs under `catch_unwind`, and a caught
+/// panic books a quarantine strike against the kernel.
+fn compute_response(inner: &Inner, job: &Job, chaos: &ChaosPlan) -> Response {
+    let m = &inner.metrics;
+    let req = &job.req;
+    let id = Some(req.id.clone());
+
+    // Queue wait already burned the whole budget?
+    if let Some(dl) = &job.deadline {
+        if dl.expired() {
+            Metrics::bump(&m.deadline_exceeded);
+            return Response::new(id, Status::Deadline).retryable(Some(10)).with_error(
+                format!("deadline of {} ms expired before the job ran", dl.budget_ms),
+            );
+        }
+    }
+
+    if chaos.inject.is_some() {
+        Metrics::bump(&m.chaos_faults);
+    }
+    if chaos.panic {
+        Metrics::bump(&m.chaos_panics);
+    }
+
+    // Cache lookup — skipped when chaos arms fault injection or a panic,
+    // so chaos actually exercises the compute path and an injected run
+    // can never be confused with a clean cached result.
+    let key = cache_key(&req.canon, &req.transform_config(), &req.sim_config());
+    let chaos_taints_result = chaos.inject.is_some() || chaos.panic;
+    if !chaos_taints_result {
+        match inner.cache.lock().unwrap().lookup(key) {
+            Lookup::Hit(payload) => {
+                Metrics::bump(&m.cache_hits);
+                Metrics::bump(&m.completed_ok);
+                let mut r = Response::new(id, Status::Ok);
+                r.cached = true;
+                r.payload = Some(payload);
+                return r;
+            }
+            Lookup::CorruptEvicted => Metrics::bump(&m.cache_corrupt_evicted),
+            Lookup::Miss => {}
+        }
+    }
+
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        if chaos.panic {
+            panic!("chaos: injected worker panic (job seq {})", job.seq);
+        }
+        simulate(inner, job, chaos)
+    }));
+
+    match outcome {
+        Ok(resp) => {
+            if resp.status == Status::Ok && !chaos_taints_result {
+                if let Some(p) = &resp.payload {
+                    inner.cache.lock().unwrap().insert(key, p.clone());
+                }
+            }
+            match resp.status {
+                Status::Ok => Metrics::bump(&m.completed_ok),
+                Status::Deadline => Metrics::bump(&m.deadline_exceeded),
+                Status::Faulted => Metrics::bump(&m.faulted),
+                Status::Rejected => Metrics::bump(&m.rejected_malformed),
+                _ => {}
+            }
+            resp
+        }
+        Err(payload) => {
+            Metrics::bump(&m.panicked);
+            let what = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            let strikes = {
+                let mut q = inner.quarantine.lock().unwrap();
+                let e = q.entry(fnv64(req.canon.as_bytes())).or_insert(0);
+                *e += 1;
+                *e
+            };
+            let resp = Response::new(id, Status::Panicked)
+                .with_error(format!("worker panicked: {what} (strike {strikes})"));
+            if strikes < inner.cfg.quarantine_threshold {
+                // One more chance: a panic can be environmental.
+                resp.retryable(Some(25))
+            } else {
+                resp
+            }
+        }
+    }
+}
+
+/// Transform + simulate (or auto-tune) one request. Runs inside the
+/// worker's `catch_unwind`.
+fn simulate(inner: &Inner, job: &Job, chaos: &ChaosPlan) -> Response {
+    let req = &job.req;
+    let id = Some(req.id.clone());
+    let grid = Dim3::x1(req.grid);
+    let watchdog = req.watchdog.or(inner.cfg.default_watchdog);
+    let mut sim = SimOptions::full()
+        .with_watchdog(watchdog)
+        .with_deadline(job.deadline)
+        // One simulator thread per job: the pool already runs jobs in
+        // parallel, and nested pools would oversubscribe the host.
+        .with_interp_threads(Some(1));
+    if let Some(inj) = &chaos.inject {
+        sim = sim.with_injection(inj.clone());
+    }
+
+    match req.mode {
+        Mode::Transform => {
+            let t = match transform(&req.kernel, &req.np_options()) {
+                Ok(t) => t,
+                Err(e) => {
+                    return Response::new(id, Status::Rejected)
+                        .with_error(format!("transform rejected the kernel: {e}"))
+                }
+            };
+            let mut args = alloc_extra_buffers(synth_args(&t.kernel), &t, grid);
+            match launch(&inner.dev, &t.kernel, grid, &mut args, &sim) {
+                Ok(rep) => {
+                    let mut r = Response::new(id, Status::Ok);
+                    r.payload = Some(report_json(&rep));
+                    r
+                }
+                Err(e) => fault_response(id, &e),
+            }
+        }
+        Mode::Tune => {
+            let candidates = candidates_from_pragmas(&req.kernel, 1024);
+            let make_args =
+                |t: &crate::Transformed| alloc_extra_buffers(synth_args(&t.kernel), t, grid);
+            match autotune(&req.kernel, &inner.dev, grid, &make_args, &sim, &candidates) {
+                Ok(r) => {
+                    let mut resp = Response::new(id, Status::Ok);
+                    resp.payload = Some(tune_json(&r));
+                    resp
+                }
+                Err(TuneError::AllFailed(entries)) => Response::new(id, Status::Faulted)
+                    .with_error(format!(
+                        "no tuning candidate ran to completion ({} tried)",
+                        entries.len()
+                    )),
+                Err(e) => Response::new(id, Status::Rejected)
+                    .with_error(format!("tuning failed: {e}")),
+            }
+        }
+    }
+}
+
+/// Map a launch error to its terminal status + retryability class.
+fn fault_response(id: Option<String>, e: &np_exec::ExecError) -> Response {
+    match e.fault() {
+        Some(f) if matches!(f.kind, np_exec::FaultKind::Deadline { .. }) => {
+            Response::new(id, Status::Deadline)
+                .retryable(Some(10))
+                .with_error(f.to_string())
+        }
+        Some(f) if f.kind.transient() => {
+            Response::new(id, Status::Faulted).retryable(Some(15)).with_error(f.to_string())
+        }
+        Some(f) => Response::new(id, Status::Faulted).with_error(f.to_string()),
+        // Launch setup problems (missing args, occupancy) are properties
+        // of the request, not the service: permanent.
+        None => Response::new(id, Status::Rejected).with_error(e.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc::channel;
+
+    /// Figure-2-shaped TMV kernel, small block so unit tests stay quick.
+    const OK_KERNEL: &str = "
+// blockDim = (32, 1, 1)
+__global__ void tmv(float* a, float* b, float* c, int w, int h) {
+  float sum = 0.0f;
+  int tx = threadIdx.x + blockIdx.x * blockDim.x;
+  #pragma np parallel for reduction(+:sum)
+  for (int i = 0; i < h; i++) {
+    sum += a[i * w + tx] * b[i];
+  }
+  c[tx] = sum;
+}
+";
+
+    fn line(id: &str, extra: &str) -> String {
+        format!(
+            "{{\"id\":\"{id}\",\"kernel\":\"{}\"{extra}}}",
+            super::super::json::escape(OK_KERNEL)
+        )
+    }
+
+    fn submit_wait(srv: &Server, line: &str) -> Response {
+        let (tx, rx) = channel();
+        srv.submit(line, &tx);
+        rx.recv().expect("exactly one terminal response")
+    }
+
+    #[test]
+    fn simple_transform_request_round_trips() {
+        let srv = Server::start(ServeConfig { workers: 1, ..Default::default() });
+        let resp = submit_wait(&srv, &line("r1", ""));
+        assert_eq!(resp.status, Status::Ok, "{:?}", resp.error);
+        assert!(!resp.cached);
+        let payload = resp.payload.expect("ok carries a result");
+        assert!(payload.contains("\"cycles\":"), "{payload}");
+        let end = srv.shutdown();
+        assert_eq!(end.snapshot.completed_ok, 1);
+        assert_eq!(end.worker_panics, 0);
+    }
+
+    #[test]
+    fn identical_requests_hit_the_cache_byte_identically() {
+        let srv = Server::start(ServeConfig { workers: 1, ..Default::default() });
+        let cold = submit_wait(&srv, &line("r1", ""));
+        let warm = submit_wait(&srv, &line("r2", ""));
+        assert!(!cold.cached);
+        assert!(warm.cached, "second identical request must hit");
+        assert_eq!(cold.payload, warm.payload, "hit must be byte-identical");
+        let end = srv.shutdown();
+        assert_eq!(end.snapshot.cache_hits, 1);
+        assert!(end.cache_index.contains("\"entries\":1"), "{}", end.cache_index);
+    }
+
+    #[test]
+    fn malformed_lines_get_typed_rejections_not_crashes() {
+        let srv = Server::start(ServeConfig::default());
+        for bad in ["", "{", "{\"id\":\"x\"}", "{\"id\":\"x\",\"kernel\":\"int m\"}"] {
+            let resp = submit_wait(&srv, bad);
+            assert_eq!(resp.status, Status::Rejected, "{bad:?}");
+            assert!(!resp.retryable);
+        }
+        assert_eq!(srv.shutdown().snapshot.rejected_malformed, 4);
+    }
+
+    #[test]
+    fn draining_server_rejects_new_work_with_shutdown() {
+        let srv = Server::start(ServeConfig::default());
+        {
+            let mut q = srv.inner.queue.lock().unwrap();
+            q.draining = true;
+        }
+        let resp = submit_wait(&srv, &line("late", ""));
+        assert_eq!(resp.status, Status::Shutdown);
+    }
+}

@@ -148,6 +148,97 @@ fn check_races_report_is_deterministic() {
     assert_eq!(run(), run());
 }
 
+/// `--watchdog` threads a step budget into every simulation the CLI runs:
+/// `none` disarms it, a generous budget changes nothing, and a starvation
+/// budget kills every tuning candidate — which the exit code reports.
+#[test]
+fn watchdog_flag_gates_runaway_budgets() {
+    let w = Mv::new(Scale::Test);
+    let path = write_kernel(&w);
+    for b in ["none", "100000000"] {
+        let out = npcc()
+            .args(["--explain", "--watchdog", b])
+            .arg(&path)
+            .output()
+            .expect("run npcc");
+        assert!(
+            out.status.success(),
+            "--watchdog {b} must pass\nstderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    let out = npcc()
+        .args(["--explain", "--watchdog", "10"])
+        .arg(&path)
+        .output()
+        .expect("run npcc");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!out.status.success(), "a 10-step budget must starve every candidate");
+    assert!(stderr.contains("no tuning candidate ran to completion"), "{stderr}");
+}
+
+/// A zero or unparsable watchdog budget is a usage error (exit 2), not a
+/// silently-disarmed watchdog.
+#[test]
+fn watchdog_flag_rejects_zero_and_garbage() {
+    let w = Mv::new(Scale::Test);
+    let path = write_kernel(&w);
+    for bad in ["0", "soon"] {
+        let out = npcc().args(["--watchdog", bad]).arg(&path).output().expect("run npcc");
+        assert!(!out.status.success(), "--watchdog {bad} must be rejected");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("--watchdog"), "{stderr}");
+    }
+}
+
+/// `npcc serve` smoke over real pipes: one JSONL request on stdin produces
+/// exactly one `ok` JSONL response on stdout, then EOF drains the daemon
+/// cleanly (exit 0, cache index flushed to stderr).
+#[test]
+fn serve_answers_jsonl_on_stdio_and_drains_on_eof() {
+    use std::io::{BufRead, BufReader, Write};
+    use std::process::Stdio;
+
+    let kernel = "
+// blockDim = (32, 1, 1)
+__global__ void tmv(float* a, float* b, float* c, int w, int h) {
+  float sum = 0.0f;
+  int tx = threadIdx.x + blockIdx.x * blockDim.x;
+  #pragma np parallel for reduction(+:sum)
+  for (int i = 0; i < h; i++) {
+    sum += a[i * w + tx] * b[i];
+  }
+  c[tx] = sum;
+}
+";
+    let escaped = kernel.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n");
+    let mut child = npcc()
+        .args(["serve", "--workers", "1"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn npcc serve");
+
+    let mut stdin = child.stdin.take().unwrap();
+    writeln!(stdin, "{{\"id\":\"smoke\",\"kernel\":\"{escaped}\"}}").unwrap();
+    drop(stdin); // EOF: the daemon drains and exits.
+
+    let stdout = BufReader::new(child.stdout.take().unwrap());
+    let lines: Vec<String> = stdout.lines().map(|l| l.unwrap()).collect();
+    let status = child.wait().expect("npcc serve exits");
+    assert!(status.success(), "clean drain must exit 0");
+    assert_eq!(lines.len(), 1, "exactly one response line: {lines:?}");
+    assert!(lines[0].contains("\"id\":\"smoke\""), "{}", lines[0]);
+    assert!(lines[0].contains("\"status\":\"ok\""), "{}", lines[0]);
+    assert!(lines[0].contains("\"cycles\":"), "{}", lines[0]);
+
+    let mut stderr = String::new();
+    std::io::Read::read_to_string(&mut child.stderr.take().unwrap(), &mut stderr).ok();
+    assert!(stderr.contains("np-serve-cache-index-v1"), "{stderr}");
+    assert!(stderr.contains("drained cleanly"), "{stderr}");
+}
+
 /// Timeline output is deterministic: two invocations render byte-identical
 /// Gantt charts.
 #[test]

@@ -51,6 +51,12 @@ pub enum FaultKind {
     /// ([`crate::SimOptions::watchdog_steps`]): an infinite or runaway
     /// loop.
     Watchdog { limit: u64 },
+    /// The launch outlived its wall-clock deadline
+    /// ([`crate::SimOptions::deadline`]). Unlike [`FaultKind::Watchdog`]
+    /// (a deterministic step budget naming a runaway kernel), a deadline
+    /// names an *overloaded or slow host* — serving layers classify it as
+    /// transient and retryable.
+    Deadline { budget_ms: u64 },
     /// A fault forced by the seeded injector
     /// ([`np_gpu_sim::mem::inject`]).
     Injected { space: InjectSpace, addr: u64 },
@@ -75,10 +81,21 @@ impl FaultKind {
             FaultKind::IllTyped { .. } => "ill-typed",
             FaultKind::InvalidOperation { .. } => "invalid operation",
             FaultKind::Watchdog { .. } => "watchdog timeout",
+            FaultKind::Deadline { .. } => "deadline exceeded",
             FaultKind::Injected { .. } => "injected fault",
             FaultKind::RaceDetected { .. } => "race detected",
             FaultKind::ContractViolation { .. } => "contract violation",
         }
+    }
+
+    /// Whether a retry of the *same* kernel could plausibly succeed.
+    ///
+    /// Deadlines depend on host load and injected faults model transient
+    /// hardware blips; everything else is a deterministic property of the
+    /// kernel (re-running reproduces it), so serving layers should report
+    /// it as permanent rather than burn retries.
+    pub fn transient(&self) -> bool {
+        matches!(self, FaultKind::Deadline { .. } | FaultKind::Injected { .. })
     }
 }
 
@@ -149,6 +166,9 @@ impl std::fmt::Display for SimFault {
             FaultKind::Watchdog { limit } => {
                 write!(f, ": exceeded {limit} interpreted steps (infinite loop?)")?
             }
+            FaultKind::Deadline { budget_ms } => {
+                write!(f, ": exceeded the {budget_ms} ms wall-clock budget")?
+            }
             FaultKind::Injected { space, addr } => {
                 write!(f, ": forced at {space:?} address {addr:#x}")?
             }
@@ -197,8 +217,18 @@ mod tests {
             FaultKind::IllTyped { detail: String::new() },
             FaultKind::InvalidOperation { detail: String::new() },
             FaultKind::Watchdog { limit: 0 },
+            FaultKind::Deadline { budget_ms: 0 },
         ];
         let tags: std::collections::HashSet<_> = kinds.iter().map(|k| k.tag()).collect();
         assert_eq!(tags.len(), kinds.len());
+    }
+
+    #[test]
+    fn only_host_dependent_kinds_are_transient() {
+        assert!(FaultKind::Deadline { budget_ms: 5 }.transient());
+        assert!(FaultKind::Injected { space: InjectSpace::Global, addr: 0 }.transient());
+        assert!(!FaultKind::Watchdog { limit: 1 }.transient());
+        assert!(!FaultKind::IllTyped { detail: String::new() }.transient());
+        assert!(!FaultKind::UndeclaredName { name: String::new() }.transient());
     }
 }

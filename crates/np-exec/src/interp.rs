@@ -55,6 +55,12 @@ struct Watchdog {
     limit: u64,
 }
 
+/// How often (in interpreted steps) the wall-clock deadline is consulted:
+/// every `DEADLINE_CHECK_MASK + 1` steps. `Instant::now()` is tens of
+/// nanoseconds — amortized over 4096 steps it vanishes from the hot path
+/// while still bounding deadline overshoot to well under a millisecond.
+const DEADLINE_CHECK_MASK: u64 = 0xFFF;
+
 /// One journaled global-memory store: array-parameter slot, element index,
 /// raw bits, and the interpreted step that produced it (used to cut the
 /// journal at a watchdog boundary during the ordered merge).
@@ -234,6 +240,8 @@ pub(crate) struct BlockLog {
 pub(crate) struct LaunchCtx<'a> {
     pub mem: GlobalMem<'a>,
     watchdog: Option<Watchdog>,
+    /// Wall-clock bound; only the sequential path ever arms it.
+    deadline: Option<crate::launch::DeadlineSpec>,
     injector: Option<FaultInjector>,
     race: RaceSink,
     /// Cached recorder-interned array ids, slot-indexed (shared, param):
@@ -249,12 +257,14 @@ impl<'a> LaunchCtx<'a> {
     pub fn new(
         globals: &'a mut GlobalState,
         watchdog_steps: Option<u64>,
+        deadline: Option<crate::launch::DeadlineSpec>,
         injection: Option<InjectConfig>,
         race: Option<(RaceRecorder, bool)>,
     ) -> Self {
         LaunchCtx {
             mem: GlobalMem::Direct(globals),
             watchdog: watchdog_steps.map(|limit| Watchdog { left: limit, limit }),
+            deadline,
             injector: injection.map(FaultInjector::new),
             race: match race {
                 Some((rec, fatal)) => RaceSink::Recorder { rec: Box::new(rec), fatal },
@@ -285,6 +295,9 @@ impl<'a> LaunchCtx<'a> {
                 stores: Vec::new(),
             }),
             watchdog: watchdog_steps.map(|limit| Watchdog { left: limit, limit }),
+            // Deadlines force the sequential path; a logged worker never
+            // carries one.
+            deadline: None,
             injector: None,
             race: if log_races { RaceSink::Log(Vec::new()) } else { RaceSink::Off },
             race_ids: (Vec::new(), Vec::new()),
@@ -312,9 +325,18 @@ impl<'a> LaunchCtx<'a> {
         }
     }
 
-    /// Charge one interpreted step against the watchdog budget.
+    /// Charge one interpreted step against the watchdog budget and, every
+    /// [`DEADLINE_CHECK_MASK`]+1 steps, against the wall-clock deadline.
     fn tick(&mut self, kernel_name: &str) -> Result<(), SimFault> {
         self.step += 1;
+        if let Some(dl) = &self.deadline {
+            if self.step & DEADLINE_CHECK_MASK == 0 && dl.expired() {
+                return Err(SimFault::new(
+                    kernel_name,
+                    FaultKind::Deadline { budget_ms: dl.budget_ms },
+                ));
+            }
+        }
         let Some(wd) = &mut self.watchdog else { return Ok(()) };
         if wd.left == 0 {
             return Err(SimFault::new(kernel_name, FaultKind::Watchdog { limit: wd.limit }));

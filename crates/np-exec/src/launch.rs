@@ -57,6 +57,36 @@ use std::sync::Mutex;
 /// interprets, yet reached within seconds by a runaway empty loop.
 pub const DEFAULT_WATCHDOG_STEPS: u64 = 1 << 28;
 
+/// A wall-clock bound on one launch. Unlike the watchdog's deterministic
+/// step budget this depends on host speed and load: it exists so a serving
+/// layer can promise "a stuck worker frees itself within the request's
+/// deadline" regardless of how expensive a step happens to be. Expiry
+/// surfaces as [`FaultKind::Deadline`], which
+/// [`FaultKind::transient`] classifies as retryable.
+#[derive(Debug, Clone, Copy)]
+pub struct DeadlineSpec {
+    /// Absolute expiry instant.
+    pub at: std::time::Instant,
+    /// The budget the deadline was derived from (carried into the fault so
+    /// clients see what they asked for, not what remained at admission).
+    pub budget_ms: u64,
+}
+
+impl DeadlineSpec {
+    /// A deadline `budget_ms` milliseconds from now.
+    pub fn in_ms(budget_ms: u64) -> Self {
+        DeadlineSpec {
+            at: std::time::Instant::now() + std::time::Duration::from_millis(budget_ms),
+            budget_ms,
+        }
+    }
+
+    /// Already past?
+    pub fn expired(&self) -> bool {
+        std::time::Instant::now() >= self.at
+    }
+}
+
 /// How the happens-before race checker runs for one launch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum RaceCheckMode {
@@ -90,6 +120,12 @@ pub struct SimOptions {
     /// has interpreted this many steps. `None` disables the watchdog
     /// entirely; the default budget is [`DEFAULT_WATCHDOG_STEPS`].
     pub watchdog_steps: Option<u64>,
+    /// Wall-clock deadline for the whole launch. Checked every
+    /// [`DEADLINE_CHECK_MASK`]+1 interpreted steps; expiry faults with
+    /// [`FaultKind::Deadline`]. Arming a deadline forces the sequential
+    /// interpretation path (a wall-clock cut has no deterministic
+    /// per-block merge position). `None` (the default) disables it.
+    pub deadline: Option<DeadlineSpec>,
     /// Seeded memory fault injection (bit flips and forced faults); see
     /// [`np_gpu_sim::mem::inject`]. Off by default.
     pub fault_injection: Option<InjectConfig>,
@@ -113,6 +149,7 @@ impl Default for SimOptions {
             resources_override: None,
             detect_races: false,
             watchdog_steps: Some(DEFAULT_WATCHDOG_STEPS),
+            deadline: None,
             fault_injection: None,
             check_races: RaceCheckMode::Off,
             race_options: RaceCheckOptions::default(),
@@ -141,6 +178,17 @@ impl SimOptions {
     pub fn with_watchdog(mut self, steps: Option<u64>) -> Self {
         self.watchdog_steps = steps;
         self
+    }
+
+    /// Arm a wall-clock deadline (`None` disarms).
+    pub fn with_deadline(mut self, deadline: Option<DeadlineSpec>) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Arm a wall-clock deadline `budget_ms` milliseconds from now.
+    pub fn with_deadline_ms(self, budget_ms: u64) -> Self {
+        self.with_deadline(Some(DeadlineSpec::in_ms(budget_ms)))
     }
 
     /// Arm seeded memory fault injection.
@@ -266,6 +314,7 @@ pub fn launch(
     let can_parallel = pool > 1
         && sim_blocks > 1
         && opts.fault_injection.is_none()
+        && opts.deadline.is_none()
         && opts.check_races != RaceCheckMode::Fatal;
 
     let env = RunEnv {
@@ -349,6 +398,7 @@ fn run_sequential(env: &RunEnv, globals: &mut GlobalState) -> RunOutput {
     let mut ctx = LaunchCtx::new(
         globals,
         opts.watchdog_steps,
+        opts.deadline,
         opts.fault_injection.clone(),
         recorder,
     );

@@ -15,6 +15,8 @@ pub mod resources;
 pub mod value;
 
 pub use fault::{FaultKind, SimFault};
-pub use launch::{launch, KernelReport, RaceCheckMode, SimOptions, DEFAULT_WATCHDOG_STEPS};
+pub use launch::{
+    launch, DeadlineSpec, KernelReport, RaceCheckMode, SimOptions, DEFAULT_WATCHDOG_STEPS,
+};
 pub use machine::{ArgValue, Args, Buffer, ExecError};
 pub use resources::estimate_resources;

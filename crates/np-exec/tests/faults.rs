@@ -330,6 +330,43 @@ fn watchdog_budget_spares_terminating_kernels() {
     assert!(matches!(f.kind, FaultKind::Watchdog { limit: 100 }));
 }
 
+// ----------------------------------------------------------- deadline ---
+
+#[test]
+fn expired_deadline_frees_a_stuck_launch_with_a_typed_fault() {
+    // Watchdog disarmed: only the wall-clock deadline can stop the spin.
+    let mut args = Args::new().buf_f32("out", vec![0.0; 32]);
+    let opts = SimOptions::full().with_watchdog(None).with_deadline_ms(0);
+    let f = fault_of(launch(&dev(), &infinite_kernel(), Dim3::x1(1), &mut args, &opts));
+    assert_eq!(f.kernel, "spin");
+    assert!(matches!(f.kind, FaultKind::Deadline { budget_ms: 0 }), "{:?}", f.kind);
+    assert!(f.kind.transient(), "deadlines must classify as retryable");
+    // Buffers survive the fault, as with every other kind.
+    assert_eq!(args.get_f32("out").unwrap().len(), 32);
+}
+
+#[test]
+fn generous_deadline_spares_terminating_kernels() {
+    let mut b = KernelBuilder::new("quick", 32);
+    b.param_global_f32("out");
+    b.store("out", tidx(), f(3.0));
+    let k = b.finish();
+    let mut args = Args::new().buf_f32("out", vec![0.0; 32]);
+    let opts = SimOptions::full().with_deadline_ms(60_000);
+    launch(&dev(), &k, Dim3::x1(1), &mut args, &opts).expect("finishes well inside a minute");
+    assert_eq!(args.get_f32("out").unwrap()[0], 3.0);
+}
+
+#[test]
+fn deadline_beats_watchdog_when_both_would_fire() {
+    // An expired deadline is noticed at the first check boundary even
+    // though the (huge) step budget would eventually fire too.
+    let mut args = Args::new().buf_f32("out", vec![0.0; 32]);
+    let opts = SimOptions::full().with_watchdog(Some(u64::MAX)).with_deadline_ms(0);
+    let f = fault_of(launch(&dev(), &infinite_kernel(), Dim3::x1(1), &mut args, &opts));
+    assert!(matches!(f.kind, FaultKind::Deadline { .. }), "{:?}", f.kind);
+}
+
 #[test]
 fn watchdog_default_is_armed() {
     assert_eq!(

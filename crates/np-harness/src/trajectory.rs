@@ -13,7 +13,7 @@
 //! per line; diffs read naturally).
 
 use crate::runner::{gm, WorkloadOutcome};
-use cuda_np::tuner::TuneEntry;
+use cuda_np::tuner::{TuneEntry, TuneOutcome};
 use np_kernel_ir::pragma::NpType;
 
 /// Schema tag written into every document; bump when the layout changes.
@@ -33,6 +33,30 @@ fn winner_entry(o: &WorkloadOutcome) -> Option<&TuneEntry> {
     let r = o.result.as_ref().ok()?;
     let best = r.tuned.best_report.cycles;
     r.tuned.entries.iter().find(|e| e.cycles() == Some(best))
+}
+
+/// Tally the tuner's candidate outcomes for one workload, rendered as the
+/// per-workload `"candidates"` object. Robustness regressions — a transform
+/// config that starts faulting or failing to launch — show up here as diffs
+/// in `BENCH_results.json`, not just as perf drift.
+fn candidates_json(entries: &[TuneEntry]) -> String {
+    let (mut ok, mut rejected, mut faulted, mut launch_failed) = (0u64, 0u64, 0u64, 0u64);
+    for e in entries {
+        match &e.outcome {
+            TuneOutcome::Ok { .. } => ok += 1,
+            TuneOutcome::Rejected(_) => rejected += 1,
+            TuneOutcome::Faulted(_) => faulted += 1,
+            TuneOutcome::LaunchFailed(_) => launch_failed += 1,
+            // `TuneOutcome` is non_exhaustive from outside cuda-np; count
+            // unknown future variants as launch failures so they surface.
+            _ => launch_failed += 1,
+        }
+    }
+    format!(
+        "{{\"total\":{},\"ok\":{ok},\"rejected\":{rejected},\"faulted\":{faulted},\
+         \"launch_failed\":{launch_failed}}}",
+        entries.len()
+    )
 }
 
 /// Render sweep outcomes as the `BENCH_results.json` document (trailing
@@ -65,6 +89,7 @@ pub fn to_json(outcomes: &[WorkloadOutcome], device: &str, scale: &str) -> Strin
         s.push_str(&format!(
             "    {{\"name\":\"{}\",\"baseline_cycles\":{},\"best_cycles\":{},\
              \"speedup\":{:.4},\"np_type\":\"{}\",\"slave_size\":{},\
+             \"candidates\":{},\
              \"baseline_stall\":{},\"best_stall\":{},\
              \"baseline_profile\":{},\"best_profile\":{}}}",
             o.name,
@@ -73,6 +98,7 @@ pub fn to_json(outcomes: &[WorkloadOutcome], device: &str, scale: &str) -> Strin
             r.speedup(),
             np_type,
             slave_size,
+            candidates_json(&r.tuned.entries),
             r.baseline.timing.stall.to_json(),
             r.tuned.best_report.timing.stall.to_json(),
             r.baseline.profile.total.to_json(),
@@ -203,6 +229,28 @@ mod tests {
     }
 
     #[test]
+    fn candidate_tally_partitions_outcomes() {
+        use cuda_np::options::TransformError;
+        let entry = |outcome| TuneEntry {
+            slave_size: 4,
+            np_type: NpType::InterWarp,
+            outcome,
+            profile: None,
+            stall: None,
+        };
+        let entries = vec![
+            entry(TuneOutcome::Ok { cycles: 10 }),
+            entry(TuneOutcome::Rejected(TransformError::NoPragmaLoops)),
+            entry(TuneOutcome::LaunchFailed("block too large".into())),
+        ];
+        let json = candidates_json(&entries);
+        assert_eq!(
+            json,
+            "{\"total\":3,\"ok\":1,\"rejected\":1,\"faulted\":0,\"launch_failed\":1}"
+        );
+    }
+
+    #[test]
     fn identical_documents_pass() {
         let d = doc(&[("TMV", 1000, 400), ("MV", 2000, 900)]);
         check_against_baseline(&d, &d, 0.0).unwrap();
@@ -240,6 +288,10 @@ mod tests {
         assert!(a.contains(SCHEMA));
         assert!(a.contains("\"baseline_stall\""));
         assert!(a.contains("\"geomean_speedup\""));
+        // Every workload carries its tuner-candidate outcome tally, and at
+        // least one candidate succeeded somewhere (the sweep found winners).
+        assert!(a.contains("\"candidates\":{\"total\":"), "{a}");
+        assert!(a.contains("\"launch_failed\":"), "{a}");
         // The freshly generated document passes its own gate exactly.
         check_against_baseline(&a, &a, 0.0).unwrap();
     }

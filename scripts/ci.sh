@@ -41,3 +41,19 @@ cargo run --release -q -p np-harness -- --test-scale --wall-clock \
 test -s BENCH_wallclock.json \
   || { echo "BENCH_wallclock.json was not written" >&2; exit 1; }
 cargo test --release -q -p cuda-np --test parallel_determinism
+
+# Serve robustness gate: the suites above already cover shedding, deadlines,
+# quarantine, and corruption recovery in-process; here the real `npcc serve`
+# binary takes a 30-second seeded chaos soak — delays, worker panics, forced
+# sim faults, cache corruption, and more clients than queue slots so
+# overload shedding fires. The soak's own gate enforces exactly-once
+# delivery, byte-identical ok payloads, and zero escaped worker panics
+# (exit nonzero otherwise). Then the SIGTERM drain check: deliver a request
+# over a held-open pipe, signal, and require a clean flush-and-exit.
+cargo test --release -q -p cuda-np --test serve --test serve_cache_properties
+cargo build --release -q -p cuda-np --bin npcc
+./target/release/npcc serve --soak 30 --chaos 42 --workers 2 --queue 4 \
+  --clients 8 --bench-out BENCH_serve.json
+grep -q '"schema":"np-serve-bench-v1"' BENCH_serve.json \
+  || { echo "BENCH_serve.json missing or malformed" >&2; exit 1; }
+./scripts/serve_drain_check.sh

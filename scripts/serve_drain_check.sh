@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# SIGTERM drain check for `npcc serve`: start the daemon with stdin held
+# open, deliver one request, answer it, then SIGTERM. The daemon must
+# drain gracefully — answer everything accepted, flush its cache index,
+# log a clean drain — and exit 0. A hung or crashing drain fails the gate.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+NPCC=${NPCC:-./target/release/npcc}
+[ -x "$NPCC" ] || cargo build --release -q -p cuda-np --bin npcc
+
+work="$(mktemp -d)"
+trap 'rm -rf "$work"' EXIT
+fifo="$work/stdin.fifo"
+mkfifo "$fifo"
+
+"$NPCC" serve --workers 1 < "$fifo" > "$work/out.jsonl" 2> "$work/err.log" &
+srv=$!
+exec 3> "$fifo" # hold the write end open so EOF doesn't end the daemon
+
+cat scripts/serve_smoke.jsonl >&3
+
+# Wait (bounded) for the response before signalling, so the drain path is
+# exercised on a quiescent daemon rather than racing the first job.
+for _ in $(seq 1 100); do
+  grep -q '"id":"smoke"' "$work/out.jsonl" 2>/dev/null && break
+  sleep 0.1
+done
+
+kill -TERM "$srv"
+exec 3>&-
+status=0
+wait "$srv" || status=$?
+
+if [ "$status" -ne 0 ]; then
+  echo "serve_drain_check: daemon exited $status" >&2
+  cat "$work/err.log" >&2
+  exit 1
+fi
+grep -q '"status":"ok"' "$work/out.jsonl" ||
+  { echo "serve_drain_check: no ok response" >&2; cat "$work/out.jsonl" >&2; exit 1; }
+grep -q 'np-serve-cache-index-v1' "$work/err.log" ||
+  { echo "serve_drain_check: cache index not flushed" >&2; cat "$work/err.log" >&2; exit 1; }
+grep -q 'drained cleanly' "$work/err.log" ||
+  { echo "serve_drain_check: no clean drain log" >&2; cat "$work/err.log" >&2; exit 1; }
+echo "serve_drain_check: OK (answered, index flushed, clean SIGTERM drain)"
