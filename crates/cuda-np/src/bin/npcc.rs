@@ -30,6 +30,19 @@
 //!   --watchdog B         interpreter step budget for every simulation this
 //!                        invocation runs (a count, or `none` to disarm);
 //!                        the same spellings the serve protocol accepts
+//!   --emit-trace PATH    freeze the emitted kernel's interpretation into a
+//!                        replayable `np-trace-v1` artifact at PATH (with
+//!                        --explain, the winner's capture from the tuning
+//!                        sweep is written — no extra interpretation)
+//!
+//! npcc --replay PATH [--watchdog B]
+//!
+//!   Re-time a previously emitted trace artifact without re-interpreting:
+//!   decode PATH (digest-verified), replay it through the timing engine on
+//!   the simulated GTX 680, and print the deterministic report JSON to
+//!   stdout. The watchdog budget may differ from the capturing run — the
+//!   recorded step total reproduces the verdict either way; interpretation-
+//!   affecting options (sampling, race checking) come from the artifact.
 //!
 //! npcc serve [options]   JSONL batch service on stdin/stdout
 //!
@@ -60,9 +73,9 @@ use cuda_np::{
     drop_barrier, drop_broadcast_guard, gating_policy, transform, LocalArrayStrategy,
     NpOptions, Transformed,
 };
-use np_exec::{launch, RaceCheckMode, SimOptions};
+use np_exec::{capture_launch, launch, replay_launch, RaceCheckMode, SimOptions};
 use np_gpu_sim::racecheck::RaceCheckOptions;
-use np_gpu_sim::{DeviceConfig, ProfileCounters};
+use np_gpu_sim::{CapturedLaunch, CapturedRaceMode, DeviceConfig, ProfileCounters};
 use np_kernel_ir::analysis::barriers::count_barriers;
 use np_kernel_ir::kernel::Kernel;
 use np_kernel_ir::pragma::NpType;
@@ -81,7 +94,8 @@ fn usage() -> ! {
          [--local-array auto|global|shared|register] [--pad] [--no-redundant] \
          [--report] [--explain] [--timeline] [--check-races] \
          [--mutate drop-barrier[:N]|unguard-broadcast] [--watchdog B|none] \
-         <kernel.cu | ->\n\
+         [--emit-trace PATH] <kernel.cu | ->\n\
+         \x20      npcc --replay PATH [--watchdog B|none]\n\
          \x20      npcc serve [--workers N] [--queue N] [--cache N] \
          [--deadline-ms MS] [--watchdog B|none] [--chaos SEED] \
          [--soak SECS] [--clients N] [--bench-out PATH]"
@@ -115,8 +129,10 @@ fn counter_cells(p: &ProfileCounters) -> String {
 
 /// Auto-tune `kernel` on the simulated GTX 680 and print the per-candidate
 /// counter table plus a winner analysis to stderr. Returns the winning
-/// transform, or `None` when nothing ran to completion.
-fn explain(kernel: &Kernel, sim: &SimOptions) -> Option<Transformed> {
+/// transform and its captured interpretation (for `--emit-trace` — the
+/// sweep already interpreted the winner exactly once, so the artifact
+/// costs nothing extra), or `None` when nothing ran to completion.
+fn explain(kernel: &Kernel, sim: &SimOptions) -> Option<(Transformed, CapturedLaunch)> {
     let dev = DeviceConfig::gtx680();
     let grid = Dim3::x1(4);
     let header = format!(
@@ -164,7 +180,7 @@ fn explain(kernel: &Kernel, sim: &SimOptions) -> Option<Transformed> {
     let (entries, winner) = match result {
         Ok(r) => {
             let cycles = r.best_report.cycles;
-            (r.entries, Some((r.best, cycles)))
+            (r.entries, Some((r.best, r.best_capture, cycles)))
         }
         Err(cuda_np::TuneError::AllFailed(entries)) => (entries, None),
         Err(e) => {
@@ -177,7 +193,7 @@ fn explain(kernel: &Kernel, sim: &SimOptions) -> Option<Transformed> {
     // is the first entry matching the winning cycle count.
     let winner_idx = winner
         .as_ref()
-        .and_then(|(_, c)| entries.iter().position(|e| e.cycles() == Some(*c)));
+        .and_then(|(_, _, c)| entries.iter().position(|e| e.cycles() == Some(*c)));
     for (i, e) in entries.iter().enumerate() {
         let label = format!("{} s={}", np_type_str(e.np_type), e.slave_size);
         match (&e.outcome, &e.profile) {
@@ -189,7 +205,7 @@ fn explain(kernel: &Kernel, sim: &SimOptions) -> Option<Transformed> {
         }
     }
 
-    let (best, best_cycles) = winner?;
+    let (best, best_capture, best_cycles) = winner?;
     let best_entry = entries.iter().find(|e| e.cycles() == Some(best_cycles));
     let best_p = best_entry.and_then(|e| e.profile.clone()).unwrap_or_default();
     let (w_type, w_size) = best_entry
@@ -270,7 +286,97 @@ fn explain(kernel: &Kernel, sim: &SimOptions) -> Option<Transformed> {
             }
         }
     }
-    Some(best)
+    Some((best, best_capture))
+}
+
+/// Write a capture as an `np-trace-v1` artifact and log its identity.
+fn write_trace(cap: &CapturedLaunch, path: &str) -> bool {
+    let bytes = cap.encode();
+    match std::fs::write(path, &bytes) {
+        Ok(()) => {
+            eprintln!(
+                "npcc: wrote trace {path}: kernel {:?}, {}/{} blocks, {} bytes, \
+                 digest {:016x}",
+                cap.kernel_name,
+                cap.sim_blocks,
+                cap.total_blocks,
+                bytes.len(),
+                cap.digest()
+            );
+            true
+        }
+        Err(e) => {
+            eprintln!("npcc: cannot write {path}: {e}");
+            false
+        }
+    }
+}
+
+/// Simulate `t`'s emitted kernel once with synthesized arguments and
+/// freeze the interpretation into an artifact at `path`.
+fn emit_trace(t: &Transformed, sim: &SimOptions, path: &str) -> bool {
+    let dev = DeviceConfig::gtx680();
+    let grid = Dim3::x1(4);
+    let mut args = alloc_extra_buffers(synth_args(&t.kernel), t, grid);
+    match capture_launch(&dev, &t.kernel, grid, &mut args, sim) {
+        Ok((_, cap)) => write_trace(&cap, path),
+        Err(e) => {
+            eprintln!("npcc: --emit-trace simulation failed: {e}");
+            false
+        }
+    }
+}
+
+/// `npcc --replay PATH`: decode and re-time a trace artifact without any
+/// interpretation. Interpretation-affecting options come from the capture
+/// (they must match anyway); only the watchdog budget may be overridden.
+fn replay_main(path: &str, watchdog: Option<Option<u64>>) -> ExitCode {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("npcc: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cap = match CapturedLaunch::decode(&bytes) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("npcc: {path}: bad trace artifact: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut sim = SimOptions::full();
+    sim.max_blocks = cap.max_blocks;
+    sim.detect_races = cap.detect_races;
+    sim.check_races = match cap.race_mode {
+        CapturedRaceMode::Off => RaceCheckMode::Off,
+        CapturedRaceMode::Record => RaceCheckMode::Record,
+        CapturedRaceMode::Fatal => RaceCheckMode::Fatal,
+    };
+    if let Some(b) = watchdog {
+        sim = sim.with_watchdog(b);
+    }
+    let dev = DeviceConfig::gtx680();
+    match replay_launch(&dev, &cap, &sim) {
+        Ok(rep) => {
+            eprintln!(
+                "npcc: replayed {:?} from {path}: {} cycles ({:.1} us), \
+                 {}/{} blocks{}",
+                cap.kernel_name,
+                rep.cycles,
+                rep.time_us,
+                cap.sim_blocks,
+                cap.total_blocks,
+                if cap.is_sampled() { " (sampled)" } else { "" }
+            );
+            println!("{}", cuda_np::serve::proto::report_json(&rep));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("npcc: replay of {path} failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 /// Apply a `--mutate` spec to the transformed kernel. The mutations are the
@@ -364,6 +470,8 @@ fn main() -> ExitCode {
     let mut timeline_flag = false;
     let mut check_races_flag = false;
     let mut mutate: Option<String> = None;
+    let mut emit_trace_path: Option<String> = None;
+    let mut replay_path: Option<String> = None;
     // `--watchdog` step budget: absent = simulator default,
     // Some(None) = disarmed, Some(Some(n)) = n steps.
     let mut watchdog: Option<Option<u64>> = None;
@@ -400,6 +508,8 @@ fn main() -> ExitCode {
             "--timeline" => timeline_flag = true,
             "--check-races" => check_races_flag = true,
             "--mutate" => mutate = Some(args.next().unwrap_or_else(|| usage())),
+            "--emit-trace" => emit_trace_path = Some(args.next().unwrap_or_else(|| usage())),
+            "--replay" => replay_path = Some(args.next().unwrap_or_else(|| usage())),
             "--watchdog" => {
                 let spec = args.next().unwrap_or_else(|| usage());
                 watchdog = match parse_step_budget(&spec) {
@@ -416,6 +526,14 @@ fn main() -> ExitCode {
             }
             _ => usage(),
         }
+    }
+    // `--replay` is a standalone mode: no kernel source involved.
+    if let Some(p) = replay_path {
+        if input.is_some() {
+            eprintln!("npcc: --replay takes no kernel input (the artifact is the input)");
+            return ExitCode::from(2);
+        }
+        return replay_main(&p, watchdog);
     }
     let Some(path) = input else { usage() };
     // The step budget every simulation in this invocation runs under.
@@ -481,18 +599,30 @@ fn main() -> ExitCode {
         if check_races_flag && !check_races(&t, &emitted, explain_flag, &sim) {
             return ExitCode::FAILURE;
         }
+        if let Some(p) = &emit_trace_path {
+            if !emit_trace(&t, &sim, p) {
+                return ExitCode::FAILURE;
+            }
+        }
         return ExitCode::SUCCESS;
     }
 
     if explain_flag {
         return match explain(&kernel, &sim) {
-            Some(best) => {
+            Some((best, best_capture)) => {
                 print!("{}", printer::print_kernel(&best.kernel));
                 if report {
                     eprintln!("npcc: {:#?}", best.report);
                 }
                 if timeline_flag && !render_timeline(&best, &sim) {
                     return ExitCode::FAILURE;
+                }
+                // The sweep already interpreted the winner; its capture is
+                // written as-is.
+                if let Some(p) = &emit_trace_path {
+                    if !write_trace(&best_capture, p) {
+                        return ExitCode::FAILURE;
+                    }
                 }
                 ExitCode::SUCCESS
             }
@@ -511,6 +641,11 @@ fn main() -> ExitCode {
             }
             if timeline_flag && !render_timeline(&t, &sim) {
                 return ExitCode::FAILURE;
+            }
+            if let Some(p) = &emit_trace_path {
+                if !emit_trace(&t, &sim, p) {
+                    return ExitCode::FAILURE;
+                }
             }
             ExitCode::SUCCESS
         }

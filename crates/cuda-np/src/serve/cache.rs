@@ -135,6 +135,16 @@ impl Cache {
         self.order.push(key.0);
     }
 
+    /// Drop `key`'s entry (used when a payload passes the cache checksum
+    /// but fails a caller-side integrity check, e.g. a capture artifact
+    /// whose codec digest does not verify). Counted as a corrupt eviction.
+    pub fn evict(&mut self, key: CacheKey) {
+        if self.map.remove(&key.0).is_some() {
+            self.order.retain(|k| *k != key.0);
+            self.corrupt_evicted += 1;
+        }
+    }
+
     /// Chaos/test hook: XOR one byte of a stored payload *without* fixing
     /// its checksum, exactly what bit rot or a torn write would do. `nth`
     /// picks among current entries (insertion order); returns the key it

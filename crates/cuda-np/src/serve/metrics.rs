@@ -15,6 +15,12 @@ pub struct Metrics {
     pub completed_ok: AtomicU64,
     pub cache_hits: AtomicU64,
     pub cache_corrupt_evicted: AtomicU64,
+    /// Result-cache misses answered by replaying a cached capture instead
+    /// of re-interpreting the kernel (e.g. only the watchdog differed).
+    pub trace_replays: AtomicU64,
+    /// Cached capture artifacts dropped because their checksum or codec
+    /// digest no longer verified.
+    pub trace_corrupt_evicted: AtomicU64,
     pub shed_overloaded: AtomicU64,
     pub deadline_exceeded: AtomicU64,
     pub faulted: AtomicU64,
@@ -37,6 +43,8 @@ pub struct Snapshot {
     pub completed_ok: u64,
     pub cache_hits: u64,
     pub cache_corrupt_evicted: u64,
+    pub trace_replays: u64,
+    pub trace_corrupt_evicted: u64,
     pub shed_overloaded: u64,
     pub deadline_exceeded: u64,
     pub faulted: u64,
@@ -87,6 +95,8 @@ impl Metrics {
             completed_ok: g(&self.completed_ok),
             cache_hits: g(&self.cache_hits),
             cache_corrupt_evicted: g(&self.cache_corrupt_evicted),
+            trace_replays: g(&self.trace_replays),
+            trace_corrupt_evicted: g(&self.trace_corrupt_evicted),
             shed_overloaded: g(&self.shed_overloaded),
             deadline_exceeded: g(&self.deadline_exceeded),
             faulted: g(&self.faulted),
@@ -123,7 +133,8 @@ impl Snapshot {
              \"requests\":{{\"submitted\":{},\"answered\":{},\"ok\":{},\"shed\":{},\
              \"deadline\":{},\"faulted\":{},\"panicked\":{},\"quarantined\":{},\
              \"malformed\":{},\"shutdown\":{},\"retries\":{}}},\
-             \"cache\":{{\"hits\":{},\"corrupt_evicted\":{}}},\
+             \"cache\":{{\"hits\":{},\"corrupt_evicted\":{},\"trace_replays\":{},\
+             \"trace_corrupt_evicted\":{}}},\
              \"chaos\":{{\"delays\":{},\"panics\":{},\"faults\":{},\"corruptions\":{}}},\
              \"latency_us\":{{\"p50\":{},\"p99\":{},\"max\":{}}}}}\n",
             self.submitted,
@@ -139,6 +150,8 @@ impl Snapshot {
             self.retries,
             self.cache_hits,
             self.cache_corrupt_evicted,
+            self.trace_replays,
+            self.trace_corrupt_evicted,
             self.chaos_delays,
             self.chaos_panics,
             self.chaos_faults,

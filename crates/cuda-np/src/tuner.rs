@@ -8,8 +8,8 @@
 
 use crate::options::{NpOptions, TransformError};
 use crate::transform::{transform, Transformed};
-use np_exec::{launch, Args, ExecError, KernelReport, SimFault, SimOptions};
-use np_gpu_sim::DeviceConfig;
+use np_exec::{capture_launch, Args, ExecError, KernelReport, SimFault, SimOptions};
+use np_gpu_sim::{CapturedLaunch, DeviceConfig};
 use np_kernel_ir::kernel::Kernel;
 use np_kernel_ir::pragma::NpType;
 use np_kernel_ir::types::Dim3;
@@ -133,6 +133,11 @@ pub struct TuneResult {
     pub best: Transformed,
     /// Its launch report.
     pub best_report: KernelReport,
+    /// The winner's captured interpretation: the frozen block traces its
+    /// report was timed from. Re-timing the winner (different watchdog,
+    /// artifact export, cache warm-up) replays this instead of
+    /// re-interpreting the kernel.
+    pub best_capture: CapturedLaunch,
     /// Every candidate's outcome, in candidate order.
     pub entries: Vec<TuneEntry>,
 }
@@ -216,7 +221,7 @@ pub fn autotune(
     if candidates.is_empty() {
         return Err(TuneError::NoCandidates);
     }
-    type CandResult = (TuneOutcome, Option<(Transformed, KernelReport)>);
+    type CandResult = (TuneOutcome, Option<(Transformed, KernelReport, CapturedLaunch)>);
 
     // A bounded pool, not one OS thread per candidate: workers claim
     // candidates off a shared counter and park each result in that
@@ -241,10 +246,14 @@ pub fn autotune(
                             Err(e) => return (TuneOutcome::Rejected(e), None),
                         };
                         let mut args = make_args(&t);
-                        match launch(dev, &t.kernel, grid, &mut args, sim) {
-                            Ok(rep) => {
+                        // One interpretation per candidate; the report is
+                        // timed from the frozen capture, which the winner
+                        // carries out so later re-timings replay instead of
+                        // re-interpreting.
+                        match capture_launch(dev, &t.kernel, grid, &mut args, sim) {
+                            Ok((rep, cap)) => {
                                 let cycles = rep.cycles;
-                                (TuneOutcome::Ok { cycles }, Some((t, rep)))
+                                (TuneOutcome::Ok { cycles }, Some((t, rep, cap)))
                             }
                             Err(e) => (TuneOutcome::from_launch_err(e), None),
                         }
@@ -275,7 +284,7 @@ pub fn autotune(
     // panic, and every worker's panics are caught above.
     .expect("tuner scope");
 
-    let mut slots: Vec<Option<(Transformed, KernelReport)>> = Vec::new();
+    let mut slots: Vec<Option<(Transformed, KernelReport, CapturedLaunch)>> = Vec::new();
     let mut entries: Vec<TuneEntry> = Vec::new();
     for (cand, cell) in candidates.iter().zip(results) {
         let (outcome, slot) = cell
@@ -286,8 +295,8 @@ pub fn autotune(
             slave_size: cand.opts.slave_size,
             np_type: cand.opts.np_type,
             outcome,
-            profile: slot.as_ref().map(|(_, rep)| rep.profile.total.clone()),
-            stall: slot.as_ref().map(|(_, rep)| rep.timing.stall.clone()),
+            profile: slot.as_ref().map(|(_, rep, _)| rep.profile.total.clone()),
+            stall: slot.as_ref().map(|(_, rep, _)| rep.timing.stall.clone()),
         });
         slots.push(slot);
     }
@@ -301,9 +310,10 @@ pub fn autotune(
     let Some(best_idx) = best_idx else {
         return Err(TuneError::AllFailed(entries));
     };
-    // Internal invariant: an Ok entry always has its (Transformed, report).
-    let (best, best_report) = slots[best_idx].take().expect("winner has a slot");
-    Ok(TuneResult { best, best_report, entries })
+    // Internal invariant: an Ok entry always has its (Transformed, report,
+    // capture).
+    let (best, best_report, best_capture) = slots[best_idx].take().expect("winner has a slot");
+    Ok(TuneResult { best, best_report, best_capture, entries })
 }
 
 /// Add the transform's extra global buffers (relocated local arrays) to an

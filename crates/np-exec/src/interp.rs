@@ -439,6 +439,11 @@ impl<'a> LaunchCtx<'a> {
         !matches!(self.race, RaceSink::Off)
     }
 
+    /// Total interpreted steps so far (whole-launch on the sequential path).
+    pub fn steps(&self) -> u64 {
+        self.step
+    }
+
     /// Take the recorder out (launch teardown).
     pub fn take_race(&mut self) -> Option<RaceRecorder> {
         match std::mem::replace(&mut self.race, RaceSink::Off) {

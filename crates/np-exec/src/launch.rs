@@ -39,12 +39,14 @@ use crate::interp::{
 };
 use crate::machine::{Args, ExecError, GlobalState};
 use crate::resources::estimate_resources;
+use np_gpu_sim::capture::{CapturedLaunch, CapturedRaceMode};
 use np_gpu_sim::config::DeviceConfig;
-use np_gpu_sim::engine::Engine;
+use np_gpu_sim::engine::simulate_blocks;
 use np_gpu_sim::mem::inject::InjectConfig;
 use np_gpu_sim::occupancy::{occupancy, KernelResources, Occupancy};
 use np_gpu_sim::profile::ProfileReport;
 use np_gpu_sim::racecheck::{RaceCheckOptions, RaceRecorder, RaceReport};
+use np_gpu_sim::replay::ReplayError;
 use np_gpu_sim::stats::TimingReport;
 use np_gpu_sim::trace::BlockTrace;
 use np_kernel_ir::kernel::Kernel;
@@ -52,6 +54,18 @@ use np_kernel_ir::slots::InternedKernel;
 use np_kernel_ir::types::Dim3;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+
+/// Monotone count of functional kernel interpretations this process has
+/// performed (one per [`launch`] or [`capture_launch`]; replays do not
+/// count). Tests use deltas of this to assert "interpret once, replay
+/// many" — e.g. that a tuner sweep interprets each transformed kernel
+/// exactly once.
+static INTERPRETATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Snapshot of the process-wide interpretation counter.
+pub fn interpretation_count() -> u64 {
+    INTERPRETATIONS.load(Ordering::SeqCst)
+}
 
 /// Default watchdog budget: far above anything a legitimate workload
 /// interprets, yet reached within seconds by a runaway empty loop.
@@ -288,6 +302,160 @@ pub fn launch(
     args: &mut Args,
     opts: &SimOptions,
 ) -> Result<KernelReport, ExecError> {
+    let (run, resources, occ) = interpret_launch(dev, kernel, grid, args, opts)?;
+    let timing = simulate_blocks(dev, &occ, run.traces, grid.count());
+    Ok(KernelReport {
+        kernel_name: kernel.name.clone(),
+        cycles: timing.cycles,
+        time_us: dev.cycles_to_us(timing.cycles),
+        timing,
+        occupancy: occ,
+        resources,
+        profile: run.profile,
+        race: run.race,
+    })
+}
+
+/// Run `kernel` once and freeze its interpretation into a replayable
+/// [`CapturedLaunch`] alongside the usual report. The report is built *by
+/// replaying the capture*, so `capture_launch` + [`replay_launch`] is
+/// byte-identical to [`launch`] by construction on the capture side, and
+/// the equivalence suites gate the launch side.
+///
+/// Faulting launches return `Err` and produce no artifact (the fault is
+/// the outcome; buffers still come back with partial stores applied, as
+/// with [`launch`]).
+pub fn capture_launch(
+    dev: &DeviceConfig,
+    kernel: &Kernel,
+    grid: Dim3,
+    args: &mut Args,
+    opts: &SimOptions,
+) -> Result<(KernelReport, CapturedLaunch), ExecError> {
+    let (run, resources, _occ) = interpret_launch(dev, kernel, grid, args, opts)?;
+    let total_blocks = grid.count();
+    let sim_blocks = run.traces.len() as u64;
+    let cap = CapturedLaunch {
+        kernel_name: kernel.name.clone(),
+        grid: [grid.x, grid.y, grid.z],
+        block_dim: [kernel.block_dim.x, kernel.block_dim.y, kernel.block_dim.z],
+        total_blocks,
+        sim_blocks,
+        max_blocks: opts.max_blocks,
+        txn_bytes: dev.txn_bytes,
+        l1_line: dev.l1_line,
+        resources,
+        detect_races: opts.detect_races,
+        race_mode: captured_race_mode(opts.check_races),
+        total_steps: run.steps,
+        race: run.race,
+        blocks: run.traces,
+    };
+    let replayed = np_gpu_sim::replay::replay(dev, &cap).map_err(ExecError::Replay)?;
+    let report = KernelReport {
+        kernel_name: cap.kernel_name.clone(),
+        cycles: replayed.timing.cycles,
+        time_us: dev.cycles_to_us(replayed.timing.cycles),
+        timing: replayed.timing,
+        occupancy: replayed.occupancy,
+        resources,
+        profile: replayed.profile,
+        race: cap.race.clone(),
+    };
+    Ok((report, cap))
+}
+
+/// Re-time a capture under `opts` without re-interpreting. The
+/// interpretation-affecting options must match what the capture ran under
+/// — sampling, race-checker arming, the shared-memory detector, resource
+/// overrides — otherwise replay is rejected with a typed
+/// [`ExecError::Replay`]: a sampled capture can never be replayed as if
+/// full, and a race-unchecked capture can never impersonate a checked run.
+/// The watchdog budget *may* differ: the capture records its total
+/// interpreted steps, so any budget's verdict is reproduced exactly
+/// (over-budget captures fault with [`FaultKind::Watchdog`], as a direct
+/// run would). Wall-clock deadlines are ignored — replay performs no
+/// interpretation steps for one to expire at.
+pub fn replay_launch(
+    dev: &DeviceConfig,
+    cap: &CapturedLaunch,
+    opts: &SimOptions,
+) -> Result<KernelReport, ExecError> {
+    if opts.fault_injection.is_some() {
+        return Err(ExecError::Replay(ReplayError::NeedsInterpretation {
+            what: "fault injection",
+        }));
+    }
+    if opts.max_blocks != cap.max_blocks {
+        return Err(ExecError::Replay(ReplayError::SamplingMismatch {
+            captured: cap.max_blocks,
+            requested: opts.max_blocks,
+        }));
+    }
+    let requested_mode = captured_race_mode(opts.check_races);
+    if requested_mode != cap.race_mode {
+        return Err(ExecError::Replay(ReplayError::RaceConfigMismatch {
+            captured: race_mode_tag(cap.race_mode),
+            requested: race_mode_tag(requested_mode),
+        }));
+    }
+    if opts.detect_races != cap.detect_races {
+        return Err(ExecError::Replay(ReplayError::RaceConfigMismatch {
+            captured: if cap.detect_races { "shared-detector" } else { "off" },
+            requested: if opts.detect_races { "shared-detector" } else { "off" },
+        }));
+    }
+    if let Some(r) = opts.resources_override {
+        if r != cap.resources {
+            return Err(ExecError::Replay(ReplayError::NeedsInterpretation {
+                what: "a different resources override",
+            }));
+        }
+    }
+    if let Some(limit) = opts.watchdog_steps {
+        if cap.total_steps > limit {
+            return Err(SimFault::new(&cap.kernel_name, FaultKind::Watchdog { limit }).into());
+        }
+    }
+    let replayed = np_gpu_sim::replay::replay(dev, cap).map_err(ExecError::Replay)?;
+    Ok(KernelReport {
+        kernel_name: cap.kernel_name.clone(),
+        cycles: replayed.timing.cycles,
+        time_us: dev.cycles_to_us(replayed.timing.cycles),
+        timing: replayed.timing,
+        occupancy: replayed.occupancy,
+        resources: cap.resources,
+        profile: replayed.profile,
+        race: cap.race.clone(),
+    })
+}
+
+fn captured_race_mode(m: RaceCheckMode) -> CapturedRaceMode {
+    match m {
+        RaceCheckMode::Off => CapturedRaceMode::Off,
+        RaceCheckMode::Record => CapturedRaceMode::Record,
+        RaceCheckMode::Fatal => CapturedRaceMode::Fatal,
+    }
+}
+
+fn race_mode_tag(m: CapturedRaceMode) -> &'static str {
+    match m {
+        CapturedRaceMode::Off => "off",
+        CapturedRaceMode::Record => "record",
+        CapturedRaceMode::Fatal => "fatal",
+    }
+}
+
+/// Shared front half of [`launch`] and [`capture_launch`]: bind, intern,
+/// interpret (parallel when possible), unbind — everything up to but not
+/// including the timing engine. Counts one interpretation on the probe.
+fn interpret_launch(
+    dev: &DeviceConfig,
+    kernel: &Kernel,
+    grid: Dim3,
+    args: &mut Args,
+    opts: &SimOptions,
+) -> Result<(InterpRun, KernelResources, Occupancy), ExecError> {
     let resources = opts
         .resources_override
         .unwrap_or_else(|| estimate_resources(kernel, dev.max_registers_per_thread));
@@ -320,48 +488,34 @@ pub fn launch(
     let env = RunEnv {
         dev,
         ik: &ik,
-        occ: &occ,
         grid,
         sim_blocks,
-        total_blocks,
         warps_per_block,
         local_per_thread,
         opts,
     };
-    let out = if can_parallel { run_parallel(&env, &mut globals, pool) } else { None };
-    let out = match out {
-        Some(o) => o,
-        None => run_sequential(&env, &mut globals),
+    INTERPRETATIONS.fetch_add(1, Ordering::SeqCst);
+    let run = if can_parallel { interpret_parallel(&env, &mut globals, pool) } else { None };
+    let run = match run {
+        Some(r) => r,
+        None => interpret_sequential(&env, &mut globals),
     };
 
     // Return buffers even on a fault so callers keep their data (holding
     // whatever partial stores completed before the violation).
     globals.unbind(args);
-    if let Some(f) = out.fault {
+    if let Some(f) = run.fault {
         return Err(f.into());
     }
-
-    let timing = out.timing;
-    Ok(KernelReport {
-        kernel_name: kernel.name.clone(),
-        cycles: timing.cycles,
-        time_us: dev.cycles_to_us(timing.cycles),
-        timing,
-        occupancy: occ,
-        resources,
-        profile: out.profile,
-        race: out.race,
-    })
+    Ok((run, resources, occ))
 }
 
 /// Per-launch invariants shared by both interpretation strategies.
 struct RunEnv<'a> {
     dev: &'a DeviceConfig,
     ik: &'a InternedKernel,
-    occ: &'a Occupancy,
     grid: Dim3,
     sim_blocks: u64,
-    total_blocks: u64,
     warps_per_block: u64,
     local_per_thread: u32,
     opts: &'a SimOptions,
@@ -373,23 +527,27 @@ impl RunEnv<'_> {
     }
 }
 
-/// What a run produces: the timing report, race report, profile, and the
-/// first fault (which, when present, makes the caller discard the rest).
-struct RunOutput {
-    timing: TimingReport,
+/// What interpretation produces: the materialized block traces, race
+/// report, profile, interpreted step total, and the first fault (which,
+/// when present, makes the caller discard the rest). Timing is *not* here
+/// — the caller hands `traces` to the engine (or freezes them into a
+/// [`CapturedLaunch`] and replays later; both roads lead to
+/// [`simulate_blocks`]).
+struct InterpRun {
+    traces: Vec<BlockTrace>,
     race: RaceReport,
     profile: ProfileReport,
     fault: Option<SimFault>,
+    steps: u64,
 }
 
 /// The classic path: one launch-scoped context, blocks interpreted in
-/// order, traces streamed straight into the timing engine.
-fn run_sequential(env: &RunEnv, globals: &mut GlobalState) -> RunOutput {
+/// order.
+fn interpret_sequential(env: &RunEnv, globals: &mut GlobalState) -> InterpRun {
     let opts = env.opts;
-    let engine = Engine::new(env.dev, env.occ);
-    let mut next: u64 = 0;
     let mut fault: Option<SimFault> = None;
     let mut profile = ProfileReport::default();
+    let mut traces: Vec<BlockTrace> = Vec::with_capacity(env.sim_blocks as usize);
     let recorder = match opts.check_races {
         RaceCheckMode::Off => None,
         RaceCheckMode::Record => Some((RaceRecorder::new(opts.race_options.clone()), false)),
@@ -402,37 +560,30 @@ fn run_sequential(env: &RunEnv, globals: &mut GlobalState) -> RunOutput {
         opts.fault_injection.clone(),
         recorder,
     );
-    let timing = {
-        let mut source = || -> Option<BlockTrace> {
-            if next >= env.sim_blocks || fault.is_some() {
-                return None;
+    for bx in 0..env.sim_blocks {
+        match run_block(
+            env.ik,
+            env.dev,
+            &mut ctx,
+            env.block_idx(bx),
+            env.grid,
+            bx * env.warps_per_block,
+            env.local_per_thread,
+            opts.detect_races,
+        ) {
+            Ok(trace) => {
+                profile.record_block(&trace);
+                traces.push(trace);
             }
-            let bx = next;
-            next += 1;
-            match run_block(
-                env.ik,
-                env.dev,
-                &mut ctx,
-                env.block_idx(bx),
-                env.grid,
-                bx * env.warps_per_block,
-                env.local_per_thread,
-                opts.detect_races,
-            ) {
-                Ok(trace) => {
-                    profile.record_block(&trace);
-                    Some(trace)
-                }
-                Err(f) => {
-                    fault = Some(f);
-                    None
-                }
+            Err(f) => {
+                fault = Some(f);
+                break;
             }
-        };
-        engine.run(env.occ, &mut source, env.total_blocks)
-    };
+        }
+    }
+    let steps = ctx.steps();
     let race = ctx.take_race().map(|rec| rec.finish()).unwrap_or_default();
-    RunOutput { timing, race, profile, fault }
+    InterpRun { traces, race, profile, fault, steps }
 }
 
 /// One worker's result for one block: the trace (when the block ran to
@@ -447,7 +598,7 @@ enum Outcome {
 /// cross-block read-after-write invalidates the snapshot run — `globals`
 /// is untouched in that case, so the caller reruns sequentially from the
 /// pristine pre-launch state.
-fn run_parallel(env: &RunEnv, globals: &mut GlobalState, pool: usize) -> Option<RunOutput> {
+fn interpret_parallel(env: &RunEnv, globals: &mut GlobalState, pool: usize) -> Option<InterpRun> {
     let opts = env.opts;
     let ik = env.ik;
     let rw: Vec<bool> = ik.array_params.iter().map(|p| p.loaded && p.stored).collect();
@@ -589,12 +740,7 @@ fn run_parallel(env: &RunEnv, globals: &mut GlobalState, pool: usize) -> Option<
         RaceReport::default()
     };
 
-    let engine = Engine::new(env.dev, env.occ);
-    let mut it = traces.into_iter();
-    let mut source = || it.next();
-    let timing = engine.run(env.occ, &mut source, env.total_blocks);
-
-    Some(RunOutput { timing, race, profile, fault })
+    Some(InterpRun { traces, race, profile, fault, steps: cum_steps })
 }
 
 /// Apply a block's journaled stores to the real buffers, optionally cut at
@@ -1184,6 +1330,189 @@ mod hb_race_tests {
             };
             assert_eq!(run(), run());
         }
+    }
+
+    /// Vector add: out[i] = a[i] + b[i] (local copy; the sibling tests
+    /// module keeps its own).
+    fn vecadd_kernel() -> Kernel {
+        let mut b = KernelBuilder::new("vecadd", 64);
+        b.param_global_f32("a");
+        b.param_global_f32("b");
+        b.param_global_f32("out");
+        b.decl_i32("t", tidx() + bidx() * bdimx());
+        b.store("out", v("t"), load("a", v("t")) + load("b", v("t")));
+        b.finish()
+    }
+
+    fn vecadd_args(n: usize) -> Args {
+        let a: Vec<f32> = (0..n).map(|i| i as f32).collect();
+        let b: Vec<f32> = (0..n).map(|i| 2.0 * i as f32).collect();
+        Args::new().buf_f32("a", a).buf_f32("b", b).buf_f32("out", vec![0.0; n])
+    }
+
+    /// Everything a report says, as one comparable string.
+    fn fingerprint(r: &KernelReport) -> String {
+        format!(
+            "{:?}|{}|{}|{}|{}",
+            r.timing,
+            r.profile.to_json(),
+            r.race.to_json(),
+            r.chrome_trace(),
+            r.cycles
+        )
+    }
+
+    #[test]
+    fn capture_then_replay_is_byte_identical_to_direct_launch() {
+        let dev = DeviceConfig::small_test();
+        let k = vecadd_kernel();
+        let opts = SimOptions::full();
+
+        let mut direct_args = vecadd_args(256);
+        let direct = launch(&dev, &k, Dim3::x1(4), &mut direct_args, &opts).unwrap();
+
+        let mut cap_args = vecadd_args(256);
+        let (at_capture, cap) =
+            capture_launch(&dev, &k, Dim3::x1(4), &mut cap_args, &opts).unwrap();
+        assert_eq!(direct_args.get_f32("out"), cap_args.get_f32("out"));
+        assert_eq!(fingerprint(&direct), fingerprint(&at_capture));
+
+        let replayed = replay_launch(&dev, &cap, &opts).unwrap();
+        assert_eq!(fingerprint(&direct), fingerprint(&replayed));
+
+        // And through the codec: decode(encode(cap)) replays identically.
+        let decoded = CapturedLaunch::decode(&cap.encode()).unwrap();
+        let re_replayed = replay_launch(&dev, &decoded, &opts).unwrap();
+        assert_eq!(fingerprint(&direct), fingerprint(&re_replayed));
+    }
+
+    #[test]
+    fn capture_counts_one_interpretation_and_replay_counts_none() {
+        let dev = DeviceConfig::small_test();
+        let k = vecadd_kernel();
+        let opts = SimOptions::full();
+        let before = interpretation_count();
+        let (_, cap) =
+            capture_launch(&dev, &k, Dim3::x1(4), &mut vecadd_args(256), &opts).unwrap();
+        let after_capture = interpretation_count();
+        // Other tests run concurrently in this process, so assert "at
+        // least mine" rather than an exact delta.
+        assert!(after_capture > before);
+        for _ in 0..3 {
+            replay_launch(&dev, &cap, &opts).unwrap();
+        }
+        // Replays never interpret; nothing this test did since the capture
+        // bumped the counter. (Concurrent launches may have, so this can't
+        // be asserted exactly here — the serial probe lives in the
+        // replay-equivalence suite.)
+        let _ = after_capture;
+    }
+
+    #[test]
+    fn sampled_capture_cannot_replay_as_full() {
+        let dev = DeviceConfig::small_test();
+        let k = vecadd_kernel();
+        let n = 64 * 64;
+        let mk = || {
+            Args::new()
+                .buf_f32("a", vec![1.0; n])
+                .buf_f32("b", vec![1.0; n])
+                .buf_f32("out", vec![0.0; n])
+        };
+        let (_, cap) =
+            capture_launch(&dev, &k, Dim3::x1(64), &mut mk(), &SimOptions::sampled(16)).unwrap();
+        assert!(cap.is_sampled());
+        let err = replay_launch(&dev, &cap, &SimOptions::full()).unwrap_err();
+        assert!(
+            matches!(err, ExecError::Replay(ReplayError::SamplingMismatch { .. })),
+            "expected SamplingMismatch, got {err:?}"
+        );
+        // With the matching sampling config it replays fine.
+        replay_launch(&dev, &cap, &SimOptions::sampled(16)).unwrap();
+    }
+
+    #[test]
+    fn replay_reproduces_watchdog_verdict_for_any_budget() {
+        let dev = DeviceConfig::small_test();
+        let k = vecadd_kernel();
+        let opts = SimOptions::full();
+        let (_, cap) =
+            capture_launch(&dev, &k, Dim3::x1(4), &mut vecadd_args(256), &opts).unwrap();
+        assert!(cap.total_steps > 0);
+
+        // A generous budget replays clean.
+        let generous = opts.clone().with_watchdog(Some(cap.total_steps));
+        replay_launch(&dev, &cap, &generous).unwrap();
+
+        // A budget below the recorded step count faults, exactly as the
+        // direct run would have.
+        let tight = opts.clone().with_watchdog(Some(cap.total_steps - 1));
+        let err = replay_launch(&dev, &cap, &tight).unwrap_err();
+        let fault = err.fault().expect("watchdog fault");
+        assert!(matches!(fault.kind, FaultKind::Watchdog { .. }));
+
+        let mut direct_args = vecadd_args(256);
+        let direct_err =
+            launch(&dev, &k, Dim3::x1(4), &mut direct_args, &tight).unwrap_err();
+        let direct_fault = direct_err.fault().expect("direct watchdog fault");
+        assert!(matches!(direct_fault.kind, FaultKind::Watchdog { .. }));
+    }
+
+    #[test]
+    fn race_config_mismatch_is_rejected_at_replay() {
+        let dev = DeviceConfig::small_test();
+        let k = vecadd_kernel();
+        let (_, cap) =
+            capture_launch(&dev, &k, Dim3::x1(4), &mut vecadd_args(256), &SimOptions::full())
+                .unwrap();
+        let err = replay_launch(&dev, &cap, &SimOptions::race_checked()).unwrap_err();
+        assert!(
+            matches!(err, ExecError::Replay(ReplayError::RaceConfigMismatch { .. })),
+            "expected RaceConfigMismatch, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn race_checked_capture_preserves_findings_through_codec() {
+        let dev = DeviceConfig::small_test();
+        let k = racy_kernel(false);
+        let mut args = Args::new().buf_f32("out", vec![0.0; 64]);
+        let (report, cap) =
+            capture_launch(&dev, &k, Dim3::x1(2), &mut args, &SimOptions::race_checked())
+                .unwrap();
+        assert!(report.race.checked);
+        assert!(!report.race.is_clean());
+        let decoded = CapturedLaunch::decode(&cap.encode()).unwrap();
+        let replayed = replay_launch(&dev, &decoded, &SimOptions::race_checked()).unwrap();
+        assert_eq!(report.race.to_json(), replayed.race.to_json());
+    }
+
+    #[test]
+    fn fault_injection_cannot_replay() {
+        let dev = DeviceConfig::small_test();
+        let k = vecadd_kernel();
+        let (_, cap) =
+            capture_launch(&dev, &k, Dim3::x1(4), &mut vecadd_args(256), &SimOptions::full())
+                .unwrap();
+        let opts = SimOptions::full().with_injection(InjectConfig::bitflips(1, 2));
+        let err = replay_launch(&dev, &cap, &opts).unwrap_err();
+        assert!(
+            matches!(err, ExecError::Replay(ReplayError::NeedsInterpretation { .. })),
+            "expected NeedsInterpretation, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn faulting_capture_launch_returns_error_and_no_artifact() {
+        let dev = DeviceConfig::small_test();
+        let mut b = KernelBuilder::new("oob_cap", 32);
+        b.param_global_f32("out");
+        b.store("out", tidx() + i(100), f(1.0));
+        let k = b.finish();
+        let mut args = Args::new().buf_f32("out", vec![0.0; 32]);
+        let err = capture_launch(&dev, &k, Dim3::x1(1), &mut args, &SimOptions::full())
+            .unwrap_err();
+        assert!(err.fault().is_some());
     }
 }
 

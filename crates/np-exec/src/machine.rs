@@ -157,6 +157,9 @@ pub enum ExecError {
     /// (out-of-bounds access, race, divergent barrier, watchdog, ...).
     /// Boxed so the happy-path `Result` stays a couple of words wide.
     Fault(Box<crate::fault::SimFault>),
+    /// A captured trace could not be replayed under the requested device
+    /// or simulation configuration (see [`np_gpu_sim::replay::ReplayError`]).
+    Replay(np_gpu_sim::replay::ReplayError),
 }
 
 impl ExecError {
@@ -184,6 +187,7 @@ impl std::fmt::Display for ExecError {
             }
             ExecError::Launch(msg) => write!(f, "launch rejected: {msg}"),
             ExecError::Fault(fault) => write!(f, "kernel fault: {fault}"),
+            ExecError::Replay(e) => write!(f, "replay rejected: {e}"),
         }
     }
 }
@@ -192,6 +196,7 @@ impl std::error::Error for ExecError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ExecError::Fault(fault) => Some(fault),
+            ExecError::Replay(e) => Some(e),
             _ => None,
         }
     }

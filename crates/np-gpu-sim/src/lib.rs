@@ -24,6 +24,7 @@
 //! assert_eq!(occ.blocks_per_smx, 8); // 2048-thread SMX, 256-thread blocks
 //! ```
 
+pub mod capture;
 pub mod config;
 pub mod dynpar;
 pub mod engine;
@@ -31,10 +32,12 @@ pub mod mem;
 pub mod occupancy;
 pub mod profile;
 pub mod racecheck;
+pub mod replay;
 pub mod stats;
 pub mod timeline;
 pub mod trace;
 
+pub use capture::{CapturedLaunch, CapturedRaceMode, TraceDecodeError, TRACE_MAGIC};
 pub use config::{DeviceConfig, DynParConfig, TICKS_PER_CYCLE, WARP_SIZE};
 pub use engine::{simulate_blocks, BlockSource, Engine, IterSource};
 pub use occupancy::{occupancy, KernelResources, Limiter, Occupancy, OccupancyError};
@@ -43,6 +46,7 @@ pub use racecheck::{
     AccessSite, GatingPolicy, RaceCheckOptions, RaceFinding, RaceKind, RaceRecorder, RaceReport,
     RaceSpace,
 };
+pub use replay::{replay, ReplayedLaunch, ReplayError};
 pub use stats::TimingReport;
 pub use timeline::{SmxState, StallBreakdown, Timeline};
 pub use trace::{BlockTrace, ShflKind, TraceBuilder, WarpOp, WarpTrace};

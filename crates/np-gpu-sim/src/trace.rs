@@ -65,14 +65,14 @@ pub enum WarpOp {
 
 /// The instruction trace of one warp within one block, with the
 /// deterministic profile counters accumulated while it was built.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct WarpTrace {
     pub ops: Vec<WarpOp>,
     pub counters: ProfileCounters,
 }
 
 /// The traces of every warp of one thread block.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct BlockTrace {
     pub warps: Vec<WarpTrace>,
 }

@@ -1,0 +1,123 @@
+//! Golden trace snapshots: every Table-1 workload's captured launch —
+//! the `np-trace-v1` bytes produced by `np_exec::capture_launch` on the
+//! baseline kernel — is pinned byte-for-byte against checked-in
+//! `.nptrace` artifacts under `tests/goldens/`.
+//!
+//! A capture is a pure function of kernel + arguments + launch config,
+//! so any drift means a real behavioural change in the interpreter, the
+//! trace content, or the codec itself. The suite also proves each golden
+//! still *decodes* (digest verifies, structure parses) and *replays* to
+//! the exact timing a fresh capture reports — a stale-format golden
+//! fails loudly rather than silently skewing the equivalence gate.
+//!
+//! To accept intentional changes, regenerate with:
+//!
+//! ```text
+//! UPDATE_GOLDENS=1 cargo test -p np-gpu-sim --test golden_traces
+//! ```
+
+use np_exec::capture_launch;
+use np_gpu_sim::{replay, CapturedLaunch, DeviceConfig, TRACE_MAGIC};
+use np_workloads::{all_workloads, Scale};
+use std::path::PathBuf;
+
+fn goldens_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/goldens")
+}
+
+#[test]
+fn golden_traces_cover_all_workloads() {
+    let dev = DeviceConfig::gtx680();
+    let update = std::env::var("UPDATE_GOLDENS").is_ok_and(|v| v == "1");
+    if update {
+        std::fs::create_dir_all(goldens_dir()).expect("create goldens dir");
+    }
+    let mut drifted = Vec::new();
+    for w in all_workloads(Scale::Test) {
+        let kernel = w.kernel();
+        let grid = w.grid();
+        let mut args = w.make_args();
+        let (report, cap) = capture_launch(&dev, &kernel, grid, &mut args, &w.sim_options())
+            .unwrap_or_else(|e| panic!("{}: capture failed: {e}", w.name()));
+        let bytes = cap.encode();
+        assert!(bytes.starts_with(TRACE_MAGIC), "{}: bad magic", w.name());
+
+        let path = goldens_dir().join(format!("{}.nptrace", w.name().to_lowercase()));
+        if update {
+            std::fs::write(&path, &bytes)
+                .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+            continue;
+        }
+        let golden = std::fs::read(&path).unwrap_or_else(|e| {
+            panic!(
+                "{}: missing golden {} ({e}); regenerate with \
+                 UPDATE_GOLDENS=1 cargo test -p np-gpu-sim --test golden_traces",
+                w.name(),
+                path.display()
+            )
+        });
+        if bytes != golden {
+            let golden_digest = CapturedLaunch::decode(&golden)
+                .map(|g| format!("{:016x}", g.digest()))
+                .unwrap_or_else(|e| format!("undecodable: {e}"));
+            drifted.push(format!(
+                "{}: trace drifted from {} (golden digest {}, got {:016x}, \
+                 golden {} bytes, got {} bytes)",
+                w.name(),
+                path.display(),
+                golden_digest,
+                cap.digest(),
+                golden.len(),
+                bytes.len()
+            ));
+            continue;
+        }
+
+        // The checked-in artifact must stay *usable*, not just stable:
+        // decode it and replay it on the capture's device, and demand the
+        // exact timing the fresh interpretation produced.
+        let decoded = CapturedLaunch::decode(&golden)
+            .unwrap_or_else(|e| panic!("{}: golden no longer decodes: {e}", w.name()));
+        assert_eq!(decoded, cap, "{}: decode(golden) != fresh capture", w.name());
+        let replayed = replay(&dev, &decoded)
+            .unwrap_or_else(|e| panic!("{}: golden no longer replays: {e}", w.name()));
+        assert_eq!(
+            format!("{:?}", replayed.timing),
+            format!("{:?}", report.timing),
+            "{}: golden replay timing diverged from direct launch",
+            w.name()
+        );
+        assert_eq!(
+            replayed.profile.to_json(),
+            report.profile.to_json(),
+            "{}: golden replay profile diverged from direct launch",
+            w.name()
+        );
+    }
+    assert!(
+        drifted.is_empty(),
+        "{} golden trace(s) drifted; if intentional, regenerate with \
+         UPDATE_GOLDENS=1 cargo test -p np-gpu-sim --test golden_traces\n\n{}",
+        drifted.len(),
+        drifted.join("\n")
+    );
+}
+
+/// Capturing the same workload twice yields byte-identical artifacts —
+/// the property the golden files (and the serve trace cache) rest on.
+#[test]
+fn captures_are_deterministic() {
+    let dev = DeviceConfig::gtx680();
+    for w in all_workloads(Scale::Test) {
+        let kernel = w.kernel();
+        let grid = w.grid();
+        let (_, a) =
+            capture_launch(&dev, &kernel, grid, &mut w.make_args(), &w.sim_options())
+                .unwrap_or_else(|e| panic!("{}: capture failed: {e}", w.name()));
+        let (_, b) =
+            capture_launch(&dev, &kernel, grid, &mut w.make_args(), &w.sim_options())
+                .unwrap_or_else(|e| panic!("{}: capture failed: {e}", w.name()));
+        assert_eq!(a.encode(), b.encode(), "{}: capture not deterministic", w.name());
+        assert_eq!(a.digest(), b.digest(), "{}: digest not deterministic", w.name());
+    }
+}

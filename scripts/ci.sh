@@ -13,6 +13,15 @@ cargo clippy --workspace --all-targets -- -D warnings
 cargo test --release -q --test golden_counters
 cargo test --release -q -p cuda-np --test equivalence
 
+# Trace-replay gate: capture/replay must be byte-identical to direct
+# launches for every workload x transform config, the tuner must interpret
+# each candidate exactly once, the np-trace-v1 codec must round-trip and
+# reject corruption with typed errors, and the checked-in golden trace
+# artifacts must match byte-for-byte.
+cargo test --release -q -p np-gpu-sim --test golden_traces
+cargo test --release -q -p np-gpu-sim --test trace_codec_properties
+cargo test --release -q -p cuda-np --test replay_equivalence
+
 # Race-freedom gate: every paper workload's transformed kernel must pass
 # the happens-before checker at slave sizes {2,4,8} (and its dropped-barrier
 # / un-gated-broadcast mutants must fail it), both through the test suites
@@ -56,4 +65,9 @@ cargo build --release -q -p cuda-np --bin npcc
   --clients 8 --bench-out BENCH_serve.json
 grep -q '"schema":"np-serve-bench-v1"' BENCH_serve.json \
   || { echo "BENCH_serve.json missing or malformed" >&2; exit 1; }
+# The chaos harness corrupts the capture-artifact cache alongside the
+# result cache; the soak report must carry the trace-cache counters
+# proving that path was exercised and survived.
+grep -q '"trace_replays"' BENCH_serve.json \
+  || { echo "BENCH_serve.json missing trace-cache counters" >&2; exit 1; }
 ./scripts/serve_drain_check.sh
