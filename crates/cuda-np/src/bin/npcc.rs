@@ -34,6 +34,16 @@
 //!                        replayable `np-trace-v1` artifact at PATH (with
 //!                        --explain, the winner's capture from the tuning
 //!                        sweep is written — no extra interpretation)
+//!   --obs-out PATH       record the invocation's np-obs spans/events to
+//!                        PATH (np-obs-v1 JSONL; the final line embeds the
+//!                        metrics-registry snapshot) and write a
+//!                        chrome-trace doc to PATH.chrome.json with the
+//!                        host span track spliced alongside the SMX
+//!                        timeline tracks when --timeline ran
+//!
+//! npcc obs-strip         read np-obs JSONL on stdin, write it back with
+//!                        every wall_* field removed — the determinism
+//!                        gate's normalizer (byte-identical across reruns)
 //!
 //! npcc --replay PATH [--watchdog B]
 //!
@@ -60,6 +70,13 @@
 //!   --clients N          soak client threads (default 4)
 //!   --bench-out PATH     write BENCH_serve.json here (default
 //!                        BENCH_serve.json in soak mode)
+//!   --log PATH           stream the daemon's np-obs events to PATH as
+//!                        JSONL (request lifecycle with correlation ids,
+//!                        cache outcomes, drain/flush records)
+//!   --log-level L        level floor for --log: trace|debug|info|warn|
+//!                        error (default debug)
+//!   --quiet              raise the stderr event floor to errors (stdout
+//!                        is pure response JSONL either way)
 //! ```
 
 use cuda_np::serve::{
@@ -94,11 +111,13 @@ fn usage() -> ! {
          [--local-array auto|global|shared|register] [--pad] [--no-redundant] \
          [--report] [--explain] [--timeline] [--check-races] \
          [--mutate drop-barrier[:N]|unguard-broadcast] [--watchdog B|none] \
-         [--emit-trace PATH] <kernel.cu | ->\n\
-         \x20      npcc --replay PATH [--watchdog B|none]\n\
+         [--emit-trace PATH] [--obs-out PATH] <kernel.cu | ->\n\
+         \x20      npcc --replay PATH [--watchdog B|none] [--obs-out PATH]\n\
+         \x20      npcc obs-strip < events.jsonl\n\
          \x20      npcc serve [--workers N] [--queue N] [--cache N] \
          [--deadline-ms MS] [--watchdog B|none] [--chaos SEED] \
-         [--soak SECS] [--clients N] [--bench-out PATH]"
+         [--soak SECS] [--clients N] [--bench-out PATH] \
+         [--log PATH] [--log-level trace|debug|info|warn|error] [--quiet]"
     );
     std::process::exit(2)
 }
@@ -439,8 +458,9 @@ fn check_races(t: &Transformed, kernel: &Kernel, explain: bool, sim: &SimOptions
 }
 
 /// Simulate `t`'s kernel with synthesized arguments on the GTX 680 and
-/// render the per-SMX stall timeline to stderr.
-fn render_timeline(t: &Transformed, sim: &SimOptions) -> bool {
+/// render the per-SMX stall timeline to stderr. Returns the report's
+/// chrome-trace doc (for `--obs-out` splicing) on success.
+fn render_timeline(t: &Transformed, sim: &SimOptions) -> Option<String> {
     let dev = DeviceConfig::gtx680();
     let grid = Dim3::x1(4);
     let mut args = alloc_extra_buffers(synth_args(&t.kernel), t, grid);
@@ -453,13 +473,27 @@ fn render_timeline(t: &Transformed, sim: &SimOptions) -> bool {
                 t.kernel.block_dim.count()
             );
             eprint!("{}", rep.timing.timeline.render_gantt(96));
-            true
+            Some(rep.chrome_trace())
         }
         Err(e) => {
             eprintln!("npcc: timeline simulation failed: {e}");
-            false
+            None
         }
     }
+}
+
+/// Everything a one-shot (non-serve) invocation needs, parsed off argv.
+struct CompileRun {
+    opts: NpOptions,
+    input: Option<String>,
+    report: bool,
+    explain_flag: bool,
+    timeline_flag: bool,
+    check_races_flag: bool,
+    mutate: Option<String>,
+    emit_trace_path: Option<String>,
+    replay_path: Option<String>,
+    watchdog: Option<Option<u64>>,
 }
 
 fn main() -> ExitCode {
@@ -472,6 +506,7 @@ fn main() -> ExitCode {
     let mut mutate: Option<String> = None;
     let mut emit_trace_path: Option<String> = None;
     let mut replay_path: Option<String> = None;
+    let mut obs_out: Option<String> = None;
     // `--watchdog` step budget: absent = simulator default,
     // Some(None) = disarmed, Some(Some(n)) = n steps.
     let mut watchdog: Option<Option<u64>> = None;
@@ -480,6 +515,7 @@ fn main() -> ExitCode {
     while let Some(a) = args.next() {
         match a.as_str() {
             "serve" => return serve_main(args),
+            "obs-strip" => return obs_strip_main(),
             "--slave-size" => {
                 opts.slave_size = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
             }
@@ -509,6 +545,7 @@ fn main() -> ExitCode {
             "--check-races" => check_races_flag = true,
             "--mutate" => mutate = Some(args.next().unwrap_or_else(|| usage())),
             "--emit-trace" => emit_trace_path = Some(args.next().unwrap_or_else(|| usage())),
+            "--obs-out" => obs_out = Some(args.next().unwrap_or_else(|| usage())),
             "--replay" => replay_path = Some(args.next().unwrap_or_else(|| usage())),
             "--watchdog" => {
                 let spec = args.next().unwrap_or_else(|| usage());
@@ -527,6 +564,113 @@ fn main() -> ExitCode {
             _ => usage(),
         }
     }
+    let run = CompileRun {
+        opts,
+        input,
+        report,
+        explain_flag,
+        timeline_flag,
+        check_races_flag,
+        mutate,
+        emit_trace_path,
+        replay_path,
+        watchdog,
+    };
+    match obs_out {
+        None => run_compile(run, &mut None),
+        Some(path) => {
+            // One buffered recorder + registry for the whole invocation:
+            // drained into `PATH` (np-obs-v1 JSONL, registry doc last) and
+            // `PATH.chrome.json` (host span tracks spliced alongside the
+            // SMX timeline when `--timeline` ran).
+            let rec = np_obs::Recorder::buffer(1 << 20);
+            let reg = np_obs::Registry::new();
+            let mut chrome = None;
+            let code =
+                np_obs::scope(&rec, Some(&reg), None, || run_compile(run, &mut chrome));
+            if !write_obs_log(&rec, &reg, chrome.as_deref(), &path) {
+                return ExitCode::FAILURE;
+            }
+            code
+        }
+    }
+}
+
+/// `npcc obs-strip`: read an np-obs JSONL stream (or any text embedding
+/// one) on stdin and write it back with every `wall_*` field removed —
+/// the determinism gate's canonical normalizer, shared with the library
+/// so CI and the tests strip identically.
+fn obs_strip_main() -> ExitCode {
+    let mut s = String::new();
+    if std::io::stdin().read_to_string(&mut s).is_err() {
+        eprintln!("npcc obs-strip: failed to read stdin");
+        return ExitCode::FAILURE;
+    }
+    print!("{}", np_obs::strip_text(&s));
+    ExitCode::SUCCESS
+}
+
+/// Drain the invocation's recorder into `path` (JSONL events, then one
+/// `registry` line) and `path.chrome.json` (chrome-trace doc: the SMX
+/// timeline tracks from `--timeline` when present, plus one host track of
+/// np-obs spans).
+fn write_obs_log(
+    rec: &np_obs::Recorder,
+    reg: &np_obs::Registry,
+    chrome_sim: Option<&str>,
+    path: &str,
+) -> bool {
+    let events = rec.drain();
+    let mut doc = np_obs::render_jsonl(&events, false);
+    doc.push_str(&format!(
+        "{{\"seq\":{},\"ev\":\"registry\",\"dropped\":{},\"doc\":{}}}\n",
+        events.len(),
+        rec.dropped(),
+        reg.snapshot_json(false).trim_end()
+    ));
+    if let Err(e) = std::fs::write(path, &doc) {
+        eprintln!("npcc: cannot write {path}: {e}");
+        return false;
+    }
+    let spans = np_obs::chrome_trace_events(&events, "npcc");
+    let chrome_doc = match chrome_sim {
+        Some(sim) => {
+            let base = sim.trim_end();
+            let base = base.strip_suffix(']').unwrap_or(base).trim_end();
+            let base = base.strip_suffix(',').unwrap_or(base);
+            if spans.is_empty() {
+                format!("{base}\n]")
+            } else {
+                format!("{base},\n{spans}\n]")
+            }
+        }
+        None => format!("[\n{spans}\n]"),
+    };
+    let cpath = format!("{path}.chrome.json");
+    if let Err(e) = std::fs::write(&cpath, &chrome_doc) {
+        eprintln!("npcc: cannot write {cpath}: {e}");
+        return false;
+    }
+    true
+}
+
+/// The one-shot compile/replay pipeline (everything except `serve`). When
+/// `--timeline` renders, its chrome-trace doc is handed back through
+/// `chrome` for `--obs-out` splicing.
+fn run_compile(c: CompileRun, chrome: &mut Option<String>) -> ExitCode {
+    let CompileRun {
+        opts,
+        input,
+        report,
+        explain_flag,
+        timeline_flag,
+        check_races_flag,
+        mutate,
+        emit_trace_path,
+        replay_path,
+        watchdog,
+    } = c;
+    let _root = np_obs::span("npcc");
     // `--replay` is a standalone mode: no kernel source involved.
     if let Some(p) = replay_path {
         if input.is_some() {
@@ -559,7 +703,11 @@ fn main() -> ExitCode {
         }
     };
 
-    let mut kernel = match parse_kernel(&src) {
+    let parsed = {
+        let _p = np_obs::span("parse");
+        parse_kernel(&src)
+    };
+    let mut kernel = match parsed {
         Ok(k) => k,
         Err(e) => {
             eprintln!("npcc: {path}: {e}");
@@ -614,8 +762,11 @@ fn main() -> ExitCode {
                 if report {
                     eprintln!("npcc: {:#?}", best.report);
                 }
-                if timeline_flag && !render_timeline(&best, &sim) {
-                    return ExitCode::FAILURE;
+                if timeline_flag {
+                    match render_timeline(&best, &sim) {
+                        Some(ct) => *chrome = Some(ct),
+                        None => return ExitCode::FAILURE,
+                    }
                 }
                 // The sweep already interpreted the winner; its capture is
                 // written as-is.
@@ -639,8 +790,11 @@ fn main() -> ExitCode {
             if report {
                 eprintln!("npcc: {:#?}", t.report);
             }
-            if timeline_flag && !render_timeline(&t, &sim) {
-                return ExitCode::FAILURE;
+            if timeline_flag {
+                match render_timeline(&t, &sim) {
+                    Some(ct) => *chrome = Some(ct),
+                    None => return ExitCode::FAILURE,
+                }
             }
             if let Some(p) = &emit_trace_path {
                 if !emit_trace(&t, &sim, p) {
@@ -693,6 +847,9 @@ fn serve_main(mut args: std::iter::Skip<std::env::Args>) -> ExitCode {
     let mut soak_secs: Option<u64> = None;
     let mut clients = 4usize;
     let mut bench_out: Option<String> = None;
+    let mut log_path: Option<String> = None;
+    let mut log_level = np_obs::Level::Debug;
+    let mut quiet = false;
 
     let num = |args: &mut std::iter::Skip<std::env::Args>| -> u64 {
         args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
@@ -717,27 +874,63 @@ fn serve_main(mut args: std::iter::Skip<std::env::Args>) -> ExitCode {
             "--soak" => soak_secs = Some(num(&mut args)),
             "--clients" => clients = num(&mut args).max(1) as usize,
             "--bench-out" => bench_out = Some(args.next().unwrap_or_else(|| usage())),
+            "--log" => log_path = Some(args.next().unwrap_or_else(|| usage())),
+            "--log-level" => {
+                let spec = args.next().unwrap_or_else(|| usage());
+                log_level = match np_obs::Level::parse(&spec) {
+                    Some(l) => l,
+                    None => {
+                        eprintln!("npcc serve: --log-level: unknown level {spec:?}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--quiet" => quiet = true,
             "--help" | "-h" => usage(),
             _ => usage(),
         }
     }
     cfg.chaos = chaos_seed.map(ChaosConfig::standard);
 
+    // The daemon's structured logger: stdout stays pure response JSONL;
+    // stderr carries level-filtered np-obs events (everything the daemon
+    // used to eprintln), and `--log` adds a JSONL file at `--log-level`.
+    // The channel is bounded — overload drops lines and counts them
+    // rather than stalling the serve loop.
+    let mut targets = vec![np_obs::StreamTarget {
+        min_level: if quiet { np_obs::Level::Error } else { np_obs::Level::Info },
+        writer: Box::new(std::io::stderr()),
+    }];
+    if let Some(p) = &log_path {
+        match std::fs::File::create(p) {
+            Ok(f) => targets.push(np_obs::StreamTarget { min_level: log_level, writer: Box::new(f) }),
+            Err(e) => {
+                eprintln!("npcc serve: cannot create --log {p}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let rec = np_obs::Recorder::stream(targets, 4096);
+    cfg.obs = Some(rec.clone());
+
     if let Some(secs) = soak_secs {
-        return soak_main(cfg, chaos_seed, secs, clients, bench_out);
+        let code = soak_main(cfg, chaos_seed, secs, clients, bench_out, &rec);
+        rec.shutdown();
+        return code;
     }
 
     install_signal_handlers();
     let server = Server::start(cfg.clone());
-    eprintln!(
-        "npcc serve: ready ({} workers, queue {}, cache {}{})",
-        cfg.workers,
-        cfg.queue_cap,
-        cfg.cache_cap,
-        match chaos_seed {
-            Some(s) => format!(", CHAOS seed {s}"),
-            None => String::new(),
-        }
+    rec.event(
+        np_obs::Level::Info,
+        "serve.ready",
+        None,
+        vec![
+            np_obs::kv("workers", cfg.workers as u64),
+            np_obs::kv("queue", cfg.queue_cap as u64),
+            np_obs::kv("cache", cfg.cache_cap as u64),
+            np_obs::kv("chaos", chaos_seed.is_some()),
+        ],
     );
 
     // Stdin on its own thread: a blocked read must not stop the main loop
@@ -781,9 +974,11 @@ fn serve_main(mut args: std::iter::Skip<std::env::Args>) -> ExitCode {
         }
     };
 
-    eprintln!(
-        "npcc serve: {reason}, draining {} queued job(s)",
-        server.queue_len()
+    rec.event(
+        np_obs::Level::Info,
+        "serve.drain_begin",
+        None,
+        vec![np_obs::kv("reason", reason), np_obs::kv("queued", server.queue_len() as u64)],
     );
     let end = server.shutdown();
     // Workers are joined: every outstanding response is in the channel.
@@ -793,21 +988,44 @@ fn serve_main(mut args: std::iter::Skip<std::env::Args>) -> ExitCode {
     if let Some(path) = &bench_out {
         let doc = end.snapshot.bench_json(chaos_seed, None);
         if let Err(e) = std::fs::write(path, doc) {
-            eprintln!("npcc serve: cannot write {path}: {e}");
+            rec.event(
+                np_obs::Level::Warn,
+                "serve.bench_out_error",
+                None,
+                vec![np_obs::kv("path", path.as_str()), np_obs::kv("error", e.to_string())],
+            );
         }
     }
-    eprint!("npcc serve: cache index: {}", end.cache_index);
-    eprintln!(
-        "npcc serve: drained cleanly ({} answered, p50 {} us, p99 {} us, \
-         hits {}, shed {}, quarantined {}, worker panics {})",
-        end.snapshot.answered,
-        end.snapshot.p50_us,
-        end.snapshot.p99_us,
-        end.snapshot.cache_hits,
-        end.snapshot.shed_overloaded,
-        end.snapshot.quarantined_rejects,
-        end.worker_panics,
+    // The index doc and the registry snapshot ride as string fields; the
+    // drain gate greps for their schema tags as substrings.
+    rec.event(
+        np_obs::Level::Info,
+        "serve.cache_index",
+        None,
+        vec![np_obs::kv("doc", end.cache_index.trim_end())],
     );
+    rec.event(
+        np_obs::Level::Debug,
+        "serve.registry",
+        None,
+        vec![np_obs::kv("doc", end.registry_json.as_str())],
+    );
+    rec.event(
+        np_obs::Level::Info,
+        "serve.drained",
+        None,
+        vec![
+            np_obs::kv("msg", "drained cleanly"),
+            np_obs::kv("answered", end.snapshot.answered),
+            np_obs::kv("wall_p50_us", end.snapshot.p50_us),
+            np_obs::kv("wall_p99_us", end.snapshot.p99_us),
+            np_obs::kv("hits", end.snapshot.cache_hits),
+            np_obs::kv("shed", end.snapshot.shed_overloaded),
+            np_obs::kv("quarantined", end.snapshot.quarantined_rejects),
+            np_obs::kv("worker_panics", end.worker_panics),
+        ],
+    );
+    rec.shutdown();
     if end.worker_panics == 0 {
         ExitCode::SUCCESS
     } else {
@@ -824,14 +1042,21 @@ fn soak_main(
     secs: u64,
     clients: usize,
     bench_out: Option<String>,
+    rec: &np_obs::Recorder,
 ) -> ExitCode {
     let seed = chaos_seed.unwrap_or(0);
-    eprintln!(
-        "npcc serve: soaking for {secs} s with {clients} clients, {} workers, \
-         queue {}, seed {seed}{}",
-        cfg.workers,
-        cfg.queue_cap,
-        if cfg.chaos.is_some() { " (chaos armed)" } else { "" }
+    rec.event(
+        np_obs::Level::Info,
+        "soak.begin",
+        None,
+        vec![
+            np_obs::kv("secs", secs),
+            np_obs::kv("clients", clients),
+            np_obs::kv("workers", cfg.workers),
+            np_obs::kv("queue", cfg.queue_cap),
+            np_obs::kv("seed", seed),
+            np_obs::kv("chaos", cfg.chaos.is_some()),
+        ],
     );
     let server = Arc::new(Server::start(cfg));
     let report = soak(
@@ -843,23 +1068,43 @@ fn soak_main(
             retry: RetryPolicy::default(),
         },
     );
-    eprintln!("npcc serve: {}", report.summary());
+    rec.event(
+        np_obs::Level::Info,
+        "soak.report",
+        None,
+        vec![np_obs::kv("summary", report.summary())],
+    );
     let path = bench_out.unwrap_or_else(|| "BENCH_serve.json".to_string());
     if let Some(snap) = &report.snapshot {
         let doc = snap.bench_json(chaos_seed, Some(secs));
         match std::fs::write(&path, &doc) {
-            Ok(()) => eprintln!("npcc serve: wrote {path}"),
+            Ok(()) => rec.event(
+                np_obs::Level::Info,
+                "soak.bench_out",
+                None,
+                vec![np_obs::kv("path", path.as_str())],
+            ),
             Err(e) => {
-                eprintln!("npcc serve: cannot write {path}: {e}");
+                rec.event(
+                    np_obs::Level::Error,
+                    "soak.bench_out_error",
+                    None,
+                    vec![np_obs::kv("path", path.as_str()), np_obs::kv("error", e.to_string())],
+                );
                 return ExitCode::FAILURE;
             }
         }
     }
+    let verdict = if report.passed() { "PASSED" } else { "FAILED" };
+    rec.event(
+        np_obs::Level::Info,
+        "soak.end",
+        None,
+        vec![np_obs::kv("verdict", verdict)],
+    );
     if report.passed() {
-        eprintln!("npcc serve: soak PASSED");
         ExitCode::SUCCESS
     } else {
-        eprintln!("npcc serve: soak FAILED");
         ExitCode::FAILURE
     }
 }

@@ -16,15 +16,9 @@ use std::collections::HashMap;
 
 /// 64-bit FNV-1a. Stable across platforms and runs — cache keys and
 /// checksums must never depend on the process (unlike `DefaultHasher`,
-/// which is seeded per process).
-pub fn fnv64(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
+/// which is seeded per process). Re-exported from the shared `np-obs`
+/// home so the stack has exactly one FNV.
+pub use np_obs::fnv::fnv64;
 
 /// A content address. The three components are hashed with an explicit
 /// field tag and a length prefix each, so no concatenation of one field

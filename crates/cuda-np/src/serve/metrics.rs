@@ -1,39 +1,43 @@
-//! Serve-loop counters and latency aggregation.
+//! Serve-loop counters and latency aggregation, registered in the
+//! unified `np-obs` registry.
 //!
-//! Counters are lock-free atomics bumped from worker threads; latencies
-//! are appended under a short mutex (a `Vec<u64>` push — contention is
-//! negligible next to a simulation). `snapshot()` freezes everything into
-//! a plain struct, and `bench_json` renders the `BENCH_serve.json`
-//! document the chaos soak and CI gate read.
+//! Each named field is an `np_obs::Counter` handle into one shared
+//! `Registry` (lock-free bumps from worker threads); latency goes into
+//! the shared nearest-rank histogram under the registry's `wall_`
+//! non-determinism convention. `snapshot()` freezes everything into a
+//! plain struct, `bench_json` renders the `BENCH_serve.json` document the
+//! chaos soak and CI gate read, and `registry_json` renders the
+//! key-sorted `np-obs-registry-v1` snapshot (the caches and the
+//! observability drop counter register into the same registry, so one
+//! document covers the whole daemon).
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use np_obs::{Counter, Hist, Registry};
 
-#[derive(Default)]
 pub struct Metrics {
-    pub submitted: AtomicU64,
-    pub completed_ok: AtomicU64,
-    pub cache_hits: AtomicU64,
-    pub cache_corrupt_evicted: AtomicU64,
+    registry: Registry,
+    pub submitted: Counter,
+    pub completed_ok: Counter,
+    pub cache_hits: Counter,
+    pub cache_corrupt_evicted: Counter,
     /// Result-cache misses answered by replaying a cached capture instead
     /// of re-interpreting the kernel (e.g. only the watchdog differed).
-    pub trace_replays: AtomicU64,
+    pub trace_replays: Counter,
     /// Cached capture artifacts dropped because their checksum or codec
     /// digest no longer verified.
-    pub trace_corrupt_evicted: AtomicU64,
-    pub shed_overloaded: AtomicU64,
-    pub deadline_exceeded: AtomicU64,
-    pub faulted: AtomicU64,
-    pub panicked: AtomicU64,
-    pub quarantined_rejects: AtomicU64,
-    pub rejected_malformed: AtomicU64,
-    pub shutdown_rejects: AtomicU64,
-    pub retries: AtomicU64,
-    pub chaos_delays: AtomicU64,
-    pub chaos_panics: AtomicU64,
-    pub chaos_faults: AtomicU64,
-    pub chaos_corruptions: AtomicU64,
-    latencies_us: Mutex<Vec<u64>>,
+    pub trace_corrupt_evicted: Counter,
+    pub shed_overloaded: Counter,
+    pub deadline_exceeded: Counter,
+    pub faulted: Counter,
+    pub panicked: Counter,
+    pub quarantined_rejects: Counter,
+    pub rejected_malformed: Counter,
+    pub shutdown_rejects: Counter,
+    pub retries: Counter,
+    pub chaos_delays: Counter,
+    pub chaos_panics: Counter,
+    pub chaos_faults: Counter,
+    pub chaos_corruptions: Counter,
+    latencies_us: Hist,
 }
 
 /// A frozen view of the counters plus latency percentiles.
@@ -63,56 +67,85 @@ pub struct Snapshot {
     pub max_us: u64,
 }
 
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics::new()
+    }
+}
+
 impl Metrics {
     pub fn new() -> Self {
-        Metrics::default()
+        let registry = Registry::new();
+        let c = |name: &str| registry.counter(name);
+        Metrics {
+            submitted: c("serve.submitted"),
+            completed_ok: c("serve.completed_ok"),
+            cache_hits: c("serve.cache.hits"),
+            cache_corrupt_evicted: c("serve.cache.corrupt_evicted"),
+            trace_replays: c("serve.trace_cache.replays"),
+            trace_corrupt_evicted: c("serve.trace_cache.corrupt_evicted"),
+            shed_overloaded: c("serve.shed_overloaded"),
+            deadline_exceeded: c("serve.deadline_exceeded"),
+            faulted: c("serve.faulted"),
+            panicked: c("serve.panicked"),
+            quarantined_rejects: c("serve.quarantined_rejects"),
+            rejected_malformed: c("serve.rejected_malformed"),
+            shutdown_rejects: c("serve.shutdown_rejects"),
+            retries: c("serve.retries"),
+            chaos_delays: c("serve.chaos.delays"),
+            chaos_panics: c("serve.chaos.panics"),
+            chaos_faults: c("serve.chaos.faults"),
+            chaos_corruptions: c("serve.chaos.corruptions"),
+            latencies_us: registry.histogram("serve.wall_latency_us"),
+            registry,
+        }
     }
 
-    pub fn bump(counter: &AtomicU64) {
-        counter.fetch_add(1, Ordering::Relaxed);
+    /// The shared registry (for the caches, the obs drop counter, and
+    /// anything else that wants to land in the same snapshot).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Key-sorted `np-obs-registry-v1` snapshot of everything registered.
+    pub fn registry_json(&self, strip: bool) -> String {
+        self.registry.snapshot_json(strip)
+    }
+
+    pub fn bump(counter: &Counter) {
+        counter.bump();
     }
 
     /// Record a request's end-to-end latency (admission to response).
     pub fn observe_latency_us(&self, us: u64) {
-        self.latencies_us.lock().unwrap().push(us);
+        self.latencies_us.record(us);
     }
 
     pub fn snapshot(&self) -> Snapshot {
-        let mut lats = self.latencies_us.lock().unwrap().clone();
-        lats.sort_unstable();
-        // Nearest-rank percentile: the smallest value with at least p of
-        // the distribution at or below it.
-        let pct = |p: f64| -> u64 {
-            if lats.is_empty() {
-                return 0;
-            }
-            let rank = (p * lats.len() as f64).ceil() as usize;
-            lats[rank.clamp(1, lats.len()) - 1]
-        };
-        let g = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        let lat = self.latencies_us.snapshot();
         Snapshot {
-            submitted: g(&self.submitted),
-            completed_ok: g(&self.completed_ok),
-            cache_hits: g(&self.cache_hits),
-            cache_corrupt_evicted: g(&self.cache_corrupt_evicted),
-            trace_replays: g(&self.trace_replays),
-            trace_corrupt_evicted: g(&self.trace_corrupt_evicted),
-            shed_overloaded: g(&self.shed_overloaded),
-            deadline_exceeded: g(&self.deadline_exceeded),
-            faulted: g(&self.faulted),
-            panicked: g(&self.panicked),
-            quarantined_rejects: g(&self.quarantined_rejects),
-            rejected_malformed: g(&self.rejected_malformed),
-            shutdown_rejects: g(&self.shutdown_rejects),
-            retries: g(&self.retries),
-            chaos_delays: g(&self.chaos_delays),
-            chaos_panics: g(&self.chaos_panics),
-            chaos_faults: g(&self.chaos_faults),
-            chaos_corruptions: g(&self.chaos_corruptions),
-            answered: lats.len() as u64,
-            p50_us: pct(0.50),
-            p99_us: pct(0.99),
-            max_us: lats.last().copied().unwrap_or(0),
+            submitted: self.submitted.get(),
+            completed_ok: self.completed_ok.get(),
+            cache_hits: self.cache_hits.get(),
+            cache_corrupt_evicted: self.cache_corrupt_evicted.get(),
+            trace_replays: self.trace_replays.get(),
+            trace_corrupt_evicted: self.trace_corrupt_evicted.get(),
+            shed_overloaded: self.shed_overloaded.get(),
+            deadline_exceeded: self.deadline_exceeded.get(),
+            faulted: self.faulted.get(),
+            panicked: self.panicked.get(),
+            quarantined_rejects: self.quarantined_rejects.get(),
+            rejected_malformed: self.rejected_malformed.get(),
+            shutdown_rejects: self.shutdown_rejects.get(),
+            retries: self.retries.get(),
+            chaos_delays: self.chaos_delays.get(),
+            chaos_panics: self.chaos_panics.get(),
+            chaos_faults: self.chaos_faults.get(),
+            chaos_corruptions: self.chaos_corruptions.get(),
+            answered: lat.count,
+            p50_us: lat.p50,
+            p99_us: lat.p99,
+            max_us: lat.max,
         }
     }
 }
@@ -208,5 +241,23 @@ mod tests {
         assert!(doc.contains("\"p50\":1234"), "{doc}");
         // Single line: JSONL-safe.
         assert_eq!(doc.trim_end().lines().count(), 1);
+    }
+
+    #[test]
+    fn the_same_counters_surface_in_the_registry_snapshot() {
+        let m = Metrics::new();
+        Metrics::bump(&m.submitted);
+        Metrics::bump(&m.cache_hits);
+        m.observe_latency_us(77);
+        let doc = m.registry_json(false);
+        assert!(doc.contains("\"schema\":\"np-obs-registry-v1\""), "{doc}");
+        assert!(doc.contains("\"serve.submitted\":1"), "{doc}");
+        assert!(doc.contains("\"serve.cache.hits\":1"), "{doc}");
+        assert!(doc.contains("serve.wall_latency_us"), "{doc}");
+        // The stripped snapshot drops the wall-clock histogram but keeps
+        // every logical counter.
+        let stripped = m.registry_json(true);
+        assert!(!stripped.contains("wall_latency_us"), "{stripped}");
+        assert!(stripped.contains("\"serve.submitted\":1"), "{stripped}");
     }
 }

@@ -267,6 +267,10 @@ pub struct Response {
     /// Host-side service latency. Informational (varies run to run); never
     /// part of cache-identity comparisons, which use `payload` alone.
     pub latency_us: u64,
+    /// Request-scoped correlation id, minted at admission and attached to
+    /// every observability event for this request; echoed here so a client
+    /// can join the wire response against the server's event log.
+    pub corr: Option<String>,
 }
 
 impl Response {
@@ -280,6 +284,7 @@ impl Response {
             error: None,
             payload: None,
             latency_us: 0,
+            corr: None,
         }
     }
 
@@ -312,6 +317,9 @@ impl Response {
         }
         if let Some(e) = &self.error {
             s.push_str(&format!(",\"error\":\"{}\"", escape(e)));
+        }
+        if let Some(c) = &self.corr {
+            s.push_str(&format!(",\"corr\":\"{}\"", escape(c)));
         }
         s.push_str(&format!(",\"latency_us\":{}", self.latency_us));
         if let Some(p) = &self.payload {

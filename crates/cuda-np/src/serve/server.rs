@@ -22,6 +22,7 @@ use crate::TuneError;
 use np_exec::{capture_launch, replay_launch, DeadlineSpec, KernelReport, SimOptions};
 use np_gpu_sim::{CapturedLaunch, DeviceConfig};
 use np_kernel_ir::types::Dim3;
+use np_obs::{kv, Level, Recorder};
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::Sender;
@@ -46,6 +47,10 @@ pub struct ServeConfig {
     pub quarantine_threshold: u32,
     /// Chaos mode (None = run clean).
     pub chaos: Option<ChaosConfig>,
+    /// Observability sink. Every request's admission, queue wait, cache
+    /// lookups, execution, and response are recorded here under its
+    /// correlation id; the daemon's lifecycle events land here too.
+    pub obs: Option<Recorder>,
 }
 
 impl Default for ServeConfig {
@@ -58,6 +63,7 @@ impl Default for ServeConfig {
             default_watchdog: Some(np_exec::DEFAULT_WATCHDOG_STEPS),
             quarantine_threshold: 2,
             chaos: None,
+            obs: None,
         }
     }
 }
@@ -66,6 +72,10 @@ struct Job {
     req: Request,
     /// Monotone admission sequence number — the chaos plan's input.
     seq: u64,
+    /// Correlation id derived from `seq` (`c{seq:06}`): unique per
+    /// request for a server's lifetime, attached to every event and
+    /// echoed in the wire response.
+    corr: String,
     /// Wall clock at admission (latency measurement starts here).
     admitted: Instant,
     /// Deadline fixed at admission so queue wait counts against it.
@@ -97,6 +107,15 @@ struct Inner {
     dev: DeviceConfig,
 }
 
+impl Inner {
+    /// Record one correlated observability event (no-op without a sink).
+    fn ev(&self, corr: &str, level: Level, name: &str, fields: np_obs::Fields) {
+        if let Some(rec) = &self.cfg.obs {
+            rec.event(level, name, Some(corr), fields);
+        }
+    }
+}
+
 /// What a graceful drain leaves behind.
 pub struct ShutdownReport {
     pub snapshot: Snapshot,
@@ -105,6 +124,9 @@ pub struct ShutdownReport {
     /// Worker threads that died to an *uncaught* panic. Always 0 unless
     /// the crash-isolation `catch_unwind` has a hole.
     pub worker_panics: usize,
+    /// The key-sorted `np-obs-registry-v1` snapshot of every metric the
+    /// daemon registered (serve counters, caches, obs backpressure).
+    pub registry_json: String,
 }
 
 /// A running serve engine. Dropping without [`Server::shutdown`] aborts
@@ -138,6 +160,12 @@ fn install_quiet_panic_hook() {
 impl Server {
     pub fn start(cfg: ServeConfig) -> Server {
         install_quiet_panic_hook();
+        let metrics = Metrics::new();
+        if let Some(rec) = &cfg.obs {
+            // Backpressure accounting: events the bounded log buffer had
+            // to drop surface in the same registry as everything else.
+            rec.set_drop_counter(metrics.registry().counter("obs.events_dropped"));
+        }
         let inner = Arc::new(Inner {
             cache: Mutex::new(Cache::new(cfg.cache_cap)),
             trace_cache: Mutex::new(Cache::new(cfg.cache_cap)),
@@ -145,7 +173,7 @@ impl Server {
             queue: Mutex::new(QueueState::default()),
             wake: Condvar::new(),
             quarantine: Mutex::new(HashMap::new()),
-            metrics: Metrics::new(),
+            metrics,
             dev: DeviceConfig::gtx680(),
         });
         let workers = (0..inner.cfg.workers.max(1))
@@ -163,14 +191,33 @@ impl Server {
     /// Admit one JSONL request line. Exactly one terminal response will be
     /// sent on `reply`, either synchronously here (rejections, shedding)
     /// or later from a worker. Returns whether the job was *enqueued*.
+    ///
+    /// Every line — even an unparseable one — is assigned a correlation
+    /// id here, at admission; it rides every event the request generates
+    /// and is echoed in the wire response.
     pub fn submit(&self, line: &str, reply: &Sender<Response>) -> bool {
         let admitted = Instant::now();
+        let seq = self.next_seq.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let corr = format!("c{seq:06}");
         let m = &self.inner.metrics;
         Metrics::bump(&m.submitted);
 
-        let finish = |mut resp: Response| {
+        let finish = |mut resp: Response, why: &str| {
             resp.latency_us = admitted.elapsed().as_micros() as u64;
+            resp.corr = Some(corr.clone());
             m.observe_latency_us(resp.latency_us);
+            self.inner.ev(
+                &corr,
+                Level::Warn,
+                "req.reject",
+                vec![kv("reason", why), kv("status", resp.status.as_str())],
+            );
+            self.inner.ev(
+                &corr,
+                Level::Info,
+                "req.respond",
+                vec![kv("status", resp.status.as_str()), kv("wall_latency_us", resp.latency_us)],
+            );
             let _ = reply.send(resp);
             false
         };
@@ -179,7 +226,7 @@ impl Server {
             Ok(r) => r,
             Err((id, msg)) => {
                 Metrics::bump(&m.rejected_malformed);
-                return finish(Response::new(id, Status::Rejected).with_error(msg));
+                return finish(Response::new(id, Status::Rejected).with_error(msg), "malformed");
             }
         };
         let id = Some(req.id.clone());
@@ -189,13 +236,15 @@ impl Server {
             self.inner.quarantine.lock().unwrap().get(&kernel_key).copied().unwrap_or(0);
         if strikes >= self.inner.cfg.quarantine_threshold {
             Metrics::bump(&m.quarantined_rejects);
-            return finish(Response::new(id, Status::Quarantined).with_error(format!(
-                "kernel is quarantined: it panicked the worker {strikes} times"
-            )));
+            return finish(
+                Response::new(id, Status::Quarantined).with_error(format!(
+                    "kernel is quarantined: it panicked the worker {strikes} times"
+                )),
+                "quarantined",
+            );
         }
 
         let deadline_ms = req.deadline_ms.or(self.inner.cfg.default_deadline_ms);
-        let seq = self.next_seq.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
 
         let mut q = self.inner.queue.lock().unwrap();
         if q.draining {
@@ -203,6 +252,7 @@ impl Server {
             return finish(
                 Response::new(id, Status::Shutdown)
                     .with_error("server is draining; resubmit to a live instance"),
+                "shutdown",
             );
         }
         if q.jobs.len() >= self.inner.cfg.queue_cap {
@@ -218,16 +268,20 @@ impl Server {
                         q.jobs.len(),
                         self.inner.cfg.queue_cap
                     )),
+                "overloaded",
             );
         }
+        let depth = q.jobs.len() + 1;
         q.jobs.push_back(Job {
             req,
             seq,
+            corr: corr.clone(),
             admitted,
             deadline: deadline_ms.map(DeadlineSpec::in_ms),
             reply: reply.clone(),
         });
         drop(q);
+        self.inner.ev(&corr, Level::Info, "req.admit", vec![kv("queue", depth)]);
         self.inner.wake.notify_one();
         true
     }
@@ -264,6 +318,7 @@ impl Server {
             snapshot: self.inner.metrics.snapshot(),
             cache_index: self.inner.cache.lock().unwrap().index_json(),
             worker_panics,
+            registry_json: self.inner.metrics.registry_json(false),
         }
     }
 
@@ -293,7 +348,28 @@ fn worker_loop(inner: &Inner) {
 }
 
 fn run_job(inner: &Inner, job: Job) {
+    // Install the job's observability context on this worker thread so
+    // every span and event down the stack (transform, interpretation,
+    // capture codec, replay) carries the request's correlation id.
+    match inner.cfg.obs.clone() {
+        Some(rec) => {
+            let corr = job.corr.clone();
+            np_obs::scope(&rec, Some(inner.metrics.registry()), Some(&corr), || {
+                run_job_inner(inner, job)
+            })
+        }
+        None => run_job_inner(inner, job),
+    }
+}
+
+fn run_job_inner(inner: &Inner, job: Job) {
     let m = &inner.metrics;
+    inner.ev(
+        &job.corr,
+        Level::Debug,
+        "req.dequeue",
+        vec![kv("wall_queue_us", job.admitted.elapsed().as_micros() as u64)],
+    );
     let chaos = match &inner.cfg.chaos {
         Some(cfg) => plan(cfg, job.seq),
         None => ChaosPlan::none(),
@@ -320,7 +396,14 @@ fn run_job(inner: &Inner, job: Job) {
     }
 
     resp.latency_us = job.admitted.elapsed().as_micros() as u64;
+    resp.corr = Some(job.corr.clone());
     m.observe_latency_us(resp.latency_us);
+    inner.ev(
+        &job.corr,
+        Level::Info,
+        "req.respond",
+        vec![kv("status", resp.status.as_str()), kv("wall_latency_us", resp.latency_us)],
+    );
     // A dropped receiver (client gave up) is not a server error.
     let _ = job.reply.send(resp);
 }
@@ -360,17 +443,29 @@ fn compute_response(inner: &Inner, job: &Job, chaos: &ChaosPlan) -> Response {
             Lookup::Hit(payload) => {
                 Metrics::bump(&m.cache_hits);
                 Metrics::bump(&m.completed_ok);
+                inner.ev(&job.corr, Level::Debug, "req.cache", vec![kv("outcome", "hit")]);
                 let mut r = Response::new(id, Status::Ok);
                 r.cached = true;
                 r.payload = Some(payload);
                 return r;
             }
-            Lookup::CorruptEvicted => Metrics::bump(&m.cache_corrupt_evicted),
-            Lookup::Miss => {}
+            Lookup::CorruptEvicted => {
+                Metrics::bump(&m.cache_corrupt_evicted);
+                inner.ev(
+                    &job.corr,
+                    Level::Warn,
+                    "req.cache",
+                    vec![kv("outcome", "corrupt_evicted")],
+                );
+            }
+            Lookup::Miss => {
+                inner.ev(&job.corr, Level::Debug, "req.cache", vec![kv("outcome", "miss")]);
+            }
         }
     }
 
     let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let _exec = np_obs::span("req.exec");
         if chaos.panic {
             panic!("chaos: injected worker panic (job seq {})", job.seq);
         }
@@ -406,6 +501,12 @@ fn compute_response(inner: &Inner, job: &Job, chaos: &ChaosPlan) -> Response {
                 *e += 1;
                 *e
             };
+            inner.ev(
+                &job.corr,
+                Level::Error,
+                "req.panic",
+                vec![kv("strikes", strikes as u64)],
+            );
             let resp = Response::new(id, Status::Panicked)
                 .with_error(format!("worker panicked: {what} (strike {strikes})"));
             if strikes < inner.cfg.quarantine_threshold {
@@ -454,6 +555,12 @@ fn simulate(inner: &Inner, job: &Job, chaos: &ChaosPlan) -> Response {
                 match replay_cached_trace(inner, tkey, &sim) {
                     Some(Ok(rep)) => {
                         Metrics::bump(&inner.metrics.trace_replays);
+                        inner.ev(
+                            &job.corr,
+                            Level::Debug,
+                            "req.trace_replay",
+                            vec![kv("outcome", "report")],
+                        );
                         let mut r = Response::new(id, Status::Ok);
                         r.payload = Some(report_json(&rep));
                         return r;
@@ -463,6 +570,12 @@ fn simulate(inner: &Inner, job: &Job, chaos: &ChaosPlan) -> Response {
                     // terminal as the interpreted one would have been.
                     Some(Err(e)) => {
                         Metrics::bump(&inner.metrics.trace_replays);
+                        inner.ev(
+                            &job.corr,
+                            Level::Debug,
+                            "req.trace_replay",
+                            vec![kv("outcome", "verdict")],
+                        );
                         return fault_response(id, &e);
                     }
                     None => {}

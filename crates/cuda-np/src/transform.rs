@@ -148,6 +148,7 @@ impl Emitter {
 
 /// Apply the CUDA-NP transformation to `kernel` with `opts`.
 pub fn transform(kernel: &Kernel, opts: &NpOptions) -> Result<Transformed, TransformError> {
+    let _obs = np_obs::span("transform");
     if !kernel.has_pragma_loops() {
         return Err(TransformError::NoPragmaLoops);
     }
@@ -179,12 +180,17 @@ pub fn transform(kernel: &Kernel, opts: &NpOptions) -> Result<Transformed, Trans
 
     let mut work = kernel.clone();
 
-    let padded_loops = if opts.pad { pad_parallel_loops(&mut work, opts.slave_size)? } else { 0 };
+    let padded_loops = {
+        let _obs = np_obs::span("transform.pad");
+        if opts.pad { pad_parallel_loops(&mut work, opts.slave_size)? } else { 0 }
+    };
 
     // Relocate live local arrays before anything else (indices gain
     // references to __np_master_id, defined by the prologue below).
-    let local_plans =
-        plan_and_rewrite(&mut work, &map, opts.local_array, opts.shared_budget_per_thread)?;
+    let local_plans = {
+        let _obs = np_obs::span("transform.locals");
+        plan_and_rewrite(&mut work, &map, opts.local_array, opts.shared_budget_per_thread)?
+    };
 
     // Replace the original thread identity with the master id.
     let master_size = map.master_size as i32;
@@ -241,8 +247,11 @@ pub fn transform(kernel: &Kernel, opts: &NpOptions) -> Result<Transformed, Trans
     }
     em.report.local_arrays = local_plans;
 
-    walk(&mut em, &work.body, &None, &BTreeSet::new())?;
-    em.flush_guarded();
+    {
+        let _obs = np_obs::span("transform.emit");
+        walk(&mut em, &work.body, &None, &BTreeSet::new())?;
+        em.flush_guarded();
+    }
 
     let mut body = vec![
         Stmt::DeclScalar {

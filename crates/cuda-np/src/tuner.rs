@@ -223,6 +223,18 @@ pub fn autotune(
     }
     type CandResult = (TuneOutcome, Option<(Transformed, KernelReport, CapturedLaunch)>);
 
+    // Observability: the tuner runs candidates on a pool, but the event
+    // log must not depend on OS scheduling. Each candidate records into
+    // its own forked recorder; after the pool joins, the forks are
+    // adopted back in candidate order — the merged log is a pure function
+    // of the candidate list.
+    let _tune_span = np_obs::span("tune");
+    let obs = np_obs::current();
+    let forks: Vec<Option<np_obs::Recorder>> = candidates
+        .iter()
+        .map(|_| obs.as_ref().map(|o| o.rec.fork()))
+        .collect();
+
     // A bounded pool, not one OS thread per candidate: workers claim
     // candidates off a shared counter and park each result in that
     // candidate's slot, so entry order is candidate order no matter how
@@ -239,8 +251,9 @@ pub fn autotune(
             scope.spawn(|_| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 let Some(cand) = candidates.get(i) else { break };
-                let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
-                    || -> CandResult {
+                let eval = || {
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| -> CandResult {
+                        let _cand_span = np_obs::span("tune.candidate");
                         let t = match transform(kernel, &cand.opts) {
                             Ok(t) => t,
                             Err(e) => return (TuneOutcome::Rejected(e), None),
@@ -257,8 +270,17 @@ pub fn autotune(
                             }
                             Err(e) => (TuneOutcome::from_launch_err(e), None),
                         }
-                    },
-                ));
+                    }))
+                };
+                let run = match &forks[i] {
+                    Some(fork) => np_obs::scope(
+                        fork,
+                        obs.as_ref().and_then(|o| o.registry.as_ref()),
+                        obs.as_ref().and_then(|o| o.corr.as_deref()),
+                        eval,
+                    ),
+                    None => eval(),
+                };
                 // A worker can only panic through a bug in make_args or the
                 // simulator itself; record which candidate died (and what it
                 // said) and keep tuning.
@@ -284,6 +306,14 @@ pub fn autotune(
     // panic, and every worker's panics are caught above.
     .expect("tuner scope");
 
+    // Splice the per-candidate logs back under the tune span, strictly in
+    // candidate order (never completion order).
+    if let Some(o) = &obs {
+        for fork in forks.iter().flatten() {
+            o.rec.adopt(fork, o.parent);
+        }
+    }
+
     let mut slots: Vec<Option<(Transformed, KernelReport, CapturedLaunch)>> = Vec::new();
     let mut entries: Vec<TuneEntry> = Vec::new();
     for (cand, cell) in candidates.iter().zip(results) {
@@ -291,6 +321,23 @@ pub fn autotune(
             .into_inner()
             .expect("tuner slot lock")
             .expect("every candidate was evaluated");
+        let label = match &outcome {
+            TuneOutcome::Ok { .. } => "ok",
+            TuneOutcome::Rejected(_) => "rejected",
+            TuneOutcome::Faulted(_) => "faulted",
+            TuneOutcome::LaunchFailed(_) => "launch_failed",
+        };
+        np_obs::bump("tuner.candidates.total");
+        np_obs::bump(&format!("tuner.candidates.{label}"));
+        let mut fields = vec![
+            np_obs::kv("slave_size", cand.opts.slave_size),
+            np_obs::kv("np_type", format!("{:?}", cand.opts.np_type)),
+            np_obs::kv("outcome", label),
+        ];
+        if let TuneOutcome::Ok { cycles } = &outcome {
+            fields.push(np_obs::kv("cycles", *cycles));
+        }
+        np_obs::event(np_obs::Level::Debug, "tune.outcome", fields);
         entries.push(TuneEntry {
             slave_size: cand.opts.slave_size,
             np_type: cand.opts.np_type,

@@ -302,8 +302,12 @@ pub fn launch(
     args: &mut Args,
     opts: &SimOptions,
 ) -> Result<KernelReport, ExecError> {
+    let _obs = np_obs::span("exec.launch");
     let (run, resources, occ) = interpret_launch(dev, kernel, grid, args, opts)?;
-    let timing = simulate_blocks(dev, &occ, run.traces, grid.count());
+    let timing = {
+        let _t = np_obs::span("exec.timing");
+        simulate_blocks(dev, &occ, run.traces, grid.count())
+    };
     Ok(KernelReport {
         kernel_name: kernel.name.clone(),
         cycles: timing.cycles,
@@ -332,6 +336,7 @@ pub fn capture_launch(
     args: &mut Args,
     opts: &SimOptions,
 ) -> Result<(KernelReport, CapturedLaunch), ExecError> {
+    let _obs = np_obs::span("exec.capture");
     let (run, resources, _occ) = interpret_launch(dev, kernel, grid, args, opts)?;
     let total_blocks = grid.count();
     let sim_blocks = run.traces.len() as u64;
@@ -351,7 +356,10 @@ pub fn capture_launch(
         race: run.race,
         blocks: run.traces,
     };
-    let replayed = np_gpu_sim::replay::replay(dev, &cap).map_err(ExecError::Replay)?;
+    let replayed = {
+        let _r = np_obs::span("exec.replay");
+        np_gpu_sim::replay::replay(dev, &cap).map_err(ExecError::Replay)?
+    };
     let report = KernelReport {
         kernel_name: cap.kernel_name.clone(),
         cycles: replayed.timing.cycles,
@@ -417,6 +425,7 @@ pub fn replay_launch(
             return Err(SimFault::new(&cap.kernel_name, FaultKind::Watchdog { limit }).into());
         }
     }
+    let _obs = np_obs::span("exec.replay");
     let replayed = np_gpu_sim::replay::replay(dev, cap).map_err(ExecError::Replay)?;
     Ok(KernelReport {
         kernel_name: cap.kernel_name.clone(),
@@ -495,11 +504,24 @@ fn interpret_launch(
         opts,
     };
     INTERPRETATIONS.fetch_add(1, Ordering::SeqCst);
-    let run = if can_parallel { interpret_parallel(&env, &mut globals, pool) } else { None };
-    let run = match run {
-        Some(r) => r,
-        None => interpret_sequential(&env, &mut globals),
+    let run = {
+        let _i = np_obs::span("exec.interpret");
+        let run = if can_parallel { interpret_parallel(&env, &mut globals, pool) } else { None };
+        match run {
+            Some(r) => r,
+            None => interpret_sequential(&env, &mut globals),
+        }
     };
+    if run.race.checked {
+        np_obs::event(
+            np_obs::Level::Debug,
+            "exec.race",
+            vec![
+                np_obs::kv("blocks_checked", run.race.blocks_checked),
+                np_obs::kv("findings", run.race.findings.len() as u64),
+            ],
+        );
+    }
 
     // Return buffers even on a fault so callers keep their data (holding
     // whatever partial stores completed before the violation).

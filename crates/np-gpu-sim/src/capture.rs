@@ -40,15 +40,9 @@ use crate::trace::{BlockTrace, ShflKind, WarpOp, WarpTrace};
 pub const TRACE_MAGIC: &[u8; 12] = b"np-trace-v1\0";
 
 /// FNV-1a 64-bit hash — stable across platforms and builds, the same
-/// function the serve cache uses for content addressing.
-pub fn fnv64(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x100_0000_01b3);
-    }
-    h
-}
+/// function the serve cache uses for content addressing. Re-exported
+/// from the shared `np-obs` home so the stack has exactly one FNV.
+pub use np_obs::fnv::fnv64;
 
 /// How the happens-before race checker was armed when a capture was taken.
 /// Mirrors `np-exec`'s `RaceCheckMode` without depending on it (this crate
@@ -134,6 +128,7 @@ impl CapturedLaunch {
 
     /// Encode into the versioned `np-trace-v1` byte format.
     pub fn encode(&self) -> Vec<u8> {
+        let _obs = np_obs::span("trace.encode");
         let mut body = Vec::new();
         self.encode_body(&mut body);
         let mut out = Vec::with_capacity(TRACE_MAGIC.len() + 8 + body.len());
@@ -147,6 +142,7 @@ impl CapturedLaunch {
     /// before any structural parsing, then requires every byte to be
     /// consumed. Never panics on arbitrary input.
     pub fn decode(bytes: &[u8]) -> Result<CapturedLaunch, TraceDecodeError> {
+        let _obs = np_obs::span("trace.decode");
         if bytes.len() < TRACE_MAGIC.len() + 8 {
             if !bytes.starts_with(&TRACE_MAGIC[..bytes.len().min(TRACE_MAGIC.len())]) {
                 return Err(TraceDecodeError::BadMagic);

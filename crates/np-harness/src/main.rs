@@ -94,12 +94,23 @@ fn main() {
     // mode) the trajectory document. Returns true when everything failed.
     let run_sweep = || -> bool {
         let dev = DeviceConfig::gtx680();
-        let (outcomes, elapsed) = runner::sweep_timed(&dev, scale);
+        // `--wall-clock` also records the sweep's np-obs spans so the
+        // throughput doc carries a per-stage host-time breakdown.
+        let (outcomes, elapsed) = if wall_clock {
+            let rec = np_obs::Recorder::buffer(1 << 20);
+            let (outcomes, mut elapsed) =
+                np_obs::scope(&rec, None, None, || runner::sweep_timed(&dev, scale));
+            elapsed.stages = np_obs::aggregate_spans(&rec.drain());
+            (outcomes, elapsed)
+        } else {
+            runner::sweep_timed(&dev, scale)
+        };
         if wall_clock {
             // Host throughput is informational: it goes to stderr and its
             // own non-gated document, never into the byte-stable
             // trajectory that --check-bench compares.
             eprintln!("{}", elapsed.summary_line(scale_label));
+            eprint!("{}", elapsed.stage_table());
             let doc = elapsed.to_json(dev.name, scale_label);
             match std::fs::write("BENCH_wallclock.json", &doc) {
                 Ok(()) => eprintln!("np-harness: wrote BENCH_wallclock.json"),

@@ -265,6 +265,10 @@ pub struct WallClock {
     /// Simulated blocks across every completed launch the sweep timed
     /// (baseline + tuning winner per passing workload).
     pub blocks: u64,
+    /// Per-stage host-time aggregation from the sweep's np-obs spans
+    /// (`--wall-clock` installs a recorder around the sweep and fills
+    /// this in). Host timing, so non-gated like the rest of the doc.
+    pub stages: Vec<np_obs::StageStat>,
 }
 
 impl WallClock {
@@ -286,14 +290,43 @@ impl WallClock {
         )
     }
 
+    /// Per-stage host-time breakdown table (stderr companion to
+    /// [`WallClock::summary_line`]). Empty when no stages were recorded.
+    pub fn stage_table(&self) -> String {
+        use std::fmt::Write as _;
+        if self.stages.is_empty() {
+            return String::new();
+        }
+        let mut s = String::new();
+        let _ = writeln!(s, "np-harness: host-time breakdown (np-obs spans, non-gated):");
+        let _ = writeln!(s, "  {:<18} {:>7} {:>14}", "stage", "count", "total_wall_us");
+        for st in &self.stages {
+            let _ = writeln!(s, "  {:<18} {:>7} {:>14}", st.name, st.count, st.total_wall_us);
+        }
+        s
+    }
+
     /// The `BENCH_wallclock.json` document (schema `np-wallclock-v1`).
     /// Deliberately separate from the trajectory schema: these numbers
     /// change run to run and machine to machine.
     pub fn to_json(&self, device: &str, scale: &str) -> String {
+        use std::fmt::Write as _;
+        let mut stages = String::new();
+        for (i, st) in self.stages.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                stages,
+                "{sep}\n    \"{}\": {{ \"count\": {}, \"wall_us\": {} }}",
+                st.name, st.count, st.total_wall_us
+            );
+        }
+        if !stages.is_empty() {
+            stages.push_str("\n  ");
+        }
         format!(
             "{{\n  \"schema\": \"np-wallclock-v1\",\n  \"device\": \"{device}\",\n  \
              \"scale\": \"{scale}\",\n  \"blocks\": {},\n  \"seconds\": {:.3},\n  \
-             \"blocks_per_sec\": {:.1}\n}}\n",
+             \"blocks_per_sec\": {:.1},\n  \"stages\": {{{stages}}}\n}}\n",
             self.blocks,
             self.seconds,
             self.blocks_per_sec()
@@ -311,7 +344,7 @@ pub fn sweep_timed(dev: &DeviceConfig, scale: Scale) -> (Vec<WorkloadOutcome>, W
         .filter_map(|o| o.result.as_ref().ok())
         .map(|r| r.baseline.timing.blocks_simulated + r.tuned.best_report.timing.blocks_simulated)
         .sum();
-    (outcomes, WallClock { seconds, blocks })
+    (outcomes, WallClock { seconds, blocks, stages: Vec::new() })
 }
 
 /// Geometric mean.
@@ -329,7 +362,11 @@ mod tests {
 
     #[test]
     fn wallclock_json_and_summary_carry_throughput() {
-        let wc = WallClock { seconds: 2.5, blocks: 1000 };
+        let wc = WallClock {
+            seconds: 2.5,
+            blocks: 1000,
+            stages: vec![np_obs::StageStat { name: "transform".into(), count: 7, total_wall_us: 420 }],
+        };
         assert_eq!(wc.blocks_per_sec(), 400.0);
         let j = wc.to_json("GTX 680", "test");
         for needle in [
@@ -345,7 +382,10 @@ mod tests {
         let line = wc.summary_line("test");
         assert!(line.contains("2.50s") && line.contains("400 blocks/sec"), "{line}");
         // Degenerate timer reading must not divide by zero.
-        assert_eq!(WallClock { seconds: 0.0, blocks: 5 }.blocks_per_sec(), 0.0);
+        assert_eq!(
+            WallClock { seconds: 0.0, blocks: 5, stages: Vec::new() }.blocks_per_sec(),
+            0.0
+        );
     }
 
     #[test]

@@ -1,0 +1,39 @@
+//! 64-bit FNV-1a — the stack's one content-hash function.
+//!
+//! Stable across platforms, builds, and runs (unlike `DefaultHasher`,
+//! which is seeded per process), so it is safe for anything persisted or
+//! compared byte-for-byte: serve cache keys and checksums, `np-trace-v1`
+//! content digests, and observability log fingerprints. Both
+//! `cuda_np::serve::cache::fnv64` and `np_gpu_sim::capture::fnv64`
+//! re-export this function; the golden-trace digests depend on it never
+//! changing.
+
+/// FNV-1a 64-bit offset basis.
+pub const FNV64_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+pub const FNV64_PRIME: u64 = 0x100_0000_01b3;
+
+/// Hash a byte string with 64-bit FNV-1a.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = FNV64_OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV64_PRIME);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Empty input hashes to the offset basis by definition.
+        assert_eq!(fnv64(b""), FNV64_OFFSET);
+        // Spot-check against the published FNV-1a test vector for "a".
+        assert_eq!(fnv64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        // Order sensitivity.
+        assert_ne!(fnv64(b"ab"), fnv64(b"ba"));
+    }
+}

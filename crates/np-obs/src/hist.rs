@@ -1,0 +1,133 @@
+//! Nearest-rank histogram shared by the serve metrics, the registry, and
+//! anything else that wants p50/p99 without a dependency.
+//!
+//! Nearest-rank is exact on the stored samples (no interpolation, no
+//! buckets): the p-th percentile of `n` samples is the value at sorted
+//! rank `ceil(p * n)`, clamped to `[1, n]`. The edge cases are pinned by
+//! tests below: an **empty** histogram reports 0 for every statistic
+//! (never panics), and a **one-sample** histogram reports that sample for
+//! every percentile.
+
+/// An exact sample store with nearest-rank percentiles.
+#[derive(Debug, Default, Clone)]
+pub struct Histogram {
+    samples: Vec<u64>,
+}
+
+/// A frozen summary of a histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistSnapshot {
+    pub count: u64,
+    pub min: u64,
+    pub max: u64,
+    pub p50: u64,
+    pub p99: u64,
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    pub fn record(&mut self, v: u64) {
+        self.samples.push(v);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.samples.len() as u64
+    }
+
+    /// Nearest-rank percentile of the samples recorded so far. `p` is a
+    /// fraction in `[0, 1]`. Returns 0 when no samples were recorded.
+    pub fn percentile(&self, p: f64) -> u64 {
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        percentile_sorted(&sorted, p)
+    }
+
+    /// Freeze count/min/max/p50/p99 in one pass (one sort).
+    pub fn snapshot(&self) -> HistSnapshot {
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        HistSnapshot {
+            count: sorted.len() as u64,
+            min: sorted.first().copied().unwrap_or(0),
+            max: sorted.last().copied().unwrap_or(0),
+            p50: percentile_sorted(&sorted, 0.50),
+            p99: percentile_sorted(&sorted, 0.99),
+        }
+    }
+}
+
+impl HistSnapshot {
+    /// Deterministic JSON object, fixed field order.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"count\":{},\"min\":{},\"max\":{},\"p50\":{},\"p99\":{}}}",
+            self.count, self.min, self.max, self.p50, self.p99
+        )
+    }
+}
+
+/// Nearest-rank lookup on an already-sorted slice: the smallest value with
+/// at least `p` of the distribution at or below it.
+pub fn percentile_sorted(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (p * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_all_zeroes_not_a_panic() {
+        let h = Histogram::new();
+        assert_eq!(h.percentile(0.50), 0);
+        assert_eq!(h.percentile(0.99), 0);
+        let s = h.snapshot();
+        assert_eq!(s, HistSnapshot { count: 0, min: 0, max: 0, p50: 0, p99: 0 });
+        assert_eq!(s.to_json(), "{\"count\":0,\"min\":0,\"max\":0,\"p50\":0,\"p99\":0}");
+    }
+
+    #[test]
+    fn one_sample_answers_every_percentile() {
+        let mut h = Histogram::new();
+        h.record(37);
+        for p in [0.0, 0.01, 0.50, 0.99, 1.0] {
+            assert_eq!(h.percentile(p), 37, "p={p}");
+        }
+        let s = h.snapshot();
+        assert_eq!(s, HistSnapshot { count: 1, min: 37, max: 37, p50: 37, p99: 37 });
+    }
+
+    #[test]
+    fn boundary_ranks_are_nearest_rank() {
+        // Two samples: p50 is rank ceil(0.5*2)=1 (the low one), p99 is
+        // rank ceil(0.99*2)=2 (the high one).
+        let mut h = Histogram::new();
+        h.record(20);
+        h.record(10);
+        assert_eq!(h.percentile(0.50), 10);
+        assert_eq!(h.percentile(0.99), 20);
+        // p=0 clamps up to rank 1; p=1 is exactly rank n.
+        assert_eq!(h.percentile(0.0), 10);
+        assert_eq!(h.percentile(1.0), 20);
+    }
+
+    #[test]
+    fn hundred_samples_match_the_serve_metrics_contract() {
+        // The serve bench doc has always reported p50=50, p99=99, max=100
+        // for the 1..=100 latency ladder; the shared histogram must keep
+        // that exact behavior.
+        let mut h = Histogram::new();
+        for v in (1..=100).rev() {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!((s.p50, s.p99, s.max, s.min, s.count), (50, 99, 100, 1, 100));
+    }
+}

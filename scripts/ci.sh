@@ -71,3 +71,11 @@ grep -q '"schema":"np-serve-bench-v1"' BENCH_serve.json \
 grep -q '"trace_replays"' BENCH_serve.json \
   || { echo "BENCH_serve.json missing trace-cache counters" >&2; exit 1; }
 ./scripts/serve_drain_check.sh
+
+# Observability gate: stripped np-obs logs and registry snapshots must be
+# byte-identical across reruns (two workloads, including the tuner's
+# thread pool), the obs property suite must pass, and a chaos soak with
+# `--log` must keep correlation ids unique and on every request event.
+cargo test --release -q -p np-obs
+cargo test --release -q -p cuda-np --test obs_determinism
+./scripts/obs_determinism_check.sh

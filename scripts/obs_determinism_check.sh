@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# np-obs determinism gate: the stripped event log and registry snapshot
+# must be a pure function of the workload. Run two workloads through
+# `npcc --obs-out` twice each, normalize with `npcc obs-strip` (the
+# library strip, not sed), and require byte-identical results — including
+# the tuner sweep, whose thread pool must not leak completion order into
+# the log. Then a short chaos soak with `--log`: every request-scoped
+# event must carry a correlation id and no id may answer twice.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+NPCC=${NPCC:-./target/release/npcc}
+[ -x "$NPCC" ] || cargo build --release -q -p cuda-np --bin npcc
+
+work="$(mktemp -d)"
+trap 'rm -rf "$work"' EXIT
+
+cat > "$work/k.cu" <<'EOF'
+// blockDim = (32, 1, 1)
+__global__ void tmv(float* a, float* b, float* c, int w, int h) {
+  float sum = 0.0f;
+  int tx = threadIdx.x + blockIdx.x * blockDim.x;
+  #pragma np parallel for reduction(+:sum)
+  for (int i = 0; i < h; i++) {
+    sum += a[i * w + tx] * b[i];
+  }
+  c[tx] = sum;
+}
+EOF
+
+# Workload 1: pinned transform + timeline. Workload 2: the full tuner
+# sweep (fork/adopt across the candidate pool).
+run_stripped() { # run_stripped OUT ARGS...
+  local out=$1
+  shift
+  "$NPCC" "$@" --obs-out "$work/raw.jsonl" "$work/k.cu" > /dev/null 2> /dev/null
+  "$NPCC" obs-strip < "$work/raw.jsonl" > "$out"
+}
+
+for mode in transform explain; do
+  case "$mode" in
+    transform) args=(--slave-size 4 --timeline) ;;
+    explain) args=(--explain) ;;
+  esac
+  run_stripped "$work/$mode.1" "${args[@]}"
+  run_stripped "$work/$mode.2" "${args[@]}"
+  cmp "$work/$mode.1" "$work/$mode.2" ||
+    { echo "obs_determinism_check: $mode log differs across reruns" >&2; exit 1; }
+  grep -q '"schema":"np-obs-registry-v1"' "$work/$mode.1" ||
+    { echo "obs_determinism_check: $mode log missing registry snapshot" >&2; exit 1; }
+done
+grep -q '"name":"tune.candidate"' "$work/explain.1" ||
+  { echo "obs_determinism_check: tuner sweep recorded no candidate spans" >&2; exit 1; }
+
+# Serve soak with the structured log armed: stdout purity and soak
+# invariants are the soak's own gate; here we check the correlation-id
+# contract on the log stream.
+"$NPCC" serve --soak 3 --chaos 7 --workers 2 --queue 4 --clients 4 \
+  --bench-out "$work/BENCH_serve.json" \
+  --log "$work/serve.jsonl" --log-level debug 2> /dev/null
+test -s "$work/serve.jsonl" ||
+  { echo "obs_determinism_check: serve --log wrote nothing" >&2; exit 1; }
+grep -q '"name":"obs.flush"' "$work/serve.jsonl" ||
+  { echo "obs_determinism_check: no final obs.flush record" >&2; exit 1; }
+responds=$(grep -c '"name":"req.respond"' "$work/serve.jsonl" || true)
+[ "$responds" -gt 0 ] ||
+  { echo "obs_determinism_check: soak log has no req.respond events" >&2; exit 1; }
+dups=$(grep '"name":"req.respond"' "$work/serve.jsonl" |
+  grep -o '"corr":"[^"]*"' | sort | uniq -d | wc -l)
+[ "$dups" -eq 0 ] ||
+  { echo "obs_determinism_check: correlation ids answered twice" >&2; exit 1; }
+nocorr=$(grep '"name":"req\.' "$work/serve.jsonl" | grep -cv '"corr":"' || true)
+[ "$nocorr" -eq 0 ] ||
+  { echo "obs_determinism_check: $nocorr request events without corr" >&2; exit 1; }
+
+echo "obs_determinism_check: OK ($responds correlated responses; stripped logs byte-identical)"
