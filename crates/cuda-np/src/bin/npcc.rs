@@ -7,6 +7,12 @@
 //!
 //!   --slave-size N       threads per master group (default 4)
 //!   --np-type inter|intra  distribution scheme (default inter)
+//!   --device NAME|PATH   simulate on a registry device (gtx680, k20c,
+//!                        maxwell, small_test) or a JSON/TOML descriptor
+//!                        file (default gtx680); composes with --explain,
+//!                        --timeline, --check-races, --emit-trace, --replay
+//!   --list-devices       print the device registry (name, marketing name,
+//!                        descriptor digest) and exit
 //!   --sm VERSION         target compute capability x10 (default 30)
 //!   --local-array auto|global|shared|register
 //!   --pad                pad loop trip counts to a slave_size multiple
@@ -49,9 +55,11 @@
 //!
 //!   Re-time a previously emitted trace artifact without re-interpreting:
 //!   decode PATH (digest-verified), replay it through the timing engine on
-//!   the simulated GTX 680, and print the deterministic report JSON to
-//!   stdout. The watchdog budget may differ from the capturing run — the
-//!   recorded step total reproduces the verdict either way; interpretation-
+//!   the simulated GTX 680 (or the `--device` choice — replay is a pure
+//!   timing recompute, so any device with compatible transaction/line
+//!   geometry works), and print the deterministic report JSON to stdout.
+//!   The watchdog budget may differ from the capturing run — the recorded
+//!   step total reproduces the verdict either way; interpretation-
 //!   affecting options (sampling, race checking) come from the artifact.
 //!
 //! npcc serve [options]   JSONL batch service on stdin/stdout
@@ -109,10 +117,13 @@ fn usage() -> ! {
     eprintln!(
         "usage: npcc [--slave-size N] [--np-type inter|intra] [--sm V] \
          [--local-array auto|global|shared|register] [--pad] [--no-redundant] \
-         [--report] [--explain] [--timeline] [--check-races] \
-         [--mutate drop-barrier[:N]|unguard-broadcast] [--watchdog B|none] \
-         [--emit-trace PATH] [--obs-out PATH] <kernel.cu | ->\n\
-         \x20      npcc --replay PATH [--watchdog B|none] [--obs-out PATH]\n\
+         [--device NAME|PATH] [--report] [--explain] [--timeline] \
+         [--check-races] [--mutate drop-barrier[:N]|unguard-broadcast] \
+         [--watchdog B|none] [--emit-trace PATH] [--obs-out PATH] \
+         <kernel.cu | ->\n\
+         \x20      npcc --list-devices\n\
+         \x20      npcc --replay PATH [--device NAME|PATH] [--watchdog B|none] \
+         [--obs-out PATH]\n\
          \x20      npcc obs-strip < events.jsonl\n\
          \x20      npcc serve [--workers N] [--queue N] [--cache N] \
          [--deadline-ms MS] [--watchdog B|none] [--chaos SEED] \
@@ -146,13 +157,18 @@ fn counter_cells(p: &ProfileCounters) -> String {
     )
 }
 
-/// Auto-tune `kernel` on the simulated GTX 680 and print the per-candidate
-/// counter table plus a winner analysis to stderr. Returns the winning
-/// transform and its captured interpretation (for `--emit-trace` — the
-/// sweep already interpreted the winner exactly once, so the artifact
-/// costs nothing extra), or `None` when nothing ran to completion.
-fn explain(kernel: &Kernel, sim: &SimOptions) -> Option<(Transformed, CapturedLaunch)> {
-    let dev = DeviceConfig::gtx680();
+/// Auto-tune `kernel` on the selected simulated device and print the
+/// per-candidate counter table plus a winner analysis to stderr. Returns
+/// the winning transform and its captured interpretation (for
+/// `--emit-trace` — the sweep already interpreted the winner exactly once,
+/// so the artifact costs nothing extra), or `None` when nothing ran to
+/// completion.
+fn explain(
+    kernel: &Kernel,
+    dev: &DeviceConfig,
+    dev_label: &str,
+    sim: &SimOptions,
+) -> Option<(Transformed, CapturedLaunch)> {
     let grid = Dim3::x1(4);
     let header = format!(
         "{:<14} {:>10} {:>9} {:>7} {:>10} {:>9} {:>10} {:>12} {:>9} {:>8}",
@@ -168,14 +184,14 @@ fn explain(kernel: &Kernel, sim: &SimOptions) -> Option<(Transformed, CapturedLa
         "barriers"
     );
     eprintln!(
-        "npcc: explaining kernel {:?} on gtx680, grid {} x {} threads",
+        "npcc: explaining kernel {:?} on {dev_label}, grid {} x {} threads",
         kernel.name,
         grid.count(),
         kernel.block_dim.count()
     );
     eprintln!("{header}");
 
-    let baseline = launch(&dev, kernel, grid, &mut synth_args(kernel), sim);
+    let baseline = launch(dev, kernel, grid, &mut synth_args(kernel), sim);
     let base = match &baseline {
         Ok(rep) => {
             eprintln!(
@@ -195,7 +211,7 @@ fn explain(kernel: &Kernel, sim: &SimOptions) -> Option<(Transformed, CapturedLa
     let candidates = candidates_from_pragmas(kernel, 1024);
     let make_args =
         |t: &Transformed| alloc_extra_buffers(synth_args(&t.kernel), t, grid);
-    let result = autotune(kernel, &dev, grid, &make_args, sim, &candidates);
+    let result = autotune(kernel, dev, grid, &make_args, sim, &candidates);
     let (entries, winner) = match result {
         Ok(r) => {
             let cycles = r.best_report.cycles;
@@ -333,11 +349,10 @@ fn write_trace(cap: &CapturedLaunch, path: &str) -> bool {
 
 /// Simulate `t`'s emitted kernel once with synthesized arguments and
 /// freeze the interpretation into an artifact at `path`.
-fn emit_trace(t: &Transformed, sim: &SimOptions, path: &str) -> bool {
-    let dev = DeviceConfig::gtx680();
+fn emit_trace(t: &Transformed, dev: &DeviceConfig, sim: &SimOptions, path: &str) -> bool {
     let grid = Dim3::x1(4);
     let mut args = alloc_extra_buffers(synth_args(&t.kernel), t, grid);
-    match capture_launch(&dev, &t.kernel, grid, &mut args, sim) {
+    match capture_launch(dev, &t.kernel, grid, &mut args, sim) {
         Ok((_, cap)) => write_trace(&cap, path),
         Err(e) => {
             eprintln!("npcc: --emit-trace simulation failed: {e}");
@@ -349,7 +364,12 @@ fn emit_trace(t: &Transformed, sim: &SimOptions, path: &str) -> bool {
 /// `npcc --replay PATH`: decode and re-time a trace artifact without any
 /// interpretation. Interpretation-affecting options come from the capture
 /// (they must match anyway); only the watchdog budget may be overridden.
-fn replay_main(path: &str, watchdog: Option<Option<u64>>) -> ExitCode {
+fn replay_main(
+    path: &str,
+    dev: &DeviceConfig,
+    dev_label: &str,
+    watchdog: Option<Option<u64>>,
+) -> ExitCode {
     let bytes = match std::fs::read(path) {
         Ok(b) => b,
         Err(e) => {
@@ -375,11 +395,10 @@ fn replay_main(path: &str, watchdog: Option<Option<u64>>) -> ExitCode {
     if let Some(b) = watchdog {
         sim = sim.with_watchdog(b);
     }
-    let dev = DeviceConfig::gtx680();
-    match replay_launch(&dev, &cap, &sim) {
+    match replay_launch(dev, &cap, &sim) {
         Ok(rep) => {
             eprintln!(
-                "npcc: replayed {:?} from {path}: {} cycles ({:.1} us), \
+                "npcc: replayed {:?} from {path} on {dev_label}: {} cycles ({:.1} us), \
                  {}/{} blocks{}",
                 cap.kernel_name,
                 rep.cycles,
@@ -388,7 +407,7 @@ fn replay_main(path: &str, watchdog: Option<Option<u64>>) -> ExitCode {
                 cap.total_blocks,
                 if cap.is_sampled() { " (sampled)" } else { "" }
             );
-            println!("{}", cuda_np::serve::proto::report_json(&rep));
+            println!("{}", cuda_np::serve::proto::report_json(&rep, dev_label));
             ExitCode::SUCCESS
         }
         Err(e) => {
@@ -427,18 +446,24 @@ fn apply_mutation(t: &Transformed, spec: &str) -> Result<Kernel, String> {
 /// Simulate `kernel` (the emitted kernel of `t`, possibly mutated) with the
 /// happens-before checker recording and print the report to stderr. Returns
 /// true when the run is race-free.
-fn check_races(t: &Transformed, kernel: &Kernel, explain: bool, sim: &SimOptions) -> bool {
-    let dev = DeviceConfig::gtx680();
+fn check_races(
+    t: &Transformed,
+    kernel: &Kernel,
+    dev: &DeviceConfig,
+    dev_label: &str,
+    explain: bool,
+    sim: &SimOptions,
+) -> bool {
     let grid = Dim3::x1(4);
     let mut args = alloc_extra_buffers(synth_args(&t.kernel), t, grid);
     let sim = sim
         .clone()
         .with_race_check(RaceCheckMode::Record)
         .with_race_options(RaceCheckOptions { max_findings: None, policy: gating_policy(t) });
-    match launch(&dev, kernel, grid, &mut args, &sim) {
+    match launch(dev, kernel, grid, &mut args, &sim) {
         Ok(rep) => {
             eprintln!(
-                "npcc: race check for {:?} on gtx680, grid {} x {} threads: {}",
+                "npcc: race check for {:?} on {dev_label}, grid {} x {} threads: {}",
                 kernel.name,
                 grid.count(),
                 kernel.block_dim.count(),
@@ -457,17 +482,21 @@ fn check_races(t: &Transformed, kernel: &Kernel, explain: bool, sim: &SimOptions
     }
 }
 
-/// Simulate `t`'s kernel with synthesized arguments on the GTX 680 and
-/// render the per-SMX stall timeline to stderr. Returns the report's
+/// Simulate `t`'s kernel with synthesized arguments on the selected device
+/// and render the per-SMX stall timeline to stderr. Returns the report's
 /// chrome-trace doc (for `--obs-out` splicing) on success.
-fn render_timeline(t: &Transformed, sim: &SimOptions) -> Option<String> {
-    let dev = DeviceConfig::gtx680();
+fn render_timeline(
+    t: &Transformed,
+    dev: &DeviceConfig,
+    dev_label: &str,
+    sim: &SimOptions,
+) -> Option<String> {
     let grid = Dim3::x1(4);
     let mut args = alloc_extra_buffers(synth_args(&t.kernel), t, grid);
-    match launch(&dev, &t.kernel, grid, &mut args, sim) {
+    match launch(dev, &t.kernel, grid, &mut args, sim) {
         Ok(rep) => {
             eprintln!(
-                "npcc: timeline for {:?} on gtx680, grid {} x {} threads",
+                "npcc: timeline for {:?} on {dev_label}, grid {} x {} threads",
                 t.kernel.name,
                 grid.count(),
                 t.kernel.block_dim.count()
@@ -485,6 +514,11 @@ fn render_timeline(t: &Transformed, sim: &SimOptions) -> Option<String> {
 /// Everything a one-shot (non-serve) invocation needs, parsed off argv.
 struct CompileRun {
     opts: NpOptions,
+    /// Resolved `--device` (default: the gtx680 preset).
+    dev: DeviceConfig,
+    /// The spec the user gave (`gtx680`, `k20c`, a descriptor path), used
+    /// in stderr messages so runs say which device they simulated.
+    dev_label: String,
     input: Option<String>,
     report: bool,
     explain_flag: bool,
@@ -496,8 +530,19 @@ struct CompileRun {
     watchdog: Option<Option<u64>>,
 }
 
+/// `npcc --list-devices`: one registry device per line with its marketing
+/// name and descriptor digest.
+fn list_devices() -> ExitCode {
+    for name in np_gpu_sim::device::REGISTRY {
+        let dev = np_gpu_sim::device::from_name(name).expect("registry preset");
+        println!("{:<12} {:<36} digest {}", name, dev.name, dev.digest_hex());
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let mut opts = NpOptions::inter(4);
+    let mut device_spec: Option<String> = None;
     let mut input: Option<String> = None;
     let mut report = false;
     let mut explain_flag = false;
@@ -516,6 +561,8 @@ fn main() -> ExitCode {
         match a.as_str() {
             "serve" => return serve_main(args),
             "obs-strip" => return obs_strip_main(),
+            "--list-devices" => return list_devices(),
+            "--device" => device_spec = Some(args.next().unwrap_or_else(|| usage())),
             "--slave-size" => {
                 opts.slave_size = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
             }
@@ -564,8 +611,18 @@ fn main() -> ExitCode {
             _ => usage(),
         }
     }
+    let dev_label = device_spec.unwrap_or_else(|| "gtx680".to_string());
+    let dev = match np_gpu_sim::device::resolve(&dev_label) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("npcc: --device: {e}");
+            return ExitCode::from(2);
+        }
+    };
     let run = CompileRun {
         opts,
+        dev,
+        dev_label,
         input,
         report,
         explain_flag,
@@ -660,6 +717,8 @@ fn write_obs_log(
 fn run_compile(c: CompileRun, chrome: &mut Option<String>) -> ExitCode {
     let CompileRun {
         opts,
+        dev,
+        dev_label,
         input,
         report,
         explain_flag,
@@ -671,13 +730,14 @@ fn run_compile(c: CompileRun, chrome: &mut Option<String>) -> ExitCode {
         watchdog,
     } = c;
     let _root = np_obs::span("npcc");
+    np_obs::event(np_obs::Level::Debug, "npcc.device", vec![np_obs::kv("device", dev_label.as_str())]);
     // `--replay` is a standalone mode: no kernel source involved.
     if let Some(p) = replay_path {
         if input.is_some() {
             eprintln!("npcc: --replay takes no kernel input (the artifact is the input)");
             return ExitCode::from(2);
         }
-        return replay_main(&p, watchdog);
+        return replay_main(&p, &dev, &dev_label, watchdog);
     }
     let Some(path) = input else { usage() };
     // The step budget every simulation in this invocation runs under.
@@ -744,11 +804,11 @@ fn run_compile(c: CompileRun, chrome: &mut Option<String>) -> ExitCode {
         if report {
             eprintln!("npcc: {:#?}", t.report);
         }
-        if check_races_flag && !check_races(&t, &emitted, explain_flag, &sim) {
+        if check_races_flag && !check_races(&t, &emitted, &dev, &dev_label, explain_flag, &sim) {
             return ExitCode::FAILURE;
         }
         if let Some(p) = &emit_trace_path {
-            if !emit_trace(&t, &sim, p) {
+            if !emit_trace(&t, &dev, &sim, p) {
                 return ExitCode::FAILURE;
             }
         }
@@ -756,14 +816,14 @@ fn run_compile(c: CompileRun, chrome: &mut Option<String>) -> ExitCode {
     }
 
     if explain_flag {
-        return match explain(&kernel, &sim) {
+        return match explain(&kernel, &dev, &dev_label, &sim) {
             Some((best, best_capture)) => {
                 print!("{}", printer::print_kernel(&best.kernel));
                 if report {
                     eprintln!("npcc: {:#?}", best.report);
                 }
                 if timeline_flag {
-                    match render_timeline(&best, &sim) {
+                    match render_timeline(&best, &dev, &dev_label, &sim) {
                         Some(ct) => *chrome = Some(ct),
                         None => return ExitCode::FAILURE,
                     }
@@ -791,13 +851,13 @@ fn run_compile(c: CompileRun, chrome: &mut Option<String>) -> ExitCode {
                 eprintln!("npcc: {:#?}", t.report);
             }
             if timeline_flag {
-                match render_timeline(&t, &sim) {
+                match render_timeline(&t, &dev, &dev_label, &sim) {
                     Some(ct) => *chrome = Some(ct),
                     None => return ExitCode::FAILURE,
                 }
             }
             if let Some(p) = &emit_trace_path {
-                if !emit_trace(&t, &sim, p) {
+                if !emit_trace(&t, &dev, &sim, p) {
                     return ExitCode::FAILURE;
                 }
             }

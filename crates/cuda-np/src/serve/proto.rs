@@ -19,6 +19,7 @@ use super::json::{escape, Json};
 use crate::options::NpOptions;
 use crate::tuner::{TuneOutcome, TuneResult};
 use np_exec::KernelReport;
+use np_gpu_sim::DeviceConfig;
 use np_kernel_ir::kernel::Kernel;
 use np_kernel_ir::parse_kernel;
 use np_kernel_ir::pragma::NpType;
@@ -57,6 +58,12 @@ pub struct Request {
     pub np_type: NpType,
     /// Grid blocks along x.
     pub grid: u32,
+    /// Registry name of the device to simulate on (default `gtx680`).
+    /// Resolved at admission so unknown names are `rejected` up front, and
+    /// part of the cache key so per-device results never collide.
+    pub device: String,
+    /// The resolved device descriptor for `device`.
+    pub dev: DeviceConfig,
     /// Watchdog step budget override (`None` = server default budget).
     pub watchdog: Option<u64>,
     /// Per-request wall-clock deadline in milliseconds.
@@ -127,6 +134,14 @@ impl Request {
                 .ok_or_else(|| fail("grid must be an integer in 1..=1048576".into()))?
                 as u32,
         };
+        let device = match v.get("device") {
+            None => "gtx680".to_string(),
+            Some(j) => j
+                .as_str()
+                .ok_or_else(|| fail("device must be a registry name string".into()))?
+                .to_string(),
+        };
+        let dev = np_gpu_sim::device::from_name(&device).map_err(|e| fail(e.to_string()))?;
         let watchdog = match v.get("watchdog") {
             None => None,
             Some(j) => {
@@ -156,6 +171,8 @@ impl Request {
             slave_size,
             np_type,
             grid,
+            device,
+            dev,
             watchdog,
             deadline_ms,
         })
@@ -179,13 +196,15 @@ impl Request {
         }
     }
 
-    /// Canonical sim-config string for the cache key. The deadline is
-    /// deliberately excluded: it bounds *whether* a result arrives, never
-    /// what the result is, so two requests differing only in deadline may
-    /// share a cache entry.
+    /// Canonical sim-config string for the cache key. The device name is
+    /// part of the key so the same kernel simulated on two devices never
+    /// shares an entry. The deadline is deliberately excluded: it bounds
+    /// *whether* a result arrives, never what the result is, so two
+    /// requests differing only in deadline may share a cache entry.
     pub fn sim_config(&self) -> String {
         format!(
-            "grid={};watchdog={}",
+            "device={};grid={};watchdog={}",
+            self.device,
             self.grid,
             match self.watchdog {
                 Some(n) => n.to_string(),
@@ -331,15 +350,17 @@ impl Response {
 }
 
 /// Render one completed launch as the deterministic result payload: a pure
-/// function of the report (every field below is itself deterministic — the
-/// simulator's cycles, counters, stall buckets, and race findings are
-/// byte-stable across reruns), so cold computes and cache hits of the same
-/// key must match byte-for-byte.
-pub fn report_json(rep: &KernelReport) -> String {
+/// function of the report and the device label (every field below is itself
+/// deterministic — the simulator's cycles, counters, stall buckets, and
+/// race findings are byte-stable across reruns), so cold computes and cache
+/// hits of the same key must match byte-for-byte. The device is echoed so
+/// a client can tell which hardware model timed the result.
+pub fn report_json(rep: &KernelReport, device: &str) -> String {
     format!(
-        "{{\"kernel\":\"{}\",\"cycles\":{},\"time_us\":{:.3},\"blocks\":{},\
+        "{{\"kernel\":\"{}\",\"device\":\"{}\",\"cycles\":{},\"time_us\":{:.3},\"blocks\":{},\
          \"profile\":{},\"stall\":{},\"race\":{}}}",
         escape(&rep.kernel_name),
+        escape(device),
         rep.cycles,
         rep.time_us,
         rep.timing.blocks_simulated,
@@ -351,7 +372,7 @@ pub fn report_json(rep: &KernelReport) -> String {
 
 /// Render an auto-tune run: the winner's full report plus the per-candidate
 /// outcome table (mirroring `TuneEntry`).
-pub fn tune_json(r: &TuneResult) -> String {
+pub fn tune_json(r: &TuneResult, device: &str) -> String {
     let mut s = format!(
         "{{\"winner\":{{\"np_type\":\"{}\",\"slave_size\":{},\"cycles\":{}}},\"entries\":[",
         r.best.report.np_type.map_or("?", np_type_str),
@@ -380,7 +401,7 @@ pub fn tune_json(r: &TuneResult) -> String {
             e.slave_size
         ));
     }
-    s.push_str(&format!("],\"report\":{}}}", report_json(&r.best_report)));
+    s.push_str(&format!("],\"report\":{}}}", report_json(&r.best_report, device)));
     s
 }
 
@@ -463,6 +484,22 @@ mod tests {
         assert_eq!(a.sim_config(), b.sim_config(), "deadline never enters the key");
         let t = Request::from_json_line(&line(",\"mode\":\"tune\"")).unwrap();
         assert_ne!(a.transform_config(), t.transform_config());
+    }
+
+    #[test]
+    fn device_field_defaults_resolves_and_separates_cache_keys() {
+        let a = Request::from_json_line(&line("")).unwrap();
+        assert_eq!(a.device, "gtx680");
+        assert_eq!(a.dev.num_smx, 8);
+        let b = Request::from_json_line(&line(",\"device\":\"k20c\"")).unwrap();
+        assert_eq!(b.device, "k20c");
+        assert_eq!(b.dev.num_smx, 13);
+        assert_ne!(a.sim_config(), b.sim_config(), "device must enter the cache key");
+
+        let (id, msg) = Request::from_json_line(&line(",\"device\":\"titan\"")).unwrap_err();
+        assert_eq!(id.as_deref(), Some("r1"));
+        assert!(msg.contains("unknown device 'titan'"), "{msg}");
+        assert!(msg.contains("gtx680"), "rejection should list the registry: {msg}");
     }
 
     #[test]

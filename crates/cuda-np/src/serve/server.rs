@@ -104,7 +104,6 @@ struct Inner {
     /// Panic counts per kernel identity (`fnv64` of the canonical source).
     quarantine: Mutex<HashMap<u64, u32>>,
     metrics: Metrics,
-    dev: DeviceConfig,
 }
 
 impl Inner {
@@ -174,7 +173,6 @@ impl Server {
             wake: Condvar::new(),
             quarantine: Mutex::new(HashMap::new()),
             metrics,
-            dev: DeviceConfig::gtx680(),
         });
         let workers = (0..inner.cfg.workers.max(1))
             .map(|i| {
@@ -272,6 +270,10 @@ impl Server {
             );
         }
         let depth = q.jobs.len() + 1;
+        let device = req.device.clone();
+        // Per-device admission counter: the sweep's shards show up as
+        // distinct series in the registry snapshot.
+        Metrics::bump(&m.registry().counter(&format!("serve.device.{device}")));
         q.jobs.push_back(Job {
             req,
             seq,
@@ -281,7 +283,12 @@ impl Server {
             reply: reply.clone(),
         });
         drop(q);
-        self.inner.ev(&corr, Level::Info, "req.admit", vec![kv("queue", depth)]);
+        self.inner.ev(
+            &corr,
+            Level::Info,
+            "req.admit",
+            vec![kv("queue", depth), kv("device", device.as_str())],
+        );
         self.inner.wake.notify_one();
         true
     }
@@ -552,7 +559,7 @@ fn simulate(inner: &Inner, job: &Job, chaos: &ChaosPlan) -> Response {
             // interpretation, so it skips the artifact entirely.
             let tkey = trace_key(req);
             if chaos.inject.is_none() {
-                match replay_cached_trace(inner, tkey, &sim) {
+                match replay_cached_trace(inner, &req.dev, tkey, &sim) {
                     Some(Ok(rep)) => {
                         Metrics::bump(&inner.metrics.trace_replays);
                         inner.ev(
@@ -562,7 +569,7 @@ fn simulate(inner: &Inner, job: &Job, chaos: &ChaosPlan) -> Response {
                             vec![kv("outcome", "report")],
                         );
                         let mut r = Response::new(id, Status::Ok);
-                        r.payload = Some(report_json(&rep));
+                        r.payload = Some(report_json(&rep, &req.device));
                         return r;
                     }
                     // The replayed verdict (e.g. the recorded step count
@@ -582,7 +589,7 @@ fn simulate(inner: &Inner, job: &Job, chaos: &ChaosPlan) -> Response {
                 }
             }
             let mut args = alloc_extra_buffers(synth_args(&t.kernel), &t, grid);
-            match capture_launch(&inner.dev, &t.kernel, grid, &mut args, &sim) {
+            match capture_launch(&req.dev, &t.kernel, grid, &mut args, &sim) {
                 Ok((rep, cap)) => {
                     if chaos.inject.is_none() {
                         inner
@@ -592,7 +599,7 @@ fn simulate(inner: &Inner, job: &Job, chaos: &ChaosPlan) -> Response {
                             .insert(tkey, hex_encode(&cap.encode()));
                     }
                     let mut r = Response::new(id, Status::Ok);
-                    r.payload = Some(report_json(&rep));
+                    r.payload = Some(report_json(&rep, &req.device));
                     r
                 }
                 Err(e) => fault_response(id, &e),
@@ -602,10 +609,10 @@ fn simulate(inner: &Inner, job: &Job, chaos: &ChaosPlan) -> Response {
             let candidates = candidates_from_pragmas(&req.kernel, 1024);
             let make_args =
                 |t: &crate::Transformed| alloc_extra_buffers(synth_args(&t.kernel), t, grid);
-            match autotune(&req.kernel, &inner.dev, grid, &make_args, &sim, &candidates) {
+            match autotune(&req.kernel, &req.dev, grid, &make_args, &sim, &candidates) {
                 Ok(r) => {
                     let mut resp = Response::new(id, Status::Ok);
-                    resp.payload = Some(tune_json(&r));
+                    resp.payload = Some(tune_json(&r, &req.device));
                     resp
                 }
                 Err(TuneError::AllFailed(entries)) => Response::new(id, Status::Faulted)
@@ -621,11 +628,17 @@ fn simulate(inner: &Inner, job: &Job, chaos: &ChaosPlan) -> Response {
 }
 
 /// The capture-artifact cache key: canonical kernel + transform config +
-/// grid. Unlike the result-cache key this has no watchdog component — the
-/// capture records its interpreted step total, so *any* budget's verdict
-/// replays from the same artifact.
+/// device + grid. Unlike the result-cache key this has no watchdog
+/// component — the capture records its interpreted step total, so *any*
+/// budget's verdict replays from the same artifact. The device *is* in the
+/// key: captures embed device-dependent sampling/occupancy context, so
+/// per-device artifacts must never collide.
 fn trace_key(req: &Request) -> CacheKey {
-    cache_key(&req.canon, &req.transform_config(), &format!("trace;grid={}", req.grid))
+    cache_key(
+        &req.canon,
+        &req.transform_config(),
+        &format!("trace;device={};grid={}", req.device, req.grid),
+    )
 }
 
 /// Hex-encode capture bytes so they can live in the shared [`Cache`],
@@ -655,6 +668,7 @@ fn hex_decode(s: &str) -> Option<Vec<u8>> {
 /// served), or a sim config the artifact cannot legally stand in for.
 fn replay_cached_trace(
     inner: &Inner,
+    dev: &DeviceConfig,
     key: CacheKey,
     sim: &SimOptions,
 ) -> Option<Result<KernelReport, np_exec::ExecError>> {
@@ -676,7 +690,7 @@ fn replay_cached_trace(
             return None;
         }
     };
-    match replay_launch(&inner.dev, &cap, sim) {
+    match replay_launch(dev, &cap, sim) {
         Ok(rep) => Some(Ok(rep)),
         // A faulting verdict (watchdog over budget) is a real answer.
         Err(e @ np_exec::ExecError::Fault(_)) => Some(Err(e)),
@@ -820,6 +834,37 @@ __global__ void tmv(float* a, float* b, float* c, int w, int h) {
         let end = srv.shutdown();
         assert_eq!(end.snapshot.trace_replays, 0, "corrupt artifact must not replay");
         assert_eq!(end.snapshot.trace_corrupt_evicted, 1);
+    }
+
+    #[test]
+    fn per_device_results_never_collide_in_either_cache() {
+        let srv = Server::start(ServeConfig { workers: 1, ..Default::default() });
+        let a = submit_wait(&srv, &line("r1", ""));
+        let b = submit_wait(&srv, &line("r2", ",\"device\":\"k20c\""));
+        assert_eq!(a.status, Status::Ok, "{:?}", a.error);
+        assert_eq!(b.status, Status::Ok, "{:?}", b.error);
+        assert!(!b.cached, "a different device must miss the result cache");
+        assert_ne!(a.payload, b.payload, "payloads echo their own device + timing");
+        assert!(a.payload.as_deref().unwrap().contains("\"device\":\"gtx680\""));
+        assert!(b.payload.as_deref().unwrap().contains("\"device\":\"k20c\""));
+        // Re-ask each device: both must now be warm hits with byte-identical
+        // payloads — the device is in the key, so neither evicted the other.
+        let a2 = submit_wait(&srv, &line("r3", ""));
+        let b2 = submit_wait(&srv, &line("r4", ",\"device\":\"k20c\""));
+        assert!(a2.cached && b2.cached);
+        assert_eq!(a.payload, a2.payload);
+        assert_eq!(b.payload, b2.payload);
+        let end = srv.shutdown();
+        assert_eq!(end.snapshot.cache_hits, 2);
+        assert_eq!(end.snapshot.trace_replays, 0, "neither device replayed the other's capture");
+    }
+
+    #[test]
+    fn unknown_device_is_rejected_at_admission() {
+        let srv = Server::start(ServeConfig::default());
+        let resp = submit_wait(&srv, &line("r1", ",\"device\":\"titan\""));
+        assert_eq!(resp.status, Status::Rejected);
+        assert!(resp.error.as_deref().unwrap_or("").contains("unknown device"), "{:?}", resp.error);
     }
 
     #[test]

@@ -1,0 +1,226 @@
+//! Cross-device differential invariance: the device descriptor is a
+//! *timing* model, so functional outputs and race reports must be a pure
+//! function of kernel + arguments — byte-identical on every registry
+//! device — while cycle counts genuinely move between devices (otherwise
+//! the device matrix measures nothing).
+//!
+//! Also pins per-device golden counter + stall snapshots for a fixed
+//! workload, so a change to one device's memory system or scheduler shows
+//! up as a reviewed golden diff, not silent drift. Regenerate with:
+//!
+//! ```text
+//! UPDATE_GOLDENS=1 cargo test -p cuda-np --test device_invariance
+//! ```
+
+use cuda_np::{gating_policy, transform, tuner::alloc_extra_buffers, NpOptions};
+use np_exec::{launch, Args, RaceCheckMode, SimOptions};
+use np_gpu_sim::capture::fnv64;
+use np_gpu_sim::racecheck::RaceCheckOptions;
+use np_gpu_sim::{DeviceConfig, REGISTRY};
+use np_kernel_ir::kernel::Kernel;
+use np_kernel_ir::types::Dim3;
+use np_workloads::{all_workloads, Scale, Workload};
+use std::collections::HashSet;
+use std::path::PathBuf;
+
+fn registry_devices() -> Vec<DeviceConfig> {
+    REGISTRY.iter().map(|n| np_gpu_sim::device::from_name(n).unwrap()).collect()
+}
+
+/// Everything one launch exposes, split by the invariance contract:
+/// `functional` and `race_json` must match across devices; `cycles` may
+/// (and must, somewhere) differ.
+struct Observed {
+    functional: u64,
+    race_json: String,
+    cycles: u64,
+}
+
+/// Launch on one device. A capacity rejection (the config simply does not
+/// fit the device — e.g. `small_test`'s 16 KB shared memory) returns
+/// `None`; any other failure panics. Devices large enough to run the
+/// paper's workloads must never return `None` (asserted by the caller).
+fn observe(
+    dev: &DeviceConfig,
+    kernel: &Kernel,
+    grid: Dim3,
+    mut args: Args,
+    sim: &SimOptions,
+    out_name: &str,
+    ctx: &str,
+) -> Option<Observed> {
+    let rep = match launch(dev, kernel, grid, &mut args, sim) {
+        Ok(rep) => rep,
+        Err(e) if e.to_string().contains("launch rejected") => return None,
+        Err(e) => panic!("{ctx} on {}: launch failed: {e}", dev.name),
+    };
+    let mut bytes = Vec::new();
+    for x in args.get_f32(out_name).unwrap() {
+        bytes.extend_from_slice(&x.to_bits().to_le_bytes());
+    }
+    Some(Observed { functional: fnv64(&bytes), race_json: rep.race.to_json(), cycles: rep.cycles })
+}
+
+/// All ten workloads × {baseline, slave {2,4,8} × {inter, intra}} on every
+/// registry device: output-buffer bits and race-report JSON byte-identical
+/// everywhere, and every device *pair* separated by at least one differing
+/// cycle count across the sweep.
+#[test]
+fn functional_outputs_and_race_reports_are_device_invariant() {
+    let devices = registry_devices();
+    let mut differing_pairs: HashSet<(usize, usize)> = HashSet::new();
+    let mut compared = 0u32;
+    for w in all_workloads(Scale::Test) {
+        let w: &dyn Workload = w.as_ref();
+        let kernel = w.kernel();
+        let grid = w.grid();
+
+        // (config label, kernel to run, sim options, args builder).
+        type ArgsBuilder<'a> = Box<dyn Fn() -> Args + 'a>;
+        let mut runs: Vec<(String, Kernel, SimOptions, ArgsBuilder)> = vec![(
+            format!("{} baseline", w.name()),
+            kernel.clone(),
+            w.sim_options().with_race_check(RaceCheckMode::Record),
+            Box::new(move || w.make_args()),
+        )];
+        for s in [2u32, 4, 8] {
+            for opts in [NpOptions::inter(s), NpOptions::intra(s)] {
+                let Ok(t) = transform(&kernel, &opts) else { continue };
+                let sim = w
+                    .sim_options()
+                    .with_race_check(RaceCheckMode::Record)
+                    .with_race_options(RaceCheckOptions {
+                        max_findings: None,
+                        policy: gating_policy(&t),
+                    });
+                let ctx = format!("{} {:?} slave_size={s}", w.name(), opts.np_type);
+                let tk = t.kernel.clone();
+                let mk: ArgsBuilder =
+                    Box::new(move || alloc_extra_buffers(w.make_args(), &t, grid));
+
+                runs.push((ctx, tk, sim, mk));
+            }
+        }
+
+        for (ctx, k, sim, mk) in &runs {
+            let obs: Vec<Option<Observed>> = devices
+                .iter()
+                .map(|d| observe(d, k, grid, mk(), sim, w.output_name(), ctx))
+                .collect();
+            // Only the deliberately tiny `small_test` device may reject a
+            // configuration for capacity; the paper-sized devices must run
+            // everything.
+            for (spec, o) in REGISTRY.iter().zip(&obs) {
+                assert!(
+                    o.is_some() || *spec == "small_test",
+                    "{ctx}: {spec} rejected a config the paper devices must fit"
+                );
+            }
+            let ran: Vec<(usize, &Observed)> =
+                obs.iter().enumerate().filter_map(|(i, o)| Some((i, o.as_ref()?))).collect();
+            let (_, first) = ran[0];
+            for &(i, o) in &ran[1..] {
+                assert_eq!(
+                    o.functional, first.functional,
+                    "{ctx}: output bits differ between {} and {}",
+                    devices[0].name, devices[i].name
+                );
+                assert_eq!(
+                    o.race_json, first.race_json,
+                    "{ctx}: race report differs between {} and {}",
+                    devices[0].name, devices[i].name
+                );
+            }
+            for a in 0..ran.len() {
+                for b in a + 1..ran.len() {
+                    if ran[a].1.cycles != ran[b].1.cycles {
+                        differing_pairs.insert((ran[a].0, ran[b].0));
+                    }
+                }
+            }
+            compared += 1;
+        }
+    }
+    // 10 workloads × (1 baseline + up to 6 transformed configs), minus
+    // legitimate transform rejections.
+    assert!(compared >= 40, "only {compared} configurations compared");
+    for (i, a) in REGISTRY.iter().enumerate() {
+        for (j, b) in REGISTRY.iter().enumerate().skip(i + 1) {
+            assert!(
+                differing_pairs.contains(&(i, j)),
+                "devices {a} and {b} never differed in simulated cycles — the \
+                 matrix would be measuring nothing"
+            );
+        }
+    }
+}
+
+fn goldens_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/goldens")
+}
+
+/// Per-device golden counter + stall snapshots on TMV (baseline and two
+/// NP variants): the paper's mechanisms — coalescing, divergence, shfl
+/// traffic, barrier waits — and the timeline's stall attribution are
+/// pinned per device, so only *reviewed* changes move them.
+#[test]
+fn per_device_counter_and_stall_snapshots_are_stable() {
+    use np_workloads::{tmv::Tmv, Workload};
+    let update = std::env::var("UPDATE_GOLDENS").is_ok_and(|v| v == "1");
+    if update {
+        std::fs::create_dir_all(goldens_dir()).expect("create goldens dir");
+    }
+    let w = Tmv::new(Scale::Test);
+    let kernel = w.kernel();
+    let grid = w.grid();
+    let mut drifted = Vec::new();
+    for (name, dev) in REGISTRY.iter().zip(registry_devices()) {
+        let mut doc = format!(
+            "{{\n  \"schema\": \"np-device-metrics-v1\",\n  \"device\": \"{}\",\n  \
+             \"device_digest\": \"{}\",\n",
+            dev.name,
+            dev.digest_hex()
+        );
+        let section = |label: &str, k: &Kernel, args: Args, sim: &SimOptions| {
+            let mut args = args;
+            let rep = launch(&dev, k, grid, &mut args, sim)
+                .unwrap_or_else(|e| panic!("TMV {label} on {}: {e}", dev.name));
+            format!(
+                "  \"{label}\": {{\"cycles\":{},\"stall\":{},\"profile\":{}}}",
+                rep.cycles,
+                rep.timing.stall.to_json(),
+                rep.profile.total.to_json()
+            )
+        };
+        doc.push_str(&section("baseline", &kernel, w.make_args(), &w.sim_options()));
+        for (label, opts) in [("inter4", NpOptions::inter(4)), ("intra4", NpOptions::intra(4))] {
+            let t = transform(&kernel, &opts).expect("TMV transforms at slave 4");
+            let args = alloc_extra_buffers(w.make_args(), &t, grid);
+            doc.push_str(",\n");
+            doc.push_str(&section(label, &t.kernel, args, &w.sim_options()));
+        }
+        doc.push_str("\n}\n");
+
+        let path = goldens_dir().join(format!("device_metrics.{name}.json"));
+        if update {
+            std::fs::write(&path, &doc)
+                .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+            continue;
+        }
+        let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "{name}: missing golden {} ({e}); regenerate with \
+                 UPDATE_GOLDENS=1 cargo test -p cuda-np --test device_invariance",
+                path.display()
+            )
+        });
+        if doc != golden {
+            drifted.push(name.to_string());
+        }
+    }
+    assert!(
+        drifted.is_empty(),
+        "per-device metric snapshots drifted for {drifted:?}; if intentional, regenerate \
+         with UPDATE_GOLDENS=1 cargo test -p cuda-np --test device_invariance"
+    );
+}

@@ -256,3 +256,105 @@ fn timeline_is_deterministic_across_runs() {
     };
     assert_eq!(run(), run());
 }
+
+/// `--list-devices`: every registry name, its marketing name, and its
+/// descriptor digest, one per line on stdout.
+#[test]
+fn list_devices_prints_registry_and_digests() {
+    let out = npcc().arg("--list-devices").output().expect("run npcc");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for (name, dev) in ["gtx680", "k20c", "maxwell", "small_test"]
+        .iter()
+        .zip(np_gpu_sim::REGISTRY.iter().map(|n| np_gpu_sim::device::from_name(n).unwrap()))
+    {
+        let line = stdout
+            .lines()
+            .find(|l| l.starts_with(name))
+            .unwrap_or_else(|| panic!("--list-devices missing {name}:\n{stdout}"));
+        assert!(line.contains(&dev.name), "{line}");
+        assert!(line.contains(&format!("digest {}", dev.digest_hex())), "{line}");
+    }
+}
+
+/// An unknown `--device` name fails fast (exit 2) and the error names the
+/// available registry devices.
+#[test]
+fn unknown_device_is_rejected_with_the_available_list() {
+    let w = Mv::new(Scale::Test);
+    let path = write_kernel(&w);
+    let out = npcc().args(["--device", "titan"]).arg(&path).output().expect("run npcc");
+    assert_eq!(out.status.code(), Some(2), "unknown device is a usage error");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown device 'titan'"), "{stderr}");
+    assert!(stderr.contains("gtx680, k20c, maxwell, small_test"), "{stderr}");
+}
+
+/// Pull the first `"cycles":N` value out of a replay's report JSON.
+fn cycles_of(stdout: &str) -> u64 {
+    let at = stdout.find("\"cycles\":").expect("report JSON has cycles");
+    stdout[at + 9..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .expect("cycles parse")
+}
+
+/// A frozen trace replays under a *different* device config: replay is a
+/// pure re-timing, so the device may change freely (same interpretation,
+/// new cycle counts), the report echoes the device it was timed on, and a
+/// descriptor loaded from a file behaves exactly like its registry twin.
+#[test]
+fn replay_retimes_under_a_different_device() {
+    let w = Mv::new(Scale::Test);
+    let path = write_kernel(&w);
+    let trace = std::env::temp_dir().join("npcc_cli_device_replay.nptrace");
+    let out = npcc()
+        .args(["--slave-size", "4", "--emit-trace"])
+        .arg(&trace)
+        .arg(&path)
+        .output()
+        .expect("run npcc");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let replay = |device: Option<&str>| {
+        let mut cmd = npcc();
+        cmd.arg("--replay").arg(&trace);
+        if let Some(d) = device {
+            cmd.args(["--device", d]);
+        }
+        let out = cmd.output().expect("run npcc --replay");
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+
+    let default = replay(None);
+    assert!(default.contains("\"device\":\"gtx680\""), "{default}");
+    let k20c = replay(Some("k20c"));
+    assert!(k20c.contains("\"device\":\"k20c\""), "{k20c}");
+    assert_ne!(
+        cycles_of(&default),
+        cycles_of(&k20c),
+        "a 13-SMX K20c must not time like an 8-SMX GTX 680"
+    );
+
+    // A descriptor *file* with the K20c's parameters times identically to
+    // the registry preset — resolution is transparent to the simulation.
+    let desc = std::env::temp_dir().join("npcc_cli_k20c_twin.json");
+    std::fs::write(&desc, np_gpu_sim::device::from_name("k20c").unwrap().descriptor_json())
+        .expect("write descriptor");
+    let twin = replay(Some(desc.to_str().unwrap()));
+    assert_eq!(cycles_of(&twin), cycles_of(&k20c), "file descriptor must time like its twin");
+    assert!(twin.contains(&format!("\"device\":\"{}\"", desc.display())), "{twin}");
+
+    // An invalid descriptor file is rejected with the violated rule.
+    let bad = std::env::temp_dir().join("npcc_cli_bad_device.json");
+    let mut dev = np_gpu_sim::device::from_name("gtx680").unwrap();
+    dev.num_smx = 0;
+    std::fs::write(&bad, dev.descriptor_json()).expect("write descriptor");
+    let out = npcc().arg("--replay").arg(&trace).arg("--device").arg(&bad).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("`num_smx` must be greater than zero"), "{stderr}");
+}

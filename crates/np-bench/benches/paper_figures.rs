@@ -264,8 +264,8 @@ fn profile_counters(c: &mut Criterion) {
 fn bench_trajectory(c: &mut Criterion) {
     use np_harness::{runner, trajectory};
     let dev = DeviceConfig::gtx680();
-    let doc = trajectory::to_json(&runner::sweep(&dev, Scale::Test), dev.name, "test");
-    let again = trajectory::to_json(&runner::sweep(&dev, Scale::Test), dev.name, "test");
+    let doc = trajectory::to_json(&runner::sweep(&dev, Scale::Test), &dev, "test");
+    let again = trajectory::to_json(&runner::sweep(&dev, Scale::Test), &dev, "test");
     assert_eq!(doc, again, "bench trajectory must be byte-identical across reruns");
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_results.json");
     std::fs::write(path, &doc).expect("write BENCH_results.json");

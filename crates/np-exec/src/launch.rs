@@ -287,6 +287,20 @@ impl KernelReport {
     }
 }
 
+/// Tag the current obs scope with the device every simulation entry point
+/// ran on: name plus descriptor digest, so a log reader can join spans
+/// against the exact parameter set (not just the marketing name).
+fn device_event(dev: &DeviceConfig) {
+    np_obs::event(
+        np_obs::Level::Debug,
+        "exec.device",
+        vec![
+            np_obs::kv("device", dev.name.as_str()),
+            np_obs::kv("device_digest", dev.digest_hex()),
+        ],
+    );
+}
+
 /// Launch `kernel` over `grid` blocks on `dev`. The kernel's own
 /// `block_dim` supplies the block shape. Buffers move out of `args` during
 /// execution and are returned (with stores applied) on completion.
@@ -303,6 +317,7 @@ pub fn launch(
     opts: &SimOptions,
 ) -> Result<KernelReport, ExecError> {
     let _obs = np_obs::span("exec.launch");
+    device_event(dev);
     let (run, resources, occ) = interpret_launch(dev, kernel, grid, args, opts)?;
     let timing = {
         let _t = np_obs::span("exec.timing");
@@ -337,6 +352,7 @@ pub fn capture_launch(
     opts: &SimOptions,
 ) -> Result<(KernelReport, CapturedLaunch), ExecError> {
     let _obs = np_obs::span("exec.capture");
+    device_event(dev);
     let (run, resources, _occ) = interpret_launch(dev, kernel, grid, args, opts)?;
     let total_blocks = grid.count();
     let sim_blocks = run.traces.len() as u64;
@@ -426,6 +442,7 @@ pub fn replay_launch(
         }
     }
     let _obs = np_obs::span("exec.replay");
+    device_event(dev);
     let replayed = np_gpu_sim::replay::replay(dev, cap).map_err(ExecError::Replay)?;
     Ok(KernelReport {
         kernel_name: cap.kernel_name.clone(),

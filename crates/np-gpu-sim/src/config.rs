@@ -21,8 +21,10 @@ pub const TICKS_PER_CYCLE: u64 = 16;
 /// Timing and capacity description of one simulated device.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct DeviceConfig {
-    /// Marketing name, used in reports.
-    pub name: &'static str,
+    /// Marketing name, used in reports. Owned so descriptors loaded from
+    /// files (see [`crate::device`]) are first-class citizens next to the
+    /// built-in presets.
+    pub name: String,
     /// Number of streaming multiprocessors (SMX in Kepler terms).
     pub num_smx: u32,
     /// Hardware limit on threads per thread block.
@@ -123,7 +125,7 @@ impl DeviceConfig {
     /// GTX 680 (GK104), the GPU used for all paper speedup results.
     pub fn gtx680() -> Self {
         DeviceConfig {
-            name: "GTX 680 (GK104, simulated)",
+            name: "GTX 680 (GK104, simulated)".to_string(),
             num_smx: 8,
             max_threads_per_block: 1024,
             max_threads_per_smx: 2048,
@@ -165,7 +167,7 @@ impl DeviceConfig {
     /// microbenchmark (compute capability 3.5, 208 GB/s).
     pub fn k20c() -> Self {
         DeviceConfig {
-            name: "Tesla K20c (GK110, simulated)",
+            name: "Tesla K20c (GK110, simulated)".to_string(),
             num_smx: 13,
             max_registers_per_thread: 255,
             dram_bytes_per_cycle: 295, // ~208 GB/s at 0.706 GHz
@@ -179,7 +181,7 @@ impl DeviceConfig {
     /// where tests can enumerate behaviour.
     pub fn small_test() -> Self {
         DeviceConfig {
-            name: "test device",
+            name: "test device".to_string(),
             num_smx: 2,
             max_threads_per_block: 1024,
             max_threads_per_smx: 512,
@@ -217,11 +219,62 @@ impl DeviceConfig {
         }
     }
 
+    /// A Maxwell-generation device in the mould of a GTX 980 (GM204): more
+    /// SMs than GK104 but the same warp-centric execution model, bigger
+    /// shared memory and L2, a slightly wider per-thread register budget and
+    /// cheaper shuffles. Used by the cross-device matrix to check the paper's
+    /// claims off their home architecture. Transaction segment and L1 line
+    /// sizes are kept at 128 bytes so traces captured on one registry device
+    /// replay (timing-only) on any other.
+    pub fn maxwell_like() -> Self {
+        DeviceConfig {
+            name: "GTX 980 (GM204-like, simulated)".to_string(),
+            num_smx: 16,
+            max_threads_per_block: 1024,
+            max_threads_per_smx: 2048,
+            max_blocks_per_smx: 32,
+            registers_per_smx: 65_536,
+            max_registers_per_thread: 255,
+            register_alloc_granularity: 256,
+            shared_mem_per_smx: 96 * 1024,
+            shared_alloc_granularity: 256,
+            l1_bytes: 24 * 1024,
+            l1_line: 128,
+            l1_assoc: 4,
+            tex_cache_bytes: 24 * 1024,
+            l2_bytes: 2048 * 1024,
+            l2_assoc: 16,
+            l2_latency: 194,
+            mem_queue_depth: 6,
+            issue_per_cycle: 4,
+            alu_latency: 6,
+            sfu_latency: 14,
+            global_latency: 380,
+            dram_bytes_per_cycle: 199, // ~224 GB/s at 1.126 GHz
+            txn_bytes: 128,
+            shared_latency: 22,
+            shared_replay_cost: 2,
+            l1_hit_latency: 24,
+            const_latency: 8,
+            const_serialize_cost: 4,
+            shfl_latency: 8,
+            supports_shfl: true,
+            barrier_cost: 8,
+            block_launch_cost: 180,
+            clock_ghz: 1.126,
+            dynpar: DynParConfig::kepler(),
+        }
+    }
+
     /// A pre-Kepler style device: identical resources but no `__shfl`
     /// support (compute capability < 3), used to test the sm_version pragma
     /// clause (Section 3.6).
     pub fn no_shfl() -> Self {
-        DeviceConfig { name: "pre-Kepler (simulated)", supports_shfl: false, ..Self::gtx680() }
+        DeviceConfig {
+            name: "pre-Kepler (simulated)".to_string(),
+            supports_shfl: false,
+            ..Self::gtx680()
+        }
     }
 
     /// Convert a cycle count on this device into microseconds.

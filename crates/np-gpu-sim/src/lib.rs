@@ -26,6 +26,7 @@
 
 pub mod capture;
 pub mod config;
+pub mod device;
 pub mod dynpar;
 pub mod engine;
 pub mod mem;
@@ -39,6 +40,7 @@ pub mod trace;
 
 pub use capture::{CapturedLaunch, CapturedRaceMode, TraceDecodeError, TRACE_MAGIC};
 pub use config::{DeviceConfig, DynParConfig, TICKS_PER_CYCLE, WARP_SIZE};
+pub use device::{DeviceError, DEVICE_SCHEMA, REGISTRY};
 pub use engine::{simulate_blocks, BlockSource, Engine, IterSource};
 pub use occupancy::{occupancy, KernelResources, Limiter, Occupancy, OccupancyError};
 pub use profile::{BlockProfile, ProfileCounters, ProfileReport};

@@ -2,11 +2,11 @@
 //! returns the formatted text it also expects to be printed, so the binary
 //! and EXPERIMENTS.md generation share one code path.
 
+use crate::device::DeviceSel;
 use crate::runner::{best_np, gm, run_baseline, run_config};
 use cuda_np::{LocalArrayStrategy, NpOptions};
 use np_exec::{estimate_resources, launch};
 use np_gpu_sim::dynpar::{dynpar_cycles, DynParLaunchPlan};
-use np_gpu_sim::DeviceConfig;
 use np_kernel_ir::pragma::NpType;
 use np_kernel_ir::types::Dim3;
 use np_workloads::spec::characterize;
@@ -15,14 +15,14 @@ use std::fmt::Write as _;
 
 /// Figure 1: memcpy bandwidth under dynamic parallelism as the child-kernel
 /// count grows (m * n fixed at 64M floats on the K20c).
-pub fn fig01(scale: Scale) -> String {
-    let dev = DeviceConfig::k20c();
+pub fn fig01(sel: &DeviceSel, scale: Scale) -> String {
+    let dev = sel.dynpar();
     let total: usize = match scale {
         Scale::Test => 1 << 20,
         Scale::Paper => 64 << 20,
     };
     let mut out = String::new();
-    let _ = writeln!(out, "# Figure 1 — dynamic-parallelism memcpy ({} floats, K20c)", total);
+    let _ = writeln!(out, "# Figure 1 — dynamic-parallelism memcpy ({} floats, {})", total, dev.name);
     let plain = memcopy::run_copy(&dev, total, Some(64));
     let _ = writeln!(
         out,
@@ -49,8 +49,8 @@ pub fn fig01(scale: Scale) -> String {
 
 /// Table 1: benchmark characteristics and per-thread resource usage,
 /// derived from our kernels next to the paper's published numbers.
-pub fn table1(scale: Scale) -> String {
-    let dev = DeviceConfig::gtx680();
+pub fn table1(sel: &DeviceSel, scale: Scale) -> String {
+    let dev = sel.speedup();
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -103,10 +103,10 @@ pub fn table1(scale: Scale) -> String {
 }
 
 /// Figure 10: best CUDA-NP speedup over baseline per benchmark + GM.
-pub fn fig10(scale: Scale) -> String {
-    let dev = DeviceConfig::gtx680();
+pub fn fig10(sel: &DeviceSel, scale: Scale) -> String {
+    let dev = sel.speedup();
     let mut out = String::new();
-    let _ = writeln!(out, "# Figure 10 — CUDA-NP speedups over baseline (GTX 680)");
+    let _ = writeln!(out, "# Figure 10 — CUDA-NP speedups over baseline ({})", dev.name);
     let _ = writeln!(
         out,
         "{:<5} {:>9} {:>12} {:>12} {:>7} {:>7}",
@@ -143,8 +143,8 @@ pub fn fig10(scale: Scale) -> String {
 }
 
 /// Figure 11: inter-warp vs intra-warp across slave sizes.
-pub fn fig11(scale: Scale) -> String {
-    let dev = DeviceConfig::gtx680();
+pub fn fig11(sel: &DeviceSel, scale: Scale) -> String {
+    let dev = sel.speedup();
     let mut out = String::new();
     let _ = writeln!(out, "# Figure 11 — inter vs intra-warp NP by slave_size (speedup over baseline)");
     let _ = writeln!(
@@ -184,8 +184,8 @@ pub fn fig11(scale: Scale) -> String {
 }
 
 /// Figure 12: padding vs no-padding on LE (loop count 150).
-pub fn fig12(scale: Scale) -> String {
-    let dev = DeviceConfig::gtx680();
+pub fn fig12(sel: &DeviceSel, scale: Scale) -> String {
+    let dev = sel.speedup();
     let w = Le::new(scale);
     let mut out = String::new();
     let _ = writeln!(out, "# Figure 12 — padding (P) vs no padding (NP) on LE, inter-warp");
@@ -228,8 +228,8 @@ pub fn fig12(scale: Scale) -> String {
 }
 
 /// Figure 13: TMV vs CUBLAS-like vs CUDA-NP over matrix widths (h = 2k).
-pub fn fig13(scale: Scale) -> String {
-    let dev = DeviceConfig::gtx680();
+pub fn fig13(sel: &DeviceSel, scale: Scale) -> String {
+    let dev = sel.speedup();
     let h = match scale {
         Scale::Test => 256,
         Scale::Paper => 2048,
@@ -280,8 +280,8 @@ pub fn fig13(scale: Scale) -> String {
 }
 
 /// Figure 14: MV — CUDA-NP vs CUBLAS-like vs SMM over heights (w = 2k).
-pub fn fig14(scale: Scale) -> String {
-    let dev = DeviceConfig::gtx680();
+pub fn fig14(sel: &DeviceSel, scale: Scale) -> String {
+    let dev = sel.speedup();
     let wd = match scale {
         Scale::Test => 256,
         Scale::Paper => 2048,
@@ -337,8 +337,8 @@ pub fn fig14(scale: Scale) -> String {
 
 /// Figure 15: local-array replacement strategy (global / shared / register)
 /// on LE and LIB.
-pub fn fig15(scale: Scale) -> String {
-    let dev = DeviceConfig::gtx680();
+pub fn fig15(sel: &DeviceSel, scale: Scale) -> String {
+    let dev = sel.speedup();
     let mut out = String::new();
     let _ = writeln!(out, "# Figure 15 — local-array replacement (speedup over baseline, inter-warp s=8)");
     let _ = writeln!(out, "{:<5} {:>10} {:>10} {:>10}", "Name", "global", "shared", "register");
@@ -375,8 +375,8 @@ pub fn fig15(scale: Scale) -> String {
 
 /// Figure 16: `__shfl` vs shared memory for the group communication under
 /// intra-warp NP, normalized to the best inter-warp version.
-pub fn fig16(scale: Scale) -> String {
-    let dev = DeviceConfig::gtx680();
+pub fn fig16(sel: &DeviceSel, scale: Scale) -> String {
+    let dev = sel.speedup();
     let mut out = String::new();
     let _ = writeln!(out, "# Figure 16 — shfl vs shared-memory communication (intra-warp NP)");
     let _ = writeln!(
@@ -426,8 +426,8 @@ pub fn fig16(scale: Scale) -> String {
 /// split and run* (`cuda_np::dynpar_split`); the rest — exactly the cases
 /// the paper calls out as needing manual shared/local staging — fall back
 /// to the analytic launch-overhead model.
-pub fn sec6(scale: Scale) -> String {
-    let dev = DeviceConfig::gtx680();
+pub fn sec6(sel: &DeviceSel, scale: Scale) -> String {
+    let dev = sel.speedup();
     let mut out = String::new();
     let _ = writeln!(out, "# Section 6 — dynamic-parallelism slowdowns (paper: NN 28.9x, TMV 7.6x, LE 13.4x, LIB 125.7x, CFD 52.3x)");
     let _ = writeln!(
@@ -495,16 +495,16 @@ pub fn sec6(scale: Scale) -> String {
 }
 
 /// Every experiment in paper order.
-pub fn all(scale: Scale) -> String {
+pub fn all(sel: &DeviceSel, scale: Scale) -> String {
     let mut out = String::new();
     for (name, f) in experiments() {
         let _ = writeln!(out, "\n===== {name} =====");
-        out.push_str(&f(scale));
+        out.push_str(&f(sel, scale));
     }
     out
 }
 
-type ExpFn = fn(Scale) -> String;
+type ExpFn = fn(&DeviceSel, Scale) -> String;
 
 /// Registry of (name, function) for the binary's dispatch.
 pub fn experiments() -> Vec<(&'static str, ExpFn)> {

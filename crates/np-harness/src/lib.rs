@@ -6,6 +6,7 @@
 //! can be placed side by side with the published charts (EXPERIMENTS.md
 //! records that comparison).
 
+pub mod device;
 pub mod experiments;
 pub mod runner;
 pub mod trajectory;

@@ -1,7 +1,8 @@
 //! Regenerate the CUDA-NP paper's tables and figures.
 //!
 //! ```text
-//! np-harness [--test-scale] [--json [PATH]] [--check-bench BASELINE]
+//! np-harness [--test-scale] [--device SPEC] [--devices A,B,C]
+//!            [--json [PATH]] [--check-bench BASELINE]
 //!            [--tolerance FRACTION] [--wall-clock]
 //!            [all | sweep | fig01 | table1 | fig10 | fig11 |
 //!             fig12 | fig13 | fig14 | fig15 | fig16 | sec6]...
@@ -9,6 +10,20 @@
 //!
 //! Default is `all` at paper scale. `--test-scale` uses the small inputs
 //! the test suite uses (fast smoke run).
+//!
+//! `--device SPEC` pins every experiment to one device: a registry name
+//! (`gtx680`, `k20c`, `maxwell`, `small_test`) or a descriptor file
+//! (`.json`/`.toml`, validated on load). Without it, each experiment runs
+//! on the device the paper used for it — speedup figures on the GTX 680,
+//! the Figure-1 dynamic-parallelism microbenchmark on the K20c.
+//!
+//! `--devices A,B,C` runs the full workload sweep on every listed device,
+//! sharding the device × workload matrix across a bounded host-thread
+//! pool. Output files gain a per-device token: `--json` writes
+//! `BENCH_results.<device>.json` and `--check-bench BASE.json` reads
+//! `BASE.<device>.json`, each device gated independently against its own
+//! committed baseline. Experiment names cannot be combined with
+//! `--devices` (the matrix is sweep-only).
 //!
 //! `--json [PATH]` writes the machine-readable bench trajectory (cycles,
 //! speedups, stall breakdowns, profile counters per workload) after the
@@ -28,12 +43,52 @@
 //! PASS/FAULT summary: every workload's baseline + auto-tune runs to a
 //! `Result`, faulting workloads are reported, and the remaining workloads
 //! still complete. The process exits non-zero only when *every* workload
-//! fails (exit code 1), or when an unknown experiment is named or a flag
-//! is malformed (2).
+//! fails (exit code 1), a bench gate trips (1), or when an unknown
+//! experiment is named or a flag is malformed (2).
 
+use np_harness::device::{device_tagged_path, device_token, DeviceSel};
 use np_harness::{experiments, runner, trajectory};
 use np_gpu_sim::DeviceConfig;
 use np_workloads::Scale;
+
+/// Write the trajectory document and/or gate it against a baseline.
+/// Returns true on any write failure, read failure, or gate trip.
+fn bench_gate(
+    doc: &str,
+    json_path: Option<&str>,
+    check_baseline: Option<&str>,
+    tolerance: f64,
+) -> bool {
+    if let Some(path) = json_path {
+        if let Err(e) = std::fs::write(path, doc) {
+            eprintln!("np-harness: cannot write {path}: {e}");
+            return true;
+        }
+        eprintln!("np-harness: wrote {path}");
+    }
+    if let Some(base_path) = check_baseline {
+        let base = match std::fs::read_to_string(base_path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("np-harness: cannot read baseline {base_path}: {e}");
+                return true;
+            }
+        };
+        match trajectory::check_against_baseline(doc, &base, tolerance) {
+            Ok(()) => eprintln!(
+                "np-harness: bench trajectory within ±{:.1}% of {base_path}",
+                100.0 * tolerance
+            ),
+            Err(problems) => {
+                for p in &problems {
+                    eprintln!("np-harness: bench regression: {p}");
+                }
+                return true;
+            }
+        }
+    }
+    false
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -47,6 +102,8 @@ fn main() {
     let mut check_baseline: Option<String> = None;
     let mut tolerance = 0.02f64;
     let mut wall_clock = false;
+    let mut device_spec: Option<String> = None;
+    let mut devices_spec: Option<String> = None;
     let mut wanted: Vec<String> = Vec::new();
     let mut it = args.iter().peekable();
     while let Some(a) = it.next() {
@@ -65,6 +122,20 @@ fn main() {
                 Some(p) => check_baseline = Some(p.clone()),
                 None => {
                     eprintln!("--check-bench needs a baseline JSON path");
+                    std::process::exit(2);
+                }
+            },
+            "--device" => match it.next() {
+                Some(s) => device_spec = Some(s.clone()),
+                None => {
+                    eprintln!("--device needs a registry name or descriptor path");
+                    std::process::exit(2);
+                }
+            },
+            "--devices" => match it.next() {
+                Some(s) => devices_spec = Some(s.clone()),
+                None => {
+                    eprintln!("--devices needs a comma-separated device list");
                     std::process::exit(2);
                 }
             },
@@ -90,10 +161,84 @@ fn main() {
     };
     let bench_mode = json_path.is_some() || check_baseline.is_some();
 
+    if device_spec.is_some() && devices_spec.is_some() {
+        eprintln!("--device and --devices are mutually exclusive");
+        std::process::exit(2);
+    }
+
+    // Multi-device matrix mode: sweep every listed device, one trajectory
+    // (and one independent baseline gate) per device.
+    if let Some(specs) = &devices_spec {
+        if !wanted.is_empty() {
+            eprintln!("--devices runs the sweep matrix only; drop the experiment names");
+            std::process::exit(2);
+        }
+        let specs: Vec<&str> = specs.split(',').filter(|s| !s.is_empty()).collect();
+        if specs.is_empty() {
+            eprintln!("--devices needs at least one device");
+            std::process::exit(2);
+        }
+        let mut devices: Vec<DeviceConfig> = Vec::new();
+        for spec in &specs {
+            match np_gpu_sim::device::resolve(spec) {
+                Ok(d) => devices.push(d),
+                Err(e) => {
+                    eprintln!("np-harness: --devices: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        let matrix = runner::sweep_matrix(&devices, scale);
+        if wall_clock {
+            // One matrix-level measurement: the devices interleave on a
+            // shared pool, so per-device host seconds would be fiction.
+            let label = specs.join(",");
+            eprintln!("{}", matrix.elapsed.summary_line(scale_label));
+            let doc = matrix.elapsed.to_json(&label, scale_label);
+            match std::fs::write("BENCH_wallclock.json", &doc) {
+                Ok(()) => eprintln!("np-harness: wrote BENCH_wallclock.json"),
+                Err(e) => eprintln!("np-harness: cannot write BENCH_wallclock.json: {e}"),
+            }
+        }
+        let mut failed = false;
+        for (i, (spec, dev)) in specs.iter().zip(&devices).enumerate() {
+            let outcomes = &matrix.per_device[i];
+            let token = device_token(spec);
+            println!("===== device {token} ({}) =====", dev.name);
+            print!("{}", runner::summary(outcomes));
+            println!();
+            print!("{}", runner::counter_table(outcomes));
+            println!();
+            print!("{}", runner::stall_table(outcomes));
+            if bench_mode {
+                let doc = trajectory::to_json(outcomes, dev, scale_label);
+                failed |= bench_gate(
+                    &doc,
+                    json_path.as_deref().map(|p| device_tagged_path(p, &token)).as_deref(),
+                    check_baseline.as_deref().map(|p| device_tagged_path(p, &token)).as_deref(),
+                    tolerance,
+                );
+            }
+            failed |= runner::all_failed(outcomes);
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let sel = match DeviceSel::parse(device_spec.as_deref()) {
+        Ok(sel) => sel,
+        Err(e) => {
+            eprintln!("np-harness: --device: {e}");
+            std::process::exit(2);
+        }
+    };
+
     // The sweep: PASS/FAULT summary, counter + stall tables, and (in bench
     // mode) the trajectory document. Returns true when everything failed.
     let run_sweep = || -> bool {
-        let dev = DeviceConfig::gtx680();
+        let dev = sel.speedup();
         // `--wall-clock` also records the sweep's np-obs spans so the
         // throughput doc carries a per-stage host-time breakdown.
         let (outcomes, elapsed) = if wall_clock {
@@ -111,7 +256,7 @@ fn main() {
             // trajectory that --check-bench compares.
             eprintln!("{}", elapsed.summary_line(scale_label));
             eprint!("{}", elapsed.stage_table());
-            let doc = elapsed.to_json(dev.name, scale_label);
+            let doc = elapsed.to_json(&dev.name, scale_label);
             match std::fs::write("BENCH_wallclock.json", &doc) {
                 Ok(()) => eprintln!("np-harness: wrote BENCH_wallclock.json"),
                 Err(e) => eprintln!("np-harness: cannot write BENCH_wallclock.json: {e}"),
@@ -123,34 +268,9 @@ fn main() {
         println!();
         print!("{}", runner::stall_table(&outcomes));
         if bench_mode {
-            let doc = trajectory::to_json(&outcomes, dev.name, scale_label);
-            if let Some(path) = &json_path {
-                if let Err(e) = std::fs::write(path, &doc) {
-                    eprintln!("np-harness: cannot write {path}: {e}");
-                    return true;
-                }
-                eprintln!("np-harness: wrote {path}");
-            }
-            if let Some(base_path) = &check_baseline {
-                let base = match std::fs::read_to_string(base_path) {
-                    Ok(b) => b,
-                    Err(e) => {
-                        eprintln!("np-harness: cannot read baseline {base_path}: {e}");
-                        return true;
-                    }
-                };
-                match trajectory::check_against_baseline(&doc, &base, tolerance) {
-                    Ok(()) => eprintln!(
-                        "np-harness: bench trajectory within ±{:.1}% of {base_path}",
-                        100.0 * tolerance
-                    ),
-                    Err(problems) => {
-                        for p in &problems {
-                            eprintln!("np-harness: bench regression: {p}");
-                        }
-                        return true;
-                    }
-                }
+            let doc = trajectory::to_json(&outcomes, &dev, scale_label);
+            if bench_gate(&doc, json_path.as_deref(), check_baseline.as_deref(), tolerance) {
+                return true;
             }
         }
         runner::all_failed(&outcomes)
@@ -166,7 +286,7 @@ fn main() {
         return;
     }
     if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
-        print!("{}", experiments::all(scale));
+        print!("{}", experiments::all(&sel, scale));
         println!("\n===== sweep =====");
         if run_sweep() {
             std::process::exit(1);
@@ -180,7 +300,7 @@ fn main() {
             continue;
         }
         match registry.iter().find(|(n, _)| *n == name.as_str()) {
-            Some((_, f)) => print!("{}", f(scale)),
+            Some((_, f)) => print!("{}", f(&sel, scale)),
             None => {
                 eprintln!(
                     "unknown experiment {name:?}; available: sweep, {}",

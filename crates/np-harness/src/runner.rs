@@ -339,12 +339,73 @@ pub fn sweep_timed(dev: &DeviceConfig, scale: Scale) -> (Vec<WorkloadOutcome>, W
     let start = std::time::Instant::now();
     let outcomes = sweep(dev, scale);
     let seconds = start.elapsed().as_secs_f64();
-    let blocks = outcomes
+    let blocks = sweep_blocks(&outcomes);
+    (outcomes, WallClock { seconds, blocks, stages: Vec::new() })
+}
+
+/// Simulated blocks across every completed launch a sweep timed
+/// (baseline + tuning winner per passing workload).
+fn sweep_blocks(outcomes: &[WorkloadOutcome]) -> u64 {
+    outcomes
         .iter()
         .filter_map(|o| o.result.as_ref().ok())
         .map(|r| r.baseline.timing.blocks_simulated + r.tuned.best_report.timing.blocks_simulated)
-        .sum();
-    (outcomes, WallClock { seconds, blocks, stages: Vec::new() })
+        .sum()
+}
+
+/// A multi-device sweep: one full [`sweep`] worth of outcomes per device,
+/// plus one matrix-level wall clock (the devices run interleaved on a
+/// shared pool, so per-device host seconds would be meaningless).
+pub struct MatrixSweep {
+    /// Parallel to the `devices` slice passed to [`sweep_matrix`]; inner
+    /// vectors are in Table-1 workload order.
+    pub per_device: Vec<Vec<WorkloadOutcome>>,
+    pub elapsed: WallClock,
+}
+
+/// Baseline + auto-tune every Table-1 workload on every device, sharding
+/// the `device × workload` matrix across a bounded pool of host threads.
+/// Workers claim cells off a shared counter and park each outcome in that
+/// cell's slot, so the returned order is `(device, workload)` order no
+/// matter how evaluations interleave — the per-device trajectory documents
+/// stay byte-identical to a serial run.
+pub fn sweep_matrix(devices: &[DeviceConfig], scale: Scale) -> MatrixSweep {
+    let start = std::time::Instant::now();
+    let workloads = all_workloads(scale);
+    let cells = devices.len() * workloads.len();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slots: Vec<std::sync::Mutex<Option<WorkloadOutcome>>> =
+        (0..cells).map(|_| std::sync::Mutex::new(None)).collect();
+    let n_workers = std::thread::available_parallelism().map_or(1, |n| n.get()).min(cells.max(1));
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..n_workers {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= cells {
+                    break;
+                }
+                let dev = &devices[i / workloads.len()];
+                let w = &workloads[i % workloads.len()];
+                let outcome =
+                    WorkloadOutcome { name: w.name(), result: best_np(w.as_ref(), dev) };
+                *slots[i].lock().unwrap() = Some(outcome);
+            });
+        }
+    })
+    .expect("matrix sweep worker panicked");
+    let mut it = slots.into_iter().map(|s| {
+        s.into_inner().unwrap().expect("every matrix cell ran exactly once")
+    });
+    let per_device: Vec<Vec<WorkloadOutcome>> = devices
+        .iter()
+        .map(|_| (&mut it).take(workloads.len()).collect())
+        .collect();
+    let seconds = start.elapsed().as_secs_f64();
+    let blocks = per_device.iter().map(|o| sweep_blocks(o)).sum();
+    MatrixSweep {
+        per_device,
+        elapsed: WallClock { seconds, blocks, stages: Vec::new() },
+    }
 }
 
 /// Geometric mean.
@@ -397,7 +458,7 @@ mod tests {
 
     #[test]
     fn tmv_tuning_beats_baseline() {
-        let dev = DeviceConfig::gtx680();
+        let dev = crate::device::default_speedup_device();
         let r = best_np(&Tmv::new(Scale::Test), &dev).expect("TMV tunes cleanly");
         assert!(
             r.speedup() > 1.2,
@@ -410,7 +471,7 @@ mod tests {
 
     #[test]
     fn summary_reports_pass_and_fault_rows() {
-        let dev = DeviceConfig::gtx680();
+        let dev = crate::device::default_speedup_device();
         let pass = WorkloadOutcome {
             name: "TMV",
             result: best_np(&Tmv::new(Scale::Test), &dev),

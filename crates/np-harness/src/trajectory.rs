@@ -14,10 +14,14 @@
 
 use crate::runner::{gm, WorkloadOutcome};
 use cuda_np::tuner::{TuneEntry, TuneOutcome};
+use np_gpu_sim::DeviceConfig;
 use np_kernel_ir::pragma::NpType;
 
 /// Schema tag written into every document; bump when the layout changes.
-pub const SCHEMA: &str = "np-bench-trajectory-v1";
+/// v2 added `device_digest` (the FNV-64 of the device's canonical
+/// descriptor), so a trajectory is pinned to the exact device parameters
+/// that produced it, not just the device's display name.
+pub const SCHEMA: &str = "np-bench-trajectory-v2";
 
 fn np_type_str(t: NpType) -> &'static str {
     match t {
@@ -62,10 +66,12 @@ fn candidates_json(entries: &[TuneEntry]) -> String {
 /// Render sweep outcomes as the `BENCH_results.json` document (trailing
 /// newline included). Deterministic: workloads appear in sweep order and
 /// every number is either an exact integer or a fixed-precision float.
-pub fn to_json(outcomes: &[WorkloadOutcome], device: &str, scale: &str) -> String {
+pub fn to_json(outcomes: &[WorkloadOutcome], dev: &DeviceConfig, scale: &str) -> String {
     let mut s = format!(
-        "{{\n  \"schema\": \"{SCHEMA}\",\n  \"device\": \"{device}\",\n  \
-         \"scale\": \"{scale}\",\n  \"workloads\": [\n"
+        "{{\n  \"schema\": \"{SCHEMA}\",\n  \"device\": \"{}\",\n  \
+         \"device_digest\": \"{}\",\n  \"scale\": \"{scale}\",\n  \"workloads\": [\n",
+        dev.name,
+        dev.digest_hex()
     );
     let mut speedups = Vec::new();
     let mut first = true;
@@ -210,7 +216,6 @@ pub fn check_against_baseline(
 mod tests {
     use super::*;
     use crate::runner::sweep;
-    use np_gpu_sim::DeviceConfig;
     use np_workloads::Scale;
 
     fn doc(workloads: &[(&str, u64, u64)]) -> String {
@@ -281,11 +286,15 @@ mod tests {
 
     #[test]
     fn sweep_trajectory_is_byte_identical_and_self_consistent() {
-        let dev = DeviceConfig::gtx680();
-        let a = to_json(&sweep(&dev, Scale::Test), dev.name, "test");
-        let b = to_json(&sweep(&dev, Scale::Test), dev.name, "test");
+        let dev = crate::device::default_speedup_device();
+        let a = to_json(&sweep(&dev, Scale::Test), &dev, "test");
+        // The sharded matrix sweep must land on the same bytes as the
+        // serial sweep: worker interleaving may not leak into the document.
+        let m = crate::runner::sweep_matrix(std::slice::from_ref(&dev), Scale::Test);
+        let b = to_json(&m.per_device[0], &dev, "test");
         assert_eq!(a, b, "trajectory must be deterministic");
         assert!(a.contains(SCHEMA));
+        assert!(a.contains(&format!("\"device_digest\": \"{}\"", dev.digest_hex())));
         assert!(a.contains("\"baseline_stall\""));
         assert!(a.contains("\"geomean_speedup\""));
         // Every workload carries its tuner-candidate outcome tally, and at

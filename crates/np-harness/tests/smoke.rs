@@ -2,6 +2,7 @@
 //! output carries the expected structure. Keeps the harness from rotting
 //! as the stack evolves.
 
+use np_harness::device::DeviceSel;
 use np_harness::experiments;
 use np_workloads::Scale;
 
@@ -9,7 +10,7 @@ use np_workloads::Scale;
 fn every_experiment_runs_at_test_scale() {
     for (name, f) in experiments::experiments() {
         // fig13/fig14 sweep multiple autotunes; still fine at test scale.
-        let out = f(Scale::Test);
+        let out = f(&DeviceSel::PaperDefaults, Scale::Test);
         assert!(out.starts_with("# "), "{name}: output must start with a title");
         assert!(out.lines().count() >= 3, "{name}: suspiciously short output:\n{out}");
     }
@@ -17,7 +18,7 @@ fn every_experiment_runs_at_test_scale() {
 
 #[test]
 fn fig10_reports_all_ten_benchmarks_and_gm() {
-    let out = experiments::fig10(Scale::Test);
+    let out = experiments::fig10(&DeviceSel::PaperDefaults, Scale::Test);
     for n in ["MC", "LU", "LE", "MV", "SS", "LIB", "CFD", "BK", "TMV", "NN", "GM"] {
         assert!(
             out.lines().any(|l| l.starts_with(n)),
@@ -39,13 +40,13 @@ fn fig10_reports_all_ten_benchmarks_and_gm() {
 fn table1_asserts_paper_structure() {
     // table1() itself panics if PL or R/S deviates from the paper — running
     // it is the assertion.
-    let out = experiments::table1(Scale::Paper);
+    let out = experiments::table1(&DeviceSel::PaperDefaults, Scale::Paper);
     assert_eq!(out.lines().filter(|l| !l.starts_with('#') && !l.is_empty()).count(), 11);
 }
 
 #[test]
 fn fig01_bandwidth_is_monotone_in_launch_count() {
-    let out = experiments::fig01(Scale::Test);
+    let out = experiments::fig01(&DeviceSel::PaperDefaults, Scale::Test);
     let bws: Vec<f64> = out
         .lines()
         .filter(|l| l.trim_start().chars().next().is_some_and(|c| c.is_ascii_digit()))
@@ -62,7 +63,7 @@ fn fig01_bandwidth_is_monotone_in_launch_count() {
 
 #[test]
 fn sec6_shows_slowdowns_for_the_five_benchmarks() {
-    let out = experiments::sec6(Scale::Test);
+    let out = experiments::sec6(&DeviceSel::PaperDefaults, Scale::Test);
     for n in ["NN", "TMV", "LE", "LIB", "CFD"] {
         let line = out
             .lines()

@@ -79,3 +79,29 @@ grep -q '"trace_replays"' BENCH_serve.json \
 cargo test --release -q -p np-obs
 cargo test --release -q -p cuda-np --test obs_determinism
 ./scripts/obs_determinism_check.sh
+
+# Device-matrix gate: descriptor validation/round-trip properties, the
+# cross-device invariance contract (functional outputs and race reports
+# byte-identical across the registry; cycles must differ) with per-device
+# golden metric snapshots, then the sharded sweep matrix: each device's
+# trajectory gated against its own committed BENCH_baseline.<device>.json,
+# with a rerun cmp proving the matrix output is byte-deterministic and
+# independent of worker scheduling.
+cargo test --release -q -p np-gpu-sim --test device_descriptor_properties
+cargo test --release -q -p cuda-np --test device_invariance
+cargo run --release -q -p np-harness -- --test-scale \
+  --devices gtx680,k20c,maxwell --json BENCH_results.json \
+  --check-bench BENCH_baseline.json --tolerance 0.02
+for d in gtx680 k20c maxwell; do
+  cp "BENCH_results.$d.json" "BENCH_results.$d.rerun.json"
+done
+cargo run --release -q -p np-harness -- --test-scale \
+  --devices gtx680,k20c,maxwell --json BENCH_results.json
+for d in gtx680 k20c maxwell; do
+  cmp "BENCH_results.$d.json" "BENCH_results.$d.rerun.json" \
+    || { echo "BENCH_results.$d.json is not deterministic" >&2; exit 1; }
+  rm -f "BENCH_results.$d.rerun.json"
+done
+# The matrix and the single-device path must agree exactly.
+cmp BENCH_results.gtx680.json BENCH_results.json \
+  || { echo "matrix gtx680 trajectory diverges from the serial sweep" >&2; exit 1; }
