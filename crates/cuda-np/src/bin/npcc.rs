@@ -22,6 +22,20 @@
 //!                        arguments, emit the winning kernel, and print a
 //!                        per-candidate counter table to stderr saying why
 //!                        the winner won
+//!   --tune-policy P      candidate-selection policy for --explain:
+//!                        `exhaustive` (default) simulates every candidate;
+//!                        `pruned[:M]` simulates only candidates the static
+//!                        cost model scores within margin M (default 1.0)
+//!                        of the predicted best, falling back to the full
+//!                        sweep on a model miss; `predict` pilots the
+//!                        model's top pick and re-ranks with its measured
+//!                        counters. Pruned/predict never return a slower
+//!                        winner than exhaustive — a miss triggers the
+//!                        fallback round
+//!   --gate-small-loops   enable adaptive NP gating: pragma loops whose
+//!                        static trip count falls below the device's
+//!                        serial-gate threshold run serially on the master
+//!                        instead of being widened
 //!   --timeline           simulate the emitted kernel with synthesized
 //!                        arguments and render the per-SMX stall timeline
 //!                        (Gantt + utilization) to stderr
@@ -92,11 +106,11 @@ use cuda_np::serve::{
     SoakConfig,
 };
 use cuda_np::tuner::{
-    alloc_extra_buffers, autotune, candidates_from_pragmas, TuneOutcome,
+    alloc_extra_buffers, autotune_with_policy, candidates_from_pragmas, TuneOutcome,
 };
 use cuda_np::{
-    drop_barrier, drop_broadcast_guard, gating_policy, transform, LocalArrayStrategy,
-    NpOptions, Transformed,
+    drop_barrier, drop_broadcast_guard, gating_policy, serial_gate_threshold, transform,
+    LocalArrayStrategy, NpOptions, Transformed, TunePolicy,
 };
 use np_exec::{capture_launch, launch, replay_launch, RaceCheckMode, SimOptions};
 use np_gpu_sim::racecheck::RaceCheckOptions;
@@ -117,7 +131,9 @@ fn usage() -> ! {
     eprintln!(
         "usage: npcc [--slave-size N] [--np-type inter|intra] [--sm V] \
          [--local-array auto|global|shared|register] [--pad] [--no-redundant] \
-         [--device NAME|PATH] [--report] [--explain] [--timeline] \
+         [--device NAME|PATH] [--report] [--explain] \
+         [--tune-policy exhaustive|pruned[:M]|predict] [--gate-small-loops] \
+         [--timeline] \
          [--check-races] [--mutate drop-barrier[:N]|unguard-broadcast] \
          [--watchdog B|none] [--emit-trace PATH] [--obs-out PATH] \
          <kernel.cu | ->\n\
@@ -168,6 +184,7 @@ fn explain(
     dev: &DeviceConfig,
     dev_label: &str,
     sim: &SimOptions,
+    policy: TunePolicy,
 ) -> Option<(Transformed, CapturedLaunch)> {
     let grid = Dim3::x1(4);
     let header = format!(
@@ -211,24 +228,38 @@ fn explain(
     let candidates = candidates_from_pragmas(kernel, 1024);
     let make_args =
         |t: &Transformed| alloc_extra_buffers(synth_args(&t.kernel), t, grid);
-    let result = autotune(kernel, dev, grid, &make_args, sim, &candidates);
-    let (entries, winner) = match result {
+    let result = autotune_with_policy(kernel, dev, grid, &make_args, sim, &candidates, policy);
+    let (entries, winner_idx, winner) = match result {
         Ok(r) => {
-            let cycles = r.best_report.cycles;
-            (r.entries, Some((r.best, r.best_capture, cycles)))
+            eprintln!(
+                "npcc: tune policy {}: evaluated {}/{} candidates ({} pruned){}",
+                r.policy,
+                r.evaluated,
+                candidates.len(),
+                r.skipped,
+                if r.fell_back { ", fell back to the full sweep on a model miss" } else { "" }
+            );
+            if let Some(rank) = r.predicted_rank {
+                eprintln!(
+                    "npcc: cost model ranked the measured winner #{} of {}",
+                    rank + 1,
+                    candidates.len()
+                );
+            }
+            let cycles = r.result.best_report.cycles;
+            (
+                r.result.entries,
+                Some(r.result.best_index),
+                Some((r.result.best, r.result.best_capture, cycles)),
+            )
         }
-        Err(cuda_np::TuneError::AllFailed(entries)) => (entries, None),
+        Err(cuda_np::TuneError::AllFailed(entries)) => (entries, None, None),
         Err(e) => {
             eprintln!("npcc: tuning failed: {e}");
             return None;
         }
     };
 
-    // min_by_key breaks ties toward the earliest candidate, so the winner
-    // is the first entry matching the winning cycle count.
-    let winner_idx = winner
-        .as_ref()
-        .and_then(|(_, _, c)| entries.iter().position(|e| e.cycles() == Some(*c)));
     for (i, e) in entries.iter().enumerate() {
         let label = format!("{} s={}", np_type_str(e.np_type), e.slave_size);
         match (&e.outcome, &e.profile) {
@@ -241,7 +272,7 @@ fn explain(
     }
 
     let (best, best_capture, best_cycles) = winner?;
-    let best_entry = entries.iter().find(|e| e.cycles() == Some(best_cycles));
+    let best_entry = winner_idx.and_then(|i| entries.get(i));
     let best_p = best_entry.and_then(|e| e.profile.clone()).unwrap_or_default();
     let (w_type, w_size) = best_entry
         .map(|e| (np_type_str(e.np_type), e.slave_size))
@@ -522,6 +553,8 @@ struct CompileRun {
     input: Option<String>,
     report: bool,
     explain_flag: bool,
+    tune_policy: TunePolicy,
+    gate_small_loops: bool,
     timeline_flag: bool,
     check_races_flag: bool,
     mutate: Option<String>,
@@ -546,6 +579,8 @@ fn main() -> ExitCode {
     let mut input: Option<String> = None;
     let mut report = false;
     let mut explain_flag = false;
+    let mut tune_policy = TunePolicy::default();
+    let mut gate_small_loops = false;
     let mut timeline_flag = false;
     let mut check_races_flag = false;
     let mut mutate: Option<String> = None;
@@ -588,6 +623,17 @@ fn main() -> ExitCode {
             "--no-redundant" => opts.redundant_uniform = false,
             "--report" => report = true,
             "--explain" => explain_flag = true,
+            "--tune-policy" => {
+                let spec = args.next().unwrap_or_else(|| usage());
+                tune_policy = match TunePolicy::parse(&spec) {
+                    Ok(p) => p,
+                    Err(e) => {
+                        eprintln!("npcc: --tune-policy: {e}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--gate-small-loops" => gate_small_loops = true,
             "--timeline" => timeline_flag = true,
             "--check-races" => check_races_flag = true,
             "--mutate" => mutate = Some(args.next().unwrap_or_else(|| usage())),
@@ -626,6 +672,8 @@ fn main() -> ExitCode {
         input,
         report,
         explain_flag,
+        tune_policy,
+        gate_small_loops,
         timeline_flag,
         check_races_flag,
         mutate,
@@ -716,12 +764,14 @@ fn write_obs_log(
 /// `chrome` for `--obs-out` splicing.
 fn run_compile(c: CompileRun, chrome: &mut Option<String>) -> ExitCode {
     let CompileRun {
-        opts,
+        mut opts,
         dev,
         dev_label,
         input,
         report,
         explain_flag,
+        tune_policy,
+        gate_small_loops,
         timeline_flag,
         check_races_flag,
         mutate,
@@ -779,6 +829,15 @@ fn run_compile(c: CompileRun, chrome: &mut Option<String>) -> ExitCode {
     // (Section 3.7 item 1).
     cuda_np::preprocess::flatten_block(&mut kernel);
 
+    if gate_small_loops {
+        let threshold = serial_gate_threshold(&dev);
+        opts.serial_below = Some(threshold);
+        eprintln!(
+            "npcc: adaptive gating armed: loops with static trips below {threshold} \
+             run serially on the master ({dev_label})"
+        );
+    }
+
     // `--check-races` pins the config (no autotune): transform, optionally
     // mutate, simulate with the checker armed, and gate the exit code on
     // the report. `--explain` here means "narrate the findings".
@@ -816,7 +875,7 @@ fn run_compile(c: CompileRun, chrome: &mut Option<String>) -> ExitCode {
     }
 
     if explain_flag {
-        return match explain(&kernel, &dev, &dev_label, &sim) {
+        return match explain(&kernel, &dev, &dev_label, &sim, tune_policy) {
             Some((best, best_capture)) => {
                 print!("{}", printer::print_kernel(&best.kernel));
                 if report {

@@ -1,0 +1,606 @@
+//! Analytical tuning cost model (ROADMAP item 4).
+//!
+//! The paper's autotuner (Section 4) is exhaustive: every slave size ×
+//! {inter, intra} candidate is transformed, interpreted, and timed. With
+//! capture/replay making re-timing cheap, candidate *interpretation* is the
+//! dominant tuning cost — so this module scores candidates from static
+//! inputs alone (kernel IR loop structure, trip counts, divergence shape,
+//! device occupancy limits) and lets the tuner skip predicted losers.
+//!
+//! The model is deliberately coarse: it predicts *rank*, not cycles. Its
+//! contract with the pruning policies is safety-through-fallback — when the
+//! evaluated subset produces no runnable winner, or the measured winner
+//! looks like a model inversion, the tuner falls back to the exhaustive
+//! sweep (see `tuner::autotune_with_policy`), so a pruned run can never
+//! return a slower winner than the exhaustive one would.
+//!
+//! Everything here is a pure function of (kernel IR, device descriptor,
+//! optional pilot counters): no clocks, no randomness, no global state —
+//! the same inputs always produce the same scores, keeping pruned sweeps as
+//! byte-deterministic as exhaustive ones.
+
+use crate::tuner::TuneCandidate;
+use np_gpu_sim::occupancy::{occupancy, KernelResources};
+use np_gpu_sim::{DeviceConfig, ProfileCounters, StallBreakdown, WARP_SIZE};
+use np_kernel_ir::analysis::{pragma_loop_trips, serial_shape};
+use np_kernel_ir::kernel::Kernel;
+use np_kernel_ir::pragma::NpType;
+use np_kernel_ir::MemSpace;
+
+/// How the tuner searches the candidate space.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum TunePolicy {
+    /// The paper's sweep: evaluate every candidate (the default).
+    #[default]
+    Exhaustive,
+    /// Score candidates statically, evaluate only those within `margin`
+    /// (relative) of the best predicted score, and fall back to the full
+    /// sweep on a model miss.
+    Pruned {
+        /// Relative score slack: a candidate is kept when its score is
+        /// ≤ best_score × (1 + margin).
+        margin: f64,
+    },
+    /// Evaluate the predicted winner as a pilot, refine the model with its
+    /// measured counters, then evaluate the refined shortlist only.
+    Predict,
+}
+
+/// Default slack for `Pruned` when the user gives none. Calibrated against
+/// the exhaustive sweep of all ten workloads × the paper device registry —
+/// wide enough that the true winner's score has always been inside the
+/// kept set (the differential CI suite re-proves this every run).
+pub const DEFAULT_PRUNE_MARGIN: f64 = 1.0;
+
+impl TunePolicy {
+    /// Parse a CLI/serve spelling: `exhaustive`, `pruned`, `pruned:0.5`,
+    /// or `predict`.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "exhaustive" => Ok(TunePolicy::Exhaustive),
+            "pruned" => Ok(TunePolicy::Pruned { margin: DEFAULT_PRUNE_MARGIN }),
+            "predict" => Ok(TunePolicy::Predict),
+            other => {
+                if let Some(m) = other.strip_prefix("pruned:") {
+                    match m.parse::<f64>() {
+                        Ok(margin) if margin.is_finite() && margin >= 0.0 => {
+                            Ok(TunePolicy::Pruned { margin })
+                        }
+                        _ => Err(format!(
+                            "bad prune margin {m:?} (need a non-negative number)"
+                        )),
+                    }
+                } else {
+                    Err(format!(
+                        "unknown tune policy {other:?} \
+                         (expected exhaustive, pruned[:MARGIN], or predict)"
+                    ))
+                }
+            }
+        }
+    }
+
+    /// Canonical spelling, stable across runs (used in trajectory documents
+    /// and serve cache keys).
+    pub fn label(&self) -> String {
+        match self {
+            TunePolicy::Exhaustive => "exhaustive".to_string(),
+            TunePolicy::Pruned { margin } => format!("pruned:{margin}"),
+            TunePolicy::Predict => "predict".to_string(),
+        }
+    }
+
+    /// Is this the default full sweep?
+    pub fn is_exhaustive(&self) -> bool {
+        matches!(self, TunePolicy::Exhaustive)
+    }
+}
+
+impl std::fmt::Display for TunePolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// Assumed trip count for pragma loops whose bounds are runtime parameters.
+/// Biased high: an unknown loop is treated as worth parallelizing hard,
+/// which errs toward keeping larger slave sizes in the pruned set.
+const DEFAULT_TRIP: u32 = 256;
+
+/// Assumed trip count for *serial* (non-pragma) loops with runtime bounds.
+/// Biased low: an unknown serial loop shouldn't drown the loop terms.
+const SERIAL_DEFAULT_TRIP: u32 = 8;
+
+/// Element stride assumed for accesses whose affine analysis came back
+/// unknown (parameter-scaled or gather): pessimally uncoalesced.
+const UNKNOWN_STRIDE: f64 = 64.0;
+
+/// Extra issue slots per loop iteration beyond the counted accesses and
+/// branches: index arithmetic, the slave-range guard, the iterator bump.
+const ITER_OVERHEAD: f64 = 4.0;
+
+/// Per-warp, per-loop fixed instruction overhead of the NP transform:
+/// slave-id setup, live-in unpacking, loop prologue/epilogue. Calibrated
+/// against measured instruction growth (≈ linear in resident warps) on the
+/// Table-1 workloads.
+const WARP_OVERHEAD_BASE: f64 = 16.0;
+/// Additional per-warp overhead for each combining tree (reduction / scan /
+/// select) — scans and selects in particular replay log-depth chains.
+const WARP_OVERHEAD_TREE: f64 = 32.0;
+/// Additional per-warp overhead per array access (address recomputation in
+/// the slave clone).
+const WARP_OVERHEAD_ACC: f64 = 8.0;
+
+/// Pipelined cost of one serial-section statement on the critical path
+/// (dependent ALU ops overlap; full `alu_latency` would double-count).
+const SERIAL_STMT_COST: f64 = 2.0;
+
+/// Memory-level parallelism per warp assumed when serial-section global
+/// loads overlap: each active warp keeps ~this many loads in flight, so
+/// more active warps hide more of the serial section's memory latency.
+const SERIAL_MLP: f64 = 4.0;
+
+/// Affine shape of one global access: element strides per loop iteration
+/// and per `threadIdx.x` (`None` = unknown / uncoalesced).
+type GlobalAccess = (Option<i64>, Option<i64>);
+
+/// Static shape of one pragma loop, pre-classified by memory space.
+#[derive(Debug, Clone)]
+struct LoopShape {
+    trip: Option<u32>,
+    branches: u32,
+    /// Combining trees on exit: reductions + scans + selects.
+    trees: u32,
+    /// Global/texture accesses with their affine strides.
+    globals: Vec<GlobalAccess>,
+    /// Shared/local/constant accesses (on-chip-ish: cheap, no segments).
+    onchip: u32,
+}
+
+/// One serial-section global access: (trip weight, tid stride).
+type SerialAccess = (f64, Option<i64>);
+
+/// Per-loop static shape plus the whole-kernel serial section, captured
+/// once per kernel and scored per candidate.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    loops: Vec<LoopShape>,
+    /// Master threads per block (the input kernel's block size).
+    master_size: u32,
+    /// Trip-weighted statement count outside pragma loops. The serial
+    /// section runs once per *master*; intra-warp NP replicates its issue
+    /// across every warp of the widened block, which is the mechanism that
+    /// caps useful intra slave sizes.
+    serial_stmts: f64,
+    /// Global accesses in the serial section (weight, tid stride).
+    serial_globals: Vec<SerialAccess>,
+    /// On-chip accesses in the serial section (trip-weighted count).
+    serial_onchip: f64,
+    /// Baseline per-thread resource estimate of the *input* kernel; per
+    /// candidate only the block size changes.
+    base_resources: KernelResources,
+    dev: DeviceConfig,
+    /// Memory-term weight; `refine` re-scales it from pilot stalls.
+    w_mem: f64,
+    /// Communication-term (barrier/shfl) weight; `refine` re-scales it.
+    w_comm: f64,
+}
+
+/// 128-byte segments touched by `lanes` consecutive lanes accessing 4-byte
+/// elements `stride` elements apart (the simulator's coalescing rule).
+fn span_segs(stride: f64, lanes: f64) -> f64 {
+    if lanes <= 1.0 {
+        return 1.0;
+    }
+    let span = stride.abs() * (lanes - 1.0) + 1.0;
+    (span / 32.0).ceil().clamp(1.0, lanes.min(32.0))
+}
+
+fn stride_or_unknown(s: Option<i64>) -> f64 {
+    s.map(|v| v.unsigned_abs() as f64).unwrap_or(UNKNOWN_STRIDE)
+}
+
+impl CostModel {
+    /// Build the model from static inputs only. Deterministic and cheap —
+    /// two IR walks and one resource estimate.
+    pub fn from_kernel(kernel: &Kernel, dev: &DeviceConfig) -> Self {
+        // Texture and constant arrays sit behind dedicated caches sized for
+        // these workloads' tables; only true global (and unknown) arrays
+        // pay DRAM-path latency and coalescing segments.
+        let is_global = |name: &str| {
+            matches!(kernel.array_info(name).map(|a| a.space), Some(MemSpace::Global) | None)
+        };
+        let loops = pragma_loop_trips(&kernel.body)
+            .into_iter()
+            .map(|l| {
+                let (mut globals, mut onchip) = (Vec::new(), 0u32);
+                for a in &l.accesses {
+                    if is_global(&a.array) {
+                        globals.push((a.stride_iter, a.stride_tid));
+                    } else {
+                        onchip += 1;
+                    }
+                }
+                LoopShape {
+                    trip: l.trip,
+                    branches: l.branches,
+                    trees: (l.has_reduction as u32)
+                        + (l.has_scan as u32)
+                        + (l.has_select as u32),
+                    globals,
+                    onchip,
+                }
+            })
+            .collect();
+        let serial = serial_shape(&kernel.body, SERIAL_DEFAULT_TRIP);
+        let (mut serial_globals, mut serial_onchip) = (Vec::new(), 0.0f64);
+        for (w, a) in &serial.accesses {
+            if is_global(&a.array) {
+                serial_globals.push((*w, a.stride_tid));
+            } else {
+                serial_onchip += w;
+            }
+        }
+        let base_resources =
+            np_exec::resources::estimate_resources(kernel, dev.max_registers_per_thread);
+        CostModel {
+            loops,
+            master_size: kernel.block_dim.count() as u32,
+            serial_stmts: serial.weighted_stmts,
+            serial_globals,
+            serial_onchip,
+            base_resources,
+            dev: dev.clone(),
+            w_mem: 1.0,
+            w_comm: 1.0,
+        }
+    }
+
+    /// Fold one pilot candidate's measured counters back into the weights.
+    ///
+    /// A memory-bound pilot (stall cycles dominated by `memory_pending` /
+    /// `dram_saturated`) boosts the memory term — candidates that re-stride
+    /// accesses get punished harder; a barrier-bound pilot boosts the
+    /// communication term. Pure arithmetic on the counter values: refining
+    /// with the same pilot always yields the same weights.
+    pub fn refine(&mut self, profile: &ProfileCounters, stall: &StallBreakdown) {
+        let total = (stall.issue
+            + stall.issue_limit
+            + stall.memory_pending
+            + stall.dram_saturated
+            + stall.barrier_wait
+            + stall.scoreboard_dependency
+            + stall.no_block_resident) as f64;
+        if total <= 0.0 {
+            return;
+        }
+        let mem_share = (stall.memory_pending + stall.dram_saturated) as f64 / total;
+        let comm_share = stall.barrier_wait as f64 / total;
+        // Map share ∈ [0,1] to weight ∈ [0.5, 2.5]: a bucket that never
+        // shows up in the pilot still keeps half its static weight.
+        self.w_mem = 0.5 + 2.0 * mem_share;
+        self.w_comm = 0.5 + 2.0 * comm_share;
+        // Heavy measured divergence also disfavors intra-warp re-striding;
+        // fold it into the memory weight (both punish larger intra sizes).
+        if profile.instructions > 0 {
+            let div = profile.divergent_instructions as f64 / profile.instructions as f64;
+            self.w_mem *= 1.0 + div;
+        }
+    }
+
+    /// Global-memory segments one warp's active lanes touch for a loop-body
+    /// access, under the candidate's thread layout.
+    ///
+    /// * inter-warp (and baseline): a slave warp spans 32 consecutive
+    ///   masters executing the same iteration — the lane-to-lane stride is
+    ///   the access's `threadIdx` stride.
+    /// * intra-warp: a warp holds `32/s` master groups of `s` slaves; lanes
+    ///   step by the *iterator* stride within a group and by the
+    ///   `threadIdx` stride across groups (the paper's §3.4 re-striding).
+    fn loop_segs(&self, acc: GlobalAccess, intra: bool, s: u32) -> f64 {
+        let (ci, ct) = (stride_or_unknown(acc.0), stride_or_unknown(acc.1));
+        if !intra {
+            return span_segs(ct, 32.0);
+        }
+        let groups = (32.0 / s as f64).max(1.0);
+        let span = ct * (groups - 1.0) + ci * (s as f64 - 1.0) + 1.0;
+        (span / 32.0).ceil().clamp(1.0, 32.0)
+    }
+
+    /// Segments per *active* warp for a serial-section access: masters sit
+    /// on consecutive lanes under inter-warp NP but `s` lanes apart under
+    /// intra-warp NP (only `32/s` lanes of each warp are masters).
+    fn serial_segs(&self, ct: Option<i64>, intra: bool, s: u32) -> f64 {
+        let ct = stride_or_unknown(ct);
+        if !intra {
+            span_segs(ct, (self.master_size as f64).min(32.0))
+        } else {
+            span_segs(ct, (32.0 / s as f64).max(1.0))
+        }
+    }
+
+    /// Predicted block-critical-path cycles of one candidate — lower is
+    /// faster. Deliberately *optimistic* (it prices latency at the L2, not
+    /// DRAM, and ignores contention): an optimistic estimate lets the tuner
+    /// treat "predicted cycles ≥ measured winner" as proof a skipped
+    /// candidate cannot win, which is what makes pruning safe (see
+    /// `tuner::autotune_with_policy`'s promotion loop). Never NaN;
+    /// `f64::INFINITY` marks a candidate the transform or launcher is
+    /// predicted to reject (block too large, intra-warp shape, occupancy).
+    pub fn score(&self, cand: &TuneCandidate) -> f64 {
+        let s = cand.opts.slave_size;
+        let total_threads = self.master_size * s;
+        if s < 2 || total_threads > cand.opts.max_block_threads.min(self.dev.max_threads_per_block)
+        {
+            return f64::INFINITY;
+        }
+        let intra = cand.opts.np_type == NpType::IntraWarp;
+        if intra && (!s.is_power_of_two() || s > WARP_SIZE) {
+            return f64::INFINITY;
+        }
+        let res = KernelResources { block_size: total_threads, ..self.base_resources };
+        if occupancy(&self.dev, &res).is_err() {
+            return f64::INFINITY;
+        }
+
+        let sf = s as f64;
+        let warps = (total_threads as f64 / WARP_SIZE as f64).ceil();
+        let master_warps = (self.master_size as f64 / WARP_SIZE as f64).ceil().max(1.0);
+        let shfl = cand.opts.shfl_enabled() && self.dev.supports_shfl && intra;
+        let log2s = (32 - (s - 1).leading_zeros()).max(1) as f64;
+        let issue_width = (self.dev.issue_per_cycle as f64).max(1.0);
+        let alu_lat = self.dev.alu_latency as f64;
+        let glb_lat = self.dev.l2_latency as f64 * self.w_mem;
+        let sh_lat = self.dev.shared_latency as f64;
+
+        let mut cost = 0.0f64;
+        for l in &self.loops {
+            let trip = l.trip.unwrap_or(DEFAULT_TRIP).max(1) as f64;
+            let iters = (trip / sf).ceil();
+            // Per-warp, per-iteration issue slots: the body's instructions
+            // plus one slot per 128 B global segment (the simulator issues
+            // one tick per segment).
+            let seg_issue: f64 =
+                l.globals.iter().map(|&a| self.loop_segs(a, intra, s)).sum();
+            let n_acc = (l.globals.len() + l.onchip as usize) as f64;
+            let issue = 1.0 + ITER_OVERHEAD + l.branches as f64 + n_acc
+                + self.w_mem * seg_issue;
+            // Per-iteration latency on each warp's dependency chain.
+            let lat = alu_lat
+                + if l.globals.is_empty() { 0.0 } else { glb_lat }
+                + if l.onchip == 0 { 0.0 } else { sh_lat };
+            // Issue time is ~constant in `s` (s× more warps × s× fewer
+            // iterations); the latency chain shrinks as 1/s. The crossover
+            // is the model's "enough slaves" point.
+            let issue_time = warps * iters * issue / issue_width;
+            let lat_time = iters * lat;
+            cost += lat_time.max(issue_time);
+            // What *grows* with slave size: each resident warp pays a fixed
+            // slave-management tax per loop (prologue, live-in unpacking,
+            // combining-tree replays) regardless of how few iterations it
+            // ends up owning. Measured instruction counts grow almost
+            // exactly linearly in warps on every Table-1 workload; this is
+            // the term that caps useful slave sizes.
+            let trees = l.trees as f64;
+            let overhead = WARP_OVERHEAD_BASE
+                + WARP_OVERHEAD_TREE * trees
+                + WARP_OVERHEAD_ACC * n_acc;
+            cost += warps * overhead / issue_width;
+            // Communication at the loop boundary: live-in broadcast plus a
+            // combining tree per reduction/scan/select live-out.
+            let comm = if shfl {
+                self.dev.shfl_latency as f64 * (1.0 + trees * log2s)
+            } else if intra {
+                // Intra without shfl still syncs for free within the warp;
+                // exchanges go through shared memory.
+                sh_lat * (1.0 + trees * log2s)
+            } else {
+                // Inter-warp: every fork/join is a whole-block barrier, and
+                // convergence cost grows with resident warps.
+                (self.dev.barrier_cost as f64 + sh_lat)
+                    * (2.0 + trees * log2s)
+                    * (1.0 + 0.05 * warps)
+            };
+            cost += self.w_comm * comm;
+        }
+
+        // Serial section: one execution per master. Inter-warp leaves it on
+        // the master warps; intra-warp predicates it across *every* warp of
+        // the widened block (s× the issue), and scatters the masters s
+        // lanes apart (uncoalescing its global accesses) — the two effects
+        // that make large intra slave sizes lose on serial-heavy kernels.
+        let active_warps = if intra { warps } else { master_warps };
+        let ser_segs: f64 = self
+            .serial_globals
+            .iter()
+            .map(|&(w, ct)| w * self.serial_segs(ct, intra, s))
+            .sum();
+        let ser_issue = active_warps
+            * (self.serial_stmts + self.serial_onchip + self.w_mem * ser_segs)
+            / issue_width;
+        let ser_lat = self.serial_stmts * SERIAL_STMT_COST;
+        // Serial global latency is hidden by whichever warps execute the
+        // serial section: inter-warp leaves only the master warps to cover
+        // it, intra-warp spreads it over every warp — the latency-hiding
+        // advantage that lets intra NP win memory-bound serial sections.
+        let ser_mem: f64 = self.serial_globals.iter().map(|&(w, _)| w).sum::<f64>()
+            * glb_lat
+            / (SERIAL_MLP * active_warps);
+        cost + ser_lat.max(ser_issue) + ser_mem
+    }
+
+    /// Candidate indices ranked best-first. Ties (and only ties) keep
+    /// declared candidate order, matching the tuner's tie-break contract.
+    pub fn rank(&self, candidates: &[TuneCandidate]) -> Vec<usize> {
+        let scores: Vec<f64> = candidates.iter().map(|c| self.score(c)).collect();
+        let mut idx: Vec<usize> = (0..candidates.len()).collect();
+        idx.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]).then(a.cmp(&b)));
+        idx
+    }
+
+    /// Indices to evaluate under `Pruned { margin }`: every candidate whose
+    /// score is within `margin` (relative) of the best finite score, always
+    /// at least the top two rankable candidates, in candidate order.
+    pub fn keep_within(&self, candidates: &[TuneCandidate], margin: f64) -> Vec<usize> {
+        let scores: Vec<f64> = candidates.iter().map(|c| self.score(c)).collect();
+        let ranked = self.rank(candidates);
+        let Some(&best) = ranked.first() else { return Vec::new() };
+        if !scores[best].is_finite() {
+            // Model predicts everything rejects; evaluate everything and
+            // let the tuner's typed entries tell the story.
+            return (0..candidates.len()).collect();
+        }
+        let cut = scores[best] * (1.0 + margin.max(0.0));
+        let mut keep: Vec<usize> = (0..candidates.len())
+            .filter(|&i| scores[i] <= cut)
+            .collect();
+        // Floor of two evaluated candidates so a single mis-scored winner
+        // can't silently dominate the evaluated set.
+        for &i in ranked.iter().take(2) {
+            if scores[i].is_finite() && !keep.contains(&i) {
+                keep.push(i);
+            }
+        }
+        keep.sort_unstable();
+        keep
+    }
+}
+
+/// Per-device small-loop gating threshold: pragma loops with a static trip
+/// count *below* this are cheaper run serially by the master than
+/// parallelized (the group barrier / shuffle latency outweighs the saved
+/// iterations). Scales with the device's synchronization cost; clamped so
+/// trip-2 loops are always gated and realistic loops never are.
+pub fn serial_gate_threshold(dev: &DeviceConfig) -> u32 {
+    (dev.barrier_cost.max(dev.shfl_latency) / 2).clamp(3, 16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use np_kernel_ir::expr::dsl::*;
+    use np_kernel_ir::KernelBuilder;
+
+    fn reduction_kernel(trip: i32) -> Kernel {
+        let mut b = KernelBuilder::new("k", 64);
+        b.param_global_f32("a");
+        b.param_global_f32("out");
+        b.decl_f32("s", f(0.0));
+        b.pragma_for("np parallel for reduction(+:s)", "i", i(0), i(trip), |b| {
+            b.assign("s", v("s") + load("a", v("i")));
+        });
+        b.store("out", tidx(), v("s"));
+        b.finish()
+    }
+
+    #[test]
+    fn policy_parse_round_trips() {
+        for spec in ["exhaustive", "pruned", "pruned:0.5", "predict"] {
+            let p = TunePolicy::parse(spec).unwrap();
+            // label() is canonical: parsing it again yields the same policy.
+            assert_eq!(TunePolicy::parse(&p.label()).unwrap(), p, "{spec}");
+        }
+        assert_eq!(TunePolicy::parse("exhaustive").unwrap(), TunePolicy::Exhaustive);
+        assert_eq!(
+            TunePolicy::parse("pruned").unwrap(),
+            TunePolicy::Pruned { margin: DEFAULT_PRUNE_MARGIN }
+        );
+        assert_eq!(
+            TunePolicy::parse("pruned:0.25").unwrap(),
+            TunePolicy::Pruned { margin: 0.25 }
+        );
+        assert!(TunePolicy::parse("pruned:-1").is_err());
+        assert!(TunePolicy::parse("pruned:NaN").is_err());
+        assert!(TunePolicy::parse("greedy").is_err());
+        assert!(TunePolicy::default().is_exhaustive());
+    }
+
+    #[test]
+    fn scores_are_deterministic_and_finite_for_valid_candidates() {
+        let k = reduction_kernel(32);
+        let dev = DeviceConfig::gtx680();
+        let m = CostModel::from_kernel(&k, &dev);
+        let cands = crate::tuner::default_candidates(64, 1024);
+        for c in &cands {
+            let a = m.score(c);
+            let b = m.score(c);
+            assert!(a.is_finite(), "{c:?} scored {a}");
+            assert!(!a.is_nan());
+            assert_eq!(a.to_bits(), b.to_bits(), "score must be deterministic");
+        }
+    }
+
+    #[test]
+    fn oversized_and_malformed_candidates_score_infinite() {
+        let k = reduction_kernel(32);
+        let dev = DeviceConfig::gtx680();
+        let m = CostModel::from_kernel(&k, &dev);
+        // 64 masters × 32 slaves = 2048 threads > 1024 cap.
+        let big = TuneCandidate { opts: crate::options::NpOptions::inter(32) };
+        assert!(m.score(&big).is_infinite());
+        // Intra-warp with a non-power-of-two slave size.
+        let odd = TuneCandidate { opts: crate::options::NpOptions::intra(6) };
+        assert!(m.score(&odd).is_infinite());
+    }
+
+    #[test]
+    fn rank_breaks_ties_toward_candidate_order() {
+        let k = reduction_kernel(32);
+        let dev = DeviceConfig::gtx680();
+        let m = CostModel::from_kernel(&k, &dev);
+        // Duplicate candidates score identically; rank must keep the first.
+        let c = TuneCandidate { opts: crate::options::NpOptions::inter(4) };
+        let dup = vec![c.clone(), c.clone(), c];
+        assert_eq!(m.rank(&dup), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn keep_within_always_keeps_at_least_two_and_widens_with_margin() {
+        let k = reduction_kernel(32);
+        let dev = DeviceConfig::gtx680();
+        let m = CostModel::from_kernel(&k, &dev);
+        let cands = crate::tuner::default_candidates(64, 1024);
+        let tight = m.keep_within(&cands, 0.0);
+        assert!(tight.len() >= 2, "{tight:?}");
+        let wide = m.keep_within(&cands, 100.0);
+        assert!(wide.len() >= tight.len());
+        assert!(wide.len() <= cands.len());
+        // Kept indices are valid and sorted (candidate order).
+        assert!(wide.windows(2).all(|w| w[0] < w[1]));
+        // The top-ranked candidate is always kept.
+        assert!(tight.contains(&m.rank(&cands)[0]));
+    }
+
+    #[test]
+    fn refine_is_deterministic_and_shifts_weights() {
+        let k = reduction_kernel(32);
+        let dev = DeviceConfig::gtx680();
+        let mut a = CostModel::from_kernel(&k, &dev);
+        let mut b = a.clone();
+        let profile = ProfileCounters { instructions: 1000, ..Default::default() };
+        let stall = StallBreakdown {
+            issue: 100,
+            memory_pending: 800,
+            dram_saturated: 100,
+            ..Default::default()
+        };
+        a.refine(&profile, &stall);
+        b.refine(&profile, &stall);
+        let cands = crate::tuner::default_candidates(64, 1024);
+        for c in &cands {
+            assert_eq!(a.score(c).to_bits(), b.score(c).to_bits());
+        }
+        // A 90% memory-bound pilot must weight memory above the default.
+        assert!(a.w_mem > 1.0, "w_mem = {}", a.w_mem);
+    }
+
+    #[test]
+    fn gate_threshold_tracks_sync_cost_and_stays_clamped() {
+        assert_eq!(serial_gate_threshold(&DeviceConfig::gtx680()), 5);
+        assert_eq!(serial_gate_threshold(&DeviceConfig::maxwell_like()), 4);
+        assert_eq!(serial_gate_threshold(&DeviceConfig::small_test()), 3);
+        let mut extreme = DeviceConfig::gtx680();
+        extreme.barrier_cost = 1000;
+        assert_eq!(serial_gate_threshold(&extreme), 16);
+    }
+}

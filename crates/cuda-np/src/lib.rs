@@ -39,6 +39,7 @@
 
 pub mod broadcast;
 pub mod conformance;
+pub mod costmodel;
 pub mod dynpar_split;
 pub mod liveout;
 pub mod local_array;
@@ -51,9 +52,13 @@ pub mod transform;
 pub mod tuner;
 
 pub use conformance::{drop_barrier, drop_broadcast_guard, gating_policy, master_only_arrays};
+pub use costmodel::{serial_gate_threshold, CostModel, TunePolicy, DEFAULT_PRUNE_MARGIN};
 pub use dynpar_split::{split as dynpar_split, run_split as dynpar_run, DynParSplit, DynParSplitError};
 pub use local_array::{LocalArrayChoice, LocalArrayPlan};
 pub use mapping::{ThreadMap, MASTER_ID, SLAVE_ID};
 pub use options::{LocalArrayStrategy, NpOptions, TransformError};
 pub use transform::{transform, TransformReport, Transformed};
-pub use tuner::{autotune, TuneCandidate, TuneEntry, TuneError, TuneOutcome, TuneResult};
+pub use tuner::{
+    autotune, autotune_with_policy, LaunchFailure, PolicyTuneResult, TuneCandidate, TuneEntry,
+    TuneError, TuneOutcome, TuneResult,
+};

@@ -39,6 +39,19 @@ pub struct NpOptions {
     /// Shared-memory budget in bytes per thread for the local-array policy
     /// (the paper uses 384).
     pub shared_budget_per_thread: u32,
+    /// Adaptive small-loop gating: a pragma loop whose *static* trip count
+    /// is below this threshold is emitted as a master-only serial loop —
+    /// the group communication would cost more than the saved iterations.
+    /// `None` (the default) disables gating; `costmodel::serial_gate_threshold`
+    /// gives the per-device value.
+    pub serial_below: Option<u32>,
+    /// Per-loop communication overrides: `(pragma loop index in pre-order,
+    /// use __shfl)`. The thread mapping stays global (it is physical), but
+    /// each loop's broadcast/reduction/scan can independently choose the
+    /// shuffle or shared-memory scheme — the hybrid selection hook. A
+    /// `true` entry on a mapping whose slave groups do not share a warp is
+    /// rejected with [`TransformError::ShflUnsupported`].
+    pub loop_comm: Vec<(usize, bool)>,
 }
 
 impl NpOptions {
@@ -54,7 +67,22 @@ impl NpOptions {
             pad: false,
             max_block_threads: 1024,
             shared_budget_per_thread: 384,
+            serial_below: None,
+            loop_comm: Vec::new(),
         }
+    }
+
+    /// Gate pragma loops with static trips below `threshold` to serial
+    /// master-only execution (builder style).
+    pub fn with_serial_below(mut self, threshold: u32) -> Self {
+        self.serial_below = Some(threshold);
+        self
+    }
+
+    /// Override one pragma loop's communication scheme (builder style).
+    pub fn with_loop_comm(mut self, loop_index: usize, use_shfl: bool) -> Self {
+        self.loop_comm.push((loop_index, use_shfl));
+        self
     }
 
     /// Inter-warp NP with the given slave count.

@@ -16,8 +16,9 @@
 //! ```
 
 use super::json::{escape, Json};
+use crate::costmodel::TunePolicy;
 use crate::options::NpOptions;
-use crate::tuner::{TuneOutcome, TuneResult};
+use crate::tuner::{PolicyTuneResult, TuneOutcome};
 use np_exec::KernelReport;
 use np_gpu_sim::DeviceConfig;
 use np_kernel_ir::kernel::Kernel;
@@ -68,6 +69,9 @@ pub struct Request {
     pub watchdog: Option<u64>,
     /// Per-request wall-clock deadline in milliseconds.
     pub deadline_ms: Option<u64>,
+    /// Candidate-selection policy for tune mode (`exhaustive` when absent).
+    /// Ignored by transform mode and excluded from its cache key.
+    pub tune_policy: TunePolicy,
 }
 
 /// Parse a `--watchdog`-style step budget: a positive integer number of
@@ -162,6 +166,15 @@ impl Request {
                 j.as_u64().ok_or_else(|| fail("deadline_ms must be a whole number".into()))?,
             ),
         };
+        let tune_policy = match v.get("tune_policy") {
+            None => TunePolicy::default(),
+            Some(j) => {
+                let s = j
+                    .as_str()
+                    .ok_or_else(|| fail("tune_policy must be a string".into()))?;
+                TunePolicy::parse(s).map_err(&fail)?
+            }
+        };
 
         Ok(Request {
             id: id_val,
@@ -175,6 +188,7 @@ impl Request {
             dev,
             watchdog,
             deadline_ms,
+            tune_policy,
         })
     }
 
@@ -184,7 +198,11 @@ impl Request {
         NpOptions::new(self.slave_size, self.np_type)
     }
 
-    /// Canonical transform-config string for the cache key.
+    /// Canonical transform-config string for the cache key. The tune
+    /// policy enters the key only when non-default: pre-policy clients and
+    /// explicit `exhaustive` requests must keep hitting the same entries
+    /// (the policies' payloads differ — `skipped` entries, the policy
+    /// block — so distinct policies must never collide).
     pub fn transform_config(&self) -> String {
         match self.mode {
             Mode::Transform => format!(
@@ -192,7 +210,8 @@ impl Request {
                 self.slave_size,
                 np_type_str(self.np_type)
             ),
-            Mode::Tune => "mode=tune".to_string(),
+            Mode::Tune if self.tune_policy.is_exhaustive() => "mode=tune".to_string(),
+            Mode::Tune => format!("mode=tune;policy={}", self.tune_policy),
         }
     }
 
@@ -370,14 +389,23 @@ pub fn report_json(rep: &KernelReport, device: &str) -> String {
     )
 }
 
-/// Render an auto-tune run: the winner's full report plus the per-candidate
-/// outcome table (mirroring `TuneEntry`).
-pub fn tune_json(r: &TuneResult, device: &str) -> String {
+/// Render an auto-tune run: the winner's full report, the selection
+/// policy's bookkeeping, plus the per-candidate outcome table (mirroring
+/// `TuneEntry`).
+pub fn tune_json(p: &PolicyTuneResult, device: &str) -> String {
+    let r = &p.result;
     let mut s = format!(
-        "{{\"winner\":{{\"np_type\":\"{}\",\"slave_size\":{},\"cycles\":{}}},\"entries\":[",
+        "{{\"winner\":{{\"np_type\":\"{}\",\"slave_size\":{},\"cycles\":{}}},\
+         \"policy\":{{\"name\":\"{}\",\"evaluated\":{},\"skipped\":{},\"fell_back\":{},\
+         \"predicted_rank\":{}}},\"entries\":[",
         r.best.report.np_type.map_or("?", np_type_str),
         r.best.report.slave_size,
-        r.best_report.cycles
+        r.best_report.cycles,
+        escape(&p.policy.label()),
+        p.evaluated,
+        p.skipped,
+        p.fell_back,
+        p.predicted_rank.map_or("null".to_string(), |n| n.to_string()),
     );
     for (i, e) in r.entries.iter().enumerate() {
         if i > 0 {
@@ -391,9 +419,16 @@ pub fn tune_json(r: &TuneResult, device: &str) -> String {
             TuneOutcome::Faulted(f) => {
                 format!("\"faulted\",\"detail\":\"{}\"", escape(&f.to_string()))
             }
-            TuneOutcome::LaunchFailed(msg) => {
-                format!("\"launch_failed\",\"detail\":\"{}\"", escape(msg))
+            TuneOutcome::LaunchFailed(err) => {
+                // The typed failure gives clients a stable machine-readable
+                // class; the rendered detail is for humans only.
+                format!(
+                    "\"launch_failed\",\"class\":\"{}\",\"detail\":\"{}\"",
+                    err.class(),
+                    escape(&err.to_string())
+                )
             }
+            TuneOutcome::Skipped => "\"skipped\"".to_string(),
         };
         s.push_str(&format!(
             "{{\"np_type\":\"{}\",\"slave_size\":{},\"outcome\":{outcome}}}",

@@ -17,7 +17,7 @@ use super::metrics::{Metrics, Snapshot};
 use super::proto::{report_json, tune_json, Mode, Request, Response, Status};
 use super::synth_args;
 use crate::transform;
-use crate::tuner::{alloc_extra_buffers, autotune, candidates_from_pragmas};
+use crate::tuner::{alloc_extra_buffers, autotune_with_policy, candidates_from_pragmas};
 use crate::TuneError;
 use np_exec::{capture_launch, replay_launch, DeadlineSpec, KernelReport, SimOptions};
 use np_gpu_sim::{CapturedLaunch, DeviceConfig};
@@ -609,7 +609,15 @@ fn simulate(inner: &Inner, job: &Job, chaos: &ChaosPlan) -> Response {
             let candidates = candidates_from_pragmas(&req.kernel, 1024);
             let make_args =
                 |t: &crate::Transformed| alloc_extra_buffers(synth_args(&t.kernel), t, grid);
-            match autotune(&req.kernel, &req.dev, grid, &make_args, &sim, &candidates) {
+            match autotune_with_policy(
+                &req.kernel,
+                &req.dev,
+                grid,
+                &make_args,
+                &sim,
+                &candidates,
+                req.tune_policy,
+            ) {
                 Ok(r) => {
                     let mut resp = Response::new(id, Status::Ok);
                     resp.payload = Some(tune_json(&r, &req.device));

@@ -58,12 +58,29 @@ pub struct TransformReport {
     /// block) — total size is `elems_per_block * gridDim.x`.
     pub extra_global_buffers: Vec<(String, u64)>,
     pub padded_loops: u32,
+    /// Pragma loops emitted serially (master-only) because their static
+    /// trip count fell below `NpOptions::serial_below`: (iterator, trip).
+    pub gated_loops: Vec<(String, u32)>,
+    /// Per-loop communication overrides that were applied: (pragma loop
+    /// index, used __shfl).
+    pub comm_overrides: Vec<(usize, bool)>,
 }
 
 struct Emitter {
     map: ThreadMap,
     use_shfl: bool,
     redundant_enabled: bool,
+    /// Small-loop gating threshold (`NpOptions::serial_below`).
+    serial_below: Option<u32>,
+    /// Per-loop communication overrides, keyed by pre-order pragma-loop
+    /// index.
+    loop_comm: BTreeMap<usize, bool>,
+    /// Pre-order index of the next pragma loop `emit_parallel_loop` sees.
+    pragma_loop_index: usize,
+    /// Post-relocation names of live local arrays. Their accesses were
+    /// rewritten assuming the cyclic slave distribution (register partitions
+    /// especially), so a loop touching one must never be gated to serial.
+    relocated_arrays: BTreeSet<String>,
     types: BTreeMap<String, Scalar>,
     redundant: BTreeSet<String>,
     available: BTreeSet<String>,
@@ -176,6 +193,15 @@ pub fn transform(kernel: &Kernel, opts: &NpOptions) -> Result<Transformed, Trans
     if opts.use_shfl == Some(true) && opts.sm_version < 30 {
         return Err(TransformError::ShflUnsupported);
     }
+    // A per-loop shuffle request is only honest when the mapping keeps each
+    // slave group inside one warp and the target has `__shfl` at all.
+    if opts
+        .loop_comm
+        .iter()
+        .any(|&(_, sh)| sh && (!map.slaves_share_warp() || opts.sm_version < 30))
+    {
+        return Err(TransformError::ShflUnsupported);
+    }
     let use_shfl = opts.shfl_enabled() && map.slaves_share_warp();
 
     let mut work = kernel.clone();
@@ -216,6 +242,17 @@ pub fn transform(kernel: &Kernel, opts: &NpOptions) -> Result<Transformed, Trans
         map,
         use_shfl,
         redundant_enabled: opts.redundant_uniform,
+        serial_below: opts.serial_below,
+        loop_comm: opts.loop_comm.iter().copied().collect(),
+        pragma_loop_index: 0,
+        relocated_arrays: local_plans
+            .iter()
+            .map(|p| match &p.choice {
+                LocalArrayChoice::Register { .. } => p.array.clone(),
+                LocalArrayChoice::Shared { .. } => format!("{}_sm", p.array),
+                LocalArrayChoice::Global { param, .. } => param.clone(),
+            })
+            .collect(),
         types,
         redundant: if opts.redundant_uniform {
             // The master id is shared by every slave of a master, so it
@@ -334,11 +371,16 @@ fn walk(
                     map: em.map,
                     use_shfl: em.use_shfl,
                     redundant_enabled: em.redundant_enabled,
+                    serial_below: em.serial_below,
+                    loop_comm: em.loop_comm.clone(),
+                    pragma_loop_index: em.pragma_loop_index,
+                    relocated_arrays: em.relocated_arrays.clone(),
                     scan_counter: em.scan_counter,
                 };
                 walk(&mut inner, body, guard, &body_after)?;
                 inner.flush_guarded();
                 em.report = std::mem::take(&mut inner.report);
+                em.pragma_loop_index = inner.pragma_loop_index;
                 em.scan_counter = inner.scan_counter;
                 em.available = inner.available;
                 em.top_decl_names = inner.top_decl_names;
@@ -408,6 +450,31 @@ fn walk(
     Ok(())
 }
 
+/// Does any statement in `stmts` load or store one of `arrays`?
+fn touches_arrays(stmts: &[Stmt], arrays: &BTreeSet<String>) -> bool {
+    if arrays.is_empty() {
+        return false;
+    }
+    let mut found = false;
+    visit_stmts(stmts, &mut |s| {
+        if let Stmt::Store { array, .. } = s {
+            if arrays.contains(array) {
+                found = true;
+            }
+        }
+        for e in s.exprs() {
+            e.visit(&mut |e| {
+                if let Expr::Load { array, .. } = e {
+                    if arrays.contains(array) {
+                        found = true;
+                    }
+                }
+            });
+        }
+    });
+    found
+}
+
 fn compose_guard(guard: &Option<Expr>, cond: Expr) -> Option<Expr> {
     Some(match guard {
         Some(g) => land(g.clone(), cond),
@@ -439,6 +506,47 @@ fn emit_parallel_loop(
             "`__syncthreads` inside parallel loop over {var:?}"
         )));
     }
+    let loop_idx = em.pragma_loop_index;
+    em.pragma_loop_index += 1;
+
+    // Adaptive gating (cost-model-guided): a loop too short to amortize the
+    // group communication runs serially on the master — the pragma is
+    // stripped and the loop becomes ordinary master-only sequential code,
+    // exactly like the plain control-flow arm of `walk`. Live-outs land in
+    // master registers only, so everything the loop writes leaves the
+    // slave-visible set (a later parallel loop re-broadcasts on demand).
+    if let Some(threshold) = em.serial_below {
+        if let Some(trip) = np_kernel_ir::analysis::static_trip_count(init, bound) {
+            if trip < threshold && !touches_arrays(body, &em.relocated_arrays) {
+                for w in np_kernel_ir::analysis::scalars_written(std::slice::from_ref(s)) {
+                    em.available.remove(&w);
+                }
+                em.emit_guarded(
+                    guard,
+                    Stmt::For {
+                        var: var.clone(),
+                        init: init.clone(),
+                        bound: bound.clone(),
+                        step: step.clone(),
+                        body: body.clone(),
+                        pragma: None,
+                    },
+                );
+                em.report.gated_loops.push((var.clone(), trip));
+                return Ok(());
+            }
+        }
+    }
+
+    // The hybrid hook: this loop's broadcast/reduction/scan scheme may
+    // deviate from the kernel-wide choice. Restored below; error paths
+    // abort the whole transform, so they need no unwinding.
+    let kernel_shfl = em.use_shfl;
+    if let Some(&sh) = em.loop_comm.get(&loop_idx) {
+        em.use_shfl = sh;
+        em.report.comm_overrides.push((loop_idx, sh));
+    }
+
     let s_count = em.map.slave_size;
 
     // Which scalars must reach the slaves?
@@ -526,6 +634,7 @@ fn emit_parallel_loop(
     }
     // The iterator's exit value differs across slaves.
     em.available.remove(var);
+    em.use_shfl = kernel_shfl;
     Ok(())
 }
 

@@ -455,6 +455,167 @@ fn transformed_source_matches_figure3_shape() {
     assert!(src.contains("(__np_slave_id == 0)"), "{src}");
 }
 
+/// Two-loop kernel for the adaptive-gating tests: a tiny trip-4 reduction
+/// whose result feeds a long trip-64 reduction (so gating the first loop
+/// forces a live-in broadcast into the second).
+fn gating_kernel() -> Kernel {
+    let mut b = KernelBuilder::new("gated", 32);
+    b.param_global_f32("a");
+    b.param_global_f32("out");
+    b.decl_f32("bias", f(0.0));
+    b.decl_f32("sum", f(0.0));
+    b.decl_i32("tx", tidx() + bidx() * bdimx());
+    b.pragma_for("np parallel for reduction(+:bias)", "j", i(0), i(4), |b| {
+        b.assign("bias", v("bias") + load("a", v("j") + v("tx")));
+    });
+    b.pragma_for("np parallel for reduction(+:sum)", "n", i(0), i(64), |b| {
+        b.assign("sum", v("sum") + load("a", v("n")) * v("bias"));
+    });
+    b.store("out", v("tx"), v("sum"));
+    b.finish()
+}
+
+fn gating_args() -> Args {
+    let a: Vec<f32> = (0..128).map(|i| ((i * 23 % 67) as f32 - 33.0) / 16.0).collect();
+    Args::new().buf_f32("a", a).buf_f32("out", vec![0.0; 64])
+}
+
+/// `serial_below` gates the tiny loop to master-serial execution; results
+/// must match the ungated baseline, the gate must be reported, and the
+/// gated live-out must be re-broadcast into the next parallel loop.
+#[test]
+fn small_loop_gating_equivalent_and_reported() {
+    let k = gating_kernel();
+    let baseline = run(&k, 2, gating_args());
+    for base in [NpOptions::inter(8), NpOptions::intra(8)] {
+        let opts = base.clone().with_serial_below(8);
+        let t = transform(&k, &opts).unwrap();
+        assert_eq!(t.report.gated_loops, vec![("j".to_string(), 4)]);
+        assert!(
+            t.report.broadcasts.contains(&"bias".to_string()),
+            "gated live-out must be broadcast into the next parallel loop: {:?}",
+            t.report
+        );
+        let got = run(&t.kernel, 2, alloc_extra_buffers(gating_args(), &t, Dim3::x1(2)));
+        assert_close(&baseline, &got, 1e-4, &format!("gated {:?}", base.np_type));
+
+        // Threshold below every trip: nothing gates.
+        let t = transform(&k, &base.clone().with_serial_below(2)).unwrap();
+        assert!(t.report.gated_loops.is_empty());
+
+        // Threshold above every trip: everything gates, output unchanged.
+        let t = transform(&k, &base.clone().with_serial_below(100)).unwrap();
+        assert_eq!(t.report.gated_loops.len(), 2);
+        let got = run(&t.kernel, 2, alloc_extra_buffers(gating_args(), &t, Dim3::x1(2)));
+        assert_close(&baseline, &got, 1e-4, &format!("all-gated {:?}", base.np_type));
+    }
+}
+
+/// Gating under divergent control flow composes with the sunk branch guard.
+#[test]
+fn gating_inside_divergent_guard_equivalent() {
+    let mut b = KernelBuilder::new("lu_gated", 32);
+    b.param_global_f32("a");
+    b.param_global_f32("out");
+    b.decl_i32("tx", tidx());
+    b.decl_f32("acc", f(0.0));
+    b.if_else(
+        lt(v("tx"), i(16)),
+        |b| {
+            b.pragma_for("np parallel for reduction(+:acc)", "j", i(0), i(6), |b| {
+                b.assign("acc", v("acc") + load("a", v("tx") * i(6) + v("j")));
+            });
+        },
+        |b| {
+            b.pragma_for("np parallel for reduction(+:acc)", "j", i(0), i(6), |b| {
+                b.assign("acc", v("acc") + load("a", v("j") * i(16) + (v("tx") - i(16))) * f(2.0));
+            });
+        },
+    );
+    b.store("out", v("tx"), v("acc"));
+    let k = b.finish();
+    let make_args = || {
+        let a: Vec<f32> = (0..256).map(|i| ((i * 7 % 61) as f32 - 30.0) / 10.0).collect();
+        Args::new().buf_f32("a", a).buf_f32("out", vec![0.0; 32])
+    };
+    let baseline = run(&k, 1, make_args());
+    let opts = NpOptions::inter(4).with_serial_below(8);
+    let t = transform(&k, &opts).unwrap();
+    assert_eq!(t.report.gated_loops.len(), 2, "{:?}", t.report.gated_loops);
+    let got = run(&t.kernel, 1, alloc_extra_buffers(make_args(), &t, Dim3::x1(1)));
+    assert_close(&baseline, &got, 1e-4, "gated under guard");
+}
+
+/// Loops touching relocated local arrays must never gate: register
+/// partitions (and the shared/global layouts) assume the cyclic slave
+/// distribution, which a master-serial loop would violate.
+#[test]
+fn gating_skips_loops_touching_relocated_arrays() {
+    let k = le_kernel(150);
+    let baseline = run(&k, 2, le_args(150));
+    let opts = NpOptions::inter(8).with_serial_below(200); // above every trip
+    let t = transform(&k, &opts).unwrap();
+    assert!(
+        t.report.gated_loops.is_empty(),
+        "loops over the register-partitioned array gated: {:?}",
+        t.report.gated_loops
+    );
+    let got = run(&t.kernel, 2, alloc_extra_buffers(le_args(150), &t, Dim3::x1(2)));
+    assert_close(&baseline, &got, 1e-3, "le with gating threshold");
+}
+
+/// Per-loop communication overrides: an intra-warp kernel can force one
+/// loop onto the shared-memory scheme while the rest keep `__shfl`.
+#[test]
+fn loop_comm_override_applies_and_stays_equivalent() {
+    let k = gating_kernel();
+    let baseline = run(&k, 2, gating_args());
+
+    // Default intra-warp: both loops use shfl.
+    let t = transform(&k, &NpOptions::intra(8)).unwrap();
+    let src = np_kernel_ir::printer::print_kernel(&t.kernel);
+    assert!(src.contains("__shfl"), "{src}");
+
+    // Override loop 0 to shared memory; loop 1 keeps shfl.
+    let opts = NpOptions::intra(8).with_loop_comm(0, false);
+    let t = transform(&k, &opts).unwrap();
+    assert_eq!(t.report.comm_overrides, vec![(0, false)]);
+    let got = run(&t.kernel, 2, alloc_extra_buffers(gating_args(), &t, Dim3::x1(2)));
+    assert_close(&baseline, &got, 1e-4, "loop 0 forced to shared comm");
+
+    // Override both loops to shared: no shfl anywhere in the output.
+    let opts = NpOptions::intra(8).with_loop_comm(0, false).with_loop_comm(1, false);
+    let t = transform(&k, &opts).unwrap();
+    assert_eq!(t.report.comm_overrides, vec![(0, false), (1, false)]);
+    let src = np_kernel_ir::printer::print_kernel(&t.kernel);
+    assert!(!src.contains("__shfl"), "{src}");
+    let got = run(&t.kernel, 2, alloc_extra_buffers(gating_args(), &t, Dim3::x1(2)));
+    assert_close(&baseline, &got, 1e-4, "both loops forced to shared comm");
+}
+
+/// A `use_shfl` override is rejected when slave groups do not share a warp
+/// or the target lacks `__shfl`.
+#[test]
+fn loop_comm_shfl_request_validated() {
+    use cuda_np::TransformError;
+    let k = gating_kernel();
+
+    // Inter-warp slaves never share a warp.
+    assert!(matches!(
+        transform(&k, &NpOptions::inter(8).with_loop_comm(0, true)),
+        Err(TransformError::ShflUnsupported)
+    ));
+
+    // Intra-warp but pre-sm_30 target.
+    let mut opts = NpOptions::intra(8).with_loop_comm(0, true);
+    opts.sm_version = 20;
+    assert!(matches!(transform(&k, &opts), Err(TransformError::ShflUnsupported)));
+
+    // Requesting shared comm (false) is always fine, even inter-warp.
+    let t = transform(&k, &NpOptions::inter(8).with_loop_comm(0, false)).unwrap();
+    assert_eq!(t.report.comm_overrides, vec![(0, false)]);
+}
+
 /// Everything observable about one launch, rendered to bytes.
 struct ReportBytes {
     cycles: u64,

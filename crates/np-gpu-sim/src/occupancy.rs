@@ -58,6 +58,11 @@ pub enum OccupancyError {
     TooManyRegisters { regs: u32, max: u32 },
     /// A single block's shared memory exceeds the SMX capacity.
     SharedMemTooLarge { bytes: u32, max: u32 },
+    /// One block alone over-subscribes an SMX-wide resource (e.g. a
+    /// 1024-thread block whose per-warp register allocation exceeds the
+    /// whole register file): zero blocks can ever become resident, so the
+    /// launch must fail instead of silently simulating nothing.
+    ZeroResidency { limiter: Limiter },
 }
 
 impl std::fmt::Display for OccupancyError {
@@ -72,6 +77,9 @@ impl std::fmt::Display for OccupancyError {
             }
             OccupancyError::SharedMemTooLarge { bytes, max } => {
                 write!(f, "{bytes} B shared memory/block exceeds SMX capacity {max}")
+            }
+            OccupancyError::ZeroResidency { limiter } => {
+                write!(f, "a single block over-subscribes the SMX ({limiter:?}-limited): zero resident blocks")
             }
         }
     }
@@ -136,6 +144,13 @@ pub fn occupancy(dev: &DeviceConfig, res: &KernelResources) -> Result<Occupancy,
             blocks = b;
             limiter = l;
         }
+    }
+
+    if blocks == 0 {
+        // A residency of zero is not "low occupancy" — the block can never
+        // be scheduled at all. Callers must see a launch failure, not a
+        // zero-cycle simulation of an empty SMX.
+        return Err(OccupancyError::ZeroResidency { limiter });
     }
 
     let threads = blocks * res.block_size;
@@ -225,6 +240,22 @@ mod tests {
             let o = occupancy(&dev, &res(128, 20, kb * 1024)).unwrap();
             assert!(o.blocks_per_smx <= prev);
             prev = o.blocks_per_smx;
+        }
+    }
+
+    #[test]
+    fn zero_residency_is_a_typed_error_not_a_zero_cycle_run() {
+        // 1024 threads × 128 regs/thread = 131072 regs/block on a 65536-reg
+        // SMX: no block can ever become resident. This used to return
+        // Ok { blocks_per_smx: 0 }, which the engine "ran" in zero cycles —
+        // the tuner then crowned an infinite-speedup winner (CFD s=8 on
+        // k20c/maxwell). It must be a launch-time error.
+        let dev = DeviceConfig::k20c();
+        match occupancy(&dev, &res(1024, 128, 0)) {
+            Err(OccupancyError::ZeroResidency { limiter }) => {
+                assert_eq!(limiter, Limiter::Registers)
+            }
+            other => panic!("expected ZeroResidency, got {other:?}"),
         }
     }
 

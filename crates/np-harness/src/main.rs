@@ -4,6 +4,7 @@
 //! np-harness [--test-scale] [--device SPEC] [--devices A,B,C]
 //!            [--json [PATH]] [--check-bench BASELINE]
 //!            [--tolerance FRACTION] [--wall-clock]
+//!            [--tune-policy exhaustive|pruned[:MARGIN]|predict]
 //!            [all | sweep | fig01 | table1 | fig10 | fig11 |
 //!             fig12 | fig13 | fig14 | fig15 | fig16 | sec6]...
 //! ```
@@ -32,6 +33,15 @@
 //! fresh trajectory against a committed baseline and exits 1 on any cycle
 //! count outside `--tolerance` (relative, default 0.02 = ±2%). Both flags
 //! imply the sweep runs.
+//!
+//! `--tune-policy` selects the tuner's candidate-search policy for the
+//! sweep (default `exhaustive`). `pruned[:MARGIN]` evaluates only the
+//! candidates the cost model keeps within MARGIN of its predicted best
+//! (falling back to the full sweep on a model miss — it can never return a
+//! slower winner); `predict` trusts the model's single top pick the same
+//! way. The summary gains a `[policy evaluated/total]` column and the v3
+//! trajectory records the per-workload `"tune"` block; committed baselines
+//! are generated under the default exhaustive policy.
 //!
 //! `--wall-clock` times the sweep on the host: a throughput line
 //! (blocks/sec, total seconds) goes to stderr and the measurement is
@@ -102,6 +112,7 @@ fn main() {
     let mut check_baseline: Option<String> = None;
     let mut tolerance = 0.02f64;
     let mut wall_clock = false;
+    let mut tune_policy = cuda_np::TunePolicy::default();
     let mut device_spec: Option<String> = None;
     let mut devices_spec: Option<String> = None;
     let mut wanted: Vec<String> = Vec::new();
@@ -140,6 +151,17 @@ fn main() {
                 }
             },
             "--wall-clock" => wall_clock = true,
+            "--tune-policy" => match it.next().map(|v| cuda_np::TunePolicy::parse(v)) {
+                Some(Ok(p)) => tune_policy = p,
+                Some(Err(e)) => {
+                    eprintln!("--tune-policy: {e}");
+                    std::process::exit(2);
+                }
+                None => {
+                    eprintln!("--tune-policy needs exhaustive, pruned[:MARGIN], or predict");
+                    std::process::exit(2);
+                }
+            },
             "--tolerance" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
                 Some(t) if t >= 0.0 => tolerance = t,
                 _ => {
@@ -188,7 +210,7 @@ fn main() {
                 }
             }
         }
-        let matrix = runner::sweep_matrix(&devices, scale);
+        let matrix = runner::sweep_matrix_with_policy(&devices, scale, tune_policy);
         if wall_clock {
             // One matrix-level measurement: the devices interleave on a
             // shared pool, so per-device host seconds would be fiction.
@@ -243,12 +265,13 @@ fn main() {
         // throughput doc carries a per-stage host-time breakdown.
         let (outcomes, elapsed) = if wall_clock {
             let rec = np_obs::Recorder::buffer(1 << 20);
-            let (outcomes, mut elapsed) =
-                np_obs::scope(&rec, None, None, || runner::sweep_timed(&dev, scale));
+            let (outcomes, mut elapsed) = np_obs::scope(&rec, None, None, || {
+                runner::sweep_timed_with_policy(&dev, scale, tune_policy)
+            });
             elapsed.stages = np_obs::aggregate_spans(&rec.drain());
             (outcomes, elapsed)
         } else {
-            runner::sweep_timed(&dev, scale)
+            runner::sweep_timed_with_policy(&dev, scale, tune_policy)
         };
         if wall_clock {
             // Host throughput is informational: it goes to stderr and its

@@ -6,8 +6,10 @@
 //! cannot take down a whole harness sweep — the failure becomes a `FAULT`
 //! row in the summary and the remaining workloads still run.
 
-use cuda_np::tuner::{alloc_extra_buffers, autotune, default_candidates, TuneError, TuneResult};
-use cuda_np::{gating_policy, transform, NpOptions, Transformed};
+use cuda_np::tuner::{
+    alloc_extra_buffers, autotune_with_policy, default_candidates, TuneError, TuneResult,
+};
+use cuda_np::{gating_policy, transform, NpOptions, Transformed, TunePolicy};
 use np_exec::{launch, Args, ExecError, KernelReport, RaceCheckMode};
 use np_gpu_sim::racecheck::{RaceCheckOptions, RaceReport};
 use np_gpu_sim::DeviceConfig;
@@ -18,6 +20,17 @@ pub struct BenchResult {
     pub name: &'static str,
     pub baseline: KernelReport,
     pub tuned: TuneResult,
+    /// The candidate-selection policy that tuned this workload.
+    pub policy: TunePolicy,
+    /// Candidates transformed + simulated under `policy` (includes any
+    /// fallback rounds).
+    pub evaluated: usize,
+    /// Candidates the cost model pruned without simulating.
+    pub skipped: usize,
+    /// A model miss forced falling back to the full sweep.
+    pub fell_back: bool,
+    /// 0-based rank the static cost model gave the measured winner.
+    pub predicted_rank: Option<usize>,
     /// Happens-before report of the tuning winner, re-run with the race
     /// checker armed (the baseline's report rides on `baseline.race`).
     pub winner_race: RaceReport,
@@ -93,13 +106,25 @@ pub fn run_baseline(w: &dyn Workload, dev: &DeviceConfig) -> Result<KernelReport
 /// and skipped; this errors only when the baseline fails, *every*
 /// candidate fails, or the winner's re-check launch fails.
 pub fn best_np(w: &dyn Workload, dev: &DeviceConfig) -> Result<BenchResult, HarnessError> {
+    best_np_with_policy(w, dev, TunePolicy::default())
+}
+
+/// [`best_np`] under an explicit candidate-selection policy. `Pruned` and
+/// `Predict` simulate fewer candidates but must land on a winner no slower
+/// than the exhaustive sweep's (the tuner falls back on a model miss).
+pub fn best_np_with_policy(
+    w: &dyn Workload,
+    dev: &DeviceConfig,
+    policy: TunePolicy,
+) -> Result<BenchResult, HarnessError> {
     let kernel = w.kernel();
     let candidates = default_candidates(kernel.block_dim.x, 1024);
     let sim = w.sim_options();
     let grid = w.grid();
     let make_args = |t: &Transformed| alloc_extra_buffers(w.make_args(), t, grid);
-    let tuned = autotune(&kernel, dev, grid, &make_args, &sim, &candidates)
+    let p = autotune_with_policy(&kernel, dev, grid, &make_args, &sim, &candidates, policy)
         .map_err(|source| HarnessError::Tuning { workload: w.name(), source })?;
+    let tuned = p.result;
     // Re-run the winner with the checker armed: tuning runs stay
     // recorder-free (the checker's bookkeeping would pollute nothing, but
     // keeping timing runs identical to the seed keeps cycles comparable).
@@ -110,7 +135,17 @@ pub fn best_np(w: &dyn Workload, dev: &DeviceConfig) -> Result<BenchResult, Harn
     let winner_race = launch(dev, &tuned.best.kernel, grid, &mut args, &checked_sim)
         .map_err(|source| HarnessError::Recheck { workload: w.name(), source })?
         .race;
-    Ok(BenchResult { name: w.name(), baseline: run_baseline(w, dev)?, tuned, winner_race })
+    Ok(BenchResult {
+        name: w.name(),
+        baseline: run_baseline(w, dev)?,
+        tuned,
+        policy: p.policy,
+        evaluated: p.evaluated,
+        skipped: p.skipped,
+        fell_back: p.fell_back,
+        predicted_rank: p.predicted_rank,
+        winner_race,
+    })
 }
 
 /// Run one specific NP configuration of a workload (None = failed config).
@@ -133,9 +168,21 @@ pub struct WorkloadOutcome {
 /// Baseline + auto-tune every Table-1 workload, collecting per-workload
 /// `Result`s instead of stopping at the first failure.
 pub fn sweep(dev: &DeviceConfig, scale: Scale) -> Vec<WorkloadOutcome> {
+    sweep_with_policy(dev, scale, TunePolicy::default())
+}
+
+/// [`sweep`] under an explicit candidate-selection policy.
+pub fn sweep_with_policy(
+    dev: &DeviceConfig,
+    scale: Scale,
+    policy: TunePolicy,
+) -> Vec<WorkloadOutcome> {
     all_workloads(scale)
         .into_iter()
-        .map(|w| WorkloadOutcome { name: w.name(), result: best_np(w.as_ref(), dev) })
+        .map(|w| WorkloadOutcome {
+            name: w.name(),
+            result: best_np_with_policy(w.as_ref(), dev, policy),
+        })
         .collect()
 }
 
@@ -158,9 +205,12 @@ pub fn summary(outcomes: &[WorkloadOutcome]) -> String {
                 };
                 let _ = writeln!(
                     out,
-                    "{:<5} PASS   {:.2}x best-NP speedup   {races}",
+                    "{:<5} PASS   {:.2}x best-NP speedup   {races}   [{} {}/{}]",
                     o.name,
-                    r.speedup()
+                    r.speedup(),
+                    r.policy.label(),
+                    r.evaluated,
+                    r.evaluated + r.skipped,
                 );
             }
             Err(e) => {
@@ -336,8 +386,17 @@ impl WallClock {
 
 /// [`sweep`], timed: returns the outcomes plus host-side throughput.
 pub fn sweep_timed(dev: &DeviceConfig, scale: Scale) -> (Vec<WorkloadOutcome>, WallClock) {
+    sweep_timed_with_policy(dev, scale, TunePolicy::default())
+}
+
+/// [`sweep_timed`] under an explicit candidate-selection policy.
+pub fn sweep_timed_with_policy(
+    dev: &DeviceConfig,
+    scale: Scale,
+    policy: TunePolicy,
+) -> (Vec<WorkloadOutcome>, WallClock) {
     let start = std::time::Instant::now();
-    let outcomes = sweep(dev, scale);
+    let outcomes = sweep_with_policy(dev, scale, policy);
     let seconds = start.elapsed().as_secs_f64();
     let blocks = sweep_blocks(&outcomes);
     (outcomes, WallClock { seconds, blocks, stages: Vec::new() })
@@ -370,6 +429,15 @@ pub struct MatrixSweep {
 /// matter how evaluations interleave — the per-device trajectory documents
 /// stay byte-identical to a serial run.
 pub fn sweep_matrix(devices: &[DeviceConfig], scale: Scale) -> MatrixSweep {
+    sweep_matrix_with_policy(devices, scale, TunePolicy::default())
+}
+
+/// [`sweep_matrix`] under an explicit candidate-selection policy.
+pub fn sweep_matrix_with_policy(
+    devices: &[DeviceConfig],
+    scale: Scale,
+    policy: TunePolicy,
+) -> MatrixSweep {
     let start = std::time::Instant::now();
     let workloads = all_workloads(scale);
     let cells = devices.len() * workloads.len();
@@ -386,8 +454,10 @@ pub fn sweep_matrix(devices: &[DeviceConfig], scale: Scale) -> MatrixSweep {
                 }
                 let dev = &devices[i / workloads.len()];
                 let w = &workloads[i % workloads.len()];
-                let outcome =
-                    WorkloadOutcome { name: w.name(), result: best_np(w.as_ref(), dev) };
+                let outcome = WorkloadOutcome {
+                    name: w.name(),
+                    result: best_np_with_policy(w.as_ref(), dev, policy),
+                };
                 *slots[i].lock().unwrap() = Some(outcome);
             });
         }
@@ -454,6 +524,21 @@ mod tests {
         assert!((gm(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
         assert!((gm(&[3.0]) - 3.0).abs() < 1e-12);
         assert_eq!(gm(&[]), 0.0);
+    }
+
+    #[test]
+    fn gm_of_empty_slice_is_finite_not_nan() {
+        // Regression: the unguarded form `exp(sum/len)` divides 0.0/0 and
+        // returns NaN, which then poisons every downstream geomean (a NaN
+        // speedup compares false against any gate and silently passes
+        // formatting). An all-faulted sweep reaches this path, so the empty
+        // slice must map to a well-defined finite sentinel.
+        let g = gm(&[]);
+        assert!(!g.is_nan(), "geomean of no speedups must not be NaN");
+        assert!(g.is_finite());
+        assert_eq!(g, 0.0);
+        // NaN would also break the summary gate comparison direction:
+        assert!((0.0..=1.0).contains(&g));
     }
 
     #[test]

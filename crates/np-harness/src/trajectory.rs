@@ -20,8 +20,12 @@ use np_kernel_ir::pragma::NpType;
 /// Schema tag written into every document; bump when the layout changes.
 /// v2 added `device_digest` (the FNV-64 of the device's canonical
 /// descriptor), so a trajectory is pinned to the exact device parameters
-/// that produced it, not just the device's display name.
-pub const SCHEMA: &str = "np-bench-trajectory-v2";
+/// that produced it, not just the device's display name. v3 added the
+/// per-workload `"tune"` block (search policy, evaluated/skipped candidate
+/// counts, fallback flag, the cost model's rank of the measured winner) and
+/// a `"skipped"` counter in `"candidates"`; [`check_against_baseline`] only
+/// reads cycle fields, so v2 baselines still gate v3 documents.
+pub const SCHEMA: &str = "np-bench-trajectory-v3";
 
 fn np_type_str(t: NpType) -> &'static str {
     match t {
@@ -30,13 +34,12 @@ fn np_type_str(t: NpType) -> &'static str {
     }
 }
 
-/// The tuning winner's entry: `autotune` breaks cycle ties toward the
-/// earliest candidate, so the first entry matching the winning cycle count
-/// is the winner.
+/// The tuning winner's entry, identified by the tuner's own `best_index`
+/// rather than re-deriving it from cycle counts (a skipped or later
+/// candidate could alias the winning cycle count).
 fn winner_entry(o: &WorkloadOutcome) -> Option<&TuneEntry> {
     let r = o.result.as_ref().ok()?;
-    let best = r.tuned.best_report.cycles;
-    r.tuned.entries.iter().find(|e| e.cycles() == Some(best))
+    r.tuned.entries.get(r.tuned.best_index)
 }
 
 /// Tally the tuner's candidate outcomes for one workload, rendered as the
@@ -44,13 +47,15 @@ fn winner_entry(o: &WorkloadOutcome) -> Option<&TuneEntry> {
 /// config that starts faulting or failing to launch — show up here as diffs
 /// in `BENCH_results.json`, not just as perf drift.
 fn candidates_json(entries: &[TuneEntry]) -> String {
-    let (mut ok, mut rejected, mut faulted, mut launch_failed) = (0u64, 0u64, 0u64, 0u64);
+    let (mut ok, mut rejected, mut faulted, mut launch_failed, mut skipped) =
+        (0u64, 0u64, 0u64, 0u64, 0u64);
     for e in entries {
         match &e.outcome {
             TuneOutcome::Ok { .. } => ok += 1,
             TuneOutcome::Rejected(_) => rejected += 1,
             TuneOutcome::Faulted(_) => faulted += 1,
             TuneOutcome::LaunchFailed(_) => launch_failed += 1,
+            TuneOutcome::Skipped => skipped += 1,
             // `TuneOutcome` is non_exhaustive from outside cuda-np; count
             // unknown future variants as launch failures so they surface.
             _ => launch_failed += 1,
@@ -58,8 +63,27 @@ fn candidates_json(entries: &[TuneEntry]) -> String {
     }
     format!(
         "{{\"total\":{},\"ok\":{ok},\"rejected\":{rejected},\"faulted\":{faulted},\
-         \"launch_failed\":{launch_failed}}}",
+         \"launch_failed\":{launch_failed},\"skipped\":{skipped}}}",
         entries.len()
+    )
+}
+
+/// The per-workload `"tune"` block: which search policy ran and how it
+/// behaved. Under the default exhaustive policy this renders identically on
+/// every run, preserving byte-determinism; under `pruned`/`predict` it makes
+/// the cost model's effectiveness auditable straight from the trajectory.
+fn tune_json(r: &crate::runner::BenchResult) -> String {
+    let rank = match r.predicted_rank {
+        Some(n) => n.to_string(),
+        None => "null".to_string(),
+    };
+    format!(
+        "{{\"policy\":\"{}\",\"evaluated\":{},\"skipped\":{},\
+         \"fell_back\":{},\"predicted_rank\":{rank}}}",
+        r.policy.label(),
+        r.evaluated,
+        r.skipped,
+        r.fell_back,
     )
 }
 
@@ -95,7 +119,7 @@ pub fn to_json(outcomes: &[WorkloadOutcome], dev: &DeviceConfig, scale: &str) ->
         s.push_str(&format!(
             "    {{\"name\":\"{}\",\"baseline_cycles\":{},\"best_cycles\":{},\
              \"speedup\":{:.4},\"np_type\":\"{}\",\"slave_size\":{},\
-             \"candidates\":{},\
+             \"tune\":{},\"candidates\":{},\
              \"baseline_stall\":{},\"best_stall\":{},\
              \"baseline_profile\":{},\"best_profile\":{}}}",
             o.name,
@@ -104,6 +128,7 @@ pub fn to_json(outcomes: &[WorkloadOutcome], dev: &DeviceConfig, scale: &str) ->
             r.speedup(),
             np_type,
             slave_size,
+            tune_json(r),
             candidates_json(&r.tuned.entries),
             r.baseline.timing.stall.to_json(),
             r.tuned.best_report.timing.stall.to_json(),
@@ -246,12 +271,16 @@ mod tests {
         let entries = vec![
             entry(TuneOutcome::Ok { cycles: 10 }),
             entry(TuneOutcome::Rejected(TransformError::NoPragmaLoops)),
-            entry(TuneOutcome::LaunchFailed("block too large".into())),
+            entry(TuneOutcome::LaunchFailed(cuda_np::LaunchFailure::Exec(
+                np_exec::ExecError::Launch("block too large".into()),
+            ))),
+            entry(TuneOutcome::Skipped),
         ];
         let json = candidates_json(&entries);
         assert_eq!(
             json,
-            "{\"total\":3,\"ok\":1,\"rejected\":1,\"faulted\":0,\"launch_failed\":1}"
+            "{\"total\":4,\"ok\":1,\"rejected\":1,\"faulted\":0,\"launch_failed\":1,\
+             \"skipped\":1}"
         );
     }
 
@@ -301,6 +330,11 @@ mod tests {
         // least one candidate succeeded somewhere (the sweep found winners).
         assert!(a.contains("\"candidates\":{\"total\":"), "{a}");
         assert!(a.contains("\"launch_failed\":"), "{a}");
+        // v3: every workload records its search policy; the default sweep is
+        // exhaustive, so nothing is skipped and no fallback ever fires.
+        assert!(a.contains("\"tune\":{\"policy\":\"exhaustive\","), "{a}");
+        assert!(a.contains("\"fell_back\":false"), "{a}");
+        assert!(!a.contains("\"fell_back\":true"), "{a}");
         // The freshly generated document passes its own gate exactly.
         check_against_baseline(&a, &a, 0.0).unwrap();
     }

@@ -1,0 +1,151 @@
+//! Differential gate for the cost-model-guided tuner policies.
+//!
+//! Runs the full Table-1 workload sweep on all three paper devices under
+//! `exhaustive`, `pruned`, and `predict` and enforces the policy contract
+//! end to end:
+//!
+//! * **Never slower.** The pruned/predict winner must cost exactly the
+//!   exhaustive winner's cycles on every workload × device. The tuner's
+//!   fallback (re-evaluating the pruned remainder on a model miss) is what
+//!   makes this an invariant rather than a hope, so equality — not `<=` —
+//!   is asserted.
+//! * **Winner kept.** The exhaustive winner's configuration must appear in
+//!   the pruned policy's *evaluated* set (its entry is never `Skipped`).
+//! * **The pruning actually prunes.** Across each device's sweep, the
+//!   pruned and predict policies must evaluate strictly fewer candidates
+//!   than exhaustive on at least half the workloads (and never more).
+//! * **Prediction quality.** Under `exhaustive` every candidate is
+//!   measured, so `predicted_rank` scores the model against ground truth;
+//!   the model must place the measured winner in its top 2 on at least 80%
+//!   of workload × device cells.
+
+use cuda_np::tuner::TuneOutcome;
+use cuda_np::TunePolicy;
+use np_gpu_sim::DeviceConfig;
+use np_harness::runner::{self, BenchResult};
+use np_workloads::Scale;
+
+fn devices() -> Vec<DeviceConfig> {
+    vec![DeviceConfig::gtx680(), DeviceConfig::k20c(), DeviceConfig::maxwell_like()]
+}
+
+fn sweep_ok(dev: &DeviceConfig, policy: TunePolicy) -> Vec<(String, BenchResult)> {
+    runner::sweep_with_policy(dev, Scale::Test, policy)
+        .into_iter()
+        .map(|o| {
+            let name = o.name.to_string();
+            let r = o.result.unwrap_or_else(|e| {
+                panic!("{name} must tune cleanly under {}: {e}", policy.label())
+            });
+            (name, r)
+        })
+        .collect()
+}
+
+#[test]
+fn pruned_and_predict_never_return_a_slower_winner() {
+    for dev in devices() {
+        let exhaustive = sweep_ok(&dev, TunePolicy::Exhaustive);
+        for policy in [TunePolicy::Pruned { margin: cuda_np::DEFAULT_PRUNE_MARGIN }, TunePolicy::Predict] {
+            let guided = sweep_ok(&dev, policy);
+            assert_eq!(exhaustive.len(), guided.len());
+            for ((name, ex), (gname, gu)) in exhaustive.iter().zip(&guided) {
+                assert_eq!(name, gname);
+                assert_eq!(
+                    gu.tuned.best_report.cycles,
+                    ex.tuned.best_report.cycles,
+                    "{} on {}: {} found a slower winner than exhaustive",
+                    name,
+                    dev.name,
+                    policy.label(),
+                );
+                // The baseline is policy-independent, so the reported
+                // speedup must match too.
+                assert_eq!(gu.baseline.cycles, ex.baseline.cycles, "{name} on {}", dev.name);
+            }
+        }
+    }
+}
+
+#[test]
+fn pruned_keeps_the_exhaustive_winner_in_its_evaluated_set() {
+    for dev in devices() {
+        let exhaustive = sweep_ok(&dev, TunePolicy::Exhaustive);
+        let pruned =
+            sweep_ok(&dev, TunePolicy::Pruned { margin: cuda_np::DEFAULT_PRUNE_MARGIN });
+        for ((name, ex), (_, pr)) in exhaustive.iter().zip(&pruned) {
+            // Same candidate list both times (default_candidates is
+            // deterministic), so the winner's slot lines up by index.
+            let winner = &pr.tuned.entries[ex.tuned.best_index];
+            assert!(
+                !matches!(winner.outcome, TuneOutcome::Skipped),
+                "{} on {}: the exhaustive winner (candidate #{}) was pruned away",
+                name,
+                dev.name,
+                ex.tuned.best_index,
+            );
+        }
+    }
+}
+
+#[test]
+fn guided_policies_evaluate_fewer_candidates() {
+    for dev in devices() {
+        let exhaustive = sweep_ok(&dev, TunePolicy::Exhaustive);
+        for policy in [TunePolicy::Pruned { margin: cuda_np::DEFAULT_PRUNE_MARGIN }, TunePolicy::Predict] {
+            let guided = sweep_ok(&dev, policy);
+            let mut strictly_fewer = 0usize;
+            for ((name, ex), (_, gu)) in exhaustive.iter().zip(&guided) {
+                assert_eq!(ex.skipped, 0, "{name}: exhaustive must not skip");
+                assert_eq!(
+                    gu.evaluated + gu.skipped,
+                    ex.evaluated,
+                    "{name} on {}: candidate universe changed under {}",
+                    dev.name,
+                    policy.label(),
+                );
+                assert!(
+                    gu.evaluated <= ex.evaluated,
+                    "{name} on {}: {} evaluated more than exhaustive",
+                    dev.name,
+                    policy.label(),
+                );
+                if gu.evaluated < ex.evaluated {
+                    strictly_fewer += 1;
+                }
+            }
+            assert!(
+                strictly_fewer * 2 >= guided.len(),
+                "{} on {}: strictly fewer candidates on only {strictly_fewer}/{} workloads",
+                policy.label(),
+                dev.name,
+                guided.len(),
+            );
+        }
+    }
+}
+
+#[test]
+fn cost_model_ranks_the_true_winner_top2_on_most_cells() {
+    let mut cells = 0usize;
+    let mut top2 = 0usize;
+    let mut misses: Vec<String> = Vec::new();
+    for dev in devices() {
+        for (name, r) in sweep_ok(&dev, TunePolicy::Exhaustive) {
+            cells += 1;
+            let rank = r
+                .predicted_rank
+                .unwrap_or_else(|| panic!("{name} on {}: no predicted rank", dev.name));
+            if rank <= 1 {
+                top2 += 1;
+            } else {
+                misses.push(format!("{name}@{}: rank {rank}", dev.name));
+            }
+        }
+    }
+    eprintln!("cost model top-2: {top2}/{cells} (misses: {misses:?})");
+    assert!(
+        top2 * 100 >= cells * 80,
+        "cost model top-2 accuracy {top2}/{cells} below the 80% gate; misses: {misses:?}"
+    );
+}

@@ -1,8 +1,9 @@
 //! Loop-shape queries: static trip counts and the iterator-indexing
 //! condition that makes a local array partitionable (Section 3.3, option 3).
 
-use crate::expr::Expr;
+use crate::expr::{BinOp, Expr, Special, UnOp};
 use crate::stmt::{visit_stmts, Stmt};
+use std::collections::HashMap;
 
 /// Static trip count of a canonical `for (v = init; v < bound; v++)` loop,
 /// if both ends are integer literals.
@@ -12,6 +13,344 @@ pub fn static_trip_count(init: &Expr, bound: &Expr) -> Option<u32> {
         (Expr::ImmU32(a), Expr::ImmU32(b)) if b >= a => Some(b - a),
         _ => None,
     }
+}
+
+/// Shape summary of one pragma-marked loop, in pre-order source position.
+///
+/// This is the static input surface for tuning cost models: everything here
+/// is derived from the IR alone (no bindings, no execution), so a scorer
+/// built on it is deterministic and free. `trip` is `None` when a loop
+/// bound is a parameter — models should substitute a pessimistic default.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PragmaLoopInfo {
+    /// Position among pragma loops, in pre-order (matches the order the
+    /// CUDA-NP transform encounters and rewrites them).
+    pub index: usize,
+    /// Loop iterator name.
+    pub var: String,
+    /// Static trip count, when both loop ends are integer literals.
+    pub trip: Option<u32>,
+    /// The pragma carries `reduction(...)` clauses.
+    pub has_reduction: bool,
+    /// The pragma carries `scan(...)` clauses.
+    pub has_scan: bool,
+    /// The pragma carries `select(...)` clauses (conditional live-outs).
+    pub has_select: bool,
+    /// Array loads appearing (recursively) in the loop body.
+    pub loads: u32,
+    /// Array stores appearing (recursively) in the loop body.
+    pub stores: u32,
+    /// `If` statements appearing (recursively) in the loop body — a cheap
+    /// proxy for intra-loop divergence.
+    pub branches: u32,
+    /// Affine shape of every array access in the loop body, in visit order.
+    /// This is what lets a cost model predict per-warp memory-transaction
+    /// counts for each NP layout without executing anything.
+    pub accesses: Vec<AccessPattern>,
+}
+
+/// Affine summary of one array access inside a pragma loop:
+/// `index ≈ stride_iter·iter + stride_tid·threadIdx.x + invariant`
+/// (in elements). A stride is `None` when the dependence is nonlinear or
+/// scaled by a runtime parameter — consumers should treat that as a large,
+/// uncoalesced stride.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessPattern {
+    /// Array name; resolve its memory space via `Kernel::array_info`.
+    pub array: String,
+    /// Store (`true`) or load (`false`).
+    pub is_store: bool,
+    /// Element stride per loop-iterator step, when provably affine.
+    pub stride_iter: Option<i64>,
+    /// Element stride per `threadIdx.x` step, when provably affine.
+    pub stride_tid: Option<i64>,
+}
+
+/// Recursion budget for resolving scalar definitions while extracting
+/// affine coefficients. Loop-carried definitions (`x = x + k`) are cyclic;
+/// the budget turns them into `None` (unknown) instead of recursing forever.
+const COEFF_DEPTH: u32 = 8;
+
+/// Axis a stride is measured along.
+enum Axis<'a> {
+    Iter(&'a str),
+    Tid,
+}
+
+/// Integer value of a compile-time-constant expression, if it is one.
+fn const_val(e: &Expr) -> Option<i64> {
+    match e {
+        Expr::ImmI32(v) => Some(*v as i64),
+        Expr::ImmU32(v) => Some(*v as i64),
+        Expr::Cast(_, inner) => const_val(inner),
+        Expr::Unary(UnOp::Neg, inner) => Some(-const_val(inner)?),
+        Expr::Binary(op, a, b) => {
+            let (a, b) = (const_val(a)?, const_val(b)?);
+            match op {
+                BinOp::Add => Some(a + b),
+                BinOp::Sub => Some(a - b),
+                BinOp::Mul => Some(a * b),
+                BinOp::Shl if (0..63).contains(&b) => Some(a << b),
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Does `e` (transitively, through scalar definitions in `env`) depend on
+/// the given axis at all?
+fn depends(e: &Expr, env: &HashMap<String, Expr>, axis: &Axis<'_>, depth: u32) -> bool {
+    if depth == 0 {
+        return true; // out of budget: assume the worst
+    }
+    match e {
+        Expr::ImmF32(_) | Expr::ImmI32(_) | Expr::ImmU32(_) | Expr::ImmBool(_)
+        | Expr::Param(_) => false,
+        Expr::Special(s) => matches!(axis, Axis::Tid) && *s == Special::ThreadIdxX,
+        Expr::Var(n) => match axis {
+            Axis::Iter(v) if n == v => true,
+            _ => env.get(n).is_some_and(|d| depends(d, env, axis, depth - 1)),
+        },
+        Expr::Unary(_, a) | Expr::Cast(_, a) => depends(a, env, axis, depth),
+        Expr::Binary(_, a, b) => depends(a, env, axis, depth) || depends(b, env, axis, depth),
+        Expr::Select(c, a, b) => {
+            depends(c, env, axis, depth)
+                || depends(a, env, axis, depth)
+                || depends(b, env, axis, depth)
+        }
+        Expr::Load { index, .. } => depends(index, env, axis, depth),
+        Expr::Shfl { value, lane, .. } => {
+            depends(value, env, axis, depth) || depends(lane, env, axis, depth)
+        }
+    }
+}
+
+/// Affine coefficient of `e` along `axis`: `Some(c)` when `e` is provably
+/// `c·axis + (axis-invariant)`, `None` when the dependence is nonlinear or
+/// parameter-scaled. Scalar variables are resolved through `env` (the
+/// definitions seen so far in source order), depth-limited so loop-carried
+/// recurrences degrade to `None`.
+fn affine_coeff(
+    e: &Expr,
+    env: &HashMap<String, Expr>,
+    axis: &Axis<'_>,
+    depth: u32,
+) -> Option<i64> {
+    if depth == 0 {
+        return None;
+    }
+    match e {
+        Expr::ImmF32(_) | Expr::ImmI32(_) | Expr::ImmU32(_) | Expr::ImmBool(_)
+        | Expr::Param(_) => Some(0),
+        Expr::Special(s) => {
+            if matches!(axis, Axis::Tid) && *s == Special::ThreadIdxX {
+                Some(1)
+            } else {
+                Some(0)
+            }
+        }
+        Expr::Var(n) => match axis {
+            Axis::Iter(v) if n == v => Some(1),
+            _ => match env.get(n) {
+                Some(def) => affine_coeff(def, env, axis, depth - 1),
+                None => Some(0), // an undefined scalar can't carry the axis
+            },
+        },
+        Expr::Unary(UnOp::Neg, a) => Some(-affine_coeff(a, env, axis, depth)?),
+        Expr::Cast(_, a) => affine_coeff(a, env, axis, depth),
+        Expr::Binary(BinOp::Add, a, b) => {
+            Some(affine_coeff(a, env, axis, depth)? + affine_coeff(b, env, axis, depth)?)
+        }
+        Expr::Binary(BinOp::Sub, a, b) => {
+            Some(affine_coeff(a, env, axis, depth)? - affine_coeff(b, env, axis, depth)?)
+        }
+        Expr::Binary(BinOp::Mul, a, b) => {
+            if let Some(k) = const_val(a) {
+                return Some(k * affine_coeff(b, env, axis, depth)?);
+            }
+            if let Some(k) = const_val(b) {
+                return Some(k * affine_coeff(a, env, axis, depth)?);
+            }
+            // Non-constant × non-constant: affine only if axis-invariant
+            // (e.g. `t * k` with a runtime parameter `k` is NOT affine in
+            // tid even though each factor is).
+            if depends(e, env, axis, depth) {
+                None
+            } else {
+                Some(0)
+            }
+        }
+        Expr::Binary(BinOp::Shl, a, b) => {
+            let k = const_val(b).filter(|k| (0..31).contains(k))?;
+            Some(affine_coeff(a, env, axis, depth)? << k)
+        }
+        // Everything else (div/rem/min/comparisons, selects, gathers,
+        // shuffles) is nonlinear: affine only when axis-invariant.
+        _ => {
+            if depends(e, env, axis, depth) {
+                None
+            } else {
+                Some(0)
+            }
+        }
+    }
+}
+
+/// Affine strides of one index expression along the loop iterator and
+/// `threadIdx.x`, given the scalar definitions seen so far.
+fn access_pattern(
+    array: &str,
+    is_store: bool,
+    index: &Expr,
+    env: &HashMap<String, Expr>,
+    iter: &str,
+) -> AccessPattern {
+    AccessPattern {
+        array: array.to_string(),
+        is_store,
+        stride_iter: affine_coeff(index, env, &Axis::Iter(iter), COEFF_DEPTH),
+        stride_tid: affine_coeff(index, env, &Axis::Tid, COEFF_DEPTH),
+    }
+}
+
+/// Static shape of the code *outside* every pragma loop — the serial
+/// section each NP candidate pays. Statement counts are weighted by the
+/// trip product of enclosing (non-pragma) loops so an access inside a
+/// `for t in 0..16` serial loop counts 16×.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SerialShape {
+    /// Trip-weighted count of statements outside pragma loops.
+    pub weighted_stmts: f64,
+    /// Array accesses outside pragma loops: (trip weight, pattern). The
+    /// pattern's `stride_iter` is measured along the innermost enclosing
+    /// serial loop (0 when there is none).
+    pub accesses: Vec<(f64, AccessPattern)>,
+}
+
+/// Compute the [`SerialShape`] of a kernel body. `default_trip` substitutes
+/// for serial loops whose bounds are runtime parameters.
+pub fn serial_shape(stmts: &[Stmt], default_trip: u32) -> SerialShape {
+    let mut env: HashMap<String, Expr> = HashMap::new();
+    let mut shape = SerialShape { weighted_stmts: 0.0, accesses: Vec::new() };
+    walk_serial(stmts, default_trip, 1.0, "", &mut env, &mut shape);
+    shape
+}
+
+fn walk_serial(
+    stmts: &[Stmt],
+    default_trip: u32,
+    weight: f64,
+    iter: &str,
+    env: &mut HashMap<String, Expr>,
+    out: &mut SerialShape,
+) {
+    for s in stmts {
+        match s {
+            // Pragma loops are not part of the serial section (their cost
+            // is modeled per candidate); skip them entirely.
+            Stmt::For { pragma: Some(_), .. } => continue,
+            Stmt::For { var, init, bound, body, pragma: None, .. } => {
+                out.weighted_stmts += weight;
+                let trip =
+                    static_trip_count(init, bound).unwrap_or(default_trip).max(1) as f64;
+                walk_serial(body, default_trip, weight * trip, var, env, out);
+                continue;
+            }
+            Stmt::DeclScalar { name, init: Some(e), .. } => {
+                env.insert(name.clone(), e.clone());
+            }
+            Stmt::Assign { name, value } => {
+                env.insert(name.clone(), value.clone());
+            }
+            Stmt::If { then_body, else_body, .. } => {
+                out.weighted_stmts += weight;
+                collect_serial_exprs(s, weight, iter, env, out);
+                walk_serial(then_body, default_trip, weight, iter, env, out);
+                walk_serial(else_body, default_trip, weight, iter, env, out);
+                continue;
+            }
+            _ => {}
+        }
+        out.weighted_stmts += weight;
+        if let Stmt::Store { array, index, .. } = s {
+            out.accesses.push((weight, access_pattern(array, true, index, env, iter)));
+        }
+        collect_serial_exprs(s, weight, iter, env, out);
+    }
+}
+
+fn collect_serial_exprs(
+    s: &Stmt,
+    weight: f64,
+    iter: &str,
+    env: &HashMap<String, Expr>,
+    out: &mut SerialShape,
+) {
+    for e in s.exprs() {
+        e.visit(&mut |e| {
+            if let Expr::Load { array, index } = e {
+                out.accesses.push((weight, access_pattern(array, false, index, env, iter)));
+            }
+        });
+    }
+}
+
+/// Enumerate every pragma-marked loop in `stmts` with its static shape,
+/// in pre-order. Pragma loops cannot nest (the transform rejects that), so
+/// pre-order here is simply source order.
+pub fn pragma_loop_trips(stmts: &[Stmt]) -> Vec<PragmaLoopInfo> {
+    let mut out = Vec::new();
+    // Scalar definitions in visit order, so index expressions like
+    // `a[t*k + i]` resolve `t = threadIdx.x + blockIdx.x*blockDim.x` when
+    // extracting strides. Pre-order visitation means a loop sees exactly
+    // the definitions above it (plus any from earlier loop bodies, which is
+    // a harmless over-approximation for stride purposes).
+    let mut env: HashMap<String, Expr> = HashMap::new();
+    visit_stmts(stmts, &mut |s| {
+        match s {
+            Stmt::DeclScalar { name, init: Some(e), .. } => {
+                env.insert(name.clone(), e.clone());
+            }
+            Stmt::Assign { name, value } => {
+                env.insert(name.clone(), value.clone());
+            }
+            _ => {}
+        }
+        let Stmt::For { var, init, bound, body, pragma: Some(p), .. } = s else {
+            return;
+        };
+        let (mut branches, mut accesses) = (0u32, Vec::new());
+        visit_stmts(body, &mut |b| {
+            match b {
+                Stmt::Store { array, index, .. } => {
+                    accesses.push(access_pattern(array, true, index, &env, var));
+                }
+                Stmt::If { .. } => branches += 1,
+                _ => {}
+            }
+            for e in b.exprs() {
+                e.visit(&mut |e| {
+                    if let Expr::Load { array, index } = e {
+                        accesses.push(access_pattern(array, false, index, &env, var));
+                    }
+                });
+            }
+        });
+        out.push(PragmaLoopInfo {
+            index: out.len(),
+            var: var.clone(),
+            trip: static_trip_count(init, bound),
+            has_reduction: !p.reductions.is_empty(),
+            has_scan: !p.scans.is_empty(),
+            has_select: !p.select_out.is_empty(),
+            loads: accesses.iter().filter(|a| !a.is_store).count() as u32,
+            stores: accesses.iter().filter(|a| a.is_store).count() as u32,
+            branches,
+            accesses,
+        });
+    });
+    out
 }
 
 /// True when *every* access (load or store) to `array` inside `body` uses
@@ -51,6 +390,179 @@ mod tests {
         assert_eq!(static_trip_count(&i(5), &i(5)), Some(0));
         assert_eq!(static_trip_count(&i(0), &p("n")), None);
         assert_eq!(static_trip_count(&i(10), &i(5)), None);
+    }
+
+    #[test]
+    fn pragma_loop_trips_enumerates_in_source_order() {
+        use crate::pragma::{NpPragma, RedOp};
+        let pragma_loop = |var: &str, bound, pragma, body| Stmt::For {
+            var: var.into(),
+            init: i(0),
+            bound,
+            step: i(1),
+            body,
+            pragma: Some(pragma),
+        };
+        let body = vec![
+            Stmt::DeclScalar { name: "sum".into(), ty: crate::Scalar::F32, init: Some(f(0.0)) },
+            pragma_loop(
+                "j",
+                i(32),
+                NpPragma::parallel_for().with_reduction(RedOp::Add, "sum"),
+                vec![Stmt::Assign {
+                    name: "sum".into(),
+                    value: v("sum") + load("a", v("j")),
+                }],
+            ),
+            Stmt::For {
+                var: "outer".into(),
+                init: i(0),
+                bound: i(4),
+                step: i(1),
+                body: vec![pragma_loop(
+                    "k",
+                    p("n"),
+                    NpPragma::parallel_for(),
+                    vec![Stmt::If {
+                        cond: lt(v("k"), i(2)),
+                        then_body: vec![Stmt::Store {
+                            array: "out".into(),
+                            index: v("k"),
+                            value: load("a", v("k")) + load("b", v("k")),
+                        }],
+                        else_body: vec![],
+                    }],
+                )],
+                pragma: None,
+            },
+        ];
+        let infos = pragma_loop_trips(&body);
+        assert_eq!(infos.len(), 2);
+        assert_eq!(infos[0].index, 0);
+        assert_eq!(infos[0].var, "j");
+        assert_eq!(infos[0].trip, Some(32));
+        assert!(infos[0].has_reduction);
+        assert!(!infos[0].has_scan);
+        assert_eq!(infos[0].loads, 1);
+        assert_eq!(infos[0].stores, 0);
+        assert_eq!(infos[0].branches, 0);
+        assert_eq!(infos[1].index, 1);
+        assert_eq!(infos[1].var, "k");
+        assert_eq!(infos[1].trip, None, "parameter bound has no static trip");
+        assert_eq!(infos[1].loads, 2);
+        assert_eq!(infos[1].stores, 1);
+        assert_eq!(infos[1].branches, 1);
+    }
+
+    #[test]
+    fn access_strides_resolve_scalar_definitions() {
+        // t = threadIdx.x + blockIdx.x*blockDim.x;  a[t*128 + i] — the
+        // canonical row-major pattern: stride 1 in the iterator, 128 in tid.
+        let body = vec![
+            Stmt::DeclScalar {
+                name: "t".into(),
+                ty: crate::Scalar::I32,
+                init: Some(tidx() + bidx() * bdimx()),
+            },
+            Stmt::For {
+                var: "i".into(),
+                init: i(0),
+                bound: i(64),
+                step: i(1),
+                body: vec![Stmt::Assign {
+                    name: "s".into(),
+                    value: load("a", v("t") * i(128) + v("i")),
+                }],
+                pragma: Some(crate::pragma::NpPragma::parallel_for()),
+            },
+        ];
+        let info = &pragma_loop_trips(&body)[0];
+        assert_eq!(info.accesses.len(), 1);
+        let acc = &info.accesses[0];
+        assert_eq!(acc.array, "a");
+        assert!(!acc.is_store);
+        assert_eq!(acc.stride_iter, Some(1));
+        assert_eq!(acc.stride_tid, Some(128));
+    }
+
+    #[test]
+    fn parameter_scaled_and_gather_strides_are_unknown() {
+        // a[t*k + i] with runtime parameter k: tid stride is unknowable;
+        // b[c[i]] is a gather: iterator stride is unknowable.
+        let body = vec![
+            Stmt::DeclScalar {
+                name: "t".into(),
+                ty: crate::Scalar::I32,
+                init: Some(tidx()),
+            },
+            Stmt::For {
+                var: "i".into(),
+                init: i(0),
+                bound: i(64),
+                step: i(1),
+                body: vec![
+                    Stmt::Assign { name: "x".into(), value: load("a", v("t") * p("k") + v("i")) },
+                    Stmt::Assign { name: "y".into(), value: load("b", load("c", v("i"))) },
+                ],
+                pragma: Some(crate::pragma::NpPragma::parallel_for()),
+            },
+        ];
+        let info = &pragma_loop_trips(&body)[0];
+        let a = info.accesses.iter().find(|x| x.array == "a").unwrap();
+        assert_eq!(a.stride_iter, Some(1));
+        assert_eq!(a.stride_tid, None, "t*k is not affine in tid");
+        let b = info.accesses.iter().find(|x| x.array == "b").unwrap();
+        assert_eq!(b.stride_iter, None, "gather index is not affine in i");
+        assert_eq!(b.stride_tid, Some(0));
+        // The inner index of the gather is itself a (perfectly affine) load.
+        let c = info.accesses.iter().find(|x| x.array == "c").unwrap();
+        assert_eq!(c.stride_iter, Some(1));
+    }
+
+    #[test]
+    fn loop_carried_recurrences_degrade_to_unknown_not_hang() {
+        // idx = idx + 3 inside the loop: cyclic definition. The coefficient
+        // extractor must give up (None), not recurse forever.
+        let body = vec![
+            Stmt::DeclScalar { name: "idx".into(), ty: crate::Scalar::I32, init: Some(i(0)) },
+            Stmt::For {
+                var: "i".into(),
+                init: i(0),
+                bound: i(8),
+                step: i(1),
+                body: vec![
+                    Stmt::Assign { name: "idx".into(), value: v("idx") + i(3) },
+                    Stmt::Assign { name: "x".into(), value: load("a", v("idx")) },
+                ],
+                pragma: Some(crate::pragma::NpPragma::parallel_for()),
+            },
+        ];
+        // First pass: env has idx = 0 (the decl) when the loop is visited,
+        // so the stride resolves through it; what matters is termination
+        // and a non-panicking, deterministic answer.
+        let info = &pragma_loop_trips(&body)[0];
+        assert_eq!(info.accesses.len(), 1);
+    }
+
+    #[test]
+    fn store_strides_are_captured_too() {
+        let body = vec![Stmt::For {
+            var: "j".into(),
+            init: i(0),
+            bound: i(16),
+            step: i(1),
+            body: vec![Stmt::Store {
+                array: "out".into(),
+                index: tidx() * i(16) + v("j"),
+                value: f(1.0),
+            }],
+            pragma: Some(crate::pragma::NpPragma::parallel_for()),
+        }];
+        let info = &pragma_loop_trips(&body)[0];
+        let st = &info.accesses[0];
+        assert!(st.is_store);
+        assert_eq!(st.stride_iter, Some(1));
+        assert_eq!(st.stride_tid, Some(16));
     }
 
     #[test]

@@ -11,5 +11,8 @@ pub use liveness::{
     arrays_read, arrays_written, live_in_of_loop, live_out_candidates, scalars_declared,
     scalars_read, scalars_written,
 };
-pub use loops::{accesses_only_by_iterator, static_trip_count};
+pub use loops::{
+    accesses_only_by_iterator, pragma_loop_trips, serial_shape, static_trip_count,
+    AccessPattern, PragmaLoopInfo, SerialShape,
+};
 pub use uniform::{redundant_scalars, redundant_scalars_seeded};

@@ -105,3 +105,35 @@ done
 # The matrix and the single-device path must agree exactly.
 cmp BENCH_results.gtx680.json BENCH_results.json \
   || { echo "matrix gtx680 trajectory diverges from the serial sweep" >&2; exit 1; }
+
+# Tuner-policy gate: the cost model's pruned and predict policies must be
+# *never slower* than the exhaustive sweep — bit-identical winner cycles
+# across all ten workloads x the device registry, the exhaustive winner
+# always inside the evaluated set, strictly fewer evaluations on at least
+# half the workloads, and the measured winner inside the model's static
+# top-2 on >=80% of workload x device cells. Then the CLI surface: a
+# pruned --explain must report the same winner as an exhaustive one.
+cargo test --release -q -p np-harness --test tuner_policy
+cargo test --release -q -p cuda-np --lib costmodel
+cargo build --release -q -p cuda-np --bin npcc
+cat > /tmp/tuner_policy_smoke.cu <<'CU'
+__global__ void tmv(const float* a, const float* x, float* out, int n) {
+    int row = blockIdx.x * blockDim.x + threadIdx.x;
+    float sum = 0.0f;
+    #pragma np parallel for reduction(+:sum)
+    for (int j = 0; j < n; j++) {
+        sum += a[j * n + row] * x[j];
+    }
+    out[row] = sum;
+}
+CU
+./target/release/npcc --explain /tmp/tuner_policy_smoke.cu \
+  > /dev/null 2> /tmp/tp_exh.txt
+./target/release/npcc --explain --tune-policy pruned /tmp/tuner_policy_smoke.cu \
+  > /dev/null 2> /tmp/tp_pruned.txt
+./target/release/npcc --explain --tune-policy predict /tmp/tuner_policy_smoke.cu \
+  > /dev/null 2> /tmp/tp_predict.txt
+for f in /tmp/tp_pruned.txt /tmp/tp_predict.txt; do
+  cmp <(grep '^npcc: winner' /tmp/tp_exh.txt) <(grep '^npcc: winner' "$f") \
+    || { echo "$f: non-exhaustive policy picked a different winner" >&2; exit 1; }
+done
